@@ -1,0 +1,15 @@
+package warehouse
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/strategy"
+)
+
+func benchParallelize(w *core.Warehouse, s strategy.Strategy) parallel.Plan {
+	return parallel.Parallelize(s, w.Children)
+}
+
+func benchParallelExecute(w *core.Warehouse, p parallel.Plan) (parallel.Report, error) {
+	return parallel.Execute(w, p)
+}

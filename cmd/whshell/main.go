@@ -1,0 +1,406 @@
+// Command whshell is an interactive shell over the warehouse library: define
+// views, load data, stage change batches, run update windows, and query —
+// the full lifecycle from a prompt (or a piped script).
+//
+//	go run ./cmd/whshell [-f script.whs]
+//
+// Commands (case-insensitive keywords; SQL per the library's dialect):
+//
+//	CREATE BASE <name> (<col> <TYPE>, ...);     define a base view
+//	CREATE VIEW <name> AS SELECT ...;           define a derived view
+//	LOAD <view> FROM '<file.csv>';              bulk-load a base view
+//	DELTA <view> FROM '<file.csv>';             stage a change batch (CSV, __count column)
+//	REFRESH;                                    materialize derived views
+//	WINDOW [minwork|prune|dualstage];           plan + execute an update window
+//	SELECT ...;                                 ad-hoc query
+//	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
+//	DEFER <view> ON|OFF;                        deferred maintenance policy
+//	REFRESH STALE;                              recompute stale views
+//	VERIFY;                                     check every view against recomputation
+//	SNAPSHOT SAVE '<file>' | SNAPSHOT LOAD '<file>';
+//	HELP; EXIT;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	warehouse "repro"
+)
+
+func main() {
+	scriptPath := flag.String("f", "", "execute commands from a file instead of stdin")
+	flag.Parse()
+
+	in := os.Stdin
+	interactive := true
+	if *scriptPath != "" {
+		f, err := os.Open(*scriptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whshell:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+	sh := &shell{w: warehouse.New(), out: os.Stdout}
+	if err := sh.run(in, interactive); err != nil {
+		fmt.Fprintln(os.Stderr, "whshell:", err)
+		os.Exit(1)
+	}
+}
+
+type shell struct {
+	w   *warehouse.Warehouse
+	out io.Writer
+}
+
+// run reads semicolon-terminated statements and executes them.
+func (sh *shell) run(in io.Reader, interactive bool) error {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Fprint(sh.out, "wh> ")
+			} else {
+				fmt.Fprint(sh.out, "...> ")
+			}
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		if trimmed := strings.TrimSpace(line); strings.HasPrefix(trimmed, "--") {
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		for {
+			stmt, rest, found := cutStatement(buf.String())
+			if !found {
+				break
+			}
+			buf.Reset()
+			buf.WriteString(rest)
+			if strings.TrimSpace(stmt) == "" {
+				continue
+			}
+			quit, err := sh.execute(strings.TrimSpace(stmt))
+			if err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
+				if !interactive {
+					return err
+				}
+			}
+			if quit {
+				return nil
+			}
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// cutStatement splits off the first semicolon-terminated statement,
+// respecting single-quoted strings.
+func cutStatement(s string) (stmt, rest string, found bool) {
+	inString := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inString = !inString
+		case ';':
+			if !inString {
+				return s[:i], s[i+1:], true
+			}
+		}
+	}
+	return "", s, false
+}
+
+func (sh *shell) execute(stmt string) (quit bool, err error) {
+	upper := strings.ToUpper(stmt)
+	words := strings.Fields(upper)
+	if len(words) == 0 {
+		return false, nil
+	}
+	switch words[0] {
+	case "EXIT", "QUIT":
+		return true, nil
+	case "HELP":
+		sh.help()
+		return false, nil
+	case "SELECT":
+		return false, sh.query(stmt)
+	case "CREATE":
+		if len(words) < 2 {
+			return false, fmt.Errorf("CREATE BASE or CREATE VIEW expected")
+		}
+		switch words[1] {
+		case "BASE":
+			return false, sh.createBase(stmt)
+		case "VIEW":
+			_, err := sh.w.DefineViewSQLStatement(stmt)
+			if err == nil {
+				fmt.Fprintln(sh.out, "ok")
+			}
+			return false, err
+		default:
+			return false, fmt.Errorf("CREATE %s not supported", words[1])
+		}
+	case "LOAD":
+		return false, sh.loadOrDelta(stmt, false)
+	case "DELTA":
+		return false, sh.loadOrDelta(stmt, true)
+	case "REFRESH":
+		if len(words) > 1 && words[1] == "STALE" {
+			if err := sh.w.RefreshStale(); err != nil {
+				return false, err
+			}
+			fmt.Fprintln(sh.out, "ok")
+			return false, nil
+		}
+		if err := sh.w.Refresh(); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(sh.out, "ok")
+		return false, nil
+	case "WINDOW":
+		planner := warehouse.MinWorkPlanner
+		if len(words) > 1 {
+			planner = warehouse.PlannerName(strings.ToLower(words[1]))
+		}
+		win, err := sh.w.RunWindow(planner)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintln(sh.out, win)
+		return false, nil
+	case "SHOW":
+		if len(words) < 2 {
+			return false, fmt.Errorf("SHOW VIEWS | STRATEGY | SCRIPT | HISTORY | STALE")
+		}
+		return false, sh.show(words[1:])
+	case "DEFER":
+		fields := strings.Fields(stmt)
+		if len(fields) != 3 {
+			return false, fmt.Errorf("usage: DEFER <view> ON|OFF")
+		}
+		on := strings.EqualFold(fields[2], "ON")
+		if err := sh.w.SetDeferred(fields[1], on); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(sh.out, "ok")
+		return false, nil
+	case "VERIFY":
+		if err := sh.w.Verify(); err != nil {
+			return false, err
+		}
+		fmt.Fprintln(sh.out, "ok: every view matches recomputation")
+		return false, nil
+	case "SNAPSHOT":
+		return false, sh.snapshot(stmt)
+	default:
+		return false, fmt.Errorf("unknown command %q (try HELP)", words[0])
+	}
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `commands:
+  CREATE BASE <name> (<col> <INTEGER|FLOAT|VARCHAR|DATE|BOOLEAN>, ...);
+  CREATE VIEW <name> AS SELECT ...;
+  LOAD <view> FROM '<file.csv>';        DELTA <view> FROM '<file.csv>';
+  REFRESH;                              REFRESH STALE;
+  WINDOW [minwork|prune|dualstage];     VERIFY;
+  SELECT ... [ORDER BY col [DESC]] [LIMIT n];
+  SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
+  DEFER <view> ON|OFF;
+  SNAPSHOT SAVE '<file>';               SNAPSHOT LOAD '<file>';
+  HELP;  EXIT;
+`)
+}
+
+var kindNames = map[string]warehouse.Kind{
+	"INTEGER": warehouse.KindInt, "INT": warehouse.KindInt,
+	"FLOAT": warehouse.KindFloat, "DOUBLE": warehouse.KindFloat,
+	"VARCHAR": warehouse.KindString, "TEXT": warehouse.KindString, "STRING": warehouse.KindString,
+	"DATE": warehouse.KindDate, "BOOLEAN": warehouse.KindBool, "BOOL": warehouse.KindBool,
+}
+
+// createBase parses CREATE BASE name (col TYPE, ...).
+func (sh *shell) createBase(stmt string) error {
+	open := strings.Index(stmt, "(")
+	closeIdx := strings.LastIndex(stmt, ")")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("usage: CREATE BASE <name> (<col> <TYPE>, ...)")
+	}
+	head := strings.Fields(stmt[:open])
+	if len(head) != 3 {
+		return fmt.Errorf("usage: CREATE BASE <name> (<col> <TYPE>, ...)")
+	}
+	name := head[2]
+	var schema warehouse.Schema
+	for _, part := range strings.Split(stmt[open+1:closeIdx], ",") {
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return fmt.Errorf("bad column definition %q", strings.TrimSpace(part))
+		}
+		kind, ok := kindNames[strings.ToUpper(fields[1])]
+		if !ok {
+			return fmt.Errorf("unknown type %q", fields[1])
+		}
+		schema = append(schema, warehouse.Column{Name: fields[0], Kind: kind})
+	}
+	if err := sh.w.DefineBase(name, schema); err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, "ok")
+	return nil
+}
+
+// loadOrDelta parses LOAD/DELTA <view> FROM '<file>'.
+func (sh *shell) loadOrDelta(stmt string, isDelta bool) error {
+	fields := strings.Fields(stmt)
+	if len(fields) != 4 || !strings.EqualFold(fields[2], "FROM") {
+		return fmt.Errorf("usage: %s <view> FROM '<file.csv>'", strings.ToUpper(fields[0]))
+	}
+	view := fields[1]
+	path := strings.Trim(fields[3], "'")
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if isDelta {
+		d, err := sh.w.StageDeltaCSV(view, f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "staged δ%s: +%d −%d\n", view, d.PlusCount(), d.MinusCount())
+		return nil
+	}
+	n, err := sh.w.LoadCSV(view, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "loaded %d rows into %s\n", n, view)
+	return nil
+}
+
+func (sh *shell) query(stmt string) error {
+	rows, err := sh.w.Query(stmt)
+	if err != nil {
+		return err
+	}
+	schema, err := sh.w.QuerySchema(stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, strings.Join(schema.Names(), " | "))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(sh.out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(sh.out, "(%d rows)\n", len(rows))
+	return nil
+}
+
+func (sh *shell) show(words []string) error {
+	switch words[0] {
+	case "VIEWS":
+		for _, v := range sh.w.Views() {
+			size, err := sh.w.Size(v)
+			if err != nil {
+				return err
+			}
+			schema, err := sh.w.ViewSchema(v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sh.out, "%-20s %8d rows  (%s)\n", v, size, schema)
+		}
+	case "STRATEGY", "SCRIPT":
+		planner := warehouse.MinWorkPlanner
+		if len(words) > 1 {
+			planner = warehouse.PlannerName(strings.ToLower(words[1]))
+		}
+		var plan warehouse.Plan
+		var err error
+		switch planner {
+		case warehouse.MinWorkPlanner:
+			plan, err = sh.w.PlanMinWork()
+		case warehouse.PrunePlanner:
+			plan, err = sh.w.PlanPrune()
+		case warehouse.DualStagePlanner:
+			plan, err = sh.w.PlanDualStage()
+		default:
+			return fmt.Errorf("unknown planner %q", planner)
+		}
+		if err != nil {
+			return err
+		}
+		if words[0] == "SCRIPT" {
+			fmt.Fprint(sh.out, sh.w.Script(plan.Strategy))
+		} else {
+			fmt.Fprintln(sh.out, plan.Strategy)
+		}
+	case "HISTORY":
+		for _, win := range sh.w.History() {
+			fmt.Fprintln(sh.out, win)
+		}
+	case "STALE":
+		fmt.Fprintln(sh.out, sh.w.StaleViews())
+	case "GRAPH":
+		g, err := sh.w.Graph()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, g.Dot())
+	default:
+		return fmt.Errorf("SHOW %s not supported", words[0])
+	}
+	return nil
+}
+
+func (sh *shell) snapshot(stmt string) error {
+	fields := strings.Fields(stmt)
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: SNAPSHOT SAVE|LOAD '<file>'")
+	}
+	path := strings.Trim(fields[2], "'")
+	switch strings.ToUpper(fields[1]) {
+	case "SAVE":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sh.w.SaveSnapshot(f); err != nil {
+			return err
+		}
+	case "LOAD":
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sh.w.LoadSnapshot(f); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: SNAPSHOT SAVE|LOAD '<file>'")
+	}
+	fmt.Fprintln(sh.out, "ok")
+	return nil
+}

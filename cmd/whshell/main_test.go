@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	warehouse "repro"
+)
+
+// runScript feeds commands to a fresh shell and returns the output.
+func runScript(t *testing.T, script string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	sh := &shell{w: warehouse.New(), out: &out}
+	err := sh.run(strings.NewReader(script), false)
+	return out.String(), err
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
+	batch := writeFile(t, "batch.csv", "id,region,amount,__count\n3,west,7,1\n")
+	snap := filepath.Join(t.TempDir(), "snap.bin")
+	script := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+DELTA SALES FROM '` + batch + `';
+SHOW STRATEGY minwork;
+WINDOW;
+VERIFY;
+SELECT region, total FROM TOTALS ORDER BY total DESC LIMIT 1;
+SHOW VIEWS;
+SHOW HISTORY;
+SHOW SCRIPT dualstage;
+SHOW STALE;
+SHOW GRAPH;
+DEFER TOTALS ON;
+DEFER TOTALS OFF;
+SNAPSHOT SAVE '` + snap + `';
+SNAPSHOT LOAD '` + snap + `';
+HELP;
+EXIT;
+`
+	out, err := runScript(t, script)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"loaded 2 rows into SALES",
+		"staged δSALES: +1 −0",
+		"Comp(TOTALS, {SALES})",
+		"window 1 [minwork]",
+		"every view matches recomputation",
+		"west | 17",
+		"(1 rows)",
+		"EXEC comp_TOTALS_from_SALES;",
+		"SALES",
+		"digraph VDAG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellMultilineAndComments(t *testing.T) {
+	out, err := runScript(t, `
+-- a comment line
+CREATE BASE B (x INTEGER,
+               y VARCHAR);
+SELECT x
+FROM B;
+EXIT;
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("multiline select failed:\n%s", out)
+	}
+}
+
+func TestShellSemicolonInString(t *testing.T) {
+	out, err := runScript(t, `
+CREATE BASE B (x INTEGER, s VARCHAR);
+SELECT x FROM B WHERE s = 'a;b';
+EXIT;
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("quoted semicolon mishandled:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	bad := []string{
+		"BOGUS;",
+		"CREATE TABLE X (a INTEGER);",
+		"CREATE BASE;",
+		"CREATE BASE B (x NOPE);",
+		"CREATE BASE B x INTEGER;",
+		"LOAD X FROM 'nope.csv';",
+		"LOAD X 'nope.csv';",
+		"DELTA X FROM 'nope.csv';",
+		"WINDOW bogus;",
+		"SHOW;",
+		"SHOW BOGUS;",
+		"SHOW STRATEGY bogus;",
+		"DEFER X;",
+		"DEFER X ON;",
+		"SNAPSHOT;",
+		"SNAPSHOT PUSH 'f';",
+		"SELECT nope FROM nowhere;",
+		"CREATE VIEW V AS SELECT x FROM NOWHERE;",
+	}
+	for _, cmd := range bad {
+		if _, err := runScript(t, cmd+"\n"); err == nil {
+			t.Errorf("accepted %q", cmd)
+		}
+	}
+}
+
+func TestCutStatement(t *testing.T) {
+	stmt, rest, found := cutStatement("a; b;")
+	if !found || stmt != "a" || rest != " b;" {
+		t.Errorf("cut = %q %q %v", stmt, rest, found)
+	}
+	if _, _, found := cutStatement("no terminator"); found {
+		t.Errorf("found statement without semicolon")
+	}
+	stmt, _, found = cutStatement("x = 'a;b'; rest")
+	if !found || stmt != "x = 'a;b'" {
+		t.Errorf("string-aware cut = %q %v", stmt, found)
+	}
+}

@@ -1,0 +1,176 @@
+// Command whupdate runs one warehouse update window over the TPC-D
+// warehouse of the paper: it stages a change batch, plans an update
+// strategy with the chosen planner, prints the strategy, executes it, and
+// reports the measured update window.
+//
+// Usage:
+//
+//	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
+//	         [-planner minwork|prune|dualstage|reverse]
+//	         [-parallel] [-skip-empty] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/planner"
+	"repro/internal/strategy"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
+	seed := flag.Int64("seed", 7, "generation seed")
+	p := flag.Float64("p", 0.10, "delete fraction for C, O, L, S, N")
+	insert := flag.Float64("insert", 0, "insert fraction for C, O, L, S")
+	plannerName := flag.String("planner", "minwork", "minwork | prune | dualstage | reverse")
+	parallelFlag := flag.Bool("parallel", false, "stage the strategy and execute expressions concurrently")
+	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
+	verbose := flag.Bool("v", false, "print per-expression work")
+	dot := flag.Bool("dot", false, "print the expression graph (Graphviz) instead of executing")
+	script := flag.Bool("script", false, "print the §5.5 update script and stored-procedure catalog instead of executing")
+	flag.Parse()
+
+	if err := run(options{
+		sf: *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
+		parallel: *parallelFlag, skipEmpty: *skipEmpty, verbose: *verbose,
+		dot: *dot, script: *script,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "whupdate:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	sf, p, insert        float64
+	seed                 int64
+	planner              string
+	parallel, skipEmpty  bool
+	verbose, dot, script bool
+}
+
+func run(o options) error {
+	sf, seed, p, insert := o.sf, o.seed, o.p, o.insert
+	plannerName := o.planner
+	parallelFlag, skipEmpty, verbose := o.parallel, o.skipEmpty, o.verbose
+	start := time.Now()
+	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built TPC-D warehouse (SF=%g) in %s\n", sf, time.Since(start).Round(time.Millisecond))
+	for _, v := range tw.W.ViewNames() {
+		fmt.Printf("  %-9s %8d rows\n", v, tw.W.MustView(v).Cardinality())
+	}
+
+	var spec tpcd.ChangeSpec
+	if insert > 0 {
+		spec = tpcd.Mixed(p, insert)
+	} else {
+		spec = tpcd.UniformDecrease(p)
+	}
+	sizes, err := tw.StageChanges(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("staged changes:")
+	for _, v := range tpcd.BaseViews {
+		if n, ok := sizes[v]; ok {
+			fmt.Printf(" δ%s=%d", v, n)
+		}
+	}
+	fmt.Println()
+
+	stats, err := exec.PlanningStats(tw.W)
+	if err != nil {
+		return err
+	}
+	var s strategy.Strategy
+	switch plannerName {
+	case "minwork":
+		res, err := planner.MinWork(tw.Graph, stats)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MinWork ordering: %v (modified=%v)\n", res.UsedOrdering, res.Modified)
+		s = res.Strategy
+	case "prune":
+		res, err := planner.Prune(tw.Graph, cost.DefaultModel, stats, exec.RefCounts(tw.W))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Prune examined %d orderings (%d feasible); best work estimate %.0f\n",
+			res.Examined, res.Feasible, res.Work)
+		s = res.Strategy
+	case "dualstage":
+		s = strategy.DualStageVDAG(tw.Graph)
+	case "reverse":
+		res, err := planner.MinWork(tw.Graph, stats)
+		if err != nil {
+			return err
+		}
+		rev := res.UsedOrdering
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		s, err = planner.ConstructEG(tw.Graph, rev).TopoSort()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown planner %q", plannerName)
+	}
+	fmt.Printf("strategy: %s\n", s)
+
+	if o.dot {
+		ord, err := planner.DesiredOrdering(tw.Graph.ViewsWithParents(), stats)
+		if err != nil {
+			return err
+		}
+		fmt.Print(planner.ConstructEG(tw.Graph, ord).DotString())
+		return nil
+	}
+	if o.script {
+		fmt.Println("-- stored procedures (defined once per VDAG):")
+		fmt.Print(exec.ProcedureCatalog(tw.W))
+		fmt.Println()
+		fmt.Print(exec.Script(s))
+		return nil
+	}
+
+	if parallelFlag {
+		pplan := parallelPlan(tw, s)
+		fmt.Printf("parallel plan (%d stages): %s\n", pplan.Stages(), pplan)
+		t0 := time.Now()
+		rep, err := parallelRun(tw, pplan)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("update window: %s, total work %d, span work %d, speedup %.2f\n",
+			time.Since(t0).Round(time.Microsecond), rep.TotalWork, rep.SpanWork, rep.Speedup())
+	} else {
+		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true})
+		if err != nil {
+			return err
+		}
+		if verbose {
+			for _, step := range rep.Steps {
+				fmt.Printf("  %-28s work=%8d terms=%2d %s\n",
+					step.Expr, step.Work, step.Terms, step.Elapsed.Round(time.Microsecond))
+			}
+		}
+		fmt.Printf("update window: %s\n", rep)
+	}
+
+	t0 := time.Now()
+	if err := tw.W.VerifyAll(); err != nil {
+		return fmt.Errorf("final state verification failed: %w", err)
+	}
+	fmt.Printf("verified against recomputation in %s\n", time.Since(t0).Round(time.Millisecond))
+	return nil
+}

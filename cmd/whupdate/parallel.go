@@ -1,0 +1,15 @@
+package main
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/strategy"
+	"repro/internal/tpcd"
+)
+
+func parallelPlan(tw *tpcd.Warehouse, s strategy.Strategy) parallel.Plan {
+	return parallel.Parallelize(s, tw.W.Children)
+}
+
+func parallelRun(tw *tpcd.Warehouse, p parallel.Plan) (parallel.Report, error) {
+	return parallel.Execute(tw.W, p)
+}

@@ -1,0 +1,101 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/maintain"
+)
+
+// Explain renders a strategy with its predicted per-expression cost under
+// the linear work metric and the current planning statistics: for each
+// Comp, the number of maintenance terms and the operand state it will read
+// (pre- or post-install sizes); for each Inst, the delta size installed.
+// The footer totals the prediction. Useful for understanding *why* one
+// strategy beats another before running either.
+func (w *Warehouse) Explain(s Strategy) (string, error) {
+	if err := w.Validate(s); err != nil {
+		return "", err
+	}
+	stats, err := w.PlanningStats()
+	if err != nil {
+		return "", err
+	}
+	refs := exec.RefCounts(w.core)
+	b, err := cost.Simulate(w.model, stats, refs, s)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXPLAIN (linear work metric; estimated |δ| for derived views)\n")
+	installed := make(map[string]bool)
+	for i, e := range s {
+		fmt.Fprintf(&sb, "%3d. %-36s cost %10.0f", i+1, e.String(), b.PerExpr[i])
+		switch x := e.(type) {
+		case Comp:
+			nTerms, err := maintain.TermCount(w.core.MustView(x.View).Def(), x.Over)
+			if err != nil {
+				return "", err
+			}
+			var operands []string
+			for _, child := range w.core.Children(x.View) {
+				st := stats[child]
+				size := st.Size
+				mark := ""
+				if installed[child] {
+					size = st.SizeAfter()
+					mark = "′" // post-install state
+				}
+				operands = append(operands, fmt.Sprintf("|%s%s|=%d", child, mark, size))
+				if containsStr(x.Over, child) {
+					operands = append(operands, fmt.Sprintf("|δ%s|=%d", child, st.DeltaSize()))
+				}
+			}
+			fmt.Fprintf(&sb, "  terms=%d  %s", nTerms, strings.Join(operands, " "))
+		case Inst:
+			fmt.Fprintf(&sb, "  |δ%s|=%d", x.View, stats[x.View].DeltaSize())
+			installed[x.View] = true
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "total predicted work: %.0f (comp %.0f + inst %.0f)\n", b.Total, b.Comp, b.Inst)
+	return sb.String(), nil
+}
+
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ExplainCompare explains two strategies side by side and reports their
+// predicted ratio — e.g. a planned strategy against the dual-stage baseline.
+func (w *Warehouse) ExplainCompare(a, b Strategy) (string, error) {
+	ea, err := w.Explain(a)
+	if err != nil {
+		return "", err
+	}
+	eb, err := w.Explain(b)
+	if err != nil {
+		return "", err
+	}
+	wa, err := w.EstimateWork(a)
+	if err != nil {
+		return "", err
+	}
+	wb, err := w.EstimateWork(b)
+	if err != nil {
+		return "", err
+	}
+	ratio := "n/a"
+	if wa > 0 {
+		ratio = fmt.Sprintf("%.2f", wb/wa)
+	}
+	return fmt.Sprintf("--- strategy A ---\n%s\n--- strategy B ---\n%s\nB/A predicted work ratio: %s\n",
+		ea, eb, ratio), nil
+}

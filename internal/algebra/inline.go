@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"fmt"
+)
+
+// RewriteColumns returns a copy of e with every column reference replaced by
+// repl(col). Non-column nodes are rebuilt; constants are shared.
+func RewriteColumns(e Expr, repl func(*Col) Expr) Expr {
+	switch x := e.(type) {
+	case *Col:
+		return repl(x)
+	case *Const:
+		return x
+	case *Binary:
+		return &Binary{Op: x.Op, L: RewriteColumns(x.L, repl), R: RewriteColumns(x.R, repl)}
+	case *Not:
+		return &Not{E: RewriteColumns(x.E, repl)}
+	default:
+		panic(fmt.Sprintf("algebra: unknown expression type %T", e))
+	}
+}
+
+// ShiftColumns returns a copy of e with every column index shifted by delta.
+func ShiftColumns(e Expr, delta int) Expr {
+	if delta == 0 {
+		return e
+	}
+	return RewriteColumns(e, func(c *Col) Expr {
+		return &Col{Index: c.Index + delta, Name: c.Name, Typ: c.Typ}
+	})
+}
+
+// Inline replaces reference refIdx of parent with the definition of the view
+// it names — the "flattening" of Section 9 of the paper, which lets the
+// parent's maintenance expressions run directly against the grandchildren
+// (enabling more parallelism at the price of more total work).
+//
+// The child definition must be a non-aggregate (SPJ) view. The child's
+// references are spliced in place of the removed reference with aliases
+// prefixed "<parentAlias>_", its filters are conjoined, and every parent
+// expression that read a column of the removed reference now evaluates the
+// child's projection expression for that column inline.
+func Inline(parent *CQ, refIdx int, child *CQ) (*CQ, error) {
+	if refIdx < 0 || refIdx >= len(parent.Refs) {
+		return nil, fmt.Errorf("algebra: inline ref %d out of range", refIdx)
+	}
+	if child.IsAggregate() {
+		return nil, fmt.Errorf("algebra: cannot inline aggregate view %q", parent.Refs[refIdx].View)
+	}
+	pref := parent.Refs[refIdx]
+	if len(child.OutputSchema()) != len(pref.Schema) {
+		return nil, fmt.Errorf("algebra: child output width %d does not match ref schema width %d",
+			len(child.OutputSchema()), len(pref.Schema))
+	}
+	// Build the new reference list.
+	var refs []Ref
+	refs = append(refs, parent.Refs[:refIdx]...)
+	for _, cr := range child.Refs {
+		refs = append(refs, Ref{Alias: pref.Alias + "_" + cr.Alias, View: cr.View, Schema: cr.Schema.Clone()})
+	}
+	refs = append(refs, parent.Refs[refIdx+1:]...)
+
+	// Offsets in the old and new concatenated rows.
+	oldOff := parent.RefOffset(refIdx)
+	oldWidth := len(pref.Schema)
+	childWidth := len(child.JoinedSchema())
+	shiftAfter := childWidth - oldWidth // how much columns after the segment move
+
+	// Child projection expressions, shifted into their new position.
+	childOutputs := make([]Expr, len(child.Select))
+	for i, s := range child.Select {
+		childOutputs[i] = ShiftColumns(s.E, oldOff)
+	}
+	// remap rewrites a parent expression into the new row layout.
+	remap := func(e Expr) Expr {
+		return RewriteColumns(e, func(c *Col) Expr {
+			switch {
+			case c.Index < oldOff:
+				return c
+			case c.Index < oldOff+oldWidth:
+				return childOutputs[c.Index-oldOff]
+			default:
+				return &Col{Index: c.Index + shiftAfter, Name: c.Name, Typ: c.Typ}
+			}
+		})
+	}
+
+	out := &CQ{Refs: refs}
+	for _, f := range parent.Filters {
+		out.Filters = append(out.Filters, remap(f))
+	}
+	for _, f := range child.Filters {
+		out.Filters = append(out.Filters, ShiftColumns(f, oldOff))
+	}
+	for _, s := range parent.Select {
+		out.Select = append(out.Select, NamedExpr{Name: s.Name, E: remap(s.E)})
+	}
+	for _, g := range parent.GroupBy {
+		out.GroupBy = append(out.GroupBy, NamedExpr{Name: g.Name, E: remap(g.E)})
+	}
+	for _, a := range parent.Aggs {
+		na := AggExpr{Name: a.Name, Spec: a.Spec}
+		if a.Input != nil {
+			na.Input = remap(a.Input)
+		}
+		out.Aggs = append(out.Aggs, na)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("algebra: inlined definition invalid: %w", err)
+	}
+	return out, nil
+}

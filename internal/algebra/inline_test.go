@@ -1,0 +1,154 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+func TestRewriteAndShiftColumns(t *testing.T) {
+	e := &Binary{
+		Op: OpAdd,
+		L:  &Col{Index: 0, Name: "a", Typ: relation.KindInt},
+		R:  &Not{E: &Col{Index: 2, Name: "c", Typ: relation.KindBool}},
+	}
+	shifted := ShiftColumns(e, 3)
+	cols := shifted.Columns(nil)
+	if len(cols) != 2 || cols[0] != 3 || cols[1] != 5 {
+		t.Errorf("shifted columns = %v", cols)
+	}
+	// Shift by zero returns the expression untouched.
+	if ShiftColumns(e, 0) != e {
+		t.Errorf("zero shift should be identity")
+	}
+	// Constants survive rewriting unchanged.
+	c := &Const{Value: relation.NewInt(7)}
+	if RewriteColumns(c, nil) != c {
+		t.Errorf("const not preserved")
+	}
+}
+
+// TestInlineJoinIntoAggregate inlines an SPJ child (a filtered join) into
+// an aggregate parent and checks the flattened definition evaluates the
+// same projections.
+func TestInlineJoinIntoAggregate(t *testing.T) {
+	// Child J = select r.a, s.c*2 as c2 from R r, S s where r.b = s.b
+	child := NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	child.Join("r.b", "s.b").
+		SelectCol("r.a").
+		SelectExpr("c2", &Binary{Op: OpMul, L: child.Col("s.c"), R: &Const{Value: relation.NewFloat(2)}})
+	childCQ := child.MustBuild()
+
+	// Parent P = select a, sum(c2) from J group by a where c2 > 1
+	parent := NewBuilder().From("j", "J", childCQ.OutputSchema())
+	parent.Where(&Binary{Op: OpGt, L: parent.Col("j.c2"), R: &Const{Value: relation.NewFloat(1)}}).
+		GroupByCol("j.a").
+		Agg("total", delta.AggSum, parent.Col("j.c2"))
+	parentCQ := parent.MustBuild()
+
+	flat, err := Inline(parentCQ, 0, childCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.BaseViews(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("flattened refs = %v", got)
+	}
+	// Aliases are prefixed.
+	if flat.Refs[0].Alias != "j_r" || flat.Refs[1].Alias != "j_s" {
+		t.Errorf("aliases = %v, %v", flat.Refs[0].Alias, flat.Refs[1].Alias)
+	}
+	// The flattened filter set contains the child's join and the rewritten
+	// parent filter; evaluate both definitions on a synthetic row.
+	// Joined row layout: r.a, r.b | s.b, s.c.
+	row := relation.Tuple{relation.NewInt(1), relation.NewInt(5), relation.NewInt(5), relation.NewFloat(3)}
+	// Parent agg input c2 = s.c * 2 = 6.
+	if got := flat.Aggs[0].Input.Eval(row); got.Float() != 6 {
+		t.Errorf("agg input = %v, want 6", got)
+	}
+	// Group-by a = r.a = 1.
+	if got := flat.GroupBy[0].E.Eval(row); got.Int() != 1 {
+		t.Errorf("group key = %v", got)
+	}
+	okAll := true
+	for _, f := range flat.Filters {
+		if !EvalBool(f, row) {
+			okAll = false
+		}
+	}
+	if !okAll {
+		t.Errorf("filters rejected a row that passes both definitions")
+	}
+}
+
+// TestInlineMiddleRefShiftsLaterColumns inlines a middle reference and
+// checks the columns of later references are re-based correctly.
+func TestInlineMiddleRefShiftsLaterColumns(t *testing.T) {
+	// Child C over two refs (width 4), output width 2.
+	child := NewBuilder().From("x", "X", schemaR).From("y", "Y", schemaS)
+	child.Join("x.b", "y.b").SelectCol("x.a").SelectCol("y.c")
+	childCQ := child.MustBuild()
+
+	// Parent over (R, C, S): the S columns sit after the inlined segment.
+	parent := NewBuilder().
+		From("r", "R", schemaR).
+		From("c", "C", childCQ.OutputSchema()).
+		From("s", "S", schemaS)
+	parent.Join("r.a", "c.a").Join("c.c", "s.c").
+		SelectCol("r.b").SelectCol("s.c", "sc")
+	parentCQ := parent.MustBuild()
+
+	flat, err := Inline(parentCQ, 1, childCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// New layout: r(2) | x(2) y(2) | s(2) = width 8; s.c at index 7.
+	js := flat.JoinedSchema()
+	if len(js) != 8 {
+		t.Fatalf("width = %d", len(js))
+	}
+	scCol := flat.Select[1].E.(*Col)
+	if scCol.Index != 7 {
+		t.Errorf("s.c index = %d, want 7", scCol.Index)
+	}
+}
+
+func TestInlineErrors(t *testing.T) {
+	child := NewBuilder().From("x", "X", schemaR)
+	child.SelectCol("x.a")
+	childCQ := child.MustBuild()
+
+	agg := NewBuilder().From("x", "X", schemaR)
+	agg.GroupByCol("x.a").Agg("n", delta.AggCount, nil)
+	aggCQ := agg.MustBuild()
+
+	parent := NewBuilder().From("c", "C", childCQ.OutputSchema())
+	parent.SelectCol("c.a")
+	parentCQ := parent.MustBuild()
+
+	if _, err := Inline(parentCQ, 5, childCQ); err == nil {
+		t.Errorf("out-of-range ref accepted")
+	}
+	if _, err := Inline(parentCQ, 0, aggCQ); err == nil {
+		t.Errorf("aggregate child accepted")
+	}
+	// Width mismatch: child output (1 col) vs a 2-col ref schema.
+	wide := NewBuilder().From("c", "C", schemaR)
+	wide.SelectCol("c.a")
+	wideCQ := wide.MustBuild()
+	if _, err := Inline(wideCQ, 0, childCQ); err == nil {
+		t.Errorf("width mismatch accepted")
+	}
+}
+
+func TestRewriteUnknownExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	RewriteColumns(nil, func(c *Col) Expr { return c })
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// benchWarehouse builds R ⋈ S with n rows per base and a staged delta of
+// n/10 changes.
+func benchWarehouse(b *testing.B, n int) *Warehouse {
+	b.Helper()
+	w := New(Options{})
+	if err := w.DefineBase("R", schemaR); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.DefineBase("S", schemaS); err != nil {
+		b.Fatal(err)
+	}
+	jb := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	jb.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	if err := w.DefineDerived("J", jb.MustBuild()); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var rRows, sRows []relation.Tuple
+	for i := 0; i < n; i++ {
+		rRows = append(rRows, intRow(int64(i), rng.Int63n(int64(n/4+1))))
+		sRows = append(sRows, intRow(rng.Int63n(int64(n/4+1)), int64(i)))
+	}
+	if err := w.LoadBase("R", rRows); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.LoadBase("S", sRows); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.RefreshAll(); err != nil {
+		b.Fatal(err)
+	}
+	d := delta.New(schemaR)
+	for i := 0; i < n/10; i++ {
+		d.Add(intRow(int64(n+i), rng.Int63n(int64(n/4+1))), 1)
+	}
+	if err := w.StageDelta("R", d); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkComputeScaling measures 1-way Comp cost as base size grows.
+func BenchmarkComputeScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		w := benchWarehouse(b, n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := w.Clone()
+				if _, err := run.Compute("J", []string{"R"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInstallScaling measures install throughput.
+func BenchmarkInstallScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		w := benchWarehouse(b, n)
+		b.Run(fmt.Sprintf("delta=%d", n/10), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := w.Clone()
+				if _, err := run.Install("R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecomputeVsIncremental contrasts a full view rebuild against the
+// incremental window for the same change batch — the reason incremental
+// maintenance exists.
+func BenchmarkRecomputeVsIncremental(b *testing.B) {
+	w := benchWarehouse(b, 5000)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run := w.Clone()
+			if _, err := run.Compute("J", []string{"R"}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := run.Install("R"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := run.Install("J"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run := w.Clone()
+			if _, err := run.Install("R"); err != nil {
+				b.Fatal(err)
+			}
+			if err := run.RefreshAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

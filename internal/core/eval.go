@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/maintain"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// CompReport summarizes one Compute call for work accounting.
+type CompReport struct {
+	View string
+	Over []string
+	// Terms is the number of maintenance terms evaluated (2^r − 1).
+	Terms int
+	// OperandTuples is the total number of tuples scanned across all term
+	// operands — the quantity the linear work metric models as the work of
+	// a compute expression.
+	OperandTuples int64
+	// OutputTuples is the number of (signed) change rows produced.
+	OutputTuples int64
+	// Skipped reports that the whole expression was elided because every
+	// delta operand was empty (only with Options.SkipEmptyDeltas).
+	Skipped bool
+}
+
+// source abstracts the two operand kinds a term reads: a view's current
+// state or a view's pending delta.
+type source interface {
+	Cardinality() int64
+	Scan(func(relation.Tuple, int64) bool)
+}
+
+type deltaSource struct{ d *delta.Delta }
+
+func (s deltaSource) Cardinality() int64 { return s.d.Size() }
+func (s deltaSource) Scan(fn func(relation.Tuple, int64) bool) {
+	s.d.Scan(fn)
+}
+
+// Compute evaluates Comp(name, over): it propagates the pending deltas of
+// the views in over into the pending delta of the named view, reading the
+// current materialized states of all other referenced views. The result is
+// accumulated (merged) into any previously computed pending changes of the
+// view, matching the paper's model where the Comp expressions of a strategy
+// gather changes in δV until Inst(V) installs them.
+func (w *Warehouse) Compute(name string, over []string) (CompReport, error) {
+	rep := CompReport{View: name, Over: append([]string(nil), over...)}
+	v := w.views[name]
+	if v == nil {
+		return rep, fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return rep, fmt.Errorf("core: Compute on base view %q", name)
+	}
+	if v.agg != nil && v.finalized != nil {
+		return rep, fmt.Errorf("core: Compute(%s, …) after δ%s was already finalized — incorrect strategy order", name, name)
+	}
+	terms, err := maintain.Terms(v.def, over)
+	if err != nil {
+		return rep, err
+	}
+	// Resolve each over-view's delta once.
+	deltas := make(map[string]*delta.Delta, len(over))
+	for _, child := range over {
+		d, derr := w.DeltaOf(child)
+		if derr != nil {
+			return rep, derr
+		}
+		deltas[child] = d
+	}
+	if w.opts.SkipEmptyDeltas {
+		allEmpty := true
+		for _, d := range deltas {
+			if !d.IsEmpty() {
+				allEmpty = false
+				break
+			}
+		}
+		if allEmpty {
+			rep.Skipped = true
+			return rep, nil
+		}
+	}
+
+	sink, flush := w.makeSink(v)
+	for _, term := range terms {
+		scanned, terr := w.evalTerm(v.def, term, deltas, sink)
+		if terr != nil {
+			return rep, terr
+		}
+		rep.Terms++
+		rep.OperandTuples += scanned
+	}
+	rep.OutputTuples = flush()
+	return rep, nil
+}
+
+// makeSink returns the row sink that folds term output rows into the view's
+// pending change state, plus a flush function returning how many change rows
+// were produced by this Compute call.
+func (w *Warehouse) makeSink(v *View) (func(row relation.Tuple, count int64), func() int64) {
+	if v.agg != nil {
+		if v.pendingPartials == nil {
+			v.pendingPartials = delta.NewGroupPartials(v.def.GroupSchema(), v.def.AggSpecs())
+		}
+		before := int64(v.pendingPartials.GroupCount())
+		groupExprs := v.def.GroupBy
+		aggs := v.def.Aggs
+		sink := func(row relation.Tuple, count int64) {
+			group := make(relation.Tuple, len(groupExprs))
+			for i, g := range groupExprs {
+				group[i] = g.E.Eval(row)
+			}
+			inputs := make([]relation.Value, len(aggs))
+			for i, a := range aggs {
+				if a.Input != nil {
+					inputs[i] = a.Input.Eval(row)
+				} else {
+					inputs[i] = relation.Null
+				}
+			}
+			v.pendingPartials.Accumulate(group, inputs, count)
+		}
+		return sink, func() int64 { return int64(v.pendingPartials.GroupCount()) - before }
+	}
+	if v.pendingDelta == nil {
+		v.pendingDelta = delta.New(v.Schema())
+	}
+	var produced int64
+	selects := v.def.Select
+	sink := func(row relation.Tuple, count int64) {
+		out := make(relation.Tuple, len(selects))
+		for i, s := range selects {
+			out[i] = s.E.Eval(row)
+		}
+		v.pendingDelta.Add(out, count)
+		produced++
+	}
+	return sink, func() int64 { return produced }
+}
+
+// operand describes one term input during planning.
+type operand struct {
+	refIdx  int
+	isDelta bool
+	src     source
+}
+
+// evalTerm evaluates one maintenance term of cq: references listed in
+// term.DeltaRefs read their view's pending delta, all others read current
+// state. Joined rows that satisfy every filter are passed to sink with their
+// signed multiplicity. It returns the number of operand tuples scanned.
+//
+// The plan is a hash-join pipeline: the smallest delta operand drives;
+// remaining operands are joined one at a time, preferring operands connected
+// to the bound prefix by equi-join predicates (composite keys supported),
+// falling back to a cross product when the join graph is disconnected. Every
+// operand is scanned exactly once (to build its hash table), which is
+// precisely the execution model behind the paper's linear work metric.
+func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta, sink func(relation.Tuple, int64)) (int64, error) {
+	n := len(cq.Refs)
+	ops := make([]operand, n)
+	isDelta := make([]bool, n)
+	for _, r := range term.DeltaRefs {
+		isDelta[r] = true
+	}
+	for i, ref := range cq.Refs {
+		child := w.views[ref.View]
+		if child == nil {
+			return 0, fmt.Errorf("core: unknown referenced view %q", ref.View)
+		}
+		var src source
+		if isDelta[i] {
+			d := deltas[ref.View]
+			if d == nil {
+				return 0, fmt.Errorf("core: no delta resolved for %q", ref.View)
+			}
+			src = deltaSource{d}
+		} else {
+			if child.agg != nil {
+				src = child.agg
+			} else {
+				src = child.table
+			}
+		}
+		ops[i] = operand{refIdx: i, isDelta: isDelta[i], src: src}
+	}
+
+	// Pick the driver: the smallest delta operand (deterministic tie-break
+	// by ref index); if the term has no delta operands (full recompute),
+	// the smallest operand drives.
+	driver := -1
+	for i, op := range ops {
+		if len(term.DeltaRefs) > 0 && !op.isDelta {
+			continue
+		}
+		if driver < 0 || op.src.Cardinality() < ops[driver].src.Cardinality() {
+			driver = i
+		}
+	}
+
+	width := len(cq.JoinedSchema())
+	var scanned int64
+
+	// Materialize the driver.
+	var rows []prow
+	off := cq.RefOffset(driver)
+	ops[driver].src.Scan(func(t relation.Tuple, c int64) bool {
+		full := make(relation.Tuple, width)
+		copy(full[off:], t)
+		rows = append(rows, prow{row: full, count: c})
+		return true
+	})
+	scanned += ops[driver].src.Cardinality()
+
+	bound := uint64(1) << uint(driver)
+	applied := make([]bool, len(cq.Filters))
+	// Apply filters local to the driver.
+	rows = applyFilters(cq, rows, bound, applied)
+
+	remaining := make([]int, 0, n-1)
+	for i := range ops {
+		if i != driver {
+			remaining = append(remaining, i)
+		}
+	}
+	// Deterministic initial order.
+	sort.Ints(remaining)
+
+	for len(remaining) > 0 {
+		// Choose the next operand: connected (has an unapplied equi-join
+		// predicate linking it to bound refs) and smallest; else smallest.
+		next, nextPos := -1, -1
+		nextConnected := false
+		for pos, i := range remaining {
+			conn := len(equiKeys(cq, bound, i, applied)) > 0
+			better := false
+			switch {
+			case next < 0:
+				better = true
+			case conn != nextConnected:
+				better = conn
+			case ops[i].src.Cardinality() != ops[next].src.Cardinality():
+				better = ops[i].src.Cardinality() < ops[next].src.Cardinality()
+			}
+			if better {
+				next, nextPos, nextConnected = i, pos, conn
+			}
+		}
+		i := next
+		remaining = append(remaining[:nextPos], remaining[nextPos+1:]...)
+
+		keys := equiKeys(cq, bound, i, applied)
+		for _, k := range keys {
+			applied[k.filterIdx] = true
+		}
+		roff := cq.RefOffset(i)
+
+		var out []prow
+		if tbl := indexableTable(w, ops[i]); tbl != nil && len(keys) > 0 {
+			// Indexed path: probe a maintained hash index per partial row
+			// instead of scanning the operand. Work counts the probes.
+			sortKeysByNewCol(keys)
+			idxCols := make([]int, len(keys))
+			for ki, k := range keys {
+				idxCols[ki] = k.newCol - roff
+			}
+			if err := tbl.EnsureIndex(idxCols); err != nil {
+				return 0, err
+			}
+			for _, pr := range rows {
+				key := make(relation.Tuple, len(keys))
+				for ki, k := range keys {
+					key[ki] = pr.row[k.boundCol]
+				}
+				scanned++
+				err := tbl.Lookup(idxCols, key, func(t relation.Tuple, c int64) bool {
+					full := pr.row.Clone()
+					copy(full[roff:], t)
+					out = append(out, prow{row: full, count: pr.count * c})
+					return true
+				})
+				if err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			// Default path: build a per-term hash table (scan the operand
+			// once), matching the linear work metric's execution model.
+			type entry struct {
+				tup   relation.Tuple
+				count int64
+			}
+			build := make(map[string][]entry)
+			ops[i].src.Scan(func(t relation.Tuple, c int64) bool {
+				key := make(relation.Tuple, len(keys))
+				for ki, k := range keys {
+					key[ki] = t[k.newCol-roff]
+				}
+				ek := key.Encode()
+				build[ek] = append(build[ek], entry{tup: t, count: c})
+				return true
+			})
+			scanned += ops[i].src.Cardinality()
+
+			for _, pr := range rows {
+				key := make(relation.Tuple, len(keys))
+				for ki, k := range keys {
+					key[ki] = pr.row[k.boundCol]
+				}
+				for _, e := range build[key.Encode()] {
+					full := pr.row.Clone()
+					copy(full[roff:], e.tup)
+					out = append(out, prow{row: full, count: pr.count * e.count})
+				}
+			}
+		}
+		bound |= 1 << uint(i)
+		rows = applyFilters(cq, out, bound, applied)
+	}
+
+	for _, pr := range rows {
+		sink(pr.row, pr.count)
+	}
+	return scanned, nil
+}
+
+// indexableTable returns the operand's backing counted table when the
+// indexed join path applies: indexes enabled, the operand reads a view's
+// state (not a delta), and that state is a plain table (aggregate views'
+// group stores are not indexed).
+func indexableTable(w *Warehouse, op operand) *storage.Table {
+	if !w.opts.UseIndexes || op.isDelta {
+		return nil
+	}
+	tbl, ok := op.src.(*storage.Table)
+	if !ok {
+		return nil
+	}
+	return tbl
+}
+
+// sortKeysByNewCol orders equi-key pairs by their candidate-side column, the
+// canonical order storage indexes use.
+func sortKeysByNewCol(keys []equiKey) {
+	sort.Slice(keys, func(a, b int) bool { return keys[a].newCol < keys[b].newCol })
+}
+
+// prow is a partially-joined row with its accumulated multiplicity.
+type prow struct {
+	row   relation.Tuple
+	count int64
+}
+
+// applyFilters applies every not-yet-applied filter whose referenced refs
+// are all bound.
+func applyFilters(cq *algebra.CQ, rows []prow, bound uint64, applied []bool) []prow {
+	var preds []algebra.Expr
+	for fi, f := range cq.Filters {
+		if applied[fi] {
+			continue
+		}
+		if cq.RefsOfExpr(f)&^bound == 0 {
+			preds = append(preds, f)
+			applied[fi] = true
+		}
+	}
+	if len(preds) == 0 {
+		return rows
+	}
+	out := rows[:0]
+	for _, pr := range rows {
+		ok := true
+		for _, p := range preds {
+			if !algebra.EvalBool(p, pr.row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// equiKey describes one usable equi-join key pair for a candidate operand.
+type equiKey struct {
+	filterIdx int
+	boundCol  int // column index (joined row) on the already-bound side
+	newCol    int // column index (joined row) on the candidate side
+}
+
+// equiKeys finds unapplied equality filters of the form col=col with one
+// side entirely in bound refs and the other on candidate ref i.
+func equiKeys(cq *algebra.CQ, bound uint64, i int, applied []bool) []equiKey {
+	var out []equiKey
+	for fi, f := range cq.Filters {
+		if applied[fi] {
+			continue
+		}
+		b, ok := f.(*algebra.Binary)
+		if !ok || b.Op != algebra.OpEq {
+			continue
+		}
+		lc, lok := b.L.(*algebra.Col)
+		rc, rok := b.R.(*algebra.Col)
+		if !lok || !rok {
+			continue
+		}
+		lRef, rRef := cq.RefOfColumn(lc.Index), cq.RefOfColumn(rc.Index)
+		lBound := bound&(1<<uint(lRef)) != 0
+		rBound := bound&(1<<uint(rRef)) != 0
+		switch {
+		case lBound && rRef == i:
+			out = append(out, equiKey{filterIdx: fi, boundCol: lc.Index, newCol: rc.Index})
+		case rBound && lRef == i:
+			out = append(out, equiKey{filterIdx: fi, boundCol: rc.Index, newCol: lc.Index})
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Maintenance policies. The paper's related work ([CKL+97]) frames
+// warehouse views as maintained under different policies — immediately
+// during the update window, or deferred to an on-demand refresh. Deferral
+// composes with the strategy framework: a deferred view (and, necessarily,
+// every view defined above it, since their maintenance needs its delta) is
+// left out of the window's strategy, marked stale when its underlying data
+// changes, and brought current later with RefreshView, which recomputes it
+// from its (by then current) children.
+
+// SetDeferred marks a derived view as deferred (or back to immediate).
+func (w *Warehouse) SetDeferred(name string, deferred bool) error {
+	v := w.views[name]
+	if v == nil {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return fmt.Errorf("core: base view %q cannot be deferred; its changes arrive from sources", name)
+	}
+	v.deferred = deferred
+	return nil
+}
+
+// Deferred reports the view's maintenance policy.
+func (v *View) Deferred() bool { return v.deferred }
+
+// Stale reports whether the view's state is known to lag its children
+// (deferred maintenance skipped it during an update window).
+func (v *View) Stale() bool { return v.stale }
+
+// EffectivelyDeferred returns the set of views excluded from update
+// strategies: every deferred view, every stale view (a view that already
+// missed a window cannot be incrementally maintained — the deltas it missed
+// are gone, so only RefreshView can bring it current), plus every view
+// defined (transitively) above either.
+func (w *Warehouse) EffectivelyDeferred() map[string]bool {
+	out := make(map[string]bool)
+	for _, name := range w.order { // topological order
+		v := w.views[name]
+		if v.deferred || v.stale {
+			out[name] = true
+			continue
+		}
+		for _, c := range w.Children(name) {
+			if out[c] {
+				out[name] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MarkStale records that the named view missed an update window.
+func (w *Warehouse) MarkStale(name string) error {
+	v := w.views[name]
+	if v == nil {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return fmt.Errorf("core: base view %q cannot be stale", name)
+	}
+	v.stale = true
+	return nil
+}
+
+// StaleViews returns the views currently known to be stale, in topological
+// order.
+func (w *Warehouse) StaleViews() []string {
+	var out []string
+	for _, name := range w.order {
+		if w.views[name].stale {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RefreshView recomputes a derived view from the current state of its
+// children, replacing its materialized contents and clearing staleness.
+// Children must be refreshed first (RefreshStale handles the ordering).
+func (w *Warehouse) RefreshView(name string) error {
+	v := w.views[name]
+	if v == nil {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return fmt.Errorf("core: RefreshView on base view %q", name)
+	}
+	if v.HasPending() {
+		return fmt.Errorf("core: view %q has uninstalled changes; refusing to overwrite them", name)
+	}
+	for _, c := range w.Children(name) {
+		if w.views[c].stale {
+			return fmt.Errorf("core: refreshing %q while its child %q is still stale", name, c)
+		}
+	}
+	if err := w.refreshOne(v); err != nil {
+		return err
+	}
+	v.stale = false
+	return nil
+}
+
+// RefreshStale refreshes every stale view bottom-up.
+func (w *Warehouse) RefreshStale() error {
+	for _, name := range w.order {
+		if w.views[name].stale {
+			if err := w.RefreshView(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

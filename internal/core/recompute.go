@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/maintain"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Recompute evaluates a derived view's definition from scratch over the
+// current states of its referenced views and returns the result as a plain
+// counted table (aggregate views are rendered to their output rows). The
+// view's materialized state is not touched.
+//
+// Recompute is the correctness oracle for incremental strategies: after a
+// correct strategy executes, every view's state must equal its recomputation
+// over the updated base data (Theorem of [GMS93] restated as conditions
+// C1–C8 in the paper).
+func (w *Warehouse) Recompute(name string) (*storage.Table, error) {
+	v := w.views[name]
+	if v == nil {
+		return nil, fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return v.table.Clone(), nil
+	}
+	fullTerm := maintain.Term{} // no delta refs: every operand reads state
+	if v.agg != nil {
+		partials := delta.NewGroupPartials(v.def.GroupSchema(), v.def.AggSpecs())
+		groupExprs := v.def.GroupBy
+		aggs := v.def.Aggs
+		sink := func(row relation.Tuple, count int64) {
+			group := make(relation.Tuple, len(groupExprs))
+			for i, g := range groupExprs {
+				group[i] = g.E.Eval(row)
+			}
+			inputs := make([]relation.Value, len(aggs))
+			for i, a := range aggs {
+				if a.Input != nil {
+					inputs[i] = a.Input.Eval(row)
+				} else {
+					inputs[i] = relation.Null
+				}
+			}
+			partials.Accumulate(group, inputs, count)
+		}
+		if _, err := w.evalTerm(v.def, fullTerm, nil, sink); err != nil {
+			return nil, err
+		}
+		fresh := storage.NewAggTable(v.def.GroupSchema(), v.def.AggSpecs(), v.def.AggNames())
+		if err := fresh.Apply(partials); err != nil {
+			return nil, fmt.Errorf("core: recomputing %q: %w", name, err)
+		}
+		return fresh.AsTable(), nil
+	}
+	out := storage.NewTable(v.def.OutputSchema())
+	selects := v.def.Select
+	var err error
+	sink := func(row relation.Tuple, count int64) {
+		tup := make(relation.Tuple, len(selects))
+		for i, s := range selects {
+			tup[i] = s.E.Eval(row)
+		}
+		if count <= 0 {
+			err = fmt.Errorf("core: recompute of %q produced non-positive count %d", name, count)
+			return
+		}
+		out.Insert(tup, count)
+	}
+	if _, eerr := w.evalTerm(v.def, fullTerm, nil, sink); eerr != nil {
+		return nil, eerr
+	}
+	return out, err
+}
+
+// Evaluate runs an ad-hoc query (a validated CQ whose references name
+// catalog views) against the current materialized state and returns the
+// result as a counted table. This is the OLAP read path: queries evaluate
+// against whatever state the views are in, so they keep working during an
+// update window (seeing pre- or post-install states per view, exactly the
+// isolation the paper's discussion section describes).
+func (w *Warehouse) Evaluate(cq *algebra.CQ) (*storage.Table, error) {
+	if err := cq.Validate(); err != nil {
+		return nil, err
+	}
+	for _, r := range cq.Refs {
+		v := w.views[r.View]
+		if v == nil {
+			return nil, fmt.Errorf("core: query references unknown view %q", r.View)
+		}
+		if !v.Schema().Equal(r.Schema) {
+			return nil, fmt.Errorf("core: query ref %q schema does not match view %q", r.Alias, r.View)
+		}
+	}
+	fullTerm := maintain.Term{}
+	if cq.IsAggregate() {
+		partials := delta.NewGroupPartials(cq.GroupSchema(), cq.AggSpecs())
+		sink := func(row relation.Tuple, count int64) {
+			group := make(relation.Tuple, len(cq.GroupBy))
+			for i, g := range cq.GroupBy {
+				group[i] = g.E.Eval(row)
+			}
+			inputs := make([]relation.Value, len(cq.Aggs))
+			for i, a := range cq.Aggs {
+				if a.Input != nil {
+					inputs[i] = a.Input.Eval(row)
+				} else {
+					inputs[i] = relation.Null
+				}
+			}
+			partials.Accumulate(group, inputs, count)
+		}
+		if _, err := w.evalTerm(cq, fullTerm, nil, sink); err != nil {
+			return nil, err
+		}
+		fresh := storage.NewAggTable(cq.GroupSchema(), cq.AggSpecs(), cq.AggNames())
+		if err := fresh.Apply(partials); err != nil {
+			return nil, err
+		}
+		return fresh.AsTable(), nil
+	}
+	out := storage.NewTable(cq.OutputSchema())
+	sink := func(row relation.Tuple, count int64) {
+		tup := make(relation.Tuple, len(cq.Select))
+		for i, s := range cq.Select {
+			tup[i] = s.E.Eval(row)
+		}
+		out.Insert(tup, count)
+	}
+	if _, err := w.evalTerm(cq, fullTerm, nil, sink); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyView checks that the named view's materialized state equals its
+// recomputation over the current states of its children.
+func (w *Warehouse) VerifyView(name string) error {
+	v := w.views[name]
+	if v == nil {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	if v.IsBase() {
+		return nil
+	}
+	want, err := w.Recompute(name)
+	if err != nil {
+		return err
+	}
+	var got *storage.Table
+	if v.agg != nil {
+		got = v.agg.AsTable()
+	} else {
+		got = v.table.Clone()
+	}
+	// Incremental float aggregation sums in a different order than
+	// recomputation, so float columns compare under relative tolerance.
+	if !got.ApproxEqual(want, verifyTolerance) {
+		return fmt.Errorf("core: view %q diverged from recomputation: have %d rows, recompute gives %d rows",
+			name, got.Cardinality(), want.Cardinality())
+	}
+	return nil
+}
+
+// verifyTolerance is the relative float tolerance VerifyView allows between
+// incrementally maintained aggregates and their recomputation.
+const verifyTolerance = 1e-9
+
+// VerifyAll verifies every derived view bottom-up (definition order is
+// topological, so each view is checked against already-verified children).
+// Views known to be stale under deferred maintenance are skipped — their
+// divergence is expected until RefreshStale runs.
+func (w *Warehouse) VerifyAll() error {
+	for _, name := range w.order {
+		if w.views[name].stale {
+			continue
+		}
+		if err := w.VerifyView(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RefreshAll recomputes every derived view from the current base data and
+// overwrites its materialized state, in definition (topological) order. It
+// is how a warehouse is initially populated after LoadBase. Staleness
+// markers are cleared.
+func (w *Warehouse) RefreshAll() error {
+	for _, name := range w.order {
+		v := w.views[name]
+		if v.IsBase() {
+			continue
+		}
+		if err := w.refreshOne(v); err != nil {
+			return err
+		}
+		v.stale = false
+	}
+	return nil
+}
+
+// refreshOne recomputes one derived view from its children's current state
+// and replaces its materialized contents.
+func (w *Warehouse) refreshOne(v *View) error {
+	if v.agg != nil {
+		partials := delta.NewGroupPartials(v.def.GroupSchema(), v.def.AggSpecs())
+		groupExprs := v.def.GroupBy
+		aggs := v.def.Aggs
+		sink := func(row relation.Tuple, count int64) {
+			group := make(relation.Tuple, len(groupExprs))
+			for i, g := range groupExprs {
+				group[i] = g.E.Eval(row)
+			}
+			inputs := make([]relation.Value, len(aggs))
+			for i, a := range aggs {
+				if a.Input != nil {
+					inputs[i] = a.Input.Eval(row)
+				} else {
+					inputs[i] = relation.Null
+				}
+			}
+			partials.Accumulate(group, inputs, count)
+		}
+		if _, err := w.evalTerm(v.def, maintain.Term{}, nil, sink); err != nil {
+			return err
+		}
+		v.agg.Clear()
+		if err := v.agg.Apply(partials); err != nil {
+			return fmt.Errorf("core: refreshing %q: %w", v.name, err)
+		}
+		return nil
+	}
+	fresh, err := w.Recompute(v.name)
+	if err != nil {
+		return err
+	}
+	v.table.Clear()
+	fresh.Scan(func(t relation.Tuple, c int64) bool {
+		v.table.Insert(t, c)
+		return true
+	})
+	return nil
+}
+
+// PendingViews returns the names of views with uninstalled changes.
+func (w *Warehouse) PendingViews() []string {
+	var out []string
+	for _, name := range w.order {
+		if w.views[name].HasPending() {
+			out = append(out, name)
+		}
+	}
+	return out
+}

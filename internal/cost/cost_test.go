@@ -1,0 +1,256 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// fig3 stats/refs: V4 over {V2,V3}, V5 over {V4,V1}.
+func fig3Refs() RefCounts {
+	return RefCounts{
+		"V4": {"V2": 1, "V3": 1},
+		"V5": {"V4": 1, "V1": 1},
+	}
+}
+
+func TestViewStat(t *testing.T) {
+	s := ViewStat{Size: 100, DeltaPlus: 5, DeltaMinus: 12}
+	if s.DeltaSize() != 17 || s.NetGrowth() != -7 || s.SizeAfter() != 93 {
+		t.Errorf("ViewStat arithmetic wrong: %+v", s)
+	}
+}
+
+// TestExample32 checks the worked costs of Example 3.2: V4 = Π(V2 ⋈ V3).
+func TestExample32(t *testing.T) {
+	stats := Stats{
+		"V2": {Size: 50, DeltaPlus: 3, DeltaMinus: 1},
+		"V3": {Size: 80, DeltaPlus: 0, DeltaMinus: 4},
+		"V4": {Size: 200, DeltaPlus: 10, DeltaMinus: 10},
+	}
+	refs := RefCounts{"V4": {"V2": 1, "V3": 1}}
+	sim := NewSimulator(DefaultModel, stats, refs)
+	// Comp(V4,{V2}) = one term: |δV2| + |V3| = 4 + 80.
+	w, err := sim.CompWork(strategy.Comp{View: "V4", Over: []string{"V2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 84 {
+		t.Errorf("Comp(V4,{V2}) = %v, want 84", w)
+	}
+	// Comp(V4,{V2,V3}) = (|δV2|+|V3|) + (|δV3|+|V2|) + (|δV2|+|δV3|)
+	//                  = (4+80) + (4+50) + (4+4) = 146.
+	w, err = sim.CompWork(strategy.Comp{View: "V4", Over: []string{"V2", "V3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 146 {
+		t.Errorf("Comp(V4,{V2,V3}) = %v, want 146", w)
+	}
+	// Inst(V4) = |δV4| = 20.
+	w, err = sim.InstWork(strategy.Inst{View: "V4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 20 {
+		t.Errorf("Inst(V4) = %v, want 20", w)
+	}
+}
+
+// TestInstallChangesState verifies that installing a view changes the cost
+// of later compute expressions (the Example 4.1 effect).
+func TestInstallChangesState(t *testing.T) {
+	stats := Stats{
+		"V2": {Size: 50, DeltaPlus: 30, DeltaMinus: 0}, // grows to 80
+		"V3": {Size: 80, DeltaPlus: 0, DeltaMinus: 40}, // shrinks to 40
+		"V4": {Size: 200, DeltaPlus: 5, DeltaMinus: 5},
+	}
+	refs := RefCounts{"V4": {"V2": 1, "V3": 1}}
+	// Order 1: propagate V2 first (V2 installed before Comp(V4,{V3})).
+	s1 := strategy.OneWayView("V4", []string{"V2", "V3"})
+	// Order 2: propagate V3 first.
+	s2 := strategy.OneWayView("V4", []string{"V3", "V2"})
+	w1, err := Work(DefaultModel, stats, refs, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Work(DefaultModel, stats, refs, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s1: (|δV2|+|V3|) + (|δV3|+|V2'|) = (30+80) + (40+80) = 230 comp work.
+	// s2: (|δV3|+|V2|) + (|δV2|+|V3'|) = (40+50) + (30+40) = 160 comp work.
+	// Installs are equal in both. V3 shrinks, V2 grows, so V3 first wins —
+	// consistent with increasing |V'|-|V| ordering (V3: -40 < V2: +30).
+	if w2 >= w1 {
+		t.Errorf("shrink-first should be cheaper: w1=%v w2=%v", w1, w2)
+	}
+	if got := w1 - w2; got != 70 {
+		t.Errorf("difference = %v, want 70", got)
+	}
+}
+
+func TestSimulateBreakdown(t *testing.T) {
+	stats := Stats{
+		"V1": {Size: 10, DeltaPlus: 1}, "V2": {Size: 20, DeltaPlus: 2}, "V3": {Size: 30, DeltaMinus: 3},
+		"V4": {Size: 40, DeltaPlus: 4}, "V5": {Size: 50, DeltaMinus: 5},
+	}
+	s := strategy.Strategy{
+		strategy.Comp{View: "V4", Over: []string{"V2"}}, strategy.Inst{View: "V2"},
+		strategy.Comp{View: "V4", Over: []string{"V3"}}, strategy.Inst{View: "V3"},
+		strategy.Comp{View: "V5", Over: []string{"V4"}}, strategy.Inst{View: "V4"},
+		strategy.Comp{View: "V5", Over: []string{"V1"}}, strategy.Inst{View: "V1"},
+		strategy.Inst{View: "V5"},
+	}
+	b, err := Simulate(DefaultModel, stats, fig3Refs(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != b.Comp+b.Inst {
+		t.Errorf("total %v != comp %v + inst %v", b.Total, b.Comp, b.Inst)
+	}
+	if len(b.PerExpr) != len(s) {
+		t.Errorf("per-expr length %d", len(b.PerExpr))
+	}
+	wantInst := float64(1 + 2 + 3 + 4 + 5)
+	if b.Inst != wantInst {
+		t.Errorf("inst work = %v, want %v", b.Inst, wantInst)
+	}
+	var sum float64
+	for _, w := range b.PerExpr {
+		sum += w
+	}
+	if math.Abs(sum-b.Total) > 1e-9 {
+		t.Errorf("per-expr sum %v != total %v", sum, b.Total)
+	}
+}
+
+func TestModelCoefficients(t *testing.T) {
+	stats := Stats{"A": {Size: 10, DeltaPlus: 2}, "V": {Size: 5, DeltaPlus: 1}}
+	refs := RefCounts{"V": {"A": 1}}
+	s := strategy.Strategy{strategy.Comp{View: "V", Over: []string{"A"}}, strategy.Inst{View: "A"}, strategy.Inst{View: "V"}}
+	w, err := Work(Model{CompCoeff: 2, InstCoeff: 10}, stats, refs, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// comp: 2*(|δA| + 0 state... wait: term = δA only ref) = 2*2; inst: 10*(2+1).
+	if w != 2*2+10*3 {
+		t.Errorf("work = %v", w)
+	}
+}
+
+func TestSelfJoinRefCounts(t *testing.T) {
+	// V over A twice: Comp(V,{A}) must have 2²−1 = 3 terms.
+	stats := Stats{"A": {Size: 10, DeltaPlus: 2}, "V": {Size: 5}}
+	refs := RefCounts{"V": {"A": 2}}
+	sim := NewSimulator(DefaultModel, stats, refs)
+	w, err := sim.CompWork(strategy.Comp{View: "V", Over: []string{"A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-ref: delta in 2 terms, state in 1 term → 2 refs × (2·2 + 1·10) = 28.
+	if w != 28 {
+		t.Errorf("self-join comp work = %v, want 28", w)
+	}
+}
+
+func TestSimulatorErrors(t *testing.T) {
+	stats := Stats{"A": {Size: 10}}
+	refs := RefCounts{"V": {"A": 1}}
+	sim := NewSimulator(DefaultModel, stats, refs)
+	if _, err := sim.CompWork(strategy.Comp{View: "X", Over: []string{"A"}}); err == nil {
+		t.Errorf("unknown view accepted")
+	}
+	if _, err := sim.CompWork(strategy.Comp{View: "V", Over: []string{"B"}}); err == nil {
+		t.Errorf("non-referenced child accepted")
+	}
+	if _, err := sim.CompWork(strategy.Comp{View: "V", Over: []string{"A", "A"}}); err == nil {
+		t.Errorf("duplicate child accepted")
+	}
+	if _, err := sim.CompWork(strategy.Comp{View: "V", Over: nil}); err == nil {
+		t.Errorf("empty set accepted")
+	}
+	if _, err := sim.InstWork(strategy.Inst{View: "Z"}); err == nil {
+		t.Errorf("unknown inst accepted")
+	}
+	// Double install.
+	if _, err := sim.Step(strategy.Inst{View: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Step(strategy.Inst{View: "A"}); err == nil {
+		t.Errorf("double install accepted")
+	}
+	// Missing stats for comp child state.
+	sim2 := NewSimulator(DefaultModel, Stats{"V": {Size: 1}}, RefCounts{"V": {"A": 1}})
+	if _, err := sim2.CompWork(strategy.Comp{View: "V", Over: []string{"A"}}); err == nil {
+		t.Errorf("missing child stats accepted")
+	}
+}
+
+func TestUniformRefs(t *testing.T) {
+	children := map[string][]string{"V": {"A", "B"}, "A": nil, "B": nil}
+	rc := UniformRefs([]string{"A", "B", "V"}, func(v string) []string { return children[v] })
+	if len(rc) != 1 || rc["V"]["A"] != 1 || rc["V"]["B"] != 1 {
+		t.Errorf("UniformRefs = %v", rc)
+	}
+}
+
+func TestEstimateDeltas(t *testing.T) {
+	stats := Stats{
+		"A": {Size: 100, DeltaPlus: 0, DeltaMinus: 10}, // 10% deleted
+		"B": {Size: 200, DeltaPlus: 20, DeltaMinus: 0}, // 10% inserted
+		"J": {Size: 1000},
+		"G": {Size: 50},
+	}
+	infos := []ViewInfo{
+		{Name: "J", Children: []string{"A", "B"}},
+		{Name: "G", Children: []string{"J"}, IsAggregate: true},
+	}
+	if err := EstimateDeltas(infos, stats); err != nil {
+		t.Fatal(err)
+	}
+	j := stats["J"]
+	// Deleted fraction: 1 − 0.9 = 0.1 → 100 minus rows.
+	if j.DeltaMinus != 100 {
+		t.Errorf("J minus = %d, want 100", j.DeltaMinus)
+	}
+	// |J'| = 1000 · 0.9 · 1.1 = 990 → plus = 990 − 1000 + 100 = 90.
+	if j.DeltaPlus != 90 {
+		t.Errorf("J plus = %d, want 90", j.DeltaPlus)
+	}
+	g := stats["G"]
+	// Changed fraction of J: (100+90)/1000 = 0.19 → 50·0.19 ≈ 9.5 groups.
+	if g.DeltaMinus < 9 || g.DeltaMinus > 10 || g.DeltaPlus != g.DeltaMinus {
+		t.Errorf("G delta = +%d −%d, want ≈±9..10", g.DeltaPlus, g.DeltaMinus)
+	}
+}
+
+func TestEstimateDeltasErrors(t *testing.T) {
+	if err := EstimateDeltas([]ViewInfo{{Name: "X"}}, Stats{}); err == nil {
+		t.Errorf("no children accepted")
+	}
+	if err := EstimateDeltas([]ViewInfo{{Name: "X", Children: []string{"A"}}}, Stats{"A": {Size: 1}}); err == nil {
+		t.Errorf("missing self stats accepted")
+	}
+	if err := EstimateDeltas([]ViewInfo{{Name: "X", Children: []string{"A"}}}, Stats{"X": {Size: 1}}); err == nil {
+		t.Errorf("missing child stats accepted")
+	}
+}
+
+func TestEstimateDeltasEmptyChild(t *testing.T) {
+	stats := Stats{"A": {Size: 0}, "J": {Size: 0}}
+	if err := EstimateDeltas([]ViewInfo{{Name: "J", Children: []string{"A"}}}, stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["J"].DeltaSize() != 0 {
+		t.Errorf("empty child should leave delta empty")
+	}
+}
+
+func TestWorkUnknownExpr(t *testing.T) {
+	sim := NewSimulator(DefaultModel, Stats{}, RefCounts{})
+	if _, err := sim.Step(nil); err == nil {
+		t.Errorf("nil expression accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package delta
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// AggKind enumerates the aggregate functions the engine maintains
+// incrementally.
+type AggKind uint8
+
+const (
+	// AggCount is COUNT(*): the number of contributing rows.
+	AggCount AggKind = iota
+	// AggSum is SUM(expr).
+	AggSum
+	// AggAvg is AVG(expr), maintained as SUM(expr)/COUNT(*).
+	AggAvg
+	// AggMin is MIN(expr), maintained with a per-group value multiset so
+	// deletions remain computable.
+	AggMin
+	// AggMax is MAX(expr), maintained like AggMin.
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggSpec describes one aggregate output of a summary view.
+type AggSpec struct {
+	Kind AggKind
+	// ValueKind is the type of the aggregate input expression (KindInt or
+	// KindFloat for SUM; any comparable kind for MIN/MAX). It determines the
+	// accumulator representation and the output type of SUM.
+	ValueKind relation.Kind
+}
+
+// OutputKind returns the type of the aggregate's output column.
+func (s AggSpec) OutputKind() relation.Kind {
+	switch s.Kind {
+	case AggCount:
+		return relation.KindInt
+	case AggAvg:
+		return relation.KindFloat
+	case AggSum:
+		if s.ValueKind == relation.KindInt {
+			return relation.KindInt
+		}
+		return relation.KindFloat
+	default: // MIN/MAX preserve the input kind
+		return s.ValueKind
+	}
+}
+
+// Accum is the incremental accumulator for one aggregate of one group. It
+// supports signed accumulation (counts may be negative while representing a
+// pending change) and folding, so the same type backs both the materialized
+// group state and in-flight partial deltas.
+type Accum struct {
+	spec AggSpec
+	sumI int64
+	sumF float64
+	vals map[string]int64 // MIN/MAX only: encoded value -> signed count
+}
+
+// NewAccum creates an empty accumulator for the spec.
+func NewAccum(spec AggSpec) *Accum {
+	a := &Accum{spec: spec}
+	if spec.Kind == AggMin || spec.Kind == AggMax {
+		a.vals = make(map[string]int64)
+	}
+	return a
+}
+
+// Spec returns the accumulator's aggregate spec.
+func (a *Accum) Spec() AggSpec { return a.spec }
+
+// Add accumulates count signed copies of input value v. NULL inputs are
+// ignored (SQL aggregate semantics); COUNT(*) ignores v entirely and is
+// driven by the group's support count instead.
+func (a *Accum) Add(v relation.Value, count int64) {
+	if a.spec.Kind == AggCount {
+		return // COUNT(*) is derived from support
+	}
+	if v.IsNull() {
+		return
+	}
+	switch a.spec.Kind {
+	case AggSum, AggAvg:
+		if a.spec.ValueKind == relation.KindInt {
+			a.sumI += v.Int() * count
+		} else {
+			a.sumF += v.Float() * float64(count)
+		}
+	case AggMin, AggMax:
+		key := relation.Tuple{v}.Encode()
+		nw := a.vals[key] + count
+		if nw == 0 {
+			delete(a.vals, key)
+		} else {
+			a.vals[key] = nw
+		}
+	}
+}
+
+// Fold merges other into a. Specs must match.
+func (a *Accum) Fold(other *Accum) {
+	if a.spec != other.spec {
+		panic("delta: folding accumulators with different specs")
+	}
+	a.sumI += other.sumI
+	a.sumF += other.sumF
+	for k, v := range other.vals {
+		nw := a.vals[k] + v
+		if nw == 0 {
+			delete(a.vals, k)
+		} else {
+			a.vals[k] = nw
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (a *Accum) Clone() *Accum {
+	out := &Accum{spec: a.spec, sumI: a.sumI, sumF: a.sumF}
+	if a.vals != nil {
+		out.vals = make(map[string]int64, len(a.vals))
+		for k, v := range a.vals {
+			out.vals[k] = v
+		}
+	}
+	return out
+}
+
+// Valid reports whether the accumulator is a legal materialized state: all
+// MIN/MAX value counts must be positive.
+func (a *Accum) Valid() bool {
+	for _, v := range a.vals {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Output computes the aggregate's output value for a group with the given
+// support (number of contributing rows).
+func (a *Accum) Output(support int64) relation.Value {
+	switch a.spec.Kind {
+	case AggCount:
+		return relation.NewInt(support)
+	case AggSum:
+		if a.spec.ValueKind == relation.KindInt {
+			return relation.NewInt(a.sumI)
+		}
+		return relation.NewFloat(a.sumF)
+	case AggAvg:
+		if support == 0 {
+			return relation.Null
+		}
+		var sum float64
+		if a.spec.ValueKind == relation.KindInt {
+			sum = float64(a.sumI)
+		} else {
+			sum = a.sumF
+		}
+		return relation.NewFloat(sum / float64(support))
+	case AggMin, AggMax:
+		var best relation.Value
+		found := false
+		for key, cnt := range a.vals {
+			if cnt <= 0 {
+				continue
+			}
+			tup, err := relation.DecodeTuple(key)
+			if err != nil {
+				panic(fmt.Sprintf("delta: corrupt min/max value: %v", err))
+			}
+			v := tup[0]
+			if !found {
+				best, found = v, true
+				continue
+			}
+			c := relation.Compare(v, best)
+			if (a.spec.Kind == AggMin && c < 0) || (a.spec.Kind == AggMax && c > 0) {
+				best = v
+			}
+		}
+		if !found {
+			return relation.Null
+		}
+		return best
+	default:
+		panic(fmt.Sprintf("delta: unknown aggregate %v", a.spec.Kind))
+	}
+}
+
+// GroupPartials accumulates per-group partial aggregate changes produced by
+// the Comp expressions of an aggregate view. Partials from successive Comp
+// expressions of the same strategy are merged, then finalized against the
+// pre-install view state into a plus/minus tuple Delta.
+type GroupPartials struct {
+	groupSchema relation.Schema
+	specs       []AggSpec
+	groups      map[string]*GroupPartial
+}
+
+// GroupPartial is the pending change of a single group.
+type GroupPartial struct {
+	Support int64 // signed change to the group's contributing-row count
+	Accums  []*Accum
+}
+
+// NewGroupPartials creates an empty partial-change set.
+func NewGroupPartials(groupSchema relation.Schema, specs []AggSpec) *GroupPartials {
+	return &GroupPartials{
+		groupSchema: groupSchema.Clone(),
+		specs:       append([]AggSpec(nil), specs...),
+		groups:      make(map[string]*GroupPartial),
+	}
+}
+
+// GroupSchema returns the schema of the grouping columns.
+func (p *GroupPartials) GroupSchema() relation.Schema { return p.groupSchema }
+
+// Specs returns the aggregate specs.
+func (p *GroupPartials) Specs() []AggSpec { return p.specs }
+
+// Accumulate records count signed copies of a contributing row: its group
+// key and the aggregate input values (one per spec; the value for COUNT(*)
+// is ignored).
+func (p *GroupPartials) Accumulate(group relation.Tuple, inputs []relation.Value, count int64) {
+	if len(inputs) != len(p.specs) {
+		panic(fmt.Sprintf("delta: %d aggregate inputs for %d specs", len(inputs), len(p.specs)))
+	}
+	key := group.Encode()
+	gp := p.groups[key]
+	if gp == nil {
+		gp = &GroupPartial{Accums: make([]*Accum, len(p.specs))}
+		for i, s := range p.specs {
+			gp.Accums[i] = NewAccum(s)
+		}
+		p.groups[key] = gp
+	}
+	gp.Support += count
+	for i, v := range inputs {
+		gp.Accums[i].Add(v, count)
+	}
+}
+
+// Merge folds other into p.
+func (p *GroupPartials) Merge(other *GroupPartials) {
+	if !p.groupSchema.Equal(other.groupSchema) || len(p.specs) != len(other.specs) {
+		panic("delta: merging incompatible group partials")
+	}
+	for key, ogp := range other.groups {
+		gp := p.groups[key]
+		if gp == nil {
+			cl := &GroupPartial{Support: ogp.Support, Accums: make([]*Accum, len(ogp.Accums))}
+			for i, a := range ogp.Accums {
+				cl.Accums[i] = a.Clone()
+			}
+			p.groups[key] = cl
+			continue
+		}
+		gp.Support += ogp.Support
+		for i, a := range ogp.Accums {
+			gp.Accums[i].Fold(a)
+		}
+	}
+}
+
+// Scan calls fn for each affected group key (encoded) and its partial.
+func (p *GroupPartials) Scan(fn func(groupKey string, gp *GroupPartial) bool) {
+	for key, gp := range p.groups {
+		if !fn(key, gp) {
+			return
+		}
+	}
+}
+
+// GroupCount returns the number of affected groups.
+func (p *GroupPartials) GroupCount() int { return len(p.groups) }
+
+// IsEmpty reports whether no group is affected.
+func (p *GroupPartials) IsEmpty() bool { return len(p.groups) == 0 }

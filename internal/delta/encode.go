@@ -1,0 +1,72 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// AppendBinary serializes the accumulator's state (not its spec — the spec
+// is part of the view definition and is re-supplied at decode time) in a
+// self-delimiting binary form, used by warehouse snapshots.
+func (a *Accum) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, a.sumI)
+	dst = binary.AppendUvarint(dst, math.Float64bits(a.sumF))
+	dst = binary.AppendUvarint(dst, uint64(len(a.vals)))
+	for k, v := range a.vals {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// DecodeAccum reads an accumulator state produced by AppendBinary from r,
+// attaching the given spec.
+func DecodeAccum(r io.ByteReader, spec AggSpec) (*Accum, error) {
+	a := NewAccum(spec)
+	sumI, err := binary.ReadVarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("delta: decoding accumulator: %w", err)
+	}
+	a.sumI = sumI
+	bits, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("delta: decoding accumulator: %w", err)
+	}
+	a.sumF = math.Float64frombits(bits)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("delta: decoding accumulator: %w", err)
+	}
+	if n > 0 && a.vals == nil {
+		a.vals = make(map[string]int64, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		klen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("delta: decoding accumulator value: %w", err)
+		}
+		key := make([]byte, klen)
+		for j := range key {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("delta: decoding accumulator value: %w", err)
+			}
+			key[j] = b
+		}
+		// Validate the key decodes as a value encoding.
+		if _, derr := relation.DecodeTuple(string(key)); derr != nil {
+			return nil, fmt.Errorf("delta: corrupt accumulator value key: %w", derr)
+		}
+		count, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("delta: decoding accumulator count: %w", err)
+		}
+		a.vals[string(key)] = count
+	}
+	return a, nil
+}

@@ -1,0 +1,218 @@
+// Package exec runs update strategies against a warehouse, measuring the
+// update window: wall-clock time plus the actual work performed (operand
+// tuples scanned by compute expressions, rows installed by installs). The
+// measured work is exactly the quantity the linear work metric models, so
+// executor reports can be compared directly against cost-simulator
+// predictions — the comparison the paper's experiments perform against a
+// commercial RDBMS.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/strategy"
+	"repro/internal/vdag"
+)
+
+// StepReport records the execution of one expression.
+type StepReport struct {
+	Expr strategy.Expr
+	// Work is the expression's measured work: operand tuples scanned for a
+	// Comp, rows installed for an Inst.
+	Work int64
+	// Terms is the number of maintenance terms evaluated (Comp only).
+	Terms int
+	// Elapsed is the expression's wall-clock duration.
+	Elapsed time.Duration
+	// Skipped marks a Comp elided by the empty-delta optimization.
+	Skipped bool
+}
+
+// Report summarizes a strategy execution — the update window.
+type Report struct {
+	Strategy strategy.Strategy
+	Steps    []StepReport
+	// CompWork and InstWork split the measured work by expression type.
+	CompWork, InstWork int64
+	// Elapsed is the total update window.
+	Elapsed time.Duration
+}
+
+// TotalWork returns compute plus install work.
+func (r Report) TotalWork() int64 { return r.CompWork + r.InstWork }
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("work=%d (comp=%d inst=%d) elapsed=%s steps=%d",
+		r.TotalWork(), r.CompWork, r.InstWork, r.Elapsed, len(r.Steps))
+}
+
+// Options configure execution.
+type Options struct {
+	// Validate runs the strategy through the correctness conditions
+	// (C1–C8) against the warehouse's VDAG before executing. Execution of
+	// an incorrect strategy would corrupt the warehouse.
+	Validate bool
+}
+
+// Graph derives the VDAG of a warehouse.
+func Graph(w *core.Warehouse) (*vdag.Graph, error) {
+	b := vdag.NewBuilder()
+	for _, name := range w.ViewNames() {
+		if err := b.Add(name, w.Children(name)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Execute runs the strategy against the warehouse, mutating it, and returns
+// the measured report. If opts.Validate is set, the strategy is checked
+// against the warehouse's VDAG first and execution is refused on violation.
+func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, error) {
+	rep := Report{Strategy: s}
+	changed := changedViews(w)
+	deferred := w.EffectivelyDeferred()
+	if opts.Validate {
+		g, err := Graph(w)
+		if err != nil {
+			return rep, err
+		}
+		// A view may be skipped if nothing it depends on changed, or if it
+		// is under deferred maintenance (it will be marked stale instead).
+		quiescent := func(v string) bool { return !changed[v] || deferred[v] }
+		if err := strategy.ValidateVDAGStrategyRelaxed(g, s, quiescent); err != nil {
+			return rep, fmt.Errorf("exec: refusing incorrect strategy: %w", err)
+		}
+	}
+	start := time.Now()
+	for _, e := range s {
+		step := StepReport{Expr: e}
+		t0 := time.Now()
+		switch x := e.(type) {
+		case strategy.Comp:
+			cr, err := w.Compute(x.View, x.Over)
+			if err != nil {
+				return rep, fmt.Errorf("exec: %s: %w", e, err)
+			}
+			step.Work = cr.OperandTuples
+			step.Terms = cr.Terms
+			step.Skipped = cr.Skipped
+			rep.CompWork += cr.OperandTuples
+		case strategy.Inst:
+			n, err := w.Install(x.View)
+			if err != nil {
+				return rep, fmt.Errorf("exec: %s: %w", e, err)
+			}
+			step.Work = n
+			rep.InstWork += n
+		default:
+			return rep, fmt.Errorf("exec: unknown expression type %T", e)
+		}
+		step.Elapsed = time.Since(t0)
+		rep.Steps = append(rep.Steps, step)
+	}
+	rep.Elapsed = time.Since(start)
+	// Deferred-maintenance bookkeeping: a view whose underlying data
+	// changed but which this strategy did not install is now stale.
+	installed := make(map[string]bool)
+	for _, e := range s {
+		if inst, ok := e.(strategy.Inst); ok {
+			installed[inst.View] = true
+		}
+	}
+	for v := range deferred {
+		if changed[v] && !installed[v] {
+			if err := w.MarkStale(v); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// changedViews computes which views the staged update batch touches: a base
+// view with pending changes, a view with computed-but-uninstalled changes,
+// or a derived view with a changed child (transitively). The complement is
+// the quiescent set of the footnote-5 relaxation: views a strategy may skip.
+func changedViews(w *core.Warehouse) map[string]bool {
+	changed := make(map[string]bool)
+	for _, name := range w.ViewNames() { // topological order
+		if w.MustView(name).HasPending() {
+			changed[name] = true
+			continue
+		}
+		for _, c := range w.Children(name) {
+			if changed[c] {
+				changed[name] = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// Prepared is the stored-procedure analogue of Section 5.5: the compute and
+// install closures of a VDAG compiled once, so each update window only
+// decides sequencing. Procedures are keyed by expression key.
+type Prepared struct {
+	w     *core.Warehouse
+	procs map[string]func() (StepReport, error)
+}
+
+// Prepare compiles one procedure per 1-way expression of the warehouse's
+// VDAG: Comp(V, {c}) for every edge and Inst(V) for every view.
+func Prepare(w *core.Warehouse) (*Prepared, error) {
+	p := &Prepared{w: w, procs: make(map[string]func() (StepReport, error))}
+	for _, name := range w.ViewNames() {
+		name := name
+		inst := strategy.Inst{View: name}
+		p.procs[inst.Key()] = func() (StepReport, error) {
+			n, err := w.Install(name)
+			return StepReport{Expr: inst, Work: n}, err
+		}
+		for _, child := range w.Children(name) {
+			child := child
+			comp := strategy.Comp{View: name, Over: []string{child}}
+			p.procs[comp.Key()] = func() (StepReport, error) {
+				cr, err := w.Compute(name, []string{child})
+				return StepReport{Expr: comp, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped}, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// Call executes one prepared procedure by expression.
+func (p *Prepared) Call(e strategy.Expr) (StepReport, error) {
+	proc, ok := p.procs[e.Key()]
+	if !ok {
+		return StepReport{}, fmt.Errorf("exec: no prepared procedure for %s", e)
+	}
+	t0 := time.Now()
+	rep, err := proc()
+	rep.Elapsed = time.Since(t0)
+	return rep, err
+}
+
+// Run executes a 1-way strategy through the prepared procedures.
+func (p *Prepared) Run(s strategy.Strategy) (Report, error) {
+	rep := Report{Strategy: s}
+	start := time.Now()
+	for _, e := range s {
+		step, err := p.Call(e)
+		if err != nil {
+			return rep, fmt.Errorf("exec: %s: %w", e, err)
+		}
+		rep.Steps = append(rep.Steps, step)
+		if _, ok := e.(strategy.Comp); ok {
+			rep.CompWork += step.Work
+		} else {
+			rep.InstWork += step.Work
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/delta"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+var (
+	schemaR = relation.Schema{{Name: "a", Kind: relation.KindInt}, {Name: "b", Kind: relation.KindInt}}
+	schemaS = relation.Schema{{Name: "b", Kind: relation.KindInt}, {Name: "c", Kind: relation.KindInt}}
+)
+
+func intRow(vals ...int64) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.NewInt(v)
+	}
+	return t
+}
+
+// newWarehouse builds R, S, J = R⋈S, A = γ(J) and loads deterministic data.
+func newWarehouse(t *testing.T, rng *rand.Rand) *core.Warehouse {
+	t.Helper()
+	w := core.New(core.Options{})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineBase("R", schemaR))
+	must(w.DefineBase("S", schemaS))
+	jb := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	jb.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	j := jb.MustBuild()
+	must(w.DefineDerived("J", j))
+	ab := algebra.NewBuilder().From("j", "J", j.OutputSchema())
+	ab.GroupByCol("j.a").Agg("total", delta.AggSum, ab.Col("j.c"))
+	must(w.DefineDerived("A", ab.MustBuild()))
+
+	var rRows, sRows []relation.Tuple
+	for i := 0; i < 40; i++ {
+		rRows = append(rRows, intRow(rng.Int63n(8), rng.Int63n(5)*10))
+		sRows = append(sRows, intRow(rng.Int63n(5)*10, rng.Int63n(6)*100))
+	}
+	must(w.LoadBase("R", rRows))
+	must(w.LoadBase("S", sRows))
+	must(w.RefreshAll())
+	return w
+}
+
+func stageRandomChanges(t *testing.T, w *core.Warehouse, rng *rand.Rand) {
+	t.Helper()
+	for _, base := range []string{"R", "S"} {
+		d := delta.New(w.MustView(base).Schema())
+		for _, r := range w.MustView(base).SortedRows() {
+			if rng.Intn(4) == 0 {
+				d.Add(r.Tuple, -1)
+			}
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			d.Add(intRow(rng.Int63n(8), rng.Int63n(5)*10), 1)
+		}
+		if err := w.StageDelta(base, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func oneWayStrategy() strategy.Strategy {
+	return strategy.Strategy{
+		strategy.Comp{View: "J", Over: []string{"R"}}, strategy.Inst{View: "R"},
+		strategy.Comp{View: "J", Over: []string{"S"}}, strategy.Inst{View: "S"},
+		strategy.Comp{View: "A", Over: []string{"J"}}, strategy.Inst{View: "J"},
+		strategy.Inst{View: "A"},
+	}
+}
+
+func dualStageStrategy() strategy.Strategy {
+	return strategy.Strategy{
+		strategy.Comp{View: "J", Over: []string{"R", "S"}},
+		strategy.Comp{View: "A", Over: []string{"J"}},
+		strategy.Inst{View: "R"}, strategy.Inst{View: "S"},
+		strategy.Inst{View: "J"}, strategy.Inst{View: "A"},
+	}
+}
+
+func TestExecuteOneWay(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(1)))
+	stageRandomChanges(t, w, rand.New(rand.NewSource(2)))
+	rep, err := Execute(w, oneWayStrategy(), Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 7 {
+		t.Errorf("steps = %d", len(rep.Steps))
+	}
+	if rep.CompWork <= 0 || rep.InstWork <= 0 {
+		t.Errorf("work not measured: %s", rep)
+	}
+	if rep.TotalWork() != rep.CompWork+rep.InstWork {
+		t.Errorf("TotalWork inconsistent")
+	}
+	if !strings.Contains(rep.String(), "work=") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestExecuteValidateRefusesIncorrect(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(3)))
+	stageRandomChanges(t, w, rand.New(rand.NewSource(4)))
+	// Install R before its changes are propagated to J: violates C3.
+	bad := strategy.Strategy{
+		strategy.Inst{View: "R"},
+		strategy.Comp{View: "J", Over: []string{"R", "S"}},
+		strategy.Comp{View: "A", Over: []string{"J"}},
+		strategy.Inst{View: "S"}, strategy.Inst{View: "J"}, strategy.Inst{View: "A"},
+	}
+	if _, err := Execute(w, bad, Options{Validate: true}); err == nil {
+		t.Fatal("incorrect strategy accepted")
+	}
+	// Unvalidated execution surfaces runtime errors instead.
+	if _, err := Execute(w, strategy.Strategy{strategy.Comp{View: "nope", Over: []string{"R"}}}, Options{}); err == nil {
+		t.Errorf("unknown view accepted")
+	}
+}
+
+func TestPreparedMatchesExecute(t *testing.T) {
+	rngData, rngChanges := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(6))
+	w1 := newWarehouse(t, rngData)
+	stageRandomChanges(t, w1, rngChanges)
+	w2 := w1.Clone()
+
+	rep1, err := Execute(w1, oneWayStrategy(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := p.Run(oneWayStrategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CompWork != rep2.CompWork || rep1.InstWork != rep2.InstWork {
+		t.Errorf("prepared run work differs: %s vs %s", rep1, rep2)
+	}
+	if err := w2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Prepared procedures only exist for 1-way expressions.
+	if _, err := p.Call(strategy.Comp{View: "J", Over: []string{"R", "S"}}); err == nil {
+		t.Errorf("2-way comp should have no prepared procedure")
+	}
+	if _, err := p.Run(dualStageStrategy()); err == nil {
+		t.Errorf("dual-stage run through prepared procedures should fail")
+	}
+}
+
+// TestMeasuredWorkMatchesLinearMetric is the metric-fidelity check: with
+// exact statistics, the cost simulator's prediction equals the executor's
+// measured work, for both strategy shapes.
+func TestMeasuredWorkMatchesLinearMetric(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(100 + trial)
+		pre := newWarehouse(t, rand.New(rand.NewSource(seed)))
+		stageRandomChanges(t, pre, rand.New(rand.NewSource(seed+1000)))
+		for name, s := range map[string]strategy.Strategy{
+			"one-way":    oneWayStrategy(),
+			"dual-stage": dualStageStrategy(),
+		} {
+			run := pre.Clone()
+			rep, err := Execute(run, s, Options{Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := ExactStats(pre, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cost.Simulate(cost.DefaultModel, stats, RefCounts(pre), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(b.Comp-float64(rep.CompWork)) > 1e-9 {
+				t.Errorf("trial %d %s: simulated comp work %v != measured %d", trial, name, b.Comp, rep.CompWork)
+			}
+			if math.Abs(b.Inst-float64(rep.InstWork)) > 1e-9 {
+				t.Errorf("trial %d %s: simulated inst work %v != measured %d", trial, name, b.Inst, rep.InstWork)
+			}
+		}
+	}
+}
+
+func TestPlanningStats(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(8)))
+	stageRandomChanges(t, w, rand.New(rand.NewSource(9)))
+	stats, err := PlanningStats(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"R", "S", "J", "A"} {
+		if _, ok := stats[v]; !ok {
+			t.Fatalf("missing stats for %s", v)
+		}
+	}
+	// Base deltas must be exact.
+	dR, _ := w.DeltaOf("R")
+	if stats["R"].DeltaPlus != dR.PlusCount() || stats["R"].DeltaMinus != dR.MinusCount() {
+		t.Errorf("base delta stats inexact")
+	}
+	if stats["J"].Size != w.MustView("J").Cardinality() {
+		t.Errorf("J size wrong")
+	}
+	// Derived deltas estimated, plausibly bounded.
+	if stats["J"].DeltaMinus < 0 || stats["J"].DeltaMinus > stats["J"].Size {
+		t.Errorf("J delta estimate out of range: %+v", stats["J"])
+	}
+}
+
+func TestRefCountsAndGraph(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(10)))
+	rc := RefCounts(w)
+	if rc["J"]["R"] != 1 || rc["J"]["S"] != 1 || rc["A"]["J"] != 1 {
+		t.Errorf("RefCounts = %v", rc)
+	}
+	if _, ok := rc["R"]; ok {
+		t.Errorf("base view should have no ref counts")
+	}
+	g, err := Graph(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() || g.Level("A") != 2 {
+		t.Errorf("graph misderived: %s", g)
+	}
+}
+
+func TestExactStatsErrors(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(11)))
+	other := core.New(core.Options{})
+	if _, err := ExactStats(w, other); err == nil {
+		t.Errorf("missing view accepted")
+	}
+}

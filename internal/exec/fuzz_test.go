@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	costpkg "repro/internal/cost"
+	"repro/internal/delta"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+// randomWarehouse builds a random warehouse: 2–4 integer base views and
+// 1–4 derived views over random children with random equi-joins, filters,
+// projections and (integer-only, so exactly comparable) aggregations.
+func randomWarehouse(t *testing.T, rng *rand.Rand) *core.Warehouse {
+	t.Helper()
+	w := core.New(core.Options{})
+	type viewInfo struct {
+		name   string
+		schema relation.Schema
+	}
+	var views []viewInfo
+
+	nBase := 2 + rng.Intn(3)
+	for i := 0; i < nBase; i++ {
+		name := fmt.Sprintf("B%d", i)
+		cols := 2 + rng.Intn(2)
+		schema := make(relation.Schema, cols)
+		for c := 0; c < cols; c++ {
+			schema[c] = relation.Column{Name: fmt.Sprintf("c%d", c), Kind: relation.KindInt}
+		}
+		if err := w.DefineBase(name, schema); err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, viewInfo{name, schema})
+		// Load random rows over a small domain so joins hit.
+		var rows []relation.Tuple
+		for r := 0; r < 10+rng.Intn(30); r++ {
+			tup := make(relation.Tuple, cols)
+			for c := 0; c < cols; c++ {
+				tup[c] = relation.NewInt(rng.Int63n(6))
+			}
+			rows = append(rows, tup)
+		}
+		if err := w.LoadBase(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nDerived := 1 + rng.Intn(4)
+	for i := 0; i < nDerived; i++ {
+		name := fmt.Sprintf("D%d", i)
+		// Pick 1–2 distinct children from existing views.
+		nRefs := 1 + rng.Intn(2)
+		perm := rng.Perm(len(views))
+		b := algebra.NewBuilder()
+		var aliases []string
+		var schemas []relation.Schema
+		for r := 0; r < nRefs; r++ {
+			child := views[perm[r]]
+			alias := fmt.Sprintf("t%d", r)
+			b.From(alias, child.name, child.schema)
+			aliases = append(aliases, alias)
+			schemas = append(schemas, child.schema)
+		}
+		// randCol picks a random qualified column of ref r.
+		randCol := func(r int) string {
+			return aliases[r] + "." + schemas[r][rng.Intn(len(schemas[r]))].Name
+		}
+		// Join consecutive refs on random columns.
+		for r := 1; r < nRefs; r++ {
+			b.Join(randCol(r-1), randCol(r))
+		}
+		// Maybe a constant filter.
+		if rng.Intn(2) == 0 {
+			b.Where(&algebra.Binary{
+				Op: algebra.OpLe,
+				L:  b.Col(randCol(0)),
+				R:  &algebra.Const{Value: relation.NewInt(rng.Int63n(6))},
+			})
+		}
+		if rng.Intn(2) == 0 {
+			// Aggregate view: group by one column, SUM another, COUNT(*).
+			b.GroupByCol(randCol(0), "g")
+			b.Agg("s", delta.AggSum, b.Col(randCol(nRefs-1)))
+			b.Agg("n", delta.AggCount, nil)
+		} else {
+			// SPJ view: project two columns plus a computed expression.
+			b.SelectCol(randCol(0), "p0")
+			b.SelectExpr("p1", &algebra.Binary{
+				Op: algebra.OpAdd,
+				L:  b.Col(randCol(nRefs - 1)),
+				R:  &algebra.Const{Value: relation.NewInt(100)},
+			})
+		}
+		def, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDerived(name, def); err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, viewInfo{name, def.OutputSchema()})
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stageRandom stages random delete/insert batches on every base view.
+func stageRandom(t *testing.T, w *core.Warehouse, rng *rand.Rand) {
+	t.Helper()
+	for _, name := range w.ViewNames() {
+		v := w.MustView(name)
+		if !v.IsBase() {
+			continue
+		}
+		d := delta.New(v.Schema())
+		for _, r := range v.SortedRows() {
+			if rng.Intn(4) == 0 {
+				n := int64(1)
+				if r.Count > 1 && rng.Intn(2) == 0 {
+					n = r.Count
+				}
+				d.Add(r.Tuple, -n)
+			}
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			tup := make(relation.Tuple, len(v.Schema()))
+			for c := range tup {
+				tup[c] = relation.NewInt(rng.Int63n(6))
+			}
+			d.Add(tup, 1)
+		}
+		if err := w.StageDelta(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFuzzRandomWarehouses is the end-to-end randomized check: for random
+// warehouses and random change batches, the MinWork plan, the Prune plan
+// and the dual-stage plan all validate, execute, agree with each other, and
+// match recomputation.
+func TestFuzzRandomWarehouses(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < trials; trial++ {
+		base := randomWarehouse(t, rng)
+		stageRandom(t, base, rng)
+		g, err := Graph(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := PlanningStats(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := planner.MinWork(g, stats)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, g, err)
+		}
+		plans := map[string]strategy.Strategy{
+			"minwork":   mw.Strategy,
+			"dualstage": strategy.DualStageVDAG(g),
+		}
+		// Prune is factorial; only run it on small graphs.
+		if len(g.ViewsWithParents()) <= 5 {
+			pr, err := planner.Prune(g, costpkg.DefaultModel, stats, RefCounts(base))
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			plans["prune"] = pr.Strategy
+		}
+		var refRows map[string][]string
+		for name, s := range plans {
+			run := base.Clone()
+			if _, err := Execute(run, s, Options{Validate: true}); err != nil {
+				t.Fatalf("trial %d %s (%s): %v\nstrategy: %s", trial, name, g, err, s)
+			}
+			if err := run.VerifyAll(); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			rows := make(map[string][]string)
+			for _, v := range run.ViewNames() {
+				for _, r := range run.MustView(v).SortedRows() {
+					rows[v] = append(rows[v], fmt.Sprintf("%v x%d", r.Tuple, r.Count))
+				}
+			}
+			if refRows == nil {
+				refRows = rows
+				continue
+			}
+			for v := range refRows {
+				a, b := refRows[v], rows[v]
+				if len(a) != len(b) {
+					t.Fatalf("trial %d %s: %s row count differs", trial, name, v)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("trial %d %s: %s row %d: %s vs %s", trial, name, v, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}

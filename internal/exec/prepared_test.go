@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/strategy"
+)
+
+// TestPreparedSkipEmptyDeltas: prepared procedures honor the footnote-5
+// option — comps over quiet views are skipped with zero work.
+func TestPreparedSkipEmptyDeltas(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(31)))
+	w.SetOptions(core.Options{SkipEmptyDeltas: true})
+	// Stage changes on R only; S stays quiet.
+	stageROnly(t, w)
+
+	p, err := Prepare(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepR, err := p.Call(strategy.Comp{View: "J", Over: []string{"R"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepR.Skipped || stepR.Work == 0 {
+		t.Errorf("comp over changed R should run: %+v", stepR)
+	}
+	if _, err := p.Call(strategy.Inst{View: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	stepS, err := p.Call(strategy.Comp{View: "J", Over: []string{"S"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepS.Skipped || stepS.Work != 0 {
+		t.Errorf("comp over quiet S should be skipped: %+v", stepS)
+	}
+	// Finish the window and verify.
+	for _, e := range []strategy.Expr{
+		strategy.Inst{View: "S"},
+		strategy.Comp{View: "A", Over: []string{"J"}},
+		strategy.Inst{View: "J"},
+		strategy.Inst{View: "A"},
+	} {
+		if _, err := p.Call(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stageROnly(t *testing.T, w *core.Warehouse) {
+	t.Helper()
+	d := delta.New(w.MustView("R").Schema())
+	d.Add(intRow(7, 10), 1)
+	if err := w.StageDelta("R", d); err != nil {
+		t.Fatal(err)
+	}
+}

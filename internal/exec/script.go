@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/strategy"
+)
+
+// Section 5.5 of the paper describes the practical deployment on a
+// commercial RDBMS: one stored procedure per compute/install expression,
+// defined once from the VDAG, with each update window executing an "update
+// script" — the sequence of procedure calls the planner chose for the
+// current change batch. This file renders both halves as text, so a
+// warehouse administrator can inspect exactly what a strategy will run.
+
+// ProcName returns the stored-procedure name for an expression, e.g.
+// "comp_Q3_from_LINEITEM" or "inst_LINEITEM". Multi-view Comp expressions
+// (dual-stage strategies) name every propagated view.
+func ProcName(e strategy.Expr) string {
+	switch x := e.(type) {
+	case strategy.Comp:
+		return "comp_" + sanitize(x.View) + "_from_" + strings.Join(sanitizeAll(x.OverSorted()), "_")
+	case strategy.Inst:
+		return "inst_" + sanitize(x.View)
+	default:
+		return fmt.Sprintf("unknown_%T", e)
+	}
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func sanitizeAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = sanitize(n)
+	}
+	return out
+}
+
+// Script renders a strategy as its update script: one EXEC line per
+// expression, in order.
+func Script(s strategy.Strategy) string {
+	var b strings.Builder
+	b.WriteString("-- update script (generated; see Section 5.5 of the paper)\n")
+	for i, e := range s {
+		fmt.Fprintf(&b, "EXEC %-40s -- step %2d: %s\n", ProcName(e)+";", i+1, e)
+	}
+	return b.String()
+}
+
+// ProcedureCatalog renders the set of procedures a warehouse needs: one per
+// 1-way expression of its VDAG (the set MinWork and Prune strategies draw
+// from), with the maintenance expression each one executes, in deterministic
+// order.
+func ProcedureCatalog(w *core.Warehouse) string {
+	var lines []string
+	for _, name := range w.ViewNames() {
+		lines = append(lines, fmt.Sprintf("CREATE PROCEDURE %s AS\n  -- install δ%s into %s",
+			ProcName(strategy.Inst{View: name}), name, name))
+		v := w.MustView(name)
+		if v.IsBase() {
+			continue
+		}
+		for _, child := range w.Children(name) {
+			comp := strategy.Comp{View: name, Over: []string{child}}
+			lines = append(lines, fmt.Sprintf("CREATE PROCEDURE %s AS\n  -- δ%s ← maintenance terms of %s w.r.t. δ%s\n  -- definition: %s",
+				ProcName(comp), name, name, child, v.Def()))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

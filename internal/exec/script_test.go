@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+func TestProcName(t *testing.T) {
+	cases := map[string]strategy.Expr{
+		"comp_Q3_from_LINEITEM":  strategy.Comp{View: "Q3", Over: []string{"LINEITEM"}},
+		"comp_V_from_A_B":        strategy.Comp{View: "V", Over: []string{"B", "A"}}, // sorted
+		"inst_LINEITEM":          strategy.Inst{View: "LINEITEM"},
+		"comp_ODD_NAME_from_X_Y": strategy.Comp{View: "ODD NAME", Over: []string{"X-Y"}},
+	}
+	for want, e := range cases {
+		if got := ProcName(e); got != want {
+			t.Errorf("ProcName(%s) = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestScript(t *testing.T) {
+	s := strategy.Strategy{
+		strategy.Comp{View: "J", Over: []string{"R"}},
+		strategy.Inst{View: "R"},
+		strategy.Inst{View: "J"},
+	}
+	script := Script(s)
+	for _, want := range []string{"EXEC comp_J_from_R;", "EXEC inst_R;", "EXEC inst_J;", "step  1"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+	// Order preserved.
+	if strings.Index(script, "comp_J_from_R") > strings.Index(script, "inst_R") {
+		t.Errorf("script order wrong:\n%s", script)
+	}
+}
+
+func TestProcedureCatalog(t *testing.T) {
+	w := newWarehouse(t, rand.New(rand.NewSource(99)))
+	cat := ProcedureCatalog(w)
+	for _, want := range []string{
+		"CREATE PROCEDURE comp_J_from_R",
+		"CREATE PROCEDURE comp_J_from_S",
+		"CREATE PROCEDURE comp_A_from_J",
+		"CREATE PROCEDURE inst_R",
+		"CREATE PROCEDURE inst_A",
+		"SELECT", // the definition is included as a comment
+	} {
+		if !strings.Contains(cat, want) {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+}

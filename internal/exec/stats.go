@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// PlanningStats builds the statistics the planners need from a warehouse
+// with staged (but not yet propagated) base-view deltas: sizes are read
+// from the catalog, base-view delta compositions are exact, and derived
+// delta compositions are estimated bottom-up (cost.EstimateDeltas), which is
+// the Section 5.5 recipe.
+func PlanningStats(w *core.Warehouse) (cost.Stats, error) {
+	stats := make(cost.Stats)
+	var infos []cost.ViewInfo
+	for _, name := range w.ViewNames() {
+		v := w.MustView(name)
+		st := cost.ViewStat{Size: v.Cardinality()}
+		if v.IsBase() {
+			d, err := w.DeltaOf(name)
+			if err != nil {
+				return nil, err
+			}
+			st.DeltaPlus = d.PlusCount()
+			st.DeltaMinus = d.MinusCount()
+		} else {
+			var children []string
+			for _, ref := range v.Def().Refs {
+				children = append(children, ref.View)
+			}
+			infos = append(infos, cost.ViewInfo{Name: name, Children: children, IsAggregate: v.IsAggregate()})
+		}
+		stats[name] = st
+	}
+	if err := cost.EstimateDeltas(infos, stats); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// RefCounts derives the per-definition reference counts the cost simulator
+// needs from the warehouse catalog.
+func RefCounts(w *core.Warehouse) cost.RefCounts {
+	rc := make(cost.RefCounts)
+	for _, name := range w.ViewNames() {
+		v := w.MustView(name)
+		if v.IsBase() {
+			continue
+		}
+		m := make(map[string]int)
+		for _, ref := range v.Def().Refs {
+			m[ref.View]++
+		}
+		rc[name] = m
+	}
+	return rc
+}
+
+// ExactStats computes, after an update has run, the exact statistics of the
+// update: pre-update sizes from pre, and the exact delta composition of
+// every view as the bag difference post − pre. Feeding these into the cost
+// simulator makes its prediction match the executor's measured work exactly
+// (the engine scans each term operand once, which is the linear metric's
+// execution model) — the consistency check behind the paper's claim that
+// the metric "effectively tracks real-world execution".
+func ExactStats(pre, post *core.Warehouse) (cost.Stats, error) {
+	stats := make(cost.Stats)
+	for _, name := range pre.ViewNames() {
+		pv, qv := pre.MustView(name), post.View(name)
+		if qv == nil {
+			return nil, fmt.Errorf("exec: view %q missing from post warehouse", name)
+		}
+		counts := make(map[string]int64)
+		pv.Scan(func(t relation.Tuple, c int64) bool {
+			counts[t.Encode()] -= c
+			return true
+		})
+		qv.Scan(func(t relation.Tuple, c int64) bool {
+			counts[t.Encode()] += c
+			return true
+		})
+		var plus, minus int64
+		for _, c := range counts {
+			if c > 0 {
+				plus += c
+			} else {
+				minus -= c
+			}
+		}
+		stats[name] = cost.ViewStat{Size: pv.Cardinality(), DeltaPlus: plus, DeltaMinus: minus}
+	}
+	return stats, nil
+}

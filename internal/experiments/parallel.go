@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/strategy"
+	"repro/internal/tpcd"
+)
+
+// parallelize stages a strategy for the TPC-D warehouse.
+func parallelize(tw *tpcd.Warehouse, s strategy.Strategy) parallel.Plan {
+	return parallel.Parallelize(s, tw.W.Children)
+}
+
+// parallelExecute runs a staged plan on the TPC-D warehouse.
+func parallelExecute(tw *tpcd.Warehouse, p parallel.Plan) (parallel.Report, error) {
+	return parallel.Execute(tw.W, p)
+}

@@ -1,0 +1,121 @@
+// Package maintain generates the incremental maintenance terms for compute
+// expressions, following the term-execution model of Section 3.3 of the
+// paper (and the standard change-propagation expressions of [GL95]/[Qua96]).
+//
+// For a view W and a set of underlying views Y, the expression Comp(W, Y)
+// has 2^r − 1 terms, where r is the number of FROM-clause references of W's
+// definition that name a view in Y. Each term binds a distinct non-empty
+// subset of those references to their delta relations; every other reference
+// reads the view's current materialized state. (Enumerating per *reference*
+// rather than per view keeps self-joins correct: if Y = {X} and X appears
+// twice in the definition, the delta expansion needs 2² − 1 = 3 terms.)
+package maintain
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// Term is one term of a compute expression: the set of references bound to
+// delta relations, identified by their index in the CQ's Refs.
+type Term struct {
+	// DeltaRefs lists the ref indexes reading deltas, in increasing order.
+	DeltaRefs []int
+}
+
+// String renders the term, e.g. "{δ0, δ2}".
+func (t Term) String() string {
+	parts := make([]string, len(t.DeltaRefs))
+	for i, r := range t.DeltaRefs {
+		parts[i] = fmt.Sprintf("δ%d", r)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Terms enumerates the maintenance terms of Comp(W, Y) for the view defined
+// by cq, where over lists the view names in Y. The result is deterministic:
+// terms are ordered by increasing popcount, then numerically by subset.
+// It returns an error if any name in over is not referenced by the
+// definition, or if over is empty.
+func Terms(cq *algebra.CQ, over []string) ([]Term, error) {
+	if len(over) == 0 {
+		return nil, fmt.Errorf("maintain: Comp over an empty view set")
+	}
+	seen := make(map[string]bool)
+	var refIdx []int
+	for _, name := range over {
+		if seen[name] {
+			return nil, fmt.Errorf("maintain: duplicate view %q in Comp set", name)
+		}
+		seen[name] = true
+		refs := cq.RefsOfView(name)
+		if len(refs) == 0 {
+			return nil, fmt.Errorf("maintain: view %q is not referenced by the definition", name)
+		}
+		refIdx = append(refIdx, refs...)
+	}
+	sort.Ints(refIdx)
+	r := len(refIdx)
+	if r > 30 {
+		return nil, fmt.Errorf("maintain: %d delta-bound references is beyond the supported term fan-out", r)
+	}
+	terms := make([]Term, 0, (1<<uint(r))-1)
+	for mask := 1; mask < 1<<uint(r); mask++ {
+		var drs []int
+		for b := 0; b < r; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				drs = append(drs, refIdx[b])
+			}
+		}
+		terms = append(terms, Term{DeltaRefs: drs})
+	}
+	sort.SliceStable(terms, func(i, j int) bool {
+		pi, pj := len(terms[i].DeltaRefs), len(terms[j].DeltaRefs)
+		if pi != pj {
+			return pi < pj
+		}
+		return lessIntSlice(terms[i].DeltaRefs, terms[j].DeltaRefs)
+	})
+	return terms, nil
+}
+
+// TermCount returns the number of terms Comp(W, over) generates, without
+// materializing them: 2^r − 1 for r delta-bound references.
+func TermCount(cq *algebra.CQ, over []string) (int, error) {
+	r := 0
+	seen := make(map[string]bool)
+	for _, name := range over {
+		if seen[name] {
+			return 0, fmt.Errorf("maintain: duplicate view %q in Comp set", name)
+		}
+		seen[name] = true
+		refs := cq.RefsOfView(name)
+		if len(refs) == 0 {
+			return 0, fmt.Errorf("maintain: view %q is not referenced by the definition", name)
+		}
+		r += len(refs)
+	}
+	if r == 0 {
+		return 0, fmt.Errorf("maintain: Comp over an empty view set")
+	}
+	if r >= bits.UintSize-1 {
+		return 0, fmt.Errorf("maintain: term count overflow for %d references", r)
+	}
+	return (1 << uint(r)) - 1, nil
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,189 @@
+// Package parallel implements Section 9 of the paper: VDAG strategies
+// modeled as sequences of expression *sets*, where the expressions of a set
+// run against the database concurrently.
+//
+// A sequential strategy is parallelized by conflict analysis: expression F
+// must wait for an earlier expression E iff they touch overlapping state
+// (E installs a view F reads, E produces a delta F consumes, or both write
+// the same pending delta). Every stage then executes with one goroutine per
+// expression — safe because non-conflicting expressions read shared tables
+// and write disjoint state.
+//
+// The paper's two parallelism-increasing techniques are also provided:
+// dual-stage view strategies (fewer intra-view dependencies) and VDAG
+// flattening (algebra.Inline applied until derived views reference only
+// base views), both of which trade extra total work for a shorter critical
+// path.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/strategy"
+)
+
+// Stage is a set of expressions that may execute concurrently.
+type Stage []strategy.Expr
+
+// Plan is a sequence of stages.
+type Plan []Stage
+
+// String renders the plan stage by stage.
+func (p Plan) String() string {
+	s := ""
+	for i, st := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("[%d:", i+1)
+		for _, e := range st {
+			s += " " + e.String()
+		}
+		s += "]"
+	}
+	return s
+}
+
+// Stages returns the number of stages (the depth of the plan).
+func (p Plan) Stages() int { return len(p) }
+
+// Exprs returns the total number of expressions.
+func (p Plan) Exprs() int {
+	n := 0
+	for _, st := range p {
+		n += len(st)
+	}
+	return n
+}
+
+// childrenFn resolves the views a derived view is defined over.
+type childrenFn func(view string) []string
+
+// conflicts reports whether expression b must wait for earlier expression a.
+func conflicts(a, b strategy.Expr, children childrenFn) bool {
+	switch x := a.(type) {
+	case strategy.Inst:
+		switch y := b.(type) {
+		case strategy.Inst:
+			return x.View == y.View
+		case strategy.Comp:
+			// The Comp reads the state (or delta) of every referenced view.
+			for _, c := range children(y.View) {
+				if c == x.View {
+					return true
+				}
+			}
+			return y.View == x.View // Inst(V) consumes δV that Comp(V,·) writes
+		}
+	case strategy.Comp:
+		switch y := b.(type) {
+		case strategy.Inst:
+			// Inst(V) after Comp(V,·) (consumes its output); Inst(X) after
+			// Comp(·,{…X…}) (C3: the Comp reads δX before it is folded in).
+			if y.View == x.View {
+				return true
+			}
+			return x.Uses(y.View)
+		case strategy.Comp:
+			if x.View == y.View {
+				return true // both write δ(View)
+			}
+			// C8: a Comp consuming δX waits for the Comps producing it.
+			return y.Uses(x.View) || x.Uses(y.View)
+		}
+	}
+	return false
+}
+
+// Parallelize converts a correct sequential strategy into a staged plan:
+// each expression lands in the earliest stage after all earlier conflicting
+// expressions. The sequential semantics are preserved exactly.
+func Parallelize(s strategy.Strategy, children childrenFn) Plan {
+	stageOf := make([]int, len(s))
+	maxStage := -1
+	for i, e := range s {
+		st := 0
+		for j := 0; j < i; j++ {
+			if conflicts(s[j], e, children) && stageOf[j]+1 > st {
+				st = stageOf[j] + 1
+			}
+		}
+		stageOf[i] = st
+		if st > maxStage {
+			maxStage = st
+		}
+	}
+	plan := make(Plan, maxStage+1)
+	for i, e := range s {
+		plan[stageOf[i]] = append(plan[stageOf[i]], e)
+	}
+	return plan
+}
+
+// Report summarizes a parallel execution.
+type Report struct {
+	Plan Plan
+	// TotalWork is the sum of all expressions' measured work — what the
+	// warehouse pays.
+	TotalWork int64
+	// SpanWork is the critical-path work: the sum over stages of the
+	// largest single-expression work in the stage — what the update window
+	// costs with unlimited parallelism.
+	SpanWork int64
+	// Steps holds the per-expression reports, per stage.
+	Steps [][]exec.StepReport
+}
+
+// Speedup returns TotalWork/SpanWork, the work-based parallelism achieved.
+func (r Report) Speedup() float64 {
+	if r.SpanWork == 0 {
+		return 1
+	}
+	return float64(r.TotalWork) / float64(r.SpanWork)
+}
+
+// Execute runs the plan against the warehouse, each stage's expressions in
+// parallel goroutines with a barrier between stages.
+func Execute(w *core.Warehouse, plan Plan) (Report, error) {
+	rep := Report{Plan: plan}
+	for _, stage := range plan {
+		results := make([]exec.StepReport, len(stage))
+		errs := make([]error, len(stage))
+		var wg sync.WaitGroup
+		for i, e := range stage {
+			wg.Add(1)
+			go func(i int, e strategy.Expr) {
+				defer wg.Done()
+				switch x := e.(type) {
+				case strategy.Comp:
+					cr, err := w.Compute(x.View, x.Over)
+					results[i] = exec.StepReport{Expr: e, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped}
+					errs[i] = err
+				case strategy.Inst:
+					n, err := w.Install(x.View)
+					results[i] = exec.StepReport{Expr: e, Work: n}
+					errs[i] = err
+				default:
+					errs[i] = fmt.Errorf("parallel: unknown expression type %T", e)
+				}
+			}(i, e)
+		}
+		wg.Wait()
+		var stageMax int64
+		for i := range stage {
+			if errs[i] != nil {
+				return rep, fmt.Errorf("parallel: %s: %w", stage[i], errs[i])
+			}
+			rep.TotalWork += results[i].Work
+			if results[i].Work > stageMax {
+				stageMax = results[i].Work
+			}
+		}
+		rep.SpanWork += stageMax
+		rep.Steps = append(rep.Steps, results)
+	}
+	return rep, nil
+}

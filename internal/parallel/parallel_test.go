@@ -1,0 +1,347 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+	"repro/internal/vdag"
+)
+
+var (
+	schemaR = relation.Schema{{Name: "a", Kind: relation.KindInt}, {Name: "b", Kind: relation.KindInt}}
+	schemaS = relation.Schema{{Name: "b", Kind: relation.KindInt}, {Name: "c", Kind: relation.KindInt}}
+)
+
+func intRow(vals ...int64) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.NewInt(v)
+	}
+	return t
+}
+
+// newWarehouse builds two independent derived views over shared bases:
+// J1 = R⋈S (on b), J2 = σ(R). Their comps can run in parallel.
+func newWarehouse(t *testing.T) *core.Warehouse {
+	t.Helper()
+	w := core.New(core.Options{})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineBase("R", schemaR))
+	must(w.DefineBase("S", schemaS))
+	j1 := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	j1.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	must(w.DefineDerived("J1", j1.MustBuild()))
+	j2 := algebra.NewBuilder().From("r", "R", schemaR)
+	j2.Where(&algebra.Binary{Op: algebra.OpGt, L: j2.Col("r.a"), R: &algebra.Const{Value: relation.NewInt(1)}}).
+		SelectCol("r.a").SelectCol("r.b")
+	must(w.DefineDerived("J2", j2.MustBuild()))
+	must(w.LoadBase("R", []relation.Tuple{intRow(1, 10), intRow(2, 10), intRow(3, 20), intRow(4, 20)}))
+	must(w.LoadBase("S", []relation.Tuple{intRow(10, 100), intRow(20, 200)}))
+	must(w.RefreshAll())
+	return w
+}
+
+func stageChanges(t *testing.T, w *core.Warehouse) {
+	t.Helper()
+	dR := delta.New(schemaR)
+	dR.Add(intRow(2, 10), -1)
+	dR.Add(intRow(5, 20), 1)
+	if err := w.StageDelta("R", dR); err != nil {
+		t.Fatal(err)
+	}
+	dS := delta.New(schemaS)
+	dS.Add(intRow(20, 200), -1)
+	if err := w.StageDelta("S", dS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dualStage(w *core.Warehouse) strategy.Strategy {
+	return strategy.Strategy{
+		strategy.Comp{View: "J1", Over: []string{"R", "S"}},
+		strategy.Comp{View: "J2", Over: []string{"R"}},
+		strategy.Inst{View: "R"}, strategy.Inst{View: "S"},
+		strategy.Inst{View: "J1"}, strategy.Inst{View: "J2"},
+	}
+}
+
+func TestParallelizeDualStage(t *testing.T) {
+	w := newWarehouse(t)
+	plan := Parallelize(dualStage(w), w.Children)
+	// Both comps are independent → stage 1; all installs conflict with the
+	// comps → stage 2.
+	if plan.Stages() != 2 {
+		t.Fatalf("stages = %d (%s)", plan.Stages(), plan)
+	}
+	if len(plan[0]) != 2 || len(plan[1]) != 4 {
+		t.Errorf("stage sizes wrong: %s", plan)
+	}
+	if plan.Exprs() != 6 {
+		t.Errorf("Exprs = %d", plan.Exprs())
+	}
+	if !strings.Contains(plan.String(), "[1:") {
+		t.Errorf("String = %q", plan.String())
+	}
+}
+
+func TestParallelizeOneWayKeepsOrder(t *testing.T) {
+	w := newWarehouse(t)
+	s := strategy.Strategy{
+		strategy.Comp{View: "J1", Over: []string{"R"}},
+		strategy.Comp{View: "J2", Over: []string{"R"}},
+		strategy.Inst{View: "R"},
+		strategy.Comp{View: "J1", Over: []string{"S"}},
+		strategy.Inst{View: "S"},
+		strategy.Inst{View: "J1"}, strategy.Inst{View: "J2"},
+	}
+	plan := Parallelize(s, w.Children)
+	// Stage 1: both comps over R. Stage 2: Inst(R). Stage 3: Comp(J1,{S}),
+	// Inst(J2)? Inst(J2) conflicts with Comp(J2,{R}) (stage 1) only → could
+	// land in stage 2 alongside Inst(R).
+	if plan.Stages() < 4 {
+		t.Fatalf("expected ≥4 stages, got %d (%s)", plan.Stages(), plan)
+	}
+	// First stage holds the two independent comps.
+	if len(plan[0]) != 2 {
+		t.Errorf("stage 1 = %v", plan[0])
+	}
+}
+
+func TestExecuteParallelMatchesSequential(t *testing.T) {
+	seqW := newWarehouse(t)
+	stageChanges(t, seqW)
+	parW := seqW.Clone()
+
+	s := dualStage(seqW)
+	seqRep, err := exec.Execute(seqW, s, exec.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Parallelize(s, parW.Children)
+	parRep, err := Execute(parW, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRep.TotalWork != seqRep.TotalWork() {
+		t.Errorf("parallel total work %d != sequential %d", parRep.TotalWork, seqRep.TotalWork())
+	}
+	if parRep.SpanWork > parRep.TotalWork || parRep.SpanWork <= 0 {
+		t.Errorf("span work %d out of range", parRep.SpanWork)
+	}
+	if parRep.Speedup() < 1 {
+		t.Errorf("speedup = %v", parRep.Speedup())
+	}
+	if err := parW.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Final states identical.
+	for _, v := range []string{"R", "S", "J1", "J2"} {
+		a, b := seqW.MustView(v).SortedRows(), parW.MustView(v).SortedRows()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", v, len(a), len(b))
+		}
+		for i := range a {
+			if relation.CompareTuples(a[i].Tuple, b[i].Tuple) != 0 || a[i].Count != b[i].Count {
+				t.Fatalf("%s row %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestExecuteErrorPropagates(t *testing.T) {
+	w := newWarehouse(t)
+	plan := Plan{{strategy.Comp{View: "nope", Over: []string{"R"}}}}
+	if _, err := Execute(w, plan); err == nil {
+		t.Errorf("unknown view accepted")
+	}
+	if _, err := Execute(w, Plan{{nil}}); err == nil {
+		t.Errorf("nil expression accepted")
+	}
+}
+
+// TestParallelizePropertyRandom checks, for random VDAGs and their MinWork
+// strategies, that staging (a) preserves the expression multiset and (b)
+// never reorders a conflicting pair across stages.
+func TestParallelizePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(rng)
+		stats := make(cost.Stats)
+		for _, v := range g.Views() {
+			stats[v] = cost.ViewStat{Size: rng.Int63n(100) + 10, DeltaPlus: rng.Int63n(10), DeltaMinus: rng.Int63n(10)}
+		}
+		res, err := planner.MinWork(g, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := Parallelize(res.Strategy, g.Children)
+		// (a) same multiset of expressions.
+		if plan.Exprs() != len(res.Strategy) {
+			t.Fatalf("trial %d: %d exprs staged, strategy has %d", trial, plan.Exprs(), len(res.Strategy))
+		}
+		seen := make(map[string]int)
+		for _, e := range res.Strategy {
+			seen[e.Key()]++
+		}
+		stageOf := make(map[string]int)
+		for si, stage := range plan {
+			for _, e := range stage {
+				seen[e.Key()]--
+				stageOf[e.Key()] = si
+			}
+		}
+		for k, n := range seen {
+			if n != 0 {
+				t.Fatalf("trial %d: expression %s count off by %d", trial, k, n)
+			}
+		}
+		// (b) conflicting pairs keep their order across stages.
+		for i := 0; i < len(res.Strategy); i++ {
+			for j := i + 1; j < len(res.Strategy); j++ {
+				if conflicts(res.Strategy[i], res.Strategy[j], g.Children) {
+					si, sj := stageOf[res.Strategy[i].Key()], stageOf[res.Strategy[j].Key()]
+					if si >= sj {
+						t.Fatalf("trial %d: conflict %s ≺ %s but stages %d ≥ %d",
+							trial, res.Strategy[i], res.Strategy[j], si, sj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand) *vdag.Graph {
+	b := vdag.NewBuilder()
+	var names []string
+	nBase := 2 + rng.Intn(3)
+	for i := 0; i < nBase; i++ {
+		n := fmt.Sprintf("B%d", i)
+		if err := b.Add(n, nil); err != nil {
+			panic(err)
+		}
+		names = append(names, n)
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		var over []string
+		for _, c := range names {
+			if rng.Intn(2) == 0 {
+				over = append(over, c)
+			}
+		}
+		if len(over) == 0 {
+			over = names[:1]
+		}
+		n := fmt.Sprintf("D%d", i)
+		if err := b.Add(n, over); err != nil {
+			panic(err)
+		}
+		names = append(names, n)
+	}
+	return b.Build()
+}
+
+func TestSpeedupEmptyPlan(t *testing.T) {
+	var r Report
+	if r.Speedup() != 1 {
+		t.Errorf("zero-span speedup = %v", r.Speedup())
+	}
+}
+
+// TestInlineFlatteningEnablesTwoStagePlan reproduces the Section 9
+// flattening example: a level-2 view inlined down to base views lets every
+// comp run in the first stage.
+func TestInlineFlatteningEnablesTwoStagePlan(t *testing.T) {
+	// Chain: R → J (σ over R) → K (σ over J).
+	w := core.New(core.Options{})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineBase("R", schemaR))
+	jb := algebra.NewBuilder().From("r", "R", schemaR)
+	jb.SelectCol("r.a").SelectCol("r.b")
+	jDef := jb.MustBuild()
+	must(w.DefineDerived("J", jDef))
+	kb := algebra.NewBuilder().From("j", "J", jDef.OutputSchema())
+	kb.Where(&algebra.Binary{Op: algebra.OpGt, L: kb.Col("j.a"), R: &algebra.Const{Value: relation.NewInt(2)}}).
+		SelectCol("j.a")
+	kDef := kb.MustBuild()
+	must(w.DefineDerived("K", kDef))
+
+	// Unflattened: Comp(K,{J}) must follow Comp(J,{R}) → ≥2 comp stages.
+	s := strategy.Strategy{
+		strategy.Comp{View: "J", Over: []string{"R"}},
+		strategy.Comp{View: "K", Over: []string{"J"}},
+		strategy.Inst{View: "R"}, strategy.Inst{View: "J"}, strategy.Inst{View: "K"},
+	}
+	plan := Parallelize(s, w.Children)
+	if len(plan[0]) != 1 {
+		t.Fatalf("unflattened first stage = %v", plan[0])
+	}
+
+	// Flatten K over J: K now references R directly.
+	flat, err := algebra.Inline(kDef, 0, jDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.BaseViews()[0] != "R" {
+		t.Fatalf("flattened refs = %v", flat.BaseViews())
+	}
+	w2 := core.New(core.Options{})
+	must(w2.DefineBase("R", schemaR))
+	must(w2.DefineDerived("J", jDef))
+	must(w2.DefineDerived("K", flat))
+	must(w2.LoadBase("R", []relation.Tuple{intRow(1, 10), intRow(3, 30), intRow(4, 40)}))
+	must(w2.RefreshAll())
+	dR := delta.New(schemaR)
+	dR.Add(intRow(3, 30), -1)
+	dR.Add(intRow(9, 90), 1)
+	must(w2.StageDelta("R", dR))
+
+	sf := strategy.Strategy{
+		strategy.Comp{View: "J", Over: []string{"R"}},
+		strategy.Comp{View: "K", Over: []string{"R"}},
+		strategy.Inst{View: "R"}, strategy.Inst{View: "J"}, strategy.Inst{View: "K"},
+	}
+	planF := Parallelize(sf, w2.Children)
+	if len(planF[0]) != 2 {
+		t.Fatalf("flattened first stage = %v (%s)", planF[0], planF)
+	}
+	rep, err := Execute(w2, planF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan.Stages() != planF.Stages() {
+		t.Errorf("report plan mismatch")
+	}
+	// K must reflect the change: row 9 (>2) present, 3 gone.
+	rows := w2.MustView("K").SortedRows()
+	want := "(4)(9)"
+	got := ""
+	for _, r := range rows {
+		got += r.Tuple.String()
+	}
+	if got != want {
+		t.Errorf("K = %v", rows)
+	}
+}

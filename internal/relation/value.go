@@ -1,0 +1,308 @@
+// Package relation provides the value, tuple and schema primitives shared by
+// every layer of the warehouse engine: typed scalar values, fixed-schema
+// tuples, deterministic tuple encoding (used as map keys by the counted bag
+// tables and delta relations), and ordering.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the scalar types the engine supports.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL NULL value.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is an immutable byte string.
+	KindString
+	// KindDate is a calendar date stored as days since 1970-01-01.
+	KindDate
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a scalar runtime value. The zero Value is NULL.
+//
+// Value is a small struct rather than an interface so that tuples are flat
+// slices with no per-value heap allocation; this matters because the engine's
+// work model is "scan operands once" and value handling dominates scans.
+type Value struct {
+	kind Kind
+	i    int64 // int, date (days since epoch), bool (0/1)
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// NewDate returns a date value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// DateFromString parses a YYYY-MM-DD date.
+func DateFromString(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("relation: bad date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustDate parses a YYYY-MM-DD date and panics on error. It is intended for
+// literals in tests and generators.
+func MustDate(s string) Value {
+	v, err := DateFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Kind reports the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if the value is not an integer
+// or a date.
+func (v Value) Int() int64 {
+	if v.kind != KindInt && v.kind != KindDate {
+		panic(fmt.Sprintf("relation: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload, widening integers.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindDate:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("relation: Float() on %s value", v.kind))
+	}
+}
+
+// Str returns the string payload. It panics if the value is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if the value is not a boolean.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("relation: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// Days returns the date payload as days since the epoch. It panics if the
+// value is not a date.
+func (v Value) Days() int64 {
+	if v.kind != KindDate {
+		panic(fmt.Sprintf("relation: Days() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// numericKinds reports whether both kinds can be compared numerically.
+func numericKinds(a, b Kind) bool {
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return num(a) && num(b)
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different non-numeric kinds compare by kind. Integers and floats compare
+// numerically with each other.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind != b.kind {
+		if numericKinds(a.kind, b.kind) {
+			return cmpFloat(a.Float(), b.Float())
+		}
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt, KindDate, KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	case KindFloat:
+		return cmpFloat(a.f, b.f)
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// appendEncoded appends a self-delimiting binary encoding of v to dst. The
+// encoding is injective across values of all kinds, which is what the counted
+// bag tables require of their map keys.
+func (v Value) appendEncoded(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindDate, KindBool:
+		dst = appendUint64(dst, uint64(v.i))
+	case KindFloat:
+		dst = appendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = appendUint64(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+func decodeUint64(src []byte) (uint64, []byte) {
+	u := uint64(src[0])<<56 | uint64(src[1])<<48 | uint64(src[2])<<40 | uint64(src[3])<<32 |
+		uint64(src[4])<<24 | uint64(src[5])<<16 | uint64(src[6])<<8 | uint64(src[7])
+	return u, src[8:]
+}
+
+// decodeValue decodes one value from src, returning the remainder.
+func decodeValue(src []byte) (Value, []byte, error) {
+	if len(src) == 0 {
+		return Null, nil, fmt.Errorf("relation: truncated value encoding")
+	}
+	k := Kind(src[0])
+	src = src[1:]
+	switch k {
+	case KindNull:
+		return Null, src, nil
+	case KindInt, KindDate, KindBool:
+		if len(src) < 8 {
+			return Null, nil, fmt.Errorf("relation: truncated %s encoding", k)
+		}
+		u, rest := decodeUint64(src)
+		return Value{kind: k, i: int64(u)}, rest, nil
+	case KindFloat:
+		if len(src) < 8 {
+			return Null, nil, fmt.Errorf("relation: truncated FLOAT encoding")
+		}
+		u, rest := decodeUint64(src)
+		return Value{kind: k, f: math.Float64frombits(u)}, rest, nil
+	case KindString:
+		if len(src) < 8 {
+			return Null, nil, fmt.Errorf("relation: truncated VARCHAR length")
+		}
+		n, rest := decodeUint64(src)
+		if uint64(len(rest)) < n {
+			return Null, nil, fmt.Errorf("relation: truncated VARCHAR payload")
+		}
+		return Value{kind: k, s: string(rest[:n])}, rest[n:], nil
+	default:
+		return Null, nil, fmt.Errorf("relation: unknown kind byte %d", k)
+	}
+}

@@ -1,0 +1,333 @@
+// Package snapshot persists and restores the materialized state of a
+// warehouse in a compact, versioned binary format.
+//
+// A snapshot stores data only — view names, row bags and aggregate group
+// states — not view definitions: the catalog is code, so restoring requires
+// a warehouse whose catalog (names, schemas, aggregate specs) matches the
+// one the snapshot was taken from. This is the classic "fast warm restart"
+// split: re-declare the views, load the snapshot, and the warehouse is
+// ready for the next update window without replaying history or
+// recomputing summary tables.
+//
+// Snapshots are only taken of quiescent warehouses (no staged or
+// uninstalled changes); Write refuses otherwise, because pending delta
+// state is transient to one update window by design.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc64"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// magic identifies the format; the trailing digits version it.
+const magic = "WHSNAP01"
+
+const (
+	kindTable byte = 0
+	kindAgg   byte = 1
+)
+
+// Write serializes the warehouse's materialized state to out.
+func Write(w *core.Warehouse, out io.Writer) error {
+	if pending := w.PendingViews(); len(pending) > 0 {
+		return fmt.Errorf("snapshot: warehouse has pending changes on %v; finish the update window first", pending)
+	}
+	bw := bufio.NewWriter(out)
+	crc := crc64.New(crcTable)
+	dst := io.MultiWriter(bw, crc)
+
+	if _, err := io.WriteString(dst, magic); err != nil {
+		return err
+	}
+	names := w.ViewNames()
+	if err := writeUvarint(dst, uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		v := w.MustView(name)
+		if err := writeString(dst, name); err != nil {
+			return err
+		}
+		if agg := v.AggStore(); agg != nil {
+			if err := writeByte(dst, kindAgg); err != nil {
+				return err
+			}
+			if err := writeUvarint(dst, uint64(agg.Cardinality())); err != nil {
+				return err
+			}
+			var werr error
+			agg.ScanGroups(func(groupKey string, support int64, accums []*delta.Accum) bool {
+				if werr = writeString(dst, groupKey); werr != nil {
+					return false
+				}
+				if werr = writeVarint(dst, support); werr != nil {
+					return false
+				}
+				for _, a := range accums {
+					if werr = writeBytes(dst, a.AppendBinary(nil)); werr != nil {
+						return false
+					}
+				}
+				return true
+			})
+			if werr != nil {
+				return werr
+			}
+			continue
+		}
+		tbl := v.Table()
+		if err := writeByte(dst, kindTable); err != nil {
+			return err
+		}
+		if err := writeUvarint(dst, uint64(tbl.DistinctCount())); err != nil {
+			return err
+		}
+		var werr error
+		tbl.Scan(func(tup relation.Tuple, count int64) bool {
+			if werr = writeString(dst, tup.Encode()); werr != nil {
+				return false
+			}
+			werr = writeVarint(dst, count)
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	// Trailer: CRC of everything before it.
+	sum := crc.Sum64()
+	var tail [8]byte
+	binary.BigEndian.PutUint64(tail[:], sum)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read restores a snapshot into w, whose catalog must match the snapshot's
+// (same view names in the same order, schema-compatible rows). Existing
+// materialized state is replaced. On error the warehouse may be partially
+// restored and should be discarded.
+func Read(w *core.Warehouse, in io.Reader) error {
+	if pending := w.PendingViews(); len(pending) > 0 {
+		return fmt.Errorf("snapshot: refusing to restore over pending changes on %v", pending)
+	}
+	// Hash exactly the bytes consumed (a tee around bufio would hash its
+	// read-ahead), so the trailer check is positionally correct.
+	br := &crcReader{r: bufio.NewReader(in), h: crc64.New(crcTable)}
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("snapshot: bad magic %q (want %q)", head, magic)
+	}
+	nViews, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("snapshot: reading view count: %w", err)
+	}
+	names := w.ViewNames()
+	if uint64(len(names)) != nViews {
+		return fmt.Errorf("snapshot: holds %d views but catalog defines %d", nViews, len(names))
+	}
+	for _, want := range names {
+		name, err := readString(br)
+		if err != nil {
+			return fmt.Errorf("snapshot: reading view name: %w", err)
+		}
+		if name != want {
+			return fmt.Errorf("snapshot: view %q where catalog expects %q (definition order must match)", name, want)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("snapshot: reading view kind: %w", err)
+		}
+		v := w.MustView(name)
+		switch kind {
+		case kindTable:
+			tbl := v.Table()
+			if tbl == nil {
+				return fmt.Errorf("snapshot: view %q is aggregate in the catalog but plain in the snapshot", name)
+			}
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("snapshot: %s: reading row count: %w", name, err)
+			}
+			tbl.Clear()
+			width := len(tbl.Schema())
+			for i := uint64(0); i < n; i++ {
+				enc, err := readString(br)
+				if err != nil {
+					return fmt.Errorf("snapshot: %s: reading row: %w", name, err)
+				}
+				tup, err := relation.DecodeTuple(enc)
+				if err != nil {
+					return fmt.Errorf("snapshot: %s: corrupt row: %w", name, err)
+				}
+				if len(tup) != width {
+					return fmt.Errorf("snapshot: %s: row arity %d does not match schema width %d", name, len(tup), width)
+				}
+				count, err := binary.ReadVarint(br)
+				if err != nil {
+					return fmt.Errorf("snapshot: %s: reading count: %w", name, err)
+				}
+				if count <= 0 {
+					return fmt.Errorf("snapshot: %s: non-positive row count %d", name, count)
+				}
+				tbl.Insert(tup, count)
+			}
+		case kindAgg:
+			agg := v.AggStore()
+			if agg == nil {
+				return fmt.Errorf("snapshot: view %q is plain in the catalog but aggregate in the snapshot", name)
+			}
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("snapshot: %s: reading group count: %w", name, err)
+			}
+			agg.Clear()
+			specs := agg.Specs()
+			for i := uint64(0); i < n; i++ {
+				groupKey, err := readString(br)
+				if err != nil {
+					return fmt.Errorf("snapshot: %s: reading group key: %w", name, err)
+				}
+				support, err := binary.ReadVarint(br)
+				if err != nil {
+					return fmt.Errorf("snapshot: %s: reading support: %w", name, err)
+				}
+				accums := make([]*delta.Accum, len(specs))
+				for j, spec := range specs {
+					raw, err := readString(br)
+					if err != nil {
+						return fmt.Errorf("snapshot: %s: reading accumulator: %w", name, err)
+					}
+					a, err := delta.DecodeAccum(&stringByteReader{s: raw}, spec)
+					if err != nil {
+						return fmt.Errorf("snapshot: %s: %w", name, err)
+					}
+					accums[j] = a
+				}
+				if err := agg.RestoreGroup(groupKey, support, accums); err != nil {
+					return fmt.Errorf("snapshot: %s: %w", name, err)
+				}
+			}
+		default:
+			return fmt.Errorf("snapshot: unknown view kind %d", kind)
+		}
+	}
+	// Verify the CRC trailer over everything consumed so far.
+	want := br.h.Sum64()
+	var tail [8]byte
+	if _, err := io.ReadFull(br.r, tail[:]); err != nil {
+		return fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if got := binary.BigEndian.Uint64(tail[:]); got != want {
+		return fmt.Errorf("snapshot: checksum mismatch (file %x, computed %x)", got, want)
+	}
+	return nil
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// crcReader hashes exactly the bytes handed to the caller.
+type crcReader struct {
+	r *bufio.Reader
+	h hash.Hash64
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// stringByteReader is an io.ByteReader over a string.
+type stringByteReader struct {
+	s string
+	i int
+}
+
+func (r *stringByteReader) ReadByte() (byte, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	b := r.s[r.i]
+	r.i++
+	return b, nil
+}
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w io.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := writeUvarint(w, uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// byteAndBlockReader is what the decoder needs: varints plus bulk reads.
+type byteAndBlockReader interface {
+	io.ByteReader
+	io.Reader
+}
+
+func readString(r byteAndBlockReader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<31 {
+		return "", fmt.Errorf("snapshot: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,295 @@
+// Package source simulates the remote, autonomous information sources a
+// warehouse derives its base views from (Section 2 of the paper): OLTP
+// tables keyed by primary key, a transaction log, and a change extractor
+// that turns logged transactions into the base-view delta batches an update
+// window consumes.
+//
+// Following the paper's model, an update is represented as a deletion
+// followed by an insertion, and base views are "cleansed" projections of
+// source tables: an extraction rule filters malformed or irrelevant rows
+// and reshapes the rest (the denormalization step producing dimension and
+// fact tables).
+package source
+
+import (
+	"fmt"
+
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// Op is a transaction operation.
+type Op uint8
+
+// Transaction operations.
+const (
+	OpInsert Op = iota
+	OpDelete
+	OpUpdate
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpUpdate:
+		return "UPDATE"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Tx is one source transaction: an operation on a row of a table. For
+// OpDelete only the primary key columns of Row are consulted; for OpUpdate
+// the row must carry the (unchanged) primary key and the new values.
+type Tx struct {
+	Table string
+	Op    Op
+	Row   relation.Tuple
+}
+
+// Table is one OLTP source table with a primary key.
+type Table struct {
+	name   string
+	schema relation.Schema
+	key    []int // indexes of the primary-key columns
+	rows   map[string]relation.Tuple
+}
+
+// Source is a simulated remote information source: tables plus a
+// transaction log that accumulates until the warehouse extracts changes.
+type Source struct {
+	tables map[string]*Table
+	order  []string
+	log    []Tx
+}
+
+// New creates an empty source.
+func New() *Source {
+	return &Source{tables: make(map[string]*Table)}
+}
+
+// DefineTable registers a table with the named primary-key columns.
+func (s *Source) DefineTable(name string, schema relation.Schema, keyColumns ...string) error {
+	if name == "" {
+		return fmt.Errorf("source: empty table name")
+	}
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("source: table %q already defined", name)
+	}
+	if len(keyColumns) == 0 {
+		return fmt.Errorf("source: table %q needs at least one key column", name)
+	}
+	var key []int
+	for _, k := range keyColumns {
+		idx := schema.ColumnIndex(k)
+		if idx < 0 {
+			return fmt.Errorf("source: table %q has no column %q", name, k)
+		}
+		key = append(key, idx)
+	}
+	s.tables[name] = &Table{name: name, schema: schema.Clone(), key: key, rows: make(map[string]relation.Tuple)}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Tables lists table names in definition order.
+func (s *Source) Tables() []string { return append([]string(nil), s.order...) }
+
+// Schema returns a table's schema.
+func (s *Source) Schema(table string) (relation.Schema, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown table %q", table)
+	}
+	return t.schema, nil
+}
+
+// Rows returns the current rows of a table (unspecified order).
+func (s *Source) Rows(table string) ([]relation.Tuple, error) {
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown table %q", table)
+	}
+	out := make([]relation.Tuple, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (t *Table) keyOf(row relation.Tuple) (string, error) {
+	if len(row) != len(t.schema) {
+		return "", fmt.Errorf("source: row arity %d does not match %q schema width %d", len(row), t.name, len(t.schema))
+	}
+	return row.Project(t.key).Encode(), nil
+}
+
+// Apply executes one transaction, updating the table and appending to the
+// change log.
+func (s *Source) Apply(tx Tx) error {
+	t, ok := s.tables[tx.Table]
+	if !ok {
+		return fmt.Errorf("source: unknown table %q", tx.Table)
+	}
+	key, err := t.keyOf(tx.Row)
+	if err != nil {
+		return err
+	}
+	switch tx.Op {
+	case OpInsert:
+		if _, exists := t.rows[key]; exists {
+			return fmt.Errorf("source: %s: duplicate key %v", t.name, tx.Row.Project(t.key))
+		}
+		t.rows[key] = tx.Row.Clone()
+	case OpDelete:
+		old, exists := t.rows[key]
+		if !exists {
+			return fmt.Errorf("source: %s: delete of missing key %v", t.name, tx.Row.Project(t.key))
+		}
+		delete(t.rows, key)
+		// Log the stored before-image, not the caller's key-only row: the
+		// extraction filter must see exactly what disappeared.
+		s.log = append(s.log, Tx{Table: tx.Table, Op: OpDelete, Row: old})
+		return nil
+	case OpUpdate:
+		old, exists := t.rows[key]
+		if !exists {
+			return fmt.Errorf("source: %s: update of missing key %v", t.name, tx.Row.Project(t.key))
+		}
+		// Log the old image so extraction can emit delete-then-insert.
+		s.log = append(s.log, Tx{Table: tx.Table, Op: OpDelete, Row: old})
+		t.rows[key] = tx.Row.Clone()
+		s.log = append(s.log, Tx{Table: tx.Table, Op: OpInsert, Row: tx.Row.Clone()})
+		return nil
+	default:
+		return fmt.Errorf("source: unknown op %v", tx.Op)
+	}
+	s.log = append(s.log, Tx{Table: tx.Table, Op: tx.Op, Row: tx.Row.Clone()})
+	return nil
+}
+
+// MustApply is Apply panicking on error, for test fixtures.
+func (s *Source) MustApply(tx Tx) {
+	if err := s.Apply(tx); err != nil {
+		panic(err)
+	}
+}
+
+// LogLength returns the number of unextracted logged operations.
+func (s *Source) LogLength() int { return len(s.log) }
+
+// Extraction maps one source table to one warehouse base view: the
+// cleansing filter drops rows that should not reach the warehouse, and the
+// shaping projection reshapes the survivors into the base view's schema
+// (denormalization hooks close over other tables if needed).
+type Extraction struct {
+	// Table is the source table consumed.
+	Table string
+	// Filter keeps a row when true; nil keeps everything.
+	Filter func(relation.Tuple) bool
+	// Shape maps a source row to a base-view row; nil is identity.
+	Shape func(relation.Tuple) relation.Tuple
+	// ViewSchema is the produced base view's schema.
+	ViewSchema relation.Schema
+}
+
+// apply runs the extraction on a single source row.
+func (e Extraction) apply(row relation.Tuple) (relation.Tuple, bool, error) {
+	if e.Filter != nil && !e.Filter(row) {
+		return nil, false, nil
+	}
+	out := row
+	if e.Shape != nil {
+		out = e.Shape(row)
+	}
+	if len(out) != len(e.ViewSchema) {
+		return nil, false, fmt.Errorf("source: extraction for %q produced arity %d, schema width %d",
+			e.Table, len(out), len(e.ViewSchema))
+	}
+	return out, true, nil
+}
+
+// Extractor turns the source's transaction log into base-view deltas.
+type Extractor struct {
+	src *Source
+	// extractions maps base-view name → extraction rule.
+	extractions map[string]Extraction
+}
+
+// NewExtractor creates an extractor over the source with the given
+// base-view extraction rules.
+func NewExtractor(src *Source, extractions map[string]Extraction) (*Extractor, error) {
+	for view, e := range extractions {
+		if _, ok := src.tables[e.Table]; !ok {
+			return nil, fmt.Errorf("source: extraction for view %q names unknown table %q", view, e.Table)
+		}
+		if len(e.ViewSchema) == 0 {
+			return nil, fmt.Errorf("source: extraction for view %q has no schema", view)
+		}
+	}
+	return &Extractor{src: src, extractions: extractions}, nil
+}
+
+// InitialLoad produces the full current contents of every base view, for
+// the warehouse's first population. The change log is cleared: subsequent
+// Drain calls describe changes after this point.
+func (x *Extractor) InitialLoad() (map[string][]relation.Tuple, error) {
+	out := make(map[string][]relation.Tuple)
+	for view, e := range x.extractions {
+		rows, err := x.src.Rows(e.Table)
+		if err != nil {
+			return nil, err
+		}
+		var loaded []relation.Tuple
+		for _, r := range rows {
+			shaped, keep, err := e.apply(r)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				loaded = append(loaded, shaped)
+			}
+		}
+		out[view] = loaded
+	}
+	x.src.log = nil
+	return out, nil
+}
+
+// Drain converts the accumulated transaction log into per-base-view deltas
+// and clears the log — one warehouse update batch. Inserts cancel deletes
+// of identical rows within the batch (delta cancellation), matching the
+// paper's model where only net changes arrive at the warehouse.
+func (x *Extractor) Drain() (map[string]*delta.Delta, error) {
+	out := make(map[string]*delta.Delta)
+	for view, e := range x.extractions {
+		d := delta.New(e.ViewSchema)
+		for _, tx := range x.src.log {
+			if tx.Table != e.Table {
+				continue
+			}
+			shaped, keep, err := e.apply(tx.Row)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+			switch tx.Op {
+			case OpInsert:
+				d.Add(shaped, 1)
+			case OpDelete:
+				d.Add(shaped, -1)
+			}
+		}
+		if !d.IsEmpty() {
+			out[view] = d
+		}
+	}
+	x.src.log = nil
+	return out, nil
+}

@@ -1,0 +1,302 @@
+package source
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+var txnSchema = relation.Schema{
+	{Name: "txn_id", Kind: relation.KindInt},
+	{Name: "cust", Kind: relation.KindInt},
+	{Name: "amount", Kind: relation.KindInt},
+	{Name: "status", Kind: relation.KindString},
+}
+
+func txnRow(id, cust, amount int64, status string) relation.Tuple {
+	return relation.Tuple{
+		relation.NewInt(id), relation.NewInt(cust),
+		relation.NewInt(amount), relation.NewString(status),
+	}
+}
+
+func newSource(t *testing.T) *Source {
+	t.Helper()
+	s := New()
+	if err := s.DefineTable("TXN", txnSchema, "txn_id"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefineTableErrors(t *testing.T) {
+	s := newSource(t)
+	if err := s.DefineTable("", txnSchema, "txn_id"); err == nil {
+		t.Errorf("empty name accepted")
+	}
+	if err := s.DefineTable("TXN", txnSchema, "txn_id"); err == nil {
+		t.Errorf("duplicate accepted")
+	}
+	if err := s.DefineTable("X", txnSchema); err == nil {
+		t.Errorf("missing key accepted")
+	}
+	if err := s.DefineTable("X", txnSchema, "nope"); err == nil {
+		t.Errorf("unknown key column accepted")
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "TXN" {
+		t.Errorf("Tables = %v", got)
+	}
+	if _, err := s.Schema("nope"); err == nil {
+		t.Errorf("unknown schema accepted")
+	}
+	if _, err := s.Rows("nope"); err == nil {
+		t.Errorf("unknown rows accepted")
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	s := newSource(t)
+	if err := s.Apply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 10, 100, "ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 99, 1, "dup")}); err == nil {
+		t.Errorf("duplicate key accepted")
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(1, 10, 150, "ok")}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Rows("TXN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][2].Int() != 150 {
+		t.Errorf("rows = %v", rows)
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpDelete, Row: txnRow(1, 0, 0, "")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpDelete, Row: txnRow(1, 0, 0, "")}); err == nil {
+		t.Errorf("delete of missing key accepted")
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(7, 0, 0, "")}); err == nil {
+		t.Errorf("update of missing key accepted")
+	}
+	if err := s.Apply(Tx{Table: "nope", Op: OpInsert, Row: txnRow(1, 0, 0, "")}); err == nil {
+		t.Errorf("unknown table accepted")
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: Op(9), Row: txnRow(2, 0, 0, "")}); err == nil {
+		t.Errorf("unknown op accepted")
+	}
+	if err := s.Apply(Tx{Table: "TXN", Op: OpInsert, Row: relation.Tuple{relation.NewInt(1)}}); err == nil {
+		t.Errorf("short row accepted")
+	}
+	// Update logged as delete+insert (paper's update representation).
+	if s.LogLength() != 4 { // insert, delete+insert (update), delete
+		t.Errorf("log length = %d", s.LogLength())
+	}
+	if OpInsert.String() != "INSERT" || OpDelete.String() != "DELETE" || OpUpdate.String() != "UPDATE" || Op(9).String() != "Op(9)" {
+		t.Errorf("op strings wrong")
+	}
+}
+
+// baseSchema is the cleansed base view: valid transactions only, reshaped.
+var baseSchema = relation.Schema{
+	{Name: "txn_id", Kind: relation.KindInt},
+	{Name: "cust", Kind: relation.KindInt},
+	{Name: "amount", Kind: relation.KindInt},
+}
+
+func extraction() Extraction {
+	return Extraction{
+		Table:      "TXN",
+		Filter:     func(r relation.Tuple) bool { return r[3].Str() == "ok" && r[2].Int() > 0 },
+		Shape:      func(r relation.Tuple) relation.Tuple { return r[:3].Clone() },
+		ViewSchema: baseSchema,
+	}
+}
+
+func TestExtractorInitialLoadAndDrain(t *testing.T) {
+	s := newSource(t)
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 10, 100, "ok")})
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(2, 11, -5, "ok")})   // malformed: filtered
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(3, 12, 30, "void")}) // voided: filtered
+	x, err := NewExtractor(s, map[string]Extraction{"SALES": extraction()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := x.InitialLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded["SALES"]) != 1 || loaded["SALES"][0].String() != "(1, 10, 100)" {
+		t.Fatalf("initial load = %v", loaded["SALES"])
+	}
+	if s.LogLength() != 0 {
+		t.Errorf("log not cleared after initial load")
+	}
+	// Post-load transactions.
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(4, 10, 50, "ok")})
+	s.MustApply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(1, 10, 120, "ok")}) // amount change
+	s.MustApply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(3, 12, 30, "ok")})  // becomes visible
+	s.MustApply(Tx{Table: "TXN", Op: OpDelete, Row: txnRow(2, 0, 0, "")})      // invisible either way
+	deltas, err := x.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltas["SALES"]
+	if d == nil {
+		t.Fatal("no SALES delta")
+	}
+	// +{(4,10,50)}, −(1,10,100)+(1,10,120), +(3,12,30); row 2 never visible.
+	if d.PlusCount() != 3 || d.MinusCount() != 1 {
+		t.Fatalf("delta = %v", d.Sorted())
+	}
+	if s.LogLength() != 0 {
+		t.Errorf("log not cleared after drain")
+	}
+	// Nothing new → empty map.
+	deltas, err = x.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Errorf("expected no deltas, got %v", deltas)
+	}
+}
+
+func TestExtractorErrors(t *testing.T) {
+	s := newSource(t)
+	if _, err := NewExtractor(s, map[string]Extraction{"V": {Table: "nope", ViewSchema: baseSchema}}); err == nil {
+		t.Errorf("unknown table accepted")
+	}
+	if _, err := NewExtractor(s, map[string]Extraction{"V": {Table: "TXN"}}); err == nil {
+		t.Errorf("missing schema accepted")
+	}
+	// Arity mismatch between shape and schema.
+	bad := Extraction{
+		Table:      "TXN",
+		Shape:      func(r relation.Tuple) relation.Tuple { return r[:1] },
+		ViewSchema: baseSchema,
+	}
+	x, err := NewExtractor(s, map[string]Extraction{"V": bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 1, 1, "ok")})
+	if _, err := x.InitialLoad(); err == nil {
+		t.Errorf("arity mismatch accepted at load")
+	}
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(2, 1, 1, "ok")})
+	if _, err := x.Drain(); err == nil {
+		t.Errorf("arity mismatch accepted at drain")
+	}
+}
+
+// TestSourceToWarehouseEndToEnd drives the full pipeline: OLTP transactions
+// → extraction → staged deltas → update strategy → verified warehouse,
+// repeated over several windows with randomized transactions.
+func TestSourceToWarehouseEndToEnd(t *testing.T) {
+	s := newSource(t)
+	x, err := NewExtractor(s, map[string]Extraction{"SALES": extraction()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed data.
+	rng := rand.New(rand.NewSource(5))
+	nextID := int64(1)
+	live := make(map[int64]bool)
+	randomTx := func() {
+		switch rng.Intn(3) {
+		case 0: // insert
+			status := "ok"
+			if rng.Intn(4) == 0 {
+				status = "void"
+			}
+			s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(nextID, rng.Int63n(5), rng.Int63n(50)-5, status)})
+			live[nextID] = true
+			nextID++
+		case 1: // update a live row
+			for id := range live {
+				s.MustApply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(id, rng.Int63n(5), rng.Int63n(50)-5, "ok")})
+				break
+			}
+		case 2: // delete a live row
+			for id := range live {
+				s.MustApply(Tx{Table: "TXN", Op: OpDelete, Row: txnRow(id, 0, 0, "")})
+				delete(live, id)
+				break
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		randomTx()
+	}
+
+	// Warehouse over the extracted base view with a summary on top.
+	w := core.New(core.Options{})
+	if err := w.DefineBase("SALES", baseSchema); err != nil {
+		t.Fatal(err)
+	}
+	b := algebra.NewBuilder().From("s", "SALES", baseSchema)
+	b.GroupByCol("s.cust")
+	b.Agg("total", delta.AggSum, b.Col("s.amount"))
+	def, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDerived("BY_CUST", def); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := x.InitialLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadBase("SALES", loaded["SALES"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	for window := 0; window < 5; window++ {
+		for i := 0; i < 20; i++ {
+			randomTx()
+		}
+		deltas, err := x.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for view, d := range deltas {
+			if err := w.StageDelta(view, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// 1-way window.
+		if _, err := w.Compute("BY_CUST", []string{"SALES"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Install("SALES"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Install("BY_CUST"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.VerifyAll(); err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		// The warehouse base view must equal the extraction of the live
+		// source state.
+		fresh, err := x.InitialLoad()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(fresh["SALES"])) != w.MustView("SALES").Cardinality() {
+			t.Fatalf("window %d: warehouse has %d rows, source extraction %d",
+				window, w.MustView("SALES").Cardinality(), len(fresh["SALES"]))
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// AggTable materializes an aggregate (summary) view: one output row per
+// group, backed by incremental accumulators so that batches of insertions
+// and deletions can be installed without recomputing the view.
+//
+// The output schema is the grouping columns followed by one column per
+// aggregate spec.
+type AggTable struct {
+	groupSchema relation.Schema
+	specs       []delta.AggSpec
+	outSchema   relation.Schema
+	groups      map[string]*groupEntry
+}
+
+type groupEntry struct {
+	support int64
+	accums  []*delta.Accum
+}
+
+// NewAggTable creates an empty aggregate table. aggNames names the aggregate
+// output columns (len must equal len(specs)).
+func NewAggTable(groupSchema relation.Schema, specs []delta.AggSpec, aggNames []string) *AggTable {
+	if len(aggNames) != len(specs) {
+		panic(fmt.Sprintf("storage: %d aggregate names for %d specs", len(aggNames), len(specs)))
+	}
+	out := groupSchema.Clone()
+	for i, s := range specs {
+		out = append(out, relation.Column{Name: aggNames[i], Kind: s.OutputKind()})
+	}
+	return &AggTable{
+		groupSchema: groupSchema.Clone(),
+		specs:       append([]delta.AggSpec(nil), specs...),
+		outSchema:   out,
+		groups:      make(map[string]*groupEntry),
+	}
+}
+
+// Schema returns the output schema (group columns then aggregate columns).
+func (t *AggTable) Schema() relation.Schema { return t.outSchema }
+
+// GroupSchema returns the schema of the grouping columns.
+func (t *AggTable) GroupSchema() relation.Schema { return t.groupSchema }
+
+// Specs returns the aggregate specs.
+func (t *AggTable) Specs() []delta.AggSpec { return t.specs }
+
+// Cardinality returns the number of groups (= output rows).
+func (t *AggTable) Cardinality() int64 { return int64(len(t.groups)) }
+
+// row materializes the output row for a group.
+func (t *AggTable) row(groupKey string, e *groupEntry) relation.Tuple {
+	group, err := relation.DecodeTuple(groupKey)
+	if err != nil {
+		panic(fmt.Sprintf("storage: corrupt group key: %v", err))
+	}
+	out := make(relation.Tuple, 0, len(group)+len(e.accums))
+	out = append(out, group...)
+	for _, a := range e.accums {
+		out = append(out, a.Output(e.support))
+	}
+	return out
+}
+
+// Scan calls fn for each output row; every row has multiplicity 1.
+func (t *AggTable) Scan(fn func(tup relation.Tuple, count int64) bool) {
+	for key, e := range t.groups {
+		if !fn(t.row(key, e), 1) {
+			return
+		}
+	}
+}
+
+// SortedRows returns the output rows sorted lexicographically.
+func (t *AggTable) SortedRows() []CountedTuple {
+	out := make([]CountedTuple, 0, len(t.groups))
+	t.Scan(func(tup relation.Tuple, count int64) bool {
+		out = append(out, CountedTuple{Tuple: tup, Count: count})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return relation.CompareTuples(out[i].Tuple, out[j].Tuple) < 0
+	})
+	return out
+}
+
+// FinalizeDelta computes, without mutating the table, the plus/minus tuple
+// delta over the output schema that installing the partials would produce:
+// for each affected group, a minus tuple for the old row (if the group
+// existed) and a plus tuple for the new row (if the group survives). Groups
+// whose output row is unchanged contribute nothing.
+func (t *AggTable) FinalizeDelta(p *delta.GroupPartials) (*delta.Delta, error) {
+	d := delta.New(t.outSchema)
+	var err error
+	p.Scan(func(groupKey string, gp *delta.GroupPartial) bool {
+		old := t.groups[groupKey]
+		var oldRow relation.Tuple
+		newSupport := gp.Support
+		var newEntry *groupEntry
+		if old != nil {
+			oldRow = t.row(groupKey, old)
+			newSupport += old.support
+		}
+		if newSupport < 0 {
+			err = fmt.Errorf("storage: group %s support would go negative (%d)", groupKey, newSupport)
+			return false
+		}
+		if newSupport > 0 {
+			newEntry = &groupEntry{support: newSupport, accums: make([]*delta.Accum, len(gp.Accums))}
+			for i, a := range gp.Accums {
+				na := a.Clone()
+				if old != nil {
+					na.Fold(old.accums[i])
+				}
+				if !na.Valid() {
+					err = fmt.Errorf("storage: group %s aggregate %d would delete absent value", groupKey, i)
+					return false
+				}
+				newEntry.accums[i] = na
+			}
+		}
+		var newRow relation.Tuple
+		if newEntry != nil {
+			newRow = t.row(groupKey, newEntry)
+		}
+		switch {
+		case oldRow == nil && newRow == nil:
+			// Group neither existed nor survives; nothing changes.
+		case oldRow != nil && newRow != nil && relation.CompareTuples(oldRow, newRow) == 0:
+			// Offsetting changes left the row identical.
+		default:
+			if oldRow != nil {
+				d.Add(oldRow, -1)
+			}
+			if newRow != nil {
+				d.Add(newRow, 1)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Apply installs the partials, mutating the group state. It returns an error
+// (leaving the table partially modified only on programmer error upstream)
+// if any group's support would go negative.
+func (t *AggTable) Apply(p *delta.GroupPartials) error {
+	// Validate first so a bad batch does not leave the table half-applied.
+	var err error
+	p.Scan(func(groupKey string, gp *delta.GroupPartial) bool {
+		var have int64
+		if old := t.groups[groupKey]; old != nil {
+			have = old.support
+		}
+		if have+gp.Support < 0 {
+			err = fmt.Errorf("storage: group %s support would go negative (%d)", groupKey, have+gp.Support)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	p.Scan(func(groupKey string, gp *delta.GroupPartial) bool {
+		old := t.groups[groupKey]
+		if old == nil {
+			if gp.Support == 0 {
+				return true
+			}
+			e := &groupEntry{support: gp.Support, accums: make([]*delta.Accum, len(gp.Accums))}
+			for i, a := range gp.Accums {
+				e.accums[i] = a.Clone()
+			}
+			t.groups[groupKey] = e
+			return true
+		}
+		old.support += gp.Support
+		if old.support == 0 {
+			delete(t.groups, groupKey)
+			return true
+		}
+		for i, a := range gp.Accums {
+			old.accums[i].Fold(a)
+		}
+		return true
+	})
+	return nil
+}
+
+// ScanGroups iterates the raw group state (encoded group key, support
+// count, accumulators) — the representation warehouse snapshots persist.
+// The accumulators must not be mutated.
+func (t *AggTable) ScanGroups(fn func(groupKey string, support int64, accums []*delta.Accum) bool) {
+	for key, e := range t.groups {
+		if !fn(key, e.support, e.accums) {
+			return
+		}
+	}
+}
+
+// RestoreGroup installs raw group state, replacing any existing group with
+// the same key. It is the inverse of ScanGroups, used when loading a
+// snapshot; support must be positive and the accumulator count must match
+// the table's specs.
+func (t *AggTable) RestoreGroup(groupKey string, support int64, accums []*delta.Accum) error {
+	if support <= 0 {
+		return fmt.Errorf("storage: restoring group with non-positive support %d", support)
+	}
+	if len(accums) != len(t.specs) {
+		return fmt.Errorf("storage: restoring group with %d accumulators, want %d", len(accums), len(t.specs))
+	}
+	if _, err := relation.DecodeTuple(groupKey); err != nil {
+		return fmt.Errorf("storage: restoring group with corrupt key: %w", err)
+	}
+	for i, a := range accums {
+		if a.Spec() != t.specs[i] {
+			return fmt.Errorf("storage: restored accumulator %d has spec %+v, want %+v", i, a.Spec(), t.specs[i])
+		}
+		if !a.Valid() {
+			return fmt.Errorf("storage: restored accumulator %d has negative value counts", i)
+		}
+	}
+	e := &groupEntry{support: support, accums: make([]*delta.Accum, len(accums))}
+	for i, a := range accums {
+		e.accums[i] = a.Clone()
+	}
+	t.groups[groupKey] = e
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *AggTable) Clone() *AggTable {
+	out := NewAggTable(t.groupSchema, t.specs, make([]string, len(t.specs)))
+	out.outSchema = t.outSchema.Clone()
+	for k, e := range t.groups {
+		ne := &groupEntry{support: e.support, accums: make([]*delta.Accum, len(e.accums))}
+		for i, a := range e.accums {
+			ne.accums[i] = a.Clone()
+		}
+		out.groups[k] = ne
+	}
+	return out
+}
+
+// AsTable converts the current output rows into a plain counted Table, for
+// comparisons against recomputation in tests.
+func (t *AggTable) AsTable() *Table {
+	out := NewTable(t.outSchema)
+	t.Scan(func(tup relation.Tuple, count int64) bool {
+		out.Insert(tup, count)
+		return true
+	})
+	return out
+}
+
+// Clear removes all groups.
+func (t *AggTable) Clear() { t.groups = make(map[string]*groupEntry) }

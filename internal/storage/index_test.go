@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEnsureIndexAndLookup(t *testing.T) {
+	tbl := NewTable(schema) // (k INTEGER, v VARCHAR)
+	tbl.Insert(row(1, "a"), 2)
+	tbl.Insert(row(1, "b"), 1)
+	tbl.Insert(row(2, "a"), 1)
+	if err := tbl.EnsureIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex([]int{0}) || tbl.HasIndex([]int{1}) || tbl.IndexCount() != 1 {
+		t.Errorf("index bookkeeping wrong")
+	}
+	// Idempotent.
+	if err := tbl.EnsureIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.IndexCount() != 1 {
+		t.Errorf("duplicate index created")
+	}
+	var got int64
+	err := tbl.Lookup([]int{0}, relation.Tuple{relation.NewInt(1)}, func(tup relation.Tuple, c int64) bool {
+		got += c
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 { // (1,a)x2 + (1,b)x1
+		t.Errorf("lookup multiplicity = %d, want 3", got)
+	}
+	// Missing key → no rows, no error.
+	got = 0
+	if err := tbl.Lookup([]int{0}, relation.Tuple{relation.NewInt(9)}, func(relation.Tuple, int64) bool {
+		got++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("missing key returned rows")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	tbl := NewTable(schema)
+	if err := tbl.EnsureIndex([]int{1}); err != nil { // index on v
+		t.Fatal(err)
+	}
+	tbl.Insert(row(1, "x"), 1)
+	tbl.Insert(row(2, "x"), 2)
+	count := func(v string) int64 {
+		var n int64
+		if err := tbl.Lookup([]int{1}, relation.Tuple{relation.NewString(v)}, func(_ relation.Tuple, c int64) bool {
+			n += c
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if count("x") != 3 {
+		t.Fatalf("after inserts: %d", count("x"))
+	}
+	// Partial delete keeps the row indexed.
+	if err := tbl.Delete(row(2, "x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if count("x") != 2 {
+		t.Errorf("after partial delete: %d", count("x"))
+	}
+	// Full delete removes it.
+	if err := tbl.Delete(row(2, "x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if count("x") != 1 {
+		t.Errorf("after full delete: %d", count("x"))
+	}
+	// Clear empties the index but keeps it maintained.
+	tbl.Clear()
+	if count("x") != 0 {
+		t.Errorf("after clear: %d", count("x"))
+	}
+	tbl.Insert(row(5, "x"), 1)
+	if count("x") != 1 {
+		t.Errorf("after reinsert: %d", count("x"))
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	tbl := NewTable(schema)
+	if err := tbl.EnsureIndex(nil); err == nil {
+		t.Errorf("empty column list accepted")
+	}
+	if err := tbl.EnsureIndex([]int{5}); err == nil {
+		t.Errorf("out-of-range column accepted")
+	}
+	if err := tbl.EnsureIndex([]int{0, 0}); err == nil {
+		t.Errorf("duplicate column accepted")
+	}
+	if err := tbl.Lookup([]int{0}, relation.Tuple{relation.NewInt(1)}, nil); err == nil {
+		t.Errorf("lookup without index accepted")
+	}
+}
+
+func TestCompositeIndexCanonicalOrder(t *testing.T) {
+	tbl := NewTable(schema)
+	tbl.Insert(row(1, "a"), 1)
+	// Declare the index with columns out of order; lookup keys follow the
+	// sorted order (k then v).
+	if err := tbl.EnsureIndex([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex([]int{0, 1}) {
+		t.Errorf("canonical order not recognized")
+	}
+	var hits int
+	key := relation.Tuple{relation.NewInt(1), relation.NewString("a")}
+	if err := tbl.Lookup([]int{1, 0}, key, func(relation.Tuple, int64) bool {
+		hits++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Errorf("composite lookup hits = %d", hits)
+	}
+}
+
+func TestCloneDropsIndexes(t *testing.T) {
+	tbl := NewTable(schema)
+	tbl.Insert(row(1, "a"), 1)
+	if err := tbl.EnsureIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	cl := tbl.Clone()
+	if cl.IndexCount() != 0 {
+		t.Errorf("clone inherited indexes")
+	}
+	// The clone can rebuild them on demand.
+	if err := cl.EnsureIndex([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	if err := cl.Lookup([]int{0}, relation.Tuple{relation.NewInt(1)}, func(relation.Tuple, int64) bool {
+		hits++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Errorf("rebuilt index lookup hits = %d", hits)
+	}
+}

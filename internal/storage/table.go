@@ -1,0 +1,225 @@
+// Package storage implements the materialized storage layer of the
+// warehouse: counted bag tables for select-project-join views and base
+// views, and group-state tables for aggregate (summary) views.
+//
+// All storage is multiset (bag) semantics with explicit counts, which is the
+// representation the counting algorithm of Griffin & Libkin [GL95] requires
+// for correct incremental maintenance in the presence of duplicates.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// Table is a bag of tuples with a fixed schema, stored as a map from the
+// tuple encoding to its multiplicity. Multiplicities are always positive;
+// installing a change batch that would drive a count negative is an error
+// (it indicates an incorrect maintenance strategy upstream).
+type Table struct {
+	schema relation.Schema
+	rows   map[string]int64
+	card   int64 // total multiplicity (sum of counts)
+	// indexes holds maintained hash indexes keyed by canonical column list
+	// (see index.go). Clones start without indexes; they are rebuilt on
+	// demand by EnsureIndex.
+	indexes map[string]*hashIndex
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema relation.Schema) *Table {
+	return &Table{schema: schema.Clone(), rows: make(map[string]int64)}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() relation.Schema { return t.schema }
+
+// Cardinality returns the total number of rows, counting duplicates.
+func (t *Table) Cardinality() int64 { return t.card }
+
+// DistinctCount returns the number of distinct rows.
+func (t *Table) DistinctCount() int64 { return int64(len(t.rows)) }
+
+// Insert adds count copies of the tuple. Count must be positive.
+func (t *Table) Insert(tup relation.Tuple, count int64) {
+	if count <= 0 {
+		panic(fmt.Sprintf("storage: Insert with non-positive count %d", count))
+	}
+	key := tup.Encode()
+	existed := t.rows[key] > 0
+	t.rows[key] += count
+	t.card += count
+	t.indexInsert(tup, existed)
+}
+
+// Delete removes count copies of the tuple. It returns an error if fewer
+// than count copies exist.
+func (t *Table) Delete(tup relation.Tuple, count int64) error {
+	if count <= 0 {
+		return fmt.Errorf("storage: Delete with non-positive count %d", count)
+	}
+	key := tup.Encode()
+	have := t.rows[key]
+	if have < count {
+		return fmt.Errorf("storage: delete of %d copies of %v but only %d present", count, tup, have)
+	}
+	if have == count {
+		delete(t.rows, key)
+	} else {
+		t.rows[key] = have - count
+	}
+	t.card -= count
+	t.indexDelete(tup, have > count)
+	return nil
+}
+
+// Count returns the multiplicity of the tuple (0 if absent).
+func (t *Table) Count(tup relation.Tuple) int64 { return t.rows[tup.Encode()] }
+
+// Scan calls fn for each distinct row with its multiplicity. Iteration stops
+// early if fn returns false. Iteration order is unspecified.
+func (t *Table) Scan(fn func(tup relation.Tuple, count int64) bool) {
+	for key, count := range t.rows {
+		tup, err := relation.DecodeTuple(key)
+		if err != nil {
+			panic(fmt.Sprintf("storage: corrupt row encoding: %v", err))
+		}
+		if !fn(tup, count) {
+			return
+		}
+	}
+}
+
+// SortedRows returns all distinct rows with counts, sorted lexicographically.
+// Intended for tests and deterministic output.
+func (t *Table) SortedRows() []CountedTuple {
+	out := make([]CountedTuple, 0, len(t.rows))
+	t.Scan(func(tup relation.Tuple, count int64) bool {
+		out = append(out, CountedTuple{Tuple: tup, Count: count})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return relation.CompareTuples(out[i].Tuple, out[j].Tuple) < 0
+	})
+	return out
+}
+
+// CountedTuple pairs a tuple with a multiplicity.
+type CountedTuple struct {
+	Tuple relation.Tuple
+	Count int64
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := NewTable(t.schema)
+	out.card = t.card
+	for k, v := range t.rows {
+		out.rows[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two tables hold the same bag of rows.
+func (t *Table) Equal(o *Table) bool {
+	if len(t.rows) != len(o.rows) || t.card != o.card {
+		return false
+	}
+	for k, v := range t.rows {
+		if o.rows[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether two tables hold the same bag of rows, with
+// float values compared under relative tolerance tol. Aggregates maintained
+// incrementally accumulate floating-point sums in a different order than a
+// from-scratch recomputation, so verification of views with float aggregates
+// needs tolerant comparison; all other kinds compare exactly.
+func (t *Table) ApproxEqual(o *Table, tol float64) bool {
+	if t.card != o.card || len(t.rows) != len(o.rows) {
+		return false
+	}
+	a, b := t.SortedRows(), o.SortedRows()
+	for i := range a {
+		if a[i].Count != b[i].Count || !approxTupleEqual(a[i].Tuple, b[i].Tuple, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func approxTupleEqual(a, b relation.Tuple, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() == relation.KindFloat && b[i].Kind() == relation.KindFloat {
+			x, y := a[i].Float(), b[i].Float()
+			diff := x - y
+			if diff < 0 {
+				diff = -diff
+			}
+			limit := tol
+			for _, m := range []float64{x, -x, y, -y} {
+				if m*tol > limit {
+					limit = m * tol
+				}
+			}
+			if diff > limit {
+				return false
+			}
+			continue
+		}
+		if !relation.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyDelta installs a change set: plus tuples are inserted, minus tuples
+// deleted. The whole batch is validated before any mutation so an incorrect
+// batch leaves the table untouched.
+func (t *Table) ApplyDelta(d *delta.Delta) error {
+	if !t.schema.Equal(d.Schema()) {
+		return fmt.Errorf("storage: delta schema [%s] does not match table schema [%s]", d.Schema(), t.schema)
+	}
+	var err error
+	d.Scan(func(tup relation.Tuple, count int64) bool {
+		if count < 0 && t.Count(tup) < -count {
+			err = fmt.Errorf("storage: delta deletes %d copies of %v but only %d present", -count, tup, t.Count(tup))
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	d.Scan(func(tup relation.Tuple, count int64) bool {
+		if count > 0 {
+			t.Insert(tup, count)
+		} else {
+			if derr := t.Delete(tup, -count); derr != nil {
+				err = derr
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// Clear removes every row. Maintained indexes are emptied but kept.
+func (t *Table) Clear() {
+	t.rows = make(map[string]int64)
+	t.card = 0
+	for _, ix := range t.indexes {
+		ix.buckets = make(map[string]map[string]struct{})
+	}
+}

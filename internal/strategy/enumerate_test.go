@@ -1,0 +1,186 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/vdag"
+)
+
+// TestCountViewStrategiesTable1 reproduces Table 1 of the paper.
+func TestCountViewStrategiesTable1(t *testing.T) {
+	want := map[int]int64{1: 1, 2: 3, 3: 13, 4: 75, 5: 541, 6: 4683}
+	for n, w := range want {
+		got, err := CountViewStrategies(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("CountViewStrategies(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if got, _ := CountViewStrategies(0); got != 1 {
+		t.Errorf("CountViewStrategies(0) = %d", got)
+	}
+	if _, err := CountViewStrategies(-1); err == nil {
+		t.Errorf("negative n accepted")
+	}
+	if _, err := CountViewStrategies(16); err == nil {
+		t.Errorf("overflowing n accepted")
+	}
+}
+
+func TestOrderedPartitionsMatchesCount(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	for n := 0; n <= len(items); n++ {
+		parts := OrderedPartitions(items[:n])
+		want, _ := CountViewStrategies(n)
+		if n == 0 {
+			want = 1
+		}
+		if int64(len(parts)) != want {
+			t.Errorf("n=%d: %d ordered partitions, want %d", n, len(parts), want)
+		}
+		// Each partition must cover the items exactly once.
+		for _, p := range parts {
+			seen := make(map[string]int)
+			for _, block := range p {
+				if len(block) == 0 {
+					t.Fatalf("empty block in %v", p)
+				}
+				for _, it := range block {
+					seen[it]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("partition %v misses items", p)
+			}
+			for it, c := range seen {
+				if c != 1 {
+					t.Fatalf("item %s appears %d times in %v", it, c, p)
+				}
+			}
+		}
+		// All partitions distinct.
+		uniq := make(map[string]bool)
+		for _, p := range parts {
+			key := ""
+			for _, b := range p {
+				key += "|"
+				for _, it := range b {
+					key += it + ","
+				}
+			}
+			if uniq[key] {
+				t.Fatalf("duplicate partition %v", p)
+			}
+			uniq[key] = true
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	ps := Permutations([]string{"x", "y", "z"})
+	if len(ps) != 6 {
+		t.Fatalf("%d permutations", len(ps))
+	}
+	uniq := make(map[string]bool)
+	for _, p := range ps {
+		uniq[p[0]+p[1]+p[2]] = true
+	}
+	if len(uniq) != 6 {
+		t.Errorf("permutations not distinct: %v", ps)
+	}
+	if got := Permutations(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Permutations(nil) = %v", got)
+	}
+}
+
+func TestEnumerateViewStrategiesAllCorrectAndDistinct(t *testing.T) {
+	children := []string{"A", "B", "C"}
+	ss := EnumerateViewStrategies("V", children)
+	if len(ss) != 13 {
+		t.Fatalf("%d strategies for n=3, want 13", len(ss))
+	}
+	uniq := make(map[string]bool)
+	for _, s := range ss {
+		if err := ValidateViewStrategy("V", children, s); err != nil {
+			t.Errorf("invalid: %s: %v", s, err)
+		}
+		if uniq[s.String()] {
+			t.Errorf("duplicate: %s", s)
+		}
+		uniq[s.String()] = true
+	}
+}
+
+func TestEnumerateOneWayViewStrategies(t *testing.T) {
+	ss := EnumerateOneWayViewStrategies("V", []string{"A", "B", "C"})
+	if len(ss) != 6 {
+		t.Fatalf("%d 1-way strategies, want 6", len(ss))
+	}
+	for _, s := range ss {
+		if !s.IsOneWay() {
+			t.Errorf("not 1-way: %s", s)
+		}
+		if err := ValidateViewStrategy("V", []string{"A", "B", "C"}, s); err != nil {
+			t.Errorf("invalid: %s: %v", s, err)
+		}
+	}
+}
+
+func TestEnumerateVDAGStrategiesSingleView(t *testing.T) {
+	// One derived view over two bases: the VDAG strategy space is exactly
+	// the view strategy space (3 partitions), each with its interleavings.
+	g := vdag.MustBuild(
+		[2]interface{}{"A", nil},
+		[2]interface{}{"B", nil},
+		[2]interface{}{"V", []string{"A", "B"}},
+	)
+	ss := EnumerateVDAGStrategies(g)
+	if len(ss) == 0 {
+		t.Fatal("no strategies")
+	}
+	for _, s := range ss {
+		if err := ValidateVDAGStrategy(g, s); err != nil {
+			t.Errorf("invalid: %s: %v", s, err)
+		}
+	}
+	// The three canonical view strategies must appear among them.
+	want := []Strategy{
+		OneWayView("V", []string{"A", "B"}),
+		OneWayView("V", []string{"B", "A"}),
+		DualStageView("V", []string{"A", "B"}),
+	}
+	for _, w := range want {
+		found := false
+		for _, s := range ss {
+			if s.String() == w.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing canonical strategy %s", w)
+		}
+	}
+}
+
+func TestEnumerateVDAGStrategiesFig3AllCorrect(t *testing.T) {
+	g := vdag.MustBuild(
+		[2]interface{}{"V1", nil},
+		[2]interface{}{"V2", nil},
+		[2]interface{}{"V3", nil},
+		[2]interface{}{"V4", []string{"V2", "V3"}},
+		[2]interface{}{"V5", []string{"V4", "V1"}},
+	)
+	ss := EnumerateVDAGStrategies(g)
+	if len(ss) == 0 {
+		t.Fatal("no strategies enumerated")
+	}
+	for _, s := range ss {
+		if err := ValidateVDAGStrategy(g, s); err != nil {
+			t.Fatalf("invalid: %s: %v", s, err)
+		}
+	}
+	t.Logf("fig3 VDAG has %d enumerated correct strategies", len(ss))
+}

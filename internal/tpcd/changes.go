@@ -1,0 +1,97 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/delta"
+)
+
+// ChangeSpec describes the change batch to stage on the base views, as
+// fractions of each view's current size.
+type ChangeSpec struct {
+	// DeleteFrac[view] is the fraction of existing rows to delete.
+	DeleteFrac map[string]float64
+	// InsertFrac[view] is the fraction (of current size) of fresh rows to
+	// insert.
+	InsertFrac map[string]float64
+	// Seed drives row selection; change batches are deterministic.
+	Seed int64
+}
+
+// UniformDecrease returns the paper's default workload: CUSTOMER, ORDER,
+// LINEITEM, SUPPLIER and NATION each decreased in size by fraction p;
+// REGION (the smallest view) left unchanged.
+func UniformDecrease(p float64) ChangeSpec {
+	return ChangeSpec{
+		DeleteFrac: map[string]float64{
+			Customer: p, Order: p, LineItem: p, Supplier: p, Nation: p,
+		},
+		Seed: 1,
+	}
+}
+
+// COLDecrease returns Experiment 3's workload: only CUSTOMER, ORDER and
+// LINEITEM decreased by fraction p.
+func COLDecrease(p float64) ChangeSpec {
+	return ChangeSpec{
+		DeleteFrac: map[string]float64{Customer: p, Order: p, LineItem: p},
+		Seed:       1,
+	}
+}
+
+// Mixed returns a workload with both deletions and insertions on the fact
+// and dimension tables.
+func Mixed(deleteP, insertP float64) ChangeSpec {
+	return ChangeSpec{
+		DeleteFrac: map[string]float64{Customer: deleteP, Order: deleteP, LineItem: deleteP, Supplier: deleteP},
+		InsertFrac: map[string]float64{Customer: insertP, Order: insertP, LineItem: insertP, Supplier: insertP},
+		Seed:       1,
+	}
+}
+
+// StageChanges generates and stages a change batch per spec. It returns the
+// per-view staged delta sizes. The warehouse state itself is not modified
+// (changes are only staged; an update strategy must propagate and install
+// them).
+func (t *Warehouse) StageChanges(spec ChangeSpec) (map[string]int64, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sizes := make(map[string]int64)
+	for _, view := range BaseViews {
+		df := spec.DeleteFrac[view]
+		inf := spec.InsertFrac[view]
+		if df < 0 || df > 1 || inf < 0 {
+			return nil, fmt.Errorf("tpcd: bad change fractions for %s: delete %v insert %v", view, df, inf)
+		}
+		if df == 0 && inf == 0 {
+			continue
+		}
+		v := t.W.MustView(view)
+		d := delta.New(v.Schema())
+		if df > 0 {
+			// Delete a deterministic sample of distinct existing rows.
+			rows := v.SortedRows()
+			target := int64(float64(v.Cardinality()) * df)
+			perm := rng.Perm(len(rows))
+			var deleted int64
+			for _, idx := range perm {
+				if deleted >= target {
+					break
+				}
+				d.Add(rows[idx].Tuple, -rows[idx].Count)
+				deleted += rows[idx].Count
+			}
+		}
+		if inf > 0 {
+			n := int(float64(v.Cardinality()) * inf)
+			for i := 0; i < n; i++ {
+				d.Add(t.gen.freshRow(view), 1)
+			}
+		}
+		if err := t.W.StageDelta(view, d); err != nil {
+			return nil, err
+		}
+		sizes[view] = d.Size()
+	}
+	return sizes, nil
+}

@@ -1,0 +1,92 @@
+package tpcd
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/planner"
+)
+
+// TestMultiWindow drives several consecutive update windows over the same
+// TPC-D warehouse with alternating change mixes, verifying state after each
+// — the steady-state operation the paper's periodic-update model assumes.
+func TestMultiWindow(t *testing.T) {
+	tw, err := NewWarehouse(Config{SF: 0.001, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []ChangeSpec{
+		UniformDecrease(0.05),
+		Mixed(0.03, 0.08), // net growth
+		COLDecrease(0.04),
+		Mixed(0.06, 0.02), // net shrink
+	}
+	for i, spec := range specs {
+		spec.Seed = int64(100 + i)
+		if _, err := tw.StageChanges(spec); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		stats, err := exec.PlanningStats(tw.W)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := planner.MinWork(tw.Graph, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Execute(tw.W, res.Strategy, exec.Options{Validate: true}); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if err := tw.W.VerifyAll(); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if pv := tw.W.PendingViews(); len(pv) != 0 {
+			t.Fatalf("window %d left pending: %v", i, pv)
+		}
+	}
+	// Sizes evolved across windows but stayed positive.
+	for _, v := range BaseViews {
+		if tw.W.MustView(v).Cardinality() <= 0 && v != Region {
+			t.Errorf("%s emptied out", v)
+		}
+	}
+}
+
+// TestScaleSF01 runs a full update window at SF 0.01 (~75k LINEITEM rows
+// after capping) — an order of magnitude above the unit tests — to check
+// the engine, planner and verifier at scale. Skipped with -short.
+func TestScaleSF01(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	tw, err := NewWarehouse(Config{SF: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := tw.W.MustView(LineItem).Cardinality()
+	if li < 50_000 {
+		t.Fatalf("|LINEITEM| = %d, expected ≥50k at SF 0.01", li)
+	}
+	if _, err := tw.StageChanges(Mixed(0.05, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := exec.PlanningStats(tw.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := planner.MinWork(tw.Graph, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := exec.Execute(tw.W, res.Strategy, exec.Options{Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalWork() == 0 {
+		t.Fatal("no work measured")
+	}
+	if err := tw.W.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SF 0.01 window: %s", rep)
+}

@@ -1,0 +1,95 @@
+// Package tpcd provides the TPC-D warehouse of the paper's experiments
+// (Figure 4): the six base views REGION, NATION, SUPPLIER, CUSTOMER, ORDER
+// and LINEITEM populated with deterministic synthetic data at a
+// configurable scale factor, the derived summary views Q3 ("Shipping
+// Priority"), Q5 ("Local Supplier Volume") and Q10 ("Returned Item
+// Reporting"), and a change generator for the update batches the
+// experiments stage (e.g. "each base view decreased in size by 10%").
+//
+// The paper populated SQL Server with dbgen data; this generator follows
+// the TPC-D schema and relative table sizes (5 regions, 25 nations, and
+// SF·{10k suppliers, 150k customers, 150k orders·10, ~4 lineitems/order})
+// with simplified value distributions — the experiments depend on table
+// size ratios and join selectivities, not on the exact dbgen text fields.
+package tpcd
+
+import (
+	"repro/internal/relation"
+)
+
+// View names, matching Figure 4 of the paper.
+const (
+	Region   = "REGION"
+	Nation   = "NATION"
+	Supplier = "SUPPLIER"
+	Customer = "CUSTOMER"
+	Order    = "ORDER"
+	LineItem = "LINEITEM"
+	Q3       = "Q3"
+	Q5       = "Q5"
+	Q10      = "Q10"
+)
+
+// BaseViews lists the base views in definition order.
+var BaseViews = []string{Region, Nation, Supplier, Customer, Order, LineItem}
+
+// DerivedViews lists the summary views.
+var DerivedViews = []string{Q3, Q5, Q10}
+
+// Schemas returns the base-view schemas.
+func Schemas() map[string]relation.Schema {
+	return map[string]relation.Schema{
+		Region: {
+			{Name: "R_REGIONKEY", Kind: relation.KindInt},
+			{Name: "R_NAME", Kind: relation.KindString},
+		},
+		Nation: {
+			{Name: "N_NATIONKEY", Kind: relation.KindInt},
+			{Name: "N_NAME", Kind: relation.KindString},
+			{Name: "N_REGIONKEY", Kind: relation.KindInt},
+		},
+		Supplier: {
+			{Name: "S_SUPPKEY", Kind: relation.KindInt},
+			{Name: "S_NAME", Kind: relation.KindString},
+			{Name: "S_NATIONKEY", Kind: relation.KindInt},
+			{Name: "S_ACCTBAL", Kind: relation.KindFloat},
+		},
+		Customer: {
+			{Name: "C_CUSTKEY", Kind: relation.KindInt},
+			{Name: "C_NAME", Kind: relation.KindString},
+			{Name: "C_NATIONKEY", Kind: relation.KindInt},
+			{Name: "C_MKTSEGMENT", Kind: relation.KindString},
+			{Name: "C_ACCTBAL", Kind: relation.KindFloat},
+		},
+		Order: {
+			{Name: "O_ORDERKEY", Kind: relation.KindInt},
+			{Name: "O_CUSTKEY", Kind: relation.KindInt},
+			{Name: "O_ORDERDATE", Kind: relation.KindDate},
+			{Name: "O_SHIPPRIORITY", Kind: relation.KindInt},
+			{Name: "O_TOTALPRICE", Kind: relation.KindFloat},
+		},
+		LineItem: {
+			{Name: "L_ORDERKEY", Kind: relation.KindInt},
+			{Name: "L_LINENUMBER", Kind: relation.KindInt},
+			{Name: "L_SUPPKEY", Kind: relation.KindInt},
+			{Name: "L_EXTENDEDPRICE", Kind: relation.KindFloat},
+			{Name: "L_DISCOUNT", Kind: relation.KindFloat},
+			{Name: "L_RETURNFLAG", Kind: relation.KindString},
+			{Name: "L_SHIPDATE", Kind: relation.KindDate},
+		},
+	}
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+	"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+	"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+	"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var returnFlags = []string{"R", "A", "N"}

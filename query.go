@@ -1,0 +1,64 @@
+package warehouse
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/sqlparse"
+)
+
+// Query runs an ad-hoc OLAP query against the warehouse's current state:
+// the same SELECT-FROM-WHERE-GROUPBY class as view definitions, plus
+// presentation clauses ORDER BY <output column> [ASC|DESC] and LIMIT n.
+// Duplicates (for non-aggregate queries over bag data) are expanded in the
+// result, SQL-style.
+//
+// Queries read whatever state the views are in, so they remain answerable
+// during an update window; a strategy's installs decide when each view's
+// new state becomes visible.
+func (w *Warehouse) Query(sql string) ([]Tuple, error) {
+	q, err := sqlparse.ParseQuery(sql, w.resolveSchema)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := w.core.Evaluate(q.CQ)
+	if err != nil {
+		return nil, err
+	}
+	rows := tbl.SortedRows()
+	var out []Tuple
+	for _, r := range rows {
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, r.Tuple)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				c := relation.Compare(out[i][k.Column], out[j][k.Column])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// QuerySchema returns the output schema an ad-hoc query would produce,
+// without evaluating it.
+func (w *Warehouse) QuerySchema(sql string) (Schema, error) {
+	q, err := sqlparse.ParseQuery(sql, w.resolveSchema)
+	if err != nil {
+		return nil, err
+	}
+	return q.CQ.OutputSchema(), nil
+}

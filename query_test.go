@@ -1,0 +1,171 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryBasics(t *testing.T) {
+	w := newRetail(t)
+	rows, err := w.Query(`SELECT region, total FROM REGION_TOTALS ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "west" || rows[1][0].Str() != "east" {
+		t.Errorf("order wrong: %v", rows)
+	}
+}
+
+func TestQueryJoinFilterLimit(t *testing.T) {
+	w := newRetail(t)
+	rows, err := w.Query(`
+		SELECT s.sale_id, st.region
+		FROM SALES s, STORES st
+		WHERE s.store_id = st.store_id AND s.amount >= 10.0
+		ORDER BY sale_id LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 100 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestQueryAdHocAggregate(t *testing.T) {
+	w := newRetail(t)
+	rows, err := w.Query(`
+		SELECT st.region, COUNT(*) AS n, MAX(s.amount) AS biggest
+		FROM SALES s, STORES st
+		WHERE s.store_id = st.store_id
+		GROUP BY st.region
+		ORDER BY biggest DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "west" || rows[0][2].Float() != 20 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestQueryDuringUpdateWindow(t *testing.T) {
+	w := newRetail(t)
+	stageSale(t, w)
+	plan, err := w.PlanMinWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute only a prefix of the strategy (propagation of SALES into the
+	// join view plus the install of SALES); summaries are not yet updated.
+	prefix := plan.Strategy[:2]
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	for _, e := range prefix {
+		switch x := e.(type) {
+		case Comp:
+			if _, err := w.Internal().Compute(x.View, x.Over); err != nil {
+				t.Fatal(err)
+			}
+		case Inst:
+			if _, err := w.Internal().Install(x.View); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Mid-window OLAP queries still answer from current (mixed) state.
+	rows, err := w.Query(`SELECT region, total FROM REGION_TOTALS ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("mid-window query failed: %v", rows)
+	}
+}
+
+func TestQueryDuplicatesExpanded(t *testing.T) {
+	w := New()
+	w.MustDefineBase("B", Schema{{Name: "x", Kind: KindInt}})
+	if err := w.Load("B", []Tuple{{Int(1)}, {Int(1)}, {Int(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := w.Query("SELECT x FROM B ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0].Int() != 1 || rows[1][0].Int() != 1 || rows[2][0].Int() != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+	// DISTINCT collapses them.
+	rows, err = w.Query("SELECT DISTINCT x FROM B ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("distinct rows = %v", rows)
+	}
+	// LIMIT 0 is allowed.
+	rows, err = w.Query("SELECT x FROM B LIMIT 0")
+	if err != nil || len(rows) != 0 {
+		t.Errorf("LIMIT 0: %v, %v", rows, err)
+	}
+}
+
+func TestQuerySchemaAndErrors(t *testing.T) {
+	w := newRetail(t)
+	s, err := w.QuerySchema("SELECT region, total FROM REGION_TOTALS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "region VARCHAR, total FLOAT" {
+		t.Errorf("schema = %s", s)
+	}
+	bad := []string{
+		"SELECT nope FROM REGION_TOTALS",
+		"SELECT region FROM REGION_TOTALS ORDER BY nope",
+		"SELECT region FROM REGION_TOTALS ORDER region",
+		"SELECT region FROM REGION_TOTALS LIMIT x",
+		"SELECT region FROM REGION_TOTALS LIMIT",
+		"SELECT region FROM REGION_TOTALS x y",
+	}
+	for _, sql := range bad {
+		if _, err := w.Query(sql); err == nil {
+			t.Errorf("accepted %q", sql)
+		}
+		if _, err := w.QuerySchema(sql); err == nil {
+			t.Errorf("QuerySchema accepted %q", sql)
+		}
+	}
+}
+
+func TestQueryOrderByMultipleKeys(t *testing.T) {
+	w := New()
+	w.MustDefineBase("B", Schema{{Name: "a", Kind: KindInt}, {Name: "b", Kind: KindInt}})
+	if err := w.Load("B", []Tuple{
+		{Int(1), Int(9)}, {Int(1), Int(3)}, {Int(2), Int(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := w.Query("SELECT a, b FROM B ORDER BY a ASC, b DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(1, 9)(1, 3)(2, 5)"
+	got := ""
+	for _, r := range rows {
+		got += r.String()
+	}
+	if got != want {
+		t.Errorf("order = %s, want %s", got, want)
+	}
+	if !strings.Contains(got, "(1, 9)") {
+		t.Errorf("missing row")
+	}
+}

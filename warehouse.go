@@ -1,0 +1,508 @@
+// Package warehouse is the public API of the warehouse-update library, a
+// reproduction of Labio, Yerneni & Garcia-Molina, "Shrinking the Warehouse
+// Update Window" (SIGMOD 1999).
+//
+// A Warehouse holds materialized views: base views loaded from (simulated)
+// sources and derived views defined over them with SQL. When source changes
+// arrive they are staged as deltas; an update strategy — a sequence of
+// Comp (change propagation) and Inst (change installation) expressions —
+// then brings every view up to date. The library implements the paper's
+// strategy framework and its three planners:
+//
+//   - PlanMinWorkSingle: the optimal strategy for a single view (O(n log n)).
+//   - PlanMinWork: expression-graph planning for the whole VDAG, optimal
+//     for tree- and uniform-shaped warehouses.
+//   - PlanPrune: exhaustive-but-pruned search returning the cheapest 1-way
+//     VDAG strategy.
+//
+// Basic use:
+//
+//	w := warehouse.New()
+//	w.MustDefineBase("SALES", warehouse.Schema{...})
+//	w.MustDefineViewSQL("BYREGION", `SELECT region, SUM(amount) AS total
+//	                                 FROM SALES GROUP BY region`)
+//	w.Load("SALES", rows)
+//	w.Refresh()
+//	// … changes arrive …
+//	w.StageDelta("SALES", d)
+//	plan, _ := w.PlanMinWork()
+//	report, _ := w.Execute(plan.Strategy)
+package warehouse
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/csvio"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/parallel"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/snapshot"
+	"repro/internal/sqlparse"
+	"repro/internal/strategy"
+	"repro/internal/vdag"
+)
+
+// Re-exported data types. The aliases make the full vocabulary of the
+// library available through this single package.
+type (
+	// Value is a typed scalar (integer, float, string, date, bool, NULL).
+	Value = relation.Value
+	// Tuple is a row of values.
+	Tuple = relation.Tuple
+	// Column is a named, typed schema column.
+	Column = relation.Column
+	// Schema is an ordered list of columns.
+	Schema = relation.Schema
+	// Kind is a scalar type tag.
+	Kind = relation.Kind
+	// Delta is a set of inserted (plus) and deleted (minus) tuples.
+	Delta = delta.Delta
+
+	// Expr is a strategy expression: Comp or Inst.
+	Expr = strategy.Expr
+	// Comp is Comp(View, Over): propagate the changes of Over into View.
+	Comp = strategy.Comp
+	// Inst is Inst(View): install View's pending changes.
+	Inst = strategy.Inst
+	// Strategy is a sequence of Comp and Inst expressions.
+	Strategy = strategy.Strategy
+
+	// Graph is the warehouse's view DAG.
+	Graph = vdag.Graph
+	// Stats carries per-view sizes and delta compositions for planning.
+	Stats = cost.Stats
+	// ViewStat is one view's statistics.
+	ViewStat = cost.ViewStat
+	// CostModel carries the linear work metric's proportionality constants.
+	CostModel = cost.Model
+
+	// Report is the measured outcome of executing a strategy.
+	Report = exec.Report
+	// StepReport is the measured outcome of one expression.
+	StepReport = exec.StepReport
+
+	// ParallelPlan is a staged strategy (Section 9): expression sets that
+	// execute concurrently.
+	ParallelPlan = parallel.Plan
+	// ParallelReport is the measured outcome of a parallel execution.
+	ParallelReport = parallel.Report
+
+	// ViewDef is a bound view definition (use DefineViewSQL or the algebra
+	// builder to construct one).
+	ViewDef = algebra.CQ
+)
+
+// Scalar type tags.
+const (
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+	KindDate   = relation.KindDate
+	KindBool   = relation.KindBool
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = relation.NewInt
+	// Float builds a float value.
+	Float = relation.NewFloat
+	// String builds a string value.
+	String = relation.NewString
+	// Date parses a YYYY-MM-DD date, panicking on malformed input.
+	Date = relation.MustDate
+	// Null is the SQL NULL value.
+	Null = relation.Null
+)
+
+// DefaultCostModel weights compute-scanned and installed tuples equally.
+var DefaultCostModel = cost.DefaultModel
+
+// Options configure a Warehouse.
+type Options struct {
+	// SkipEmptyDeltas elides compute expressions whose delta operands are
+	// all empty (the paper's footnote-5 extension).
+	SkipEmptyDeltas bool
+	// UseIndexes makes term evaluation probe maintained hash indexes on
+	// state operands instead of scanning them (a storage-representation
+	// optimization; measured work then counts probes, not scans).
+	UseIndexes bool
+	// Model overrides the cost model used by the planners; zero value means
+	// DefaultCostModel.
+	Model CostModel
+}
+
+// Warehouse is a catalog of materialized views plus their state.
+type Warehouse struct {
+	core    *core.Warehouse
+	model   CostModel
+	history []WindowReport
+}
+
+// New creates an empty warehouse.
+func New(opts ...Options) *Warehouse {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	model := o.Model
+	if model.CompCoeff == 0 && model.InstCoeff == 0 {
+		model = DefaultCostModel
+	}
+	return &Warehouse{
+		core:  core.New(core.Options{SkipEmptyDeltas: o.SkipEmptyDeltas, UseIndexes: o.UseIndexes}),
+		model: model,
+	}
+}
+
+// DefineBase registers a base view (data loaded from sources).
+func (w *Warehouse) DefineBase(name string, schema Schema) error {
+	return w.core.DefineBase(name, schema)
+}
+
+// MustDefineBase is DefineBase panicking on error, for static schemas.
+func (w *Warehouse) MustDefineBase(name string, schema Schema) {
+	if err := w.DefineBase(name, schema); err != nil {
+		panic(err)
+	}
+}
+
+// DefineViewSQL registers a derived view from a SQL SELECT statement over
+// previously defined views.
+func (w *Warehouse) DefineViewSQL(name, sql string) error {
+	cq, err := sqlparse.Parse(sql, w.resolveSchema)
+	if err != nil {
+		return err
+	}
+	return w.core.DefineDerived(name, cq)
+}
+
+// MustDefineViewSQL is DefineViewSQL panicking on error.
+func (w *Warehouse) MustDefineViewSQL(name, sql string) {
+	if err := w.DefineViewSQL(name, sql); err != nil {
+		panic(err)
+	}
+}
+
+// DefineViewSQLStatement registers a view from a full
+// "CREATE VIEW name AS SELECT …" statement.
+func (w *Warehouse) DefineViewSQLStatement(sql string) (string, error) {
+	name, cq, err := sqlparse.ParseCreateView(sql, w.resolveSchema)
+	if err != nil {
+		return "", err
+	}
+	return name, w.core.DefineDerived(name, cq)
+}
+
+// DefineView registers a derived view from a pre-built definition (see the
+// algebra builder re-exported by this package's tpcd helpers, or
+// DefineViewSQL for the SQL path).
+func (w *Warehouse) DefineView(name string, def *ViewDef) error {
+	return w.core.DefineDerived(name, def)
+}
+
+func (w *Warehouse) resolveSchema(view string) (Schema, error) {
+	v := w.core.View(view)
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: unknown view %q", view)
+	}
+	return v.Schema(), nil
+}
+
+// Load bulk-inserts rows into a base view.
+func (w *Warehouse) Load(name string, rows []Tuple) error {
+	return w.core.LoadBase(name, rows)
+}
+
+// Refresh materializes every derived view from the current base data. Call
+// once after the initial Load; afterwards, update strategies keep views
+// current incrementally.
+func (w *Warehouse) Refresh() error { return w.core.RefreshAll() }
+
+// LoadCSV bulk-inserts rows from CSV (header required; columns may appear
+// in any order; empty fields are NULL; dates are YYYY-MM-DD).
+func (w *Warehouse) LoadCSV(name string, r io.Reader) (int, error) {
+	schema, err := w.resolveSchema(name)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := csvio.ReadRows(r, schema)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), w.core.LoadBase(name, rows)
+}
+
+// StageDeltaCSV stages a change batch from CSV. A trailing signed __count
+// column gives each row's multiplicity (+insert, −delete); without it every
+// row is one insertion.
+func (w *Warehouse) StageDeltaCSV(name string, r io.Reader) (*Delta, error) {
+	schema, err := w.resolveSchema(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := csvio.ReadDelta(r, schema)
+	if err != nil {
+		return nil, err
+	}
+	return d, w.core.StageDelta(name, d)
+}
+
+// DumpCSV writes a view's current rows (duplicates expanded) as CSV.
+func (w *Warehouse) DumpCSV(name string, out io.Writer) error {
+	v := w.core.View(name)
+	if v == nil {
+		return fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	return csvio.WriteRows(out, v.Schema(), v)
+}
+
+// NewDelta creates an empty change batch for the named view's schema.
+func (w *Warehouse) NewDelta(name string) (*Delta, error) {
+	v := w.core.View(name)
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	return delta.New(v.Schema()), nil
+}
+
+// StageDelta records an arriving change batch for a base view.
+func (w *Warehouse) StageDelta(name string, d *Delta) error {
+	return w.core.StageDelta(name, d)
+}
+
+// Views returns all view names in definition order.
+func (w *Warehouse) Views() []string { return w.core.ViewNames() }
+
+// ViewSchema returns a view's output schema.
+func (w *Warehouse) ViewSchema(name string) (Schema, error) { return w.resolveSchema(name) }
+
+// Size returns |V|: the view's current row count.
+func (w *Warehouse) Size(name string) (int64, error) {
+	v := w.core.View(name)
+	if v == nil {
+		return 0, fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	return v.Cardinality(), nil
+}
+
+// Rows returns a view's current rows (with multiplicities) in sorted order.
+func (w *Warehouse) Rows(name string) ([]CountedRow, error) {
+	v := w.core.View(name)
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	var out []CountedRow
+	for _, r := range v.SortedRows() {
+		out = append(out, CountedRow{Tuple: r.Tuple, Count: r.Count})
+	}
+	return out, nil
+}
+
+// CountedRow pairs a tuple with its multiplicity.
+type CountedRow struct {
+	Tuple Tuple
+	Count int64
+}
+
+// Graph returns the warehouse's view DAG.
+func (w *Warehouse) Graph() (*Graph, error) { return exec.Graph(w.core) }
+
+// PlanningStats gathers the statistics the planners need: exact base-view
+// deltas, estimated derived deltas (Section 5.5).
+func (w *Warehouse) PlanningStats() (Stats, error) { return exec.PlanningStats(w.core) }
+
+// Plan is a planned strategy with its provenance.
+type Plan struct {
+	Strategy Strategy
+	// Ordering is the view ordering behind the strategy (MinWork/Prune).
+	Ordering []string
+	// Modified reports MinWork fell back to the level-respecting ordering.
+	Modified bool
+	// EstimatedWork is the linear-metric prediction (Prune only; -1 when
+	// not computed).
+	EstimatedWork float64
+}
+
+// PlanMinWork plans an update for the whole warehouse with the MinWork
+// algorithm (optimal for tree and uniform VDAGs).
+func (w *Warehouse) PlanMinWork() (Plan, error) {
+	g, stats, err := w.planningInputs()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := planner.MinWork(g, stats)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Strategy: res.Strategy, Ordering: res.UsedOrdering, Modified: res.Modified, EstimatedWork: -1}, nil
+}
+
+// PlanPrune plans an update with the Prune search (cheapest 1-way VDAG
+// strategy; factorial in the number of views that other views are defined
+// over).
+func (w *Warehouse) PlanPrune() (Plan, error) {
+	g, stats, err := w.planningInputs()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := planner.Prune(g, w.model, stats, exec.RefCounts(w.core))
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Strategy: res.Strategy, Ordering: res.Ordering, EstimatedWork: res.Work}, nil
+}
+
+// PlanDualStage plans the conventional propagate-then-install strategy the
+// paper compares against ([CGL+96]).
+func (w *Warehouse) PlanDualStage() (Plan, error) {
+	g, err := w.planningGraph()
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Strategy: strategy.DualStageVDAG(g), EstimatedWork: -1}, nil
+}
+
+// PlanMinWorkSingle plans an optimal update strategy for one derived view
+// (Algorithm 4.1). The warehouse must consist of that view and its base
+// views for the strategy to cover every pending change.
+func (w *Warehouse) PlanMinWorkSingle(view string) (Plan, error) {
+	stats, err := w.PlanningStats()
+	if err != nil {
+		return Plan{}, err
+	}
+	children := w.core.Children(view)
+	if len(children) == 0 {
+		return Plan{}, fmt.Errorf("warehouse: %q is not a derived view", view)
+	}
+	s, err := planner.MinWorkSingle(view, children, stats)
+	if err != nil {
+		return Plan{}, err
+	}
+	ord, err := planner.DesiredOrdering(children, stats)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Strategy: s, Ordering: ord, EstimatedWork: -1}, nil
+}
+
+func (w *Warehouse) planningInputs() (*vdag.Graph, cost.Stats, error) {
+	g, err := w.planningGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := w.PlanningStats()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, stats, nil
+}
+
+// planningGraph is the VDAG with deferred-maintenance views (and their
+// dependents) removed: update strategies never touch them; they go stale
+// instead and are brought current by RefreshStale.
+func (w *Warehouse) planningGraph() (*vdag.Graph, error) {
+	g, err := w.Graph()
+	if err != nil {
+		return nil, err
+	}
+	deferred := w.core.EffectivelyDeferred()
+	if len(deferred) == 0 {
+		return g, nil
+	}
+	return g.WithoutViews(deferred)
+}
+
+// SetDeferred switches a derived view between immediate maintenance (the
+// default: every update window brings it current) and deferred maintenance
+// (update windows skip it — and necessarily everything defined over it —
+// marking it stale; RefreshStale recomputes it on demand). Deferring large,
+// rarely queried summaries is one of the update-window-shrinking levers the
+// paper's related work ([CKL+97]) describes as complementary.
+func (w *Warehouse) SetDeferred(name string, deferred bool) error {
+	return w.core.SetDeferred(name, deferred)
+}
+
+// StaleViews lists views skipped by past update windows and not yet
+// refreshed, in dependency order.
+func (w *Warehouse) StaleViews() []string { return w.core.StaleViews() }
+
+// RefreshStale recomputes every stale view bottom-up from current data.
+func (w *Warehouse) RefreshStale() error { return w.core.RefreshStale() }
+
+// EstimateWork predicts a strategy's cost under the linear work metric with
+// the current planning statistics.
+func (w *Warehouse) EstimateWork(s Strategy) (float64, error) {
+	stats, err := w.PlanningStats()
+	if err != nil {
+		return 0, err
+	}
+	return cost.Work(w.model, stats, exec.RefCounts(w.core), s)
+}
+
+// Validate checks a strategy against the correctness conditions (C1–C8).
+func (w *Warehouse) Validate(s Strategy) error {
+	g, err := w.Graph()
+	if err != nil {
+		return err
+	}
+	return strategy.ValidateVDAGStrategy(g, s)
+}
+
+// Execute runs a strategy, mutating the warehouse, and returns the measured
+// update-window report. The strategy is validated first.
+func (w *Warehouse) Execute(s Strategy) (Report, error) {
+	return exec.Execute(w.core, s, exec.Options{Validate: true})
+}
+
+// Parallelize stages a correct sequential strategy into sets of
+// expressions that can run concurrently (Section 9).
+func (w *Warehouse) Parallelize(s Strategy) ParallelPlan {
+	return parallel.Parallelize(s, w.core.Children)
+}
+
+// ExecuteParallel runs a staged plan with one goroutine per expression per
+// stage.
+func (w *Warehouse) ExecuteParallel(p ParallelPlan) (ParallelReport, error) {
+	return parallel.Execute(w.core, p)
+}
+
+// Verify checks every derived view against a from-scratch recomputation.
+func (w *Warehouse) Verify() error { return w.core.VerifyAll() }
+
+// Clone returns a deep copy; executing a strategy on the clone leaves the
+// original untouched. Window history is copied too.
+func (w *Warehouse) Clone() *Warehouse {
+	return &Warehouse{
+		core:    w.core.Clone(),
+		model:   w.model,
+		history: append([]WindowReport(nil), w.history...),
+	}
+}
+
+// Pending returns the views with staged or computed-but-uninstalled changes.
+func (w *Warehouse) Pending() []string { return w.core.PendingViews() }
+
+// Internal returns the underlying core warehouse for advanced (in-module)
+// use such as the experiment harness.
+func (w *Warehouse) Internal() *core.Warehouse { return w.core }
+
+// SaveSnapshot writes the materialized state of every view to out in the
+// library's versioned binary format. The warehouse must be quiescent (no
+// staged or uninstalled changes).
+func (w *Warehouse) SaveSnapshot(out io.Writer) error { return snapshot.Write(w.core, out) }
+
+// LoadSnapshot restores state saved by SaveSnapshot into this warehouse,
+// whose catalog must match the snapshot's. Existing state is replaced.
+func (w *Warehouse) LoadSnapshot(in io.Reader) error { return snapshot.Read(w.core, in) }
+
+// Script renders a strategy as the Section 5.5 "update script": one stored
+// procedure call per expression, against procedures compiled once from the
+// VDAG (see exec.Prepare).
+func (w *Warehouse) Script(s Strategy) string { return exec.Script(s) }

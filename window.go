@@ -1,0 +1,98 @@
+package warehouse
+
+import (
+	"fmt"
+	"time"
+)
+
+// PlannerName selects the planning algorithm for RunWindow.
+type PlannerName string
+
+// Available planners.
+const (
+	// MinWorkPlanner is Algorithm 5.1 — the default: fast, optimal on tree
+	// and uniform VDAGs.
+	MinWorkPlanner PlannerName = "minwork"
+	// PrunePlanner is Algorithm 6.1 — exhaustive over view orderings
+	// (factorial in the number of views with parents); optimal over 1-way
+	// strategies on any VDAG.
+	PrunePlanner PlannerName = "prune"
+	// DualStagePlanner is the conventional propagate-then-install strategy
+	// ([CGL+96]), provided as the baseline.
+	DualStagePlanner PlannerName = "dualstage"
+)
+
+// WindowReport records one executed update window.
+type WindowReport struct {
+	// Seq numbers windows from 1 in execution order.
+	Seq int
+	// Planner that produced the strategy.
+	Planner PlannerName
+	// Plan holds the strategy and its provenance.
+	Plan Plan
+	// Report is the measured execution.
+	Report Report
+	// Started is when the window began.
+	Started time.Time
+	// StaleAfter lists views left stale (deferred maintenance).
+	StaleAfter []string
+}
+
+// String summarizes the window.
+func (r WindowReport) String() string {
+	return fmt.Sprintf("window %d [%s]: %s", r.Seq, r.Planner, r.Report)
+}
+
+// RunWindow executes one complete update window: plan the staged changes
+// with the named planner, validate, execute, and record the outcome in the
+// warehouse's history. Changes must already be staged (StageDelta /
+// StageDeltaCSV).
+func (w *Warehouse) RunWindow(planner PlannerName) (WindowReport, error) {
+	var (
+		plan Plan
+		err  error
+	)
+	switch planner {
+	case MinWorkPlanner, "":
+		planner = MinWorkPlanner
+		plan, err = w.PlanMinWork()
+	case PrunePlanner:
+		plan, err = w.PlanPrune()
+	case DualStagePlanner:
+		plan, err = w.PlanDualStage()
+	default:
+		return WindowReport{}, fmt.Errorf("warehouse: unknown planner %q", planner)
+	}
+	if err != nil {
+		return WindowReport{}, err
+	}
+	started := time.Now()
+	rep, err := w.Execute(plan.Strategy)
+	if err != nil {
+		return WindowReport{}, err
+	}
+	window := WindowReport{
+		Seq:        len(w.history) + 1,
+		Planner:    planner,
+		Plan:       plan,
+		Report:     rep,
+		Started:    started,
+		StaleAfter: w.StaleViews(),
+	}
+	w.history = append(w.history, window)
+	return window, nil
+}
+
+// History returns the executed windows in order.
+func (w *Warehouse) History() []WindowReport {
+	return append([]WindowReport(nil), w.history...)
+}
+
+// TotalWindowWork sums the measured work of every executed window.
+func (w *Warehouse) TotalWindowWork() int64 {
+	var total int64
+	for _, win := range w.history {
+		total += win.Report.TotalWork()
+	}
+	return total
+}
