@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race fuzz bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency tier: the full suite under the race detector. The
+# parallel, exec and core packages are the ones exercising goroutines
+# (barrier-staged and DAG-scheduled executors against shared warehouse
+# state); running everything keeps the tier honest as coverage grows.
+race:
+	$(GO) test -race ./...
+
+# Quick race pass over just the concurrent packages.
+race-fast:
+	$(GO) test -race ./internal/parallel/... ./internal/exec/... ./internal/core/...
+
+# Extended fuzzing of the conflict-order invariants (the seed corpus runs
+# under plain `make test` already).
+fuzz:
+	$(GO) test ./internal/parallel/ -run '^$$' -fuzz FuzzParallelizeRespectsConflicts -fuzztime 30s
+
+bench:
+	$(GO) test . -run '^$$' -bench . -benchtime 1x

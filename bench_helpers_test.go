@@ -2,14 +2,11 @@ package warehouse
 
 import (
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/strategy"
 )
 
-func benchParallelize(w *core.Warehouse, s strategy.Strategy) parallel.Plan {
-	return parallel.Parallelize(s, w.Children)
-}
-
-func benchParallelExecute(w *core.Warehouse, p parallel.Plan) (parallel.Report, error) {
-	return parallel.Execute(w, p)
+func benchParallelRun(w *core.Warehouse, s strategy.Strategy, mode exec.Mode, workers int) (parallel.Report, error) {
+	return parallel.Run(w, s, w.Children, mode, parallel.Options{Workers: workers})
 }

@@ -9,6 +9,7 @@
 package warehouse
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -189,30 +190,58 @@ func BenchmarkFig15(b *testing.B) {
 	})
 }
 
-// BenchmarkParallel measures the Section 9 staged execution of the MinWork
-// and dual-stage strategies.
-func BenchmarkParallel(b *testing.B) {
+// runParallelBench executes s on clones under the given mode and reports the
+// mode's window bound (span work for staged runs, critical-path work for DAG
+// runs) as a custom metric.
+func runParallelBench(b *testing.B, s strategy.Strategy, mode exec.Mode, workers int) {
+	b.Helper()
+	var bound int64
+	for i := 0; i < b.N; i++ {
+		w := benchState.tw.W.Clone()
+		rep, err := benchParallelRun(w, s, mode, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode == exec.ModeDAG {
+			bound = rep.CriticalPathWork
+		} else {
+			bound = rep.SpanWork
+		}
+	}
+	b.ReportMetric(float64(bound), "window_bound")
+}
+
+// BenchmarkParallelStaged measures the Section 9 barrier-staged execution of
+// the MinWork and dual-stage strategies (one goroutine per stage expression).
+func BenchmarkParallelStaged(b *testing.B) {
 	benchSetup(b)
 	mw, err := planner.MinWork(benchState.tw.Graph, benchState.stats)
 	if err != nil {
 		b.Fatal(err)
 	}
-	run := func(b *testing.B, s strategy.Strategy) {
-		b.Helper()
-		var span int64
-		for i := 0; i < b.N; i++ {
-			w := benchState.tw.W.Clone()
-			plan := benchParallelize(w, s)
-			rep, err := benchParallelExecute(w, plan)
-			if err != nil {
-				b.Fatal(err)
-			}
-			span = rep.SpanWork
-		}
-		b.ReportMetric(float64(span), "span_work")
+	b.Run("MinWork", func(b *testing.B) { runParallelBench(b, mw.Strategy, exec.ModeStaged, 0) })
+	b.Run("DualStage", func(b *testing.B) {
+		runParallelBench(b, strategy.DualStageVDAG(benchState.tw.Graph), exec.ModeStaged, 0)
+	})
+}
+
+// BenchmarkParallelDAG measures barrier-free precedence-DAG scheduling of
+// the same strategies with a bounded worker pool, for direct comparison with
+// BenchmarkParallelStaged: same strategies, same warehouse, no barriers.
+func BenchmarkParallelDAG(b *testing.B) {
+	benchSetup(b)
+	mw, err := planner.MinWork(benchState.tw.Graph, benchState.stats)
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.Run("MinWork", func(b *testing.B) { run(b, mw.Strategy) })
-	b.Run("DualStage", func(b *testing.B) { run(b, strategy.DualStageVDAG(benchState.tw.Graph)) })
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("MinWork/workers=%d", workers), func(b *testing.B) {
+			runParallelBench(b, mw.Strategy, exec.ModeDAG, workers)
+		})
+		b.Run(fmt.Sprintf("DualStage/workers=%d", workers), func(b *testing.B) {
+			runParallelBench(b, strategy.DualStageVDAG(benchState.tw.Graph), exec.ModeDAG, workers)
+		})
+	}
 }
 
 // BenchmarkPlanners isolates planning cost (no execution).

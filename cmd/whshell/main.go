@@ -11,7 +11,7 @@
 //	LOAD <view> FROM '<file.csv>';              bulk-load a base view
 //	DELTA <view> FROM '<file.csv>';             stage a change batch (CSV, __count column)
 //	REFRESH;                                    materialize derived views
-//	WINDOW [minwork|prune|dualstage];           plan + execute an update window
+//	WINDOW [planner] [STAGED|DAG [workers]];    plan + execute an update window
 //	SELECT ...;                                 ad-hoc query
 //	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
 //	DEFER <view> ON|OFF;                        deferred maintenance policy
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	warehouse "repro"
@@ -174,11 +175,33 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 		fmt.Fprintln(sh.out, "ok")
 		return false, nil
 	case "WINDOW":
+		// WINDOW [planner] [SEQUENTIAL|STAGED|DAG [workers]];
 		planner := warehouse.MinWorkPlanner
-		if len(words) > 1 {
-			planner = warehouse.PlannerName(strings.ToLower(words[1]))
+		mode := warehouse.ModeSequential
+		workers := 0
+		rest := words[1:]
+		if len(rest) > 0 {
+			if m, err := warehouse.ParseMode(strings.ToLower(rest[0])); err == nil {
+				mode, rest = m, rest[1:]
+			} else {
+				planner, rest = warehouse.PlannerName(strings.ToLower(rest[0])), rest[1:]
+				if len(rest) > 0 {
+					m, err := warehouse.ParseMode(strings.ToLower(rest[0]))
+					if err != nil {
+						return false, err
+					}
+					mode, rest = m, rest[1:]
+				}
+			}
 		}
-		win, err := sh.w.RunWindow(planner)
+		if len(rest) > 0 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return false, fmt.Errorf("WINDOW: bad worker count %q", rest[0])
+			}
+			workers = n
+		}
+		win, err := sh.w.RunWindowMode(planner, mode, workers)
 		if err != nil {
 			return false, err
 		}
@@ -219,7 +242,7 @@ func (sh *shell) help() {
   CREATE VIEW <name> AS SELECT ...;
   LOAD <view> FROM '<file.csv>';        DELTA <view> FROM '<file.csv>';
   REFRESH;                              REFRESH STALE;
-  WINDOW [minwork|prune|dualstage];     VERIFY;
+  WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;
   SELECT ... [ORDER BY col [DESC]] [LIMIT n];
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
   DEFER <view> ON|OFF;

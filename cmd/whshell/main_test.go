@@ -75,6 +75,48 @@ EXIT;
 	}
 }
 
+func TestShellWindowModes(t *testing.T) {
+	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
+	b1 := writeFile(t, "b1.csv", "id,region,amount,__count\n3,west,7,1\n")
+	b2 := writeFile(t, "b2.csv", "id,region,amount,__count\n4,east,2,1\n")
+	b3 := writeFile(t, "b3.csv", "id,region,amount,__count\n1,west,10,-1\n")
+	script := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+DELTA SALES FROM '` + b1 + `';
+WINDOW STAGED;
+DELTA SALES FROM '` + b2 + `';
+WINDOW minwork DAG 4;
+DELTA SALES FROM '` + b3 + `';
+WINDOW dualstage DAG;
+VERIFY;
+EXIT;
+`
+	out, err := runScript(t, script)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"window 1 [minwork, staged",
+		"window 2 [minwork, dag ×3]", // pool of 4 capped at the 3 expressions
+		"window 3 [dualstage, dag",
+		"critical path",
+		"every view matches recomputation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runScript(t, "CREATE BASE B (x INTEGER);\nWINDOW minwork bogus;\n"); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := runScript(t, "CREATE BASE B (x INTEGER);\nWINDOW dag two;\n"); err == nil {
+		t.Error("bad worker count accepted")
+	}
+}
+
 func TestShellMultilineAndComments(t *testing.T) {
 	out, err := runScript(t, `
 -- a comment line

@@ -7,7 +7,12 @@
 //
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
 //	         [-planner minwork|prune|dualstage|reverse]
-//	         [-parallel] [-skip-empty] [-v]
+//	         [-par sequential|staged|dag] [-workers N] [-skip-empty] [-v]
+//
+// -par staged executes the Section 9 barrier plan (one goroutine per stage
+// expression); -par dag schedules the precedence DAG barrier-free with a
+// pool of -workers goroutines (0 = GOMAXPROCS). -parallel is a deprecated
+// alias for -par staged.
 package main
 
 import (
@@ -29,16 +34,22 @@ func main() {
 	p := flag.Float64("p", 0.10, "delete fraction for C, O, L, S, N")
 	insert := flag.Float64("insert", 0, "insert fraction for C, O, L, S")
 	plannerName := flag.String("planner", "minwork", "minwork | prune | dualstage | reverse")
-	parallelFlag := flag.Bool("parallel", false, "stage the strategy and execute expressions concurrently")
+	parallelFlag := flag.Bool("parallel", false, "deprecated alias for -par staged")
+	par := flag.String("par", "", "execution mode: sequential | staged | dag")
+	workers := flag.Int("workers", 0, "worker-pool size for -par dag (0 = GOMAXPROCS)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
 	verbose := flag.Bool("v", false, "print per-expression work")
 	dot := flag.Bool("dot", false, "print the expression graph (Graphviz) instead of executing")
 	script := flag.Bool("script", false, "print the §5.5 update script and stored-procedure catalog instead of executing")
 	flag.Parse()
 
+	parName := *par
+	if parName == "" && *parallelFlag {
+		parName = "staged"
+	}
 	if err := run(options{
 		sf: *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
-		parallel: *parallelFlag, skipEmpty: *skipEmpty, verbose: *verbose,
+		par: parName, workers: *workers, skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whupdate:", err)
@@ -49,15 +60,20 @@ func main() {
 type options struct {
 	sf, p, insert        float64
 	seed                 int64
-	planner              string
-	parallel, skipEmpty  bool
+	planner, par         string
+	workers              int
+	skipEmpty            bool
 	verbose, dot, script bool
 }
 
 func run(o options) error {
 	sf, seed, p, insert := o.sf, o.seed, o.p, o.insert
 	plannerName := o.planner
-	parallelFlag, skipEmpty, verbose := o.parallel, o.skipEmpty, o.verbose
+	skipEmpty, verbose := o.skipEmpty, o.verbose
+	mode, err := exec.ParseMode(o.par)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
 	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty})
 	if err != nil {
@@ -143,16 +159,22 @@ func run(o options) error {
 		return nil
 	}
 
-	if parallelFlag {
-		pplan := parallelPlan(tw, s)
-		fmt.Printf("parallel plan (%d stages): %s\n", pplan.Stages(), pplan)
-		t0 := time.Now()
-		rep, err := parallelRun(tw, pplan)
+	if mode != exec.ModeSequential {
+		rep, err := parallelRun(tw, s, mode, o.workers)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("update window: %s, total work %d, span work %d, speedup %.2f\n",
-			time.Since(t0).Round(time.Microsecond), rep.TotalWork, rep.SpanWork, rep.Speedup())
+		fmt.Printf("%s plan (%d stages, %d workers): %s\n", mode, rep.Plan.Stages(), rep.Workers, rep.Plan)
+		if verbose {
+			for _, stage := range rep.Steps {
+				for _, step := range stage {
+					fmt.Printf("  %-28s work=%8d worker=%d %s\n",
+						step.Expr, step.Work, step.Worker, step.Elapsed.Round(time.Microsecond))
+				}
+			}
+		}
+		fmt.Printf("update window: %s, total work %d, span work %d, critical path %d, speedup %.2f\n",
+			rep.Elapsed.Round(time.Microsecond), rep.TotalWork, rep.SpanWork, rep.CriticalPathWork, rep.Speedup())
 	} else {
 		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true})
 		if err != nil {

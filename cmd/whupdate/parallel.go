@@ -1,15 +1,14 @@
 package main
 
 import (
+	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/strategy"
 	"repro/internal/tpcd"
 )
 
-func parallelPlan(tw *tpcd.Warehouse, s strategy.Strategy) parallel.Plan {
-	return parallel.Parallelize(s, tw.W.Children)
-}
-
-func parallelRun(tw *tpcd.Warehouse, p parallel.Plan) (parallel.Report, error) {
-	return parallel.Execute(tw.W, p)
+// parallelRun executes the strategy concurrently: staged (Section 9 barrier
+// plan) or barrier-free over the precedence DAG with a bounded worker pool.
+func parallelRun(tw *tpcd.Warehouse, s strategy.Strategy, mode exec.Mode, workers int) (parallel.Report, error) {
+	return parallel.Run(tw.W, s, tw.W.Children, mode, parallel.Options{Workers: workers})
 }

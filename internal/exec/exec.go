@@ -16,6 +16,37 @@ import (
 	"repro/internal/vdag"
 )
 
+// Mode selects how a strategy's expressions are scheduled.
+type Mode string
+
+// Execution modes.
+const (
+	// ModeSequential runs expressions one at a time in strategy order.
+	ModeSequential Mode = "sequential"
+	// ModeStaged runs the Section 9 barrier plan: conflict analysis groups
+	// expressions into stages, each stage's expressions run concurrently,
+	// and a barrier separates consecutive stages.
+	ModeStaged Mode = "staged"
+	// ModeDAG runs the precedence DAG directly with a bounded worker pool:
+	// an expression becomes runnable the moment its last conflicting
+	// predecessor completes — no inter-stage barriers.
+	ModeDAG Mode = "dag"
+)
+
+// ParseMode maps a user-facing mode name ("sequential"/"seq", "staged",
+// "dag") to a Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "sequential", "seq":
+		return ModeSequential, nil
+	case "staged", "parallel":
+		return ModeStaged, nil
+	case "dag":
+		return ModeDAG, nil
+	}
+	return "", fmt.Errorf("exec: unknown execution mode %q (want sequential, staged or dag)", name)
+}
+
 // StepReport records the execution of one expression.
 type StepReport struct {
 	Expr strategy.Expr
@@ -26,6 +57,9 @@ type StepReport struct {
 	Terms int
 	// Elapsed is the expression's wall-clock duration.
 	Elapsed time.Duration
+	// Worker identifies the worker that ran the expression (DAG and staged
+	// execution; 0 for sequential runs).
+	Worker int
 	// Skipped marks a Comp elided by the empty-delta optimization.
 	Skipped bool
 }
@@ -73,18 +107,10 @@ func Graph(w *core.Warehouse) (*vdag.Graph, error) {
 // against the warehouse's VDAG first and execution is refused on violation.
 func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, error) {
 	rep := Report{Strategy: s}
-	changed := changedViews(w)
-	deferred := w.EffectivelyDeferred()
+	changed := ChangedViews(w)
 	if opts.Validate {
-		g, err := Graph(w)
-		if err != nil {
+		if err := Validate(w, s); err != nil {
 			return rep, err
-		}
-		// A view may be skipped if nothing it depends on changed, or if it
-		// is under deferred maintenance (it will be marked stale instead).
-		quiescent := func(v string) bool { return !changed[v] || deferred[v] }
-		if err := strategy.ValidateVDAGStrategyRelaxed(g, s, quiescent); err != nil {
-			return rep, fmt.Errorf("exec: refusing incorrect strategy: %w", err)
 		}
 	}
 	start := time.Now()
@@ -115,8 +141,38 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, erro
 		rep.Steps = append(rep.Steps, step)
 	}
 	rep.Elapsed = time.Since(start)
-	// Deferred-maintenance bookkeeping: a view whose underlying data
-	// changed but which this strategy did not install is now stale.
+	if err := MarkSkippedStale(w, s, changed); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Validate checks a strategy against the correctness conditions (C1–C8)
+// relative to the warehouse's VDAG and current pending changes: a view may
+// be skipped if nothing it depends on changed, or if it is under deferred
+// maintenance (it will be marked stale instead).
+func Validate(w *core.Warehouse, s strategy.Strategy) error {
+	g, err := Graph(w)
+	if err != nil {
+		return err
+	}
+	changed := ChangedViews(w)
+	deferred := w.EffectivelyDeferred()
+	quiescent := func(v string) bool { return !changed[v] || deferred[v] }
+	if err := strategy.ValidateVDAGStrategyRelaxed(g, s, quiescent); err != nil {
+		return fmt.Errorf("exec: refusing incorrect strategy: %w", err)
+	}
+	return nil
+}
+
+// MarkSkippedStale performs the deferred-maintenance bookkeeping after a
+// strategy has executed: a view whose underlying data changed but which the
+// strategy did not install is now stale. Every executor (sequential, staged,
+// DAG) must call this once its strategy completes, passing the ChangedViews
+// set captured *before* execution (installs clear the pending state the set
+// is derived from).
+func MarkSkippedStale(w *core.Warehouse, s strategy.Strategy, changed map[string]bool) error {
+	deferred := w.EffectivelyDeferred()
 	installed := make(map[string]bool)
 	for _, e := range s {
 		if inst, ok := e.(strategy.Inst); ok {
@@ -126,18 +182,18 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, erro
 	for v := range deferred {
 		if changed[v] && !installed[v] {
 			if err := w.MarkStale(v); err != nil {
-				return rep, err
+				return err
 			}
 		}
 	}
-	return rep, nil
+	return nil
 }
 
-// changedViews computes which views the staged update batch touches: a base
+// ChangedViews computes which views the staged update batch touches: a base
 // view with pending changes, a view with computed-but-uninstalled changes,
 // or a derived view with a changed child (transitively). The complement is
 // the quiescent set of the footnote-5 relaxation: views a strategy may skip.
-func changedViews(w *core.Warehouse) map[string]bool {
+func ChangedViews(w *core.Warehouse) map[string]bool {
 	changed := make(map[string]bool)
 	for _, name := range w.ViewNames() { // topological order
 		if w.MustView(name).HasPending() {

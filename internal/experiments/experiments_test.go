@@ -182,6 +182,42 @@ func TestParallelShape(t *testing.T) {
 	}
 }
 
+// TestStagedVsDAGShape asserts the barrier-free scheduler's accounting on
+// the staged-vs-DAG experiment: per (SF, strategy) pair the two modes
+// measure the same total work, and each row's window bound is consistent —
+// critical path ≤ span ≤ total, with the DAG row bounded by the staged
+// row's span. Wall-clock is reported but not asserted (best-of-3 still
+// jitters at test scale).
+func TestStagedVsDAGShape(t *testing.T) {
+	res, err := StagedVsDAG(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 SFs × 2 strategies × 2 modes
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		staged, dag := res.Rows[i], res.Rows[i+1]
+		if !strings.Contains(staged.Label, "staged") || !strings.Contains(dag.Label, "dag") {
+			t.Fatalf("row order wrong: %q, %q", staged.Label, dag.Label)
+		}
+		if staged.Work != dag.Work {
+			t.Errorf("%s: staged work %d != dag work %d", staged.Label, staged.Work, dag.Work)
+		}
+		if staged.Predicted <= 0 || dag.Predicted <= 0 {
+			t.Errorf("%s: window bounds missing: %v / %v", staged.Label, staged.Predicted, dag.Predicted)
+		}
+		// Critical path (dag bound) never exceeds span (staged bound), and
+		// neither exceeds total work.
+		if dag.Predicted > staged.Predicted {
+			t.Errorf("%s: critical path %v exceeds span %v", dag.Label, dag.Predicted, staged.Predicted)
+		}
+		if staged.Predicted > float64(staged.Work) {
+			t.Errorf("%s: span %v exceeds total work %d", staged.Label, staged.Predicted, staged.Work)
+		}
+	}
+}
+
 // TestMetricAblation certifies the Discussion-section argument: the variant
 // metric inverts the MinWork-vs-dual-stage comparison that measurement (and
 // the real metric) gives.
@@ -268,7 +304,7 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 9 {
+	if len(results) != 10 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -1,0 +1,262 @@
+package parallel
+
+// Differential-testing harness for the concurrent executors: for ~100 seeded
+// random VDAGs (mixed join/aggregate views, 1–4 derivation levels, diamond
+// sharing) with random insert/delete/mixed change batches, DAG-scheduled
+// execution, staged Execute, sequential exec.Execute and a full recompute
+// must all leave bag-identical warehouse states. The comparison is the
+// exec.ExactStats discipline — every view's sorted (tuple, count) bag —
+// applied across executors instead of against the cost model.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+// diffWarehouse builds a random leveled warehouse: 2–3 integer bases at
+// level 0, then 1–4 derivation levels of 1–2 views each. Every view's first
+// child comes from the previous level (so the VDAG really is that deep) and
+// a second child, when present, from any earlier level — which makes
+// diamonds (two parents sharing a child, later rejoined) common.
+func diffWarehouse(t *testing.T, rng *rand.Rand) *core.Warehouse {
+	t.Helper()
+	w := core.New(core.Options{})
+	type viewInfo struct {
+		name   string
+		schema relation.Schema
+	}
+	var all []viewInfo
+	prev := []viewInfo{} // views of the previous level
+
+	nBase := 2 + rng.Intn(2)
+	for i := 0; i < nBase; i++ {
+		name := fmt.Sprintf("B%d", i)
+		cols := 2 + rng.Intn(2)
+		schema := make(relation.Schema, cols)
+		for c := 0; c < cols; c++ {
+			schema[c] = relation.Column{Name: fmt.Sprintf("c%d", c), Kind: relation.KindInt}
+		}
+		if err := w.DefineBase(name, schema); err != nil {
+			t.Fatal(err)
+		}
+		var rows []relation.Tuple
+		for r := 0; r < 8+rng.Intn(20); r++ {
+			tup := make(relation.Tuple, cols)
+			for c := range tup {
+				tup[c] = relation.NewInt(rng.Int63n(5))
+			}
+			rows = append(rows, tup)
+		}
+		if err := w.LoadBase(name, rows); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, viewInfo{name, schema})
+		prev = append(prev, viewInfo{name, schema})
+	}
+
+	levels := 1 + rng.Intn(4)
+	id := 0
+	for level := 1; level <= levels; level++ {
+		var cur []viewInfo
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			refs := []viewInfo{prev[rng.Intn(len(prev))]}
+			if rng.Intn(2) == 0 {
+				other := all[rng.Intn(len(all))]
+				if other.name != refs[0].name {
+					refs = append(refs, other)
+				}
+			}
+			b := algebra.NewBuilder()
+			var aliases []string
+			for r, child := range refs {
+				alias := fmt.Sprintf("t%d", r)
+				b.From(alias, child.name, child.schema)
+				aliases = append(aliases, alias)
+			}
+			randCol := func(r int) string {
+				return aliases[r] + "." + refs[r].schema[rng.Intn(len(refs[r].schema))].Name
+			}
+			for r := 1; r < len(refs); r++ {
+				b.Join(randCol(r-1), randCol(r))
+			}
+			if rng.Intn(3) == 0 {
+				b.Where(&algebra.Binary{
+					Op: algebra.OpLe,
+					L:  b.Col(randCol(0)),
+					R:  &algebra.Const{Value: relation.NewInt(rng.Int63n(5) + 1)},
+				})
+			}
+			if rng.Intn(2) == 0 {
+				// Aggregate view (SUM/COUNT: exactly comparable integers).
+				b.GroupByCol(randCol(0), "g")
+				b.Agg("s", delta.AggSum, b.Col(randCol(len(refs)-1)))
+				b.Agg("n", delta.AggCount, nil)
+			} else {
+				b.SelectCol(randCol(0), "p0")
+				b.SelectCol(randCol(len(refs)-1), "p1")
+			}
+			def, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("D%d", id)
+			id++
+			if err := w.DefineDerived(name, def); err != nil {
+				t.Fatal(err)
+			}
+			cur = append(cur, viewInfo{name, def.OutputSchema()})
+			all = append(all, viewInfo{name, def.OutputSchema()})
+		}
+		prev = cur
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stageDiffChanges stages a change batch on every base view in one of three
+// shapes: inserts only, deletes only, or mixed.
+func stageDiffChanges(t *testing.T, w *core.Warehouse, rng *rand.Rand) {
+	t.Helper()
+	kind := rng.Intn(3) // 0 = inserts, 1 = deletes, 2 = mixed
+	for _, name := range w.ViewNames() {
+		v := w.MustView(name)
+		if !v.IsBase() {
+			continue
+		}
+		d := delta.New(v.Schema())
+		if kind != 0 {
+			for _, r := range v.SortedRows() {
+				if rng.Intn(4) == 0 {
+					n := int64(1)
+					if r.Count > 1 && rng.Intn(2) == 0 {
+						n = r.Count
+					}
+					d.Add(r.Tuple, -n)
+				}
+			}
+		}
+		if kind != 1 {
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				tup := make(relation.Tuple, len(v.Schema()))
+				for c := range tup {
+					tup[c] = relation.NewInt(rng.Int63n(5))
+				}
+				d.Add(tup, 1)
+			}
+		}
+		if err := w.StageDelta(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// viewBags snapshots every view's sorted (tuple, count) bag.
+func viewBags(w *core.Warehouse) map[string][]string {
+	bags := make(map[string][]string)
+	for _, v := range w.ViewNames() {
+		for _, r := range w.MustView(v).SortedRows() {
+			bags[v] = append(bags[v], fmt.Sprintf("%v x%d", r.Tuple, r.Count))
+		}
+	}
+	return bags
+}
+
+func compareBags(t *testing.T, trial int, name string, ref, got map[string][]string) {
+	t.Helper()
+	for v := range ref {
+		a, b := ref[v], got[v]
+		if len(a) != len(b) {
+			t.Fatalf("trial %d %s: %s has %d rows, reference %d", trial, name, v, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d %s: %s row %d: %s vs reference %s", trial, name, v, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialExecutors is the harness entry point.
+func TestDifferentialExecutors(t *testing.T) {
+	trials := 100
+	if testing.Short() {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < trials; trial++ {
+		base := diffWarehouse(t, rng)
+		stageDiffChanges(t, base, rng)
+
+		g, err := exec.Graph(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s strategy.Strategy
+		if trial%2 == 0 {
+			s = strategy.DualStageVDAG(g)
+		} else {
+			stats, err := exec.PlanningStats(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mw, err := planner.MinWork(g, stats)
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, g, err)
+			}
+			s = mw.Strategy
+		}
+
+		// Reference: sequential exec.Execute.
+		seq := base.Clone()
+		if _, err := exec.Execute(seq, s, exec.Options{Validate: true}); err != nil {
+			t.Fatalf("trial %d sequential (%s): %v\nstrategy: %s", trial, g, err, s)
+		}
+		if err := seq.VerifyAll(); err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		ref := viewBags(seq)
+
+		// Staged parallel.Execute.
+		staged := base.Clone()
+		if _, err := Execute(staged, Parallelize(s, staged.Children)); err != nil {
+			t.Fatalf("trial %d staged: %v", trial, err)
+		}
+		compareBags(t, trial, "staged", ref, viewBags(staged))
+
+		// DAG-scheduled, random pool size.
+		dag := base.Clone()
+		if _, err := Run(dag, s, dag.Children, exec.ModeDAG, Options{
+			Workers:  1 + rng.Intn(8),
+			Validate: true,
+		}); err != nil {
+			t.Fatalf("trial %d dag: %v", trial, err)
+		}
+		compareBags(t, trial, "dag", ref, viewBags(dag))
+
+		// Full recompute: fold the base deltas in, rebuild every derived view
+		// from scratch.
+		rec := base.Clone()
+		for _, name := range rec.ViewNames() {
+			if rec.MustView(name).IsBase() {
+				if _, err := rec.Install(name); err != nil {
+					t.Fatalf("trial %d recompute install %s: %v", trial, name, err)
+				}
+			}
+		}
+		if err := rec.RefreshAll(); err != nil {
+			t.Fatalf("trial %d recompute: %v", trial, err)
+		}
+		compareBags(t, trial, "recompute", ref, viewBags(rec))
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// fuzzVDAG is a small fixed VDAG for the fuzz harness:
+//
+//	R, S          bases
+//	J1 ← {R, S}   join
+//	J2 ← {R}      selection
+//	K  ← {J1}     level-2 view
+var fuzzVDAG = map[string][]string{
+	"R": nil, "S": nil,
+	"J1": {"R", "S"},
+	"J2": {"R"},
+	"K":  {"J1"},
+}
+
+func fuzzChildren(view string) []string { return fuzzVDAG[view] }
+
+// fuzzVocab is the expression alphabet fuzzed strategies are decoded from:
+// every Inst plus every 1-way and combined Comp over the fuzz VDAG.
+var fuzzVocab = []strategy.Expr{
+	strategy.Inst{View: "R"}, strategy.Inst{View: "S"},
+	strategy.Inst{View: "J1"}, strategy.Inst{View: "J2"}, strategy.Inst{View: "K"},
+	strategy.Comp{View: "J1", Over: []string{"R"}},
+	strategy.Comp{View: "J1", Over: []string{"S"}},
+	strategy.Comp{View: "J1", Over: []string{"R", "S"}},
+	strategy.Comp{View: "J2", Over: []string{"R"}},
+	strategy.Comp{View: "K", Over: []string{"J1"}},
+}
+
+// decodeStrategy maps fuzz bytes to a strategy: one expression per byte,
+// length capped so the quadratic conflict checks stay fast.
+func decodeStrategy(data []byte) strategy.Strategy {
+	if len(data) > 24 {
+		data = data[:24]
+	}
+	s := make(strategy.Strategy, 0, len(data))
+	for _, b := range data {
+		s = append(s, fuzzVocab[int(b)%len(fuzzVocab)])
+	}
+	return s
+}
+
+// FuzzParallelizeRespectsConflicts asserts, for arbitrary expression
+// sequences, the two structural invariants the executors rely on: staging
+// and DAG construction keep every conflicting pair in its original relative
+// order, and the precedence DAG is acyclic. (Parallelize and BuildDAG are
+// purely syntactic — they must uphold this for incorrect strategies too.)
+func FuzzParallelizeRespectsConflicts(f *testing.F) {
+	f.Add([]byte{5, 8, 0, 6, 1, 9, 2, 4, 3})     // a sensible 1-way strategy
+	f.Add([]byte{7, 8, 0, 1, 2, 3, 4})           // dual-stage-like
+	f.Add([]byte{0, 0, 0, 5, 5, 5})              // heavy duplication
+	f.Add([]byte{9, 4, 3, 2, 1, 0, 8, 7, 6, 5})  // reversed nonsense order
+	f.Add([]byte{})                              // empty strategy
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2}) // out-of-range bytes wrap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := decodeStrategy(data)
+		plan := Parallelize(s, fuzzChildren)
+		d := BuildDAG(s, fuzzChildren)
+
+		if plan.Exprs() != len(s) || d.Len() != len(s) {
+			t.Fatalf("expression count changed: plan %d, dag %d, strategy %d",
+				plan.Exprs(), d.Len(), len(s))
+		}
+		if d.Levels() != plan.Stages() {
+			t.Fatalf("dag levels %d != plan stages %d", d.Levels(), plan.Stages())
+		}
+
+		// Positions are not unique keys (duplicates allowed), so recover each
+		// node's stage from the plan by walking it in order: expressions
+		// within a stage preserve strategy order, which pins duplicates.
+		stageOf := make([]int, len(s))
+		used := make([]bool, len(s))
+		for si, stage := range plan {
+			for _, e := range stage {
+				found := false
+				for i := range s {
+					if !used[i] && s[i].Key() == e.Key() {
+						stageOf[i], used[i] = si, true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("stage %d holds %s not in strategy", si, e)
+				}
+			}
+		}
+
+		for i := 0; i < len(s); i++ {
+			for j := i + 1; j < len(s); j++ {
+				if !conflicts(s[i], s[j], fuzzChildren) {
+					continue
+				}
+				// Staging must strictly order the pair…
+				if stageOf[i] >= stageOf[j] {
+					t.Fatalf("conflict %s ≺ %s but stages %d ≥ %d",
+						s[i], s[j], stageOf[i], stageOf[j])
+				}
+				// …and the DAG must carry the edge, in the original direction.
+				if !d.HasEdge(i, j) {
+					t.Fatalf("conflict %s ≺ %s has no DAG edge %d→%d", s[i], s[j], i, j)
+				}
+				if d.HasEdge(j, i) {
+					t.Fatalf("reversed DAG edge %d→%d", j, i)
+				}
+			}
+		}
+		if !d.Acyclic() {
+			t.Fatalf("DAG not acyclic for strategy %s", s)
+		}
+	})
+}

@@ -19,6 +19,7 @@ package parallel
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -126,14 +127,27 @@ func Parallelize(s strategy.Strategy, children childrenFn) Plan {
 // Report summarizes a parallel execution.
 type Report struct {
 	Plan Plan
+	// Mode records how the strategy was scheduled (sequential, staged, DAG).
+	Mode exec.Mode
+	// Workers is the scheduling width: the worker-pool size in DAG mode,
+	// the widest stage in staged mode, 1 for sequential runs.
+	Workers int
 	// TotalWork is the sum of all expressions' measured work — what the
 	// warehouse pays.
 	TotalWork int64
-	// SpanWork is the critical-path work: the sum over stages of the
-	// largest single-expression work in the stage — what the update window
-	// costs with unlimited parallelism.
+	// SpanWork is the barrier-plan span: the sum over stages of the largest
+	// single-expression work in the stage — what the update window costs
+	// under staged execution with unlimited parallelism.
 	SpanWork int64
-	// Steps holds the per-expression reports, per stage.
+	// CriticalPathWork is the longest work-weighted path through the
+	// precedence DAG — what the window costs under barrier-free scheduling
+	// with unlimited parallelism. Always ≤ SpanWork: dropping barriers can
+	// only shorten the schedule.
+	CriticalPathWork int64
+	// Elapsed is the measured wall-clock update window.
+	Elapsed time.Duration
+	// Steps holds the per-expression reports, per stage (per DAG level for
+	// DAG runs).
 	Steps [][]exec.StepReport
 }
 
@@ -146,9 +160,13 @@ func (r Report) Speedup() float64 {
 }
 
 // Execute runs the plan against the warehouse, each stage's expressions in
-// parallel goroutines with a barrier between stages.
+// parallel goroutines with a barrier between stages. The report's
+// CriticalPathWork equals SpanWork: under a barrier schedule the executed
+// critical path *is* the chain of stage maxima (use Run with ModeDAG, or
+// ExecuteDAG, for barrier-free scheduling and the tighter path metric).
 func Execute(w *core.Warehouse, plan Plan) (Report, error) {
-	rep := Report{Plan: plan}
+	rep := Report{Plan: plan, Mode: exec.ModeStaged}
+	start := time.Now()
 	for _, stage := range plan {
 		results := make([]exec.StepReport, len(stage))
 		errs := make([]error, len(stage))
@@ -157,24 +175,14 @@ func Execute(w *core.Warehouse, plan Plan) (Report, error) {
 			wg.Add(1)
 			go func(i int, e strategy.Expr) {
 				defer wg.Done()
-				switch x := e.(type) {
-				case strategy.Comp:
-					cr, err := w.Compute(x.View, x.Over)
-					results[i] = exec.StepReport{Expr: e, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped}
-					errs[i] = err
-				case strategy.Inst:
-					n, err := w.Install(x.View)
-					results[i] = exec.StepReport{Expr: e, Work: n}
-					errs[i] = err
-				default:
-					errs[i] = fmt.Errorf("parallel: unknown expression type %T", e)
-				}
+				results[i], errs[i] = runExpr(w, e, i)
 			}(i, e)
 		}
 		wg.Wait()
 		var stageMax int64
 		for i := range stage {
 			if errs[i] != nil {
+				rep.Elapsed = time.Since(start)
 				return rep, fmt.Errorf("parallel: %s: %w", stage[i], errs[i])
 			}
 			rep.TotalWork += results[i].Work
@@ -184,6 +192,11 @@ func Execute(w *core.Warehouse, plan Plan) (Report, error) {
 		}
 		rep.SpanWork += stageMax
 		rep.Steps = append(rep.Steps, results)
+		if len(stage) > rep.Workers {
+			rep.Workers = len(stage)
+		}
 	}
+	rep.Elapsed = time.Since(start)
+	rep.CriticalPathWork = rep.SpanWork
 	return rep, nil
 }

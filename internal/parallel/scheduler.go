@@ -1,0 +1,426 @@
+// Barrier-free DAG scheduling. Parallelize (parallel.go) collapses the
+// conflict relation into stage numbers, which inserts a barrier between
+// consecutive stages: every expression of stage k waits for the *slowest*
+// expression of stage k−1 even when its own predecessors finished long ago.
+// BuildDAG keeps the precedence edges instead, and ExecuteDAG runs them with
+// a bounded worker pool where each expression becomes runnable the moment
+// its last predecessor completes — the executed schedule's length approaches
+// the critical path rather than the sum of stage maxima.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/strategy"
+)
+
+// DAG is the precedence graph of a correct sequential strategy: node i is
+// the strategy's i-th expression; an edge j→i (j < i) means expression i
+// conflicts with earlier expression j and must wait for it. Because edges
+// only point from lower to higher strategy positions, the graph is acyclic
+// by construction.
+type DAG struct {
+	exprs strategy.Strategy
+	preds [][]int // preds[i]: nodes i waits for (each < i)
+	succs [][]int // succs[j]: nodes waiting for j (each > j)
+	level []int   // barrier-stage index: 1 + max level over preds
+}
+
+// BuildDAG converts a correct sequential strategy into its precedence DAG
+// using the same conflict relation Parallelize stages with. The edge set is
+// the full conflict relation (no transitive reduction): redundant edges do
+// not change the schedule, only the in-degree bookkeeping.
+func BuildDAG(s strategy.Strategy, children childrenFn) *DAG {
+	n := len(s)
+	d := &DAG{
+		exprs: s.Clone(),
+		preds: make([][]int, n),
+		succs: make([][]int, n),
+		level: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if conflicts(s[j], s[i], children) {
+				d.preds[i] = append(d.preds[i], j)
+				d.succs[j] = append(d.succs[j], i)
+				if d.level[j]+1 > d.level[i] {
+					d.level[i] = d.level[j] + 1
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Len returns the number of expressions (nodes).
+func (d *DAG) Len() int { return len(d.exprs) }
+
+// Expr returns the i-th expression.
+func (d *DAG) Expr(i int) strategy.Expr { return d.exprs[i] }
+
+// Preds returns the predecessors of node i (a copy).
+func (d *DAG) Preds(i int) []int { return append([]int(nil), d.preds[i]...) }
+
+// HasEdge reports whether node i waits for node j.
+func (d *DAG) HasEdge(j, i int) bool {
+	for _, p := range d.preds[i] {
+		if p == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Level returns the barrier-stage index of node i: the stage Parallelize
+// would put the expression in.
+func (d *DAG) Level(i int) int { return d.level[i] }
+
+// Levels returns the number of barrier stages (the plan depth).
+func (d *DAG) Levels() int {
+	m := 0
+	for _, l := range d.level {
+		if l+1 > m {
+			m = l + 1
+		}
+	}
+	return m
+}
+
+// Edges returns the number of precedence edges.
+func (d *DAG) Edges() int {
+	n := 0
+	for _, p := range d.preds {
+		n += len(p)
+	}
+	return n
+}
+
+// StagedPlan collapses the DAG back to the barrier plan: expressions grouped
+// by level. The result equals Parallelize on the original strategy.
+func (d *DAG) StagedPlan() Plan {
+	plan := make(Plan, d.Levels())
+	for i, e := range d.exprs {
+		plan[d.level[i]] = append(plan[d.level[i]], e)
+	}
+	return plan
+}
+
+// Acyclic verifies by Kahn's algorithm that every node is reachable through
+// in-degree-zero elimination. BuildDAG guarantees this (edges point forward
+// in strategy order); the check backs the fuzz harness.
+func (d *DAG) Acyclic() bool {
+	n := d.Len()
+	indeg := make([]int, n)
+	var queue []int
+	for i := 0; i < n; i++ {
+		indeg[i] = len(d.preds[i])
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		removed++
+		for _, i := range d.succs[j] {
+			indeg[i]--
+			if indeg[i] == 0 {
+				queue = append(queue, i)
+			}
+		}
+	}
+	return removed == n
+}
+
+// spanWork computes the barrier-plan span from measured per-node work: the
+// sum over levels of the largest single-node work in the level.
+func (d *DAG) spanWork(work []int64) int64 {
+	maxAt := make([]int64, d.Levels())
+	for i := range d.exprs {
+		if work[i] > maxAt[d.level[i]] {
+			maxAt[d.level[i]] = work[i]
+		}
+	}
+	var span int64
+	for _, m := range maxAt {
+		span += m
+	}
+	return span
+}
+
+// criticalPathWork computes the longest work-weighted path through the DAG
+// from measured per-node work — the update window a barrier-free schedule
+// approaches with unlimited workers. Nodes are in topological (strategy)
+// order, so one forward pass suffices.
+func (d *DAG) criticalPathWork(work []int64) int64 {
+	cp := make([]int64, d.Len())
+	var longest int64
+	for i := range d.exprs {
+		var best int64
+		for _, j := range d.preds[i] {
+			if cp[j] > best {
+				best = cp[j]
+			}
+		}
+		cp[i] = best + work[i]
+		if cp[i] > longest {
+			longest = cp[i]
+		}
+	}
+	return longest
+}
+
+// Options configure Run and ExecuteDAG.
+type Options struct {
+	// Workers bounds the worker pool in DAG mode; 0 means
+	// runtime.GOMAXPROCS(0). Staged mode ignores it (one goroutine per
+	// stage expression, the Section 9 model).
+	Workers int
+	// Context cancels scheduling early; nil means context.Background().
+	// In-flight expressions finish, unstarted ones are abandoned.
+	Context context.Context
+	// Validate checks the strategy against the correctness conditions
+	// (C1–C8, relaxed by the quiescent set) before executing.
+	Validate bool
+}
+
+// Run executes the strategy under the given mode and returns a Report whose
+// TotalWork/SpanWork/CriticalPathWork are all computed from the same
+// measured run, so sequential, staged and DAG execution compare directly.
+func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.Mode, opts Options) (Report, error) {
+	if opts.Validate {
+		if err := exec.Validate(w, s); err != nil {
+			return Report{}, err
+		}
+	}
+	changed := exec.ChangedViews(w)
+	d := BuildDAG(s, children)
+	var (
+		rep Report
+		err error
+	)
+	switch mode {
+	case exec.ModeSequential, "":
+		mode = exec.ModeSequential
+		rep, err = executeSequential(w, d)
+	case exec.ModeStaged:
+		rep, err = executeStaged(w, d)
+	case exec.ModeDAG:
+		rep, err = ExecuteDAG(w, d, opts)
+	default:
+		return Report{}, fmt.Errorf("parallel: unknown execution mode %q", mode)
+	}
+	rep.Mode = mode
+	if err != nil {
+		return rep, err
+	}
+	if err := exec.MarkSkippedStale(w, s, changed); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// runExpr executes one expression against the warehouse, measuring its work
+// and wall-clock duration.
+func runExpr(w *core.Warehouse, e strategy.Expr, worker int) (exec.StepReport, error) {
+	step := exec.StepReport{Expr: e, Worker: worker}
+	t0 := time.Now()
+	switch x := e.(type) {
+	case strategy.Comp:
+		cr, err := w.Compute(x.View, x.Over)
+		step.Work, step.Terms, step.Skipped = cr.OperandTuples, cr.Terms, cr.Skipped
+		step.Elapsed = time.Since(t0)
+		return step, err
+	case strategy.Inst:
+		n, err := w.Install(x.View)
+		step.Work = n
+		step.Elapsed = time.Since(t0)
+		return step, err
+	default:
+		return step, fmt.Errorf("parallel: unknown expression type %T", e)
+	}
+}
+
+// finishReport assembles a Report from per-node step reports: steps are
+// grouped by barrier level and the three work metrics are derived from the
+// same measured works. ran[i] marks nodes that actually executed (all of
+// them on the success path).
+func (d *DAG) finishReport(rep *Report, steps []exec.StepReport, ran []bool) {
+	work := make([]int64, d.Len())
+	rep.Steps = make([][]exec.StepReport, d.Levels())
+	for i := range steps {
+		if !ran[i] {
+			continue
+		}
+		work[i] = steps[i].Work
+		rep.TotalWork += steps[i].Work
+		rep.Steps[d.level[i]] = append(rep.Steps[d.level[i]], steps[i])
+	}
+	rep.SpanWork = d.spanWork(work)
+	rep.CriticalPathWork = d.criticalPathWork(work)
+	rep.Plan = d.StagedPlan()
+}
+
+// executeSequential runs the nodes one at a time in strategy order. The
+// report still carries SpanWork and CriticalPathWork, predicting what the
+// same run would cost staged or DAG-scheduled.
+func executeSequential(w *core.Warehouse, d *DAG) (Report, error) {
+	rep := Report{Workers: 1}
+	steps := make([]exec.StepReport, d.Len())
+	ran := make([]bool, d.Len())
+	start := time.Now()
+	for i := 0; i < d.Len(); i++ {
+		step, err := runExpr(w, d.Expr(i), 0)
+		if err != nil {
+			d.finishReport(&rep, steps, ran)
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("parallel: %s: %w", d.Expr(i), err)
+		}
+		steps[i], ran[i] = step, true
+	}
+	rep.Elapsed = time.Since(start)
+	d.finishReport(&rep, steps, ran)
+	return rep, nil
+}
+
+// executeStaged runs the barrier plan of the DAG: each level's expressions
+// in parallel goroutines, a barrier between levels (the Section 9 model,
+// with per-step Elapsed and worker ids filled in).
+func executeStaged(w *core.Warehouse, d *DAG) (Report, error) {
+	rep := Report{}
+	steps := make([]exec.StepReport, d.Len())
+	ran := make([]bool, d.Len())
+	byLevel := make([][]int, d.Levels())
+	for i := 0; i < d.Len(); i++ {
+		byLevel[d.level[i]] = append(byLevel[d.level[i]], i)
+	}
+	start := time.Now()
+	for _, nodes := range byLevel {
+		errs := make([]error, len(nodes))
+		var wg sync.WaitGroup
+		for slot, idx := range nodes {
+			wg.Add(1)
+			go func(slot, idx int) {
+				defer wg.Done()
+				steps[idx], errs[slot] = runExpr(w, d.Expr(idx), slot)
+			}(slot, idx)
+		}
+		wg.Wait()
+		for slot, idx := range nodes {
+			if errs[slot] != nil {
+				d.finishReport(&rep, steps, ran)
+				rep.Elapsed = time.Since(start)
+				return rep, fmt.Errorf("parallel: %s: %w", d.Expr(idx), errs[slot])
+			}
+			ran[idx] = true
+		}
+		if len(nodes) > rep.Workers {
+			rep.Workers = len(nodes)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	d.finishReport(&rep, steps, ran)
+	return rep, nil
+}
+
+// ExecuteDAG runs the precedence DAG with a bounded worker pool and no
+// inter-stage barriers: a node is pushed onto the ready queue the moment its
+// in-degree counter reaches zero. The first expression error cancels
+// scheduling (in-flight expressions finish, unstarted ones are abandoned)
+// and is returned deterministically: among the failures of a run, the one
+// whose expression is earliest in the strategy wins.
+func ExecuteDAG(w *core.Warehouse, d *DAG, opts Options) (Report, error) {
+	n := d.Len()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	rep := Report{Workers: workers}
+	if n == 0 {
+		rep.Steps = [][]exec.StepReport{}
+		rep.Plan = Plan{}
+		return rep, nil
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indeg := make([]int32, n)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = int32(len(d.preds[i]))
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	steps := make([]exec.StepReport, n)
+	ran := make([]bool, n)
+	var (
+		pending  = int64(n)
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	record := func(idx int, err error) {
+		errMu.Lock()
+		if err != nil && idx < firstIdx {
+			firstIdx, firstErr = idx, err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for worker := 0; worker < workers; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range ready {
+				// Once cancelled, keep draining (so every node flows
+				// through and the queue closes) without executing.
+				if ctx.Err() == nil {
+					step, err := runExpr(w, d.Expr(idx), worker)
+					if err != nil {
+						record(idx, err)
+					} else {
+						steps[idx], ran[idx] = step, true
+					}
+				}
+				for _, succ := range d.succs[idx] {
+					if atomic.AddInt32(&indeg[succ], -1) == 0 {
+						ready <- succ
+					}
+				}
+				if atomic.AddInt64(&pending, -1) == 0 {
+					close(ready)
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	d.finishReport(&rep, steps, ran)
+	if firstErr != nil {
+		return rep, fmt.Errorf("parallel: %s: %w", d.Expr(firstIdx), firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("parallel: execution cancelled: %w", err)
+	}
+	return rep, nil
+}

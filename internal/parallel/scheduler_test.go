@@ -1,0 +1,338 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+// TestBuildDAGMatchesParallelize: the DAG's levels are exactly the stages
+// Parallelize computes, and every conflict is an edge.
+func TestBuildDAGMatchesParallelize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		stats := make(cost.Stats)
+		for _, v := range g.Views() {
+			stats[v] = cost.ViewStat{Size: rng.Int63n(100) + 10, DeltaPlus: rng.Int63n(10), DeltaMinus: rng.Int63n(10)}
+		}
+		res, err := planner.MinWork(g, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Strategy
+		plan := Parallelize(s, g.Children)
+		d := BuildDAG(s, g.Children)
+		if d.Len() != len(s) {
+			t.Fatalf("trial %d: DAG has %d nodes, strategy %d", trial, d.Len(), len(s))
+		}
+		if d.Levels() != plan.Stages() {
+			t.Fatalf("trial %d: %d levels vs %d stages", trial, d.Levels(), plan.Stages())
+		}
+		if got := d.StagedPlan().String(); got != plan.String() {
+			t.Fatalf("trial %d: StagedPlan %s != Parallelize %s", trial, got, plan.String())
+		}
+		for i := 0; i < len(s); i++ {
+			for j := 0; j < i; j++ {
+				want := conflicts(s[j], s[i], g.Children)
+				if d.HasEdge(j, i) != want {
+					t.Fatalf("trial %d: edge %d→%d = %v, conflict = %v", trial, j, i, d.HasEdge(j, i), want)
+				}
+			}
+		}
+		if !d.Acyclic() {
+			t.Fatalf("trial %d: DAG not acyclic", trial)
+		}
+	}
+}
+
+// TestExecuteDAGMatchesSequential: DAG-scheduled execution at several pool
+// sizes yields the same final state and total work as sequential execution.
+func TestExecuteDAGMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seqW := newWarehouse(t)
+			stageChanges(t, seqW)
+			dagW := seqW.Clone()
+
+			s := dualStage(seqW)
+			seqRep, err := exec.Execute(seqW, s, exec.Options{Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(dagW, s, dagW.Children, exec.ModeDAG, Options{Workers: workers, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.TotalWork != seqRep.TotalWork() {
+				t.Errorf("DAG total work %d != sequential %d", rep.TotalWork, seqRep.TotalWork())
+			}
+			if rep.Mode != exec.ModeDAG {
+				t.Errorf("mode = %q", rep.Mode)
+			}
+			if workers > 0 && rep.Workers > workers {
+				t.Errorf("pool reported %d workers, bound was %d", rep.Workers, workers)
+			}
+			if err := dagW.VerifyAll(); err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []string{"R", "S", "J1", "J2"} {
+				a, b := seqW.MustView(v).SortedRows(), dagW.MustView(v).SortedRows()
+				if len(a) != len(b) {
+					t.Fatalf("%s: %d vs %d rows", v, len(a), len(b))
+				}
+				for i := range a {
+					if relation.CompareTuples(a[i].Tuple, b[i].Tuple) != 0 || a[i].Count != b[i].Count {
+						t.Fatalf("%s row %d differs", v, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunModesAgree: sequential, staged and DAG modes through Run leave
+// identical states and report consistent metrics on the same measured run.
+func TestRunModesAgree(t *testing.T) {
+	base := newWarehouse(t)
+	stageChanges(t, base)
+	s := dualStage(base)
+
+	var reports []Report
+	var rows []string
+	for _, mode := range []exec.Mode{exec.ModeSequential, exec.ModeStaged, exec.ModeDAG} {
+		w := base.Clone()
+		rep, err := Run(w, s, w.Children, mode, Options{Workers: 4, Validate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if err := w.VerifyAll(); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var sig strings.Builder
+		for _, v := range []string{"R", "S", "J1", "J2"} {
+			for _, r := range w.MustView(v).SortedRows() {
+				fmt.Fprintf(&sig, "%s:%s*%d;", v, r.Tuple, r.Count)
+			}
+		}
+		reports = append(reports, rep)
+		rows = append(rows, sig.String())
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] != rows[0] {
+			t.Fatalf("mode %s final state differs from sequential", reports[i].Mode)
+		}
+		if reports[i].TotalWork != reports[0].TotalWork {
+			t.Errorf("mode %s total work %d != %d", reports[i].Mode, reports[i].TotalWork, reports[0].TotalWork)
+		}
+	}
+	for _, rep := range reports {
+		if rep.CriticalPathWork <= 0 || rep.SpanWork <= 0 {
+			t.Errorf("%s: missing metrics: span=%d critpath=%d", rep.Mode, rep.SpanWork, rep.CriticalPathWork)
+		}
+		if rep.CriticalPathWork > rep.SpanWork {
+			t.Errorf("%s: critical path %d exceeds span %d", rep.Mode, rep.CriticalPathWork, rep.SpanWork)
+		}
+		if rep.SpanWork > rep.TotalWork {
+			t.Errorf("%s: span %d exceeds total %d", rep.Mode, rep.SpanWork, rep.TotalWork)
+		}
+		if rep.Elapsed <= 0 {
+			t.Errorf("%s: report Elapsed not set", rep.Mode)
+		}
+	}
+}
+
+// TestStepElapsedPopulated asserts the fix for the staged executor never
+// filling StepReport.Elapsed: both staged and DAG paths must measure every
+// step.
+func TestStepElapsedPopulated(t *testing.T) {
+	staged := newWarehouse(t)
+	stageChanges(t, staged)
+	dag := staged.Clone()
+
+	s := dualStage(staged)
+	stagedRep, err := Execute(staged, Parallelize(s, staged.Children))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dagRep, err := Run(dag, s, dag.Children, exec.ModeDAG, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]Report{"staged": stagedRep, "dag": dagRep} {
+		n := 0
+		for _, stage := range rep.Steps {
+			for _, step := range stage {
+				n++
+				if step.Elapsed <= 0 {
+					t.Errorf("%s: %s has zero Elapsed", name, step.Expr)
+				}
+			}
+		}
+		if n != len(s) {
+			t.Errorf("%s: %d steps reported, want %d", name, n, len(s))
+		}
+		if rep.Elapsed <= 0 {
+			t.Errorf("%s: report Elapsed not set", name)
+		}
+	}
+	// DAG steps carry a worker id within the pool bound.
+	for _, stage := range dagRep.Steps {
+		for _, step := range stage {
+			if step.Worker < 0 || step.Worker >= 2 {
+				t.Errorf("dag: %s ran on worker %d, pool size 2", step.Expr, step.Worker)
+			}
+		}
+	}
+}
+
+// failingStrategy puts one mid-DAG failure (Comp on a base view is rejected
+// by the engine) among healthy expressions.
+func failingStrategy() strategy.Strategy {
+	return strategy.Strategy{
+		strategy.Comp{View: "J1", Over: []string{"R"}},
+		strategy.Comp{View: "R", Over: []string{"R"}}, // fails: R is base
+		strategy.Comp{View: "J2", Over: []string{"R"}},
+		strategy.Inst{View: "R"},
+		strategy.Comp{View: "J1", Over: []string{"S"}},
+		strategy.Inst{View: "S"},
+		strategy.Inst{View: "J1"}, strategy.Inst{View: "J2"},
+	}
+}
+
+// TestExecuteDAGErrorDeterministic: a Comp failing mid-DAG cancels
+// scheduling and the same error comes back on every run, across repeated
+// trials and pool sizes.
+func TestExecuteDAGErrorDeterministic(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		w := newWarehouse(t)
+		stageChanges(t, w)
+		d := BuildDAG(failingStrategy(), w.Children)
+		_, err := ExecuteDAG(w, d, Options{Workers: 1 + trial%4})
+		if err == nil {
+			t.Fatal("failing strategy executed without error")
+		}
+		if !strings.Contains(err.Error(), "Comp(R, {R})") {
+			t.Fatalf("trial %d: first error not deterministic: %v", trial, err)
+		}
+	}
+}
+
+// TestExecuteDAGFirstErrorSmallestIndex: when several expressions fail in
+// one run, the error reported is the one earliest in strategy order (the
+// tie-break that makes concurrent failures deterministic).
+func TestExecuteDAGFirstErrorSmallestIndex(t *testing.T) {
+	s := strategy.Strategy{
+		strategy.Comp{View: "R", Over: []string{"R"}}, // fails first in order
+		strategy.Comp{View: "S", Over: []string{"S"}}, // also fails
+		strategy.Inst{View: "R"}, strategy.Inst{View: "S"},
+	}
+	for trial := 0; trial < 20; trial++ {
+		w := newWarehouse(t)
+		stageChanges(t, w)
+		d := BuildDAG(s, w.Children)
+		// One worker: the ready queue is FIFO in strategy order, so the run
+		// itself is deterministic and both failures race only in index.
+		_, err := ExecuteDAG(w, d, Options{Workers: 1})
+		if err == nil || !strings.Contains(err.Error(), "Comp(R, {R})") {
+			t.Fatalf("trial %d: err = %v, want Comp(R, {R}) failure", trial, err)
+		}
+	}
+}
+
+// TestExecuteDAGNoGoroutineLeak: after many failing and cancelled runs, the
+// goroutine count returns to its baseline — no worker is left blocked on
+// the ready queue.
+func TestExecuteDAGNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		w := newWarehouse(t)
+		stageChanges(t, w)
+		d := BuildDAG(failingStrategy(), w.Children)
+		if _, err := ExecuteDAG(w, d, Options{Workers: 4}); err == nil {
+			t.Fatal("expected error")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		w2 := newWarehouse(t)
+		stageChanges(t, w2)
+		d2 := BuildDAG(dualStage(w2), w2.Children)
+		if _, err := ExecuteDAG(w2, d2, Options{Workers: 4, Context: ctx}); err == nil {
+			t.Fatal("cancelled run reported success")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // give exited goroutines a chance to be reaped
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExecuteDAGCancelledContext: a pre-cancelled context runs nothing.
+func TestExecuteDAGCancelledContext(t *testing.T) {
+	w := newWarehouse(t)
+	stageChanges(t, w)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := BuildDAG(dualStage(w), w.Children)
+	rep, err := ExecuteDAG(w, d, Options{Context: ctx})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.TotalWork != 0 {
+		t.Errorf("cancelled run did work: %d", rep.TotalWork)
+	}
+}
+
+// TestRunValidateRejects: Run refuses an incorrect strategy before touching
+// the warehouse.
+func TestRunValidateRejects(t *testing.T) {
+	w := newWarehouse(t)
+	stageChanges(t, w)
+	// Install(R) before Comp(J1,{R}) violates C3: the comp reads δR after
+	// it was folded in.
+	bad := strategy.Strategy{
+		strategy.Inst{View: "R"},
+		strategy.Comp{View: "J1", Over: []string{"R"}},
+		strategy.Comp{View: "J1", Over: []string{"S"}},
+		strategy.Comp{View: "J2", Over: []string{"R"}},
+		strategy.Inst{View: "S"},
+		strategy.Inst{View: "J1"}, strategy.Inst{View: "J2"},
+	}
+	if _, err := Run(w, bad, w.Children, exec.ModeDAG, Options{Validate: true}); err == nil {
+		t.Fatal("incorrect strategy accepted")
+	}
+	if _, err := Run(w, dualStage(w), w.Children, "bogus", Options{}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestExecuteDAGEmpty: a zero-node DAG completes trivially.
+func TestExecuteDAGEmpty(t *testing.T) {
+	w := newWarehouse(t)
+	rep, err := ExecuteDAG(w, BuildDAG(nil, w.Children), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalWork != 0 || len(rep.Steps) != 0 {
+		t.Errorf("empty DAG produced work: %+v", rep)
+	}
+}

@@ -92,6 +92,11 @@ type (
 	ParallelPlan = parallel.Plan
 	// ParallelReport is the measured outcome of a parallel execution.
 	ParallelReport = parallel.Report
+	// Mode selects how a strategy's expressions are scheduled: one at a
+	// time (ModeSequential), as barrier-separated stages (ModeStaged), or
+	// barrier-free over the precedence DAG with a bounded worker pool
+	// (ModeDAG).
+	Mode = exec.Mode
 
 	// ViewDef is a bound view definition (use DefineViewSQL or the algebra
 	// builder to construct one).
@@ -120,6 +125,17 @@ var (
 	// Null is the SQL NULL value.
 	Null = relation.Null
 )
+
+// Execution modes for ExecuteMode and RunWindowMode.
+const (
+	ModeSequential = exec.ModeSequential
+	ModeStaged     = exec.ModeStaged
+	ModeDAG        = exec.ModeDAG
+)
+
+// ParseMode maps a user-facing mode name ("sequential"/"seq", "staged",
+// "dag") to a Mode.
+var ParseMode = exec.ParseMode
 
 // DefaultCostModel weights compute-scanned and installed tuples equally.
 var DefaultCostModel = cost.DefaultModel
@@ -471,6 +487,18 @@ func (w *Warehouse) Parallelize(s Strategy) ParallelPlan {
 // stage.
 func (w *Warehouse) ExecuteParallel(p ParallelPlan) (ParallelReport, error) {
 	return parallel.Execute(w.core, p)
+}
+
+// ExecuteMode runs a strategy under the given scheduling mode after
+// validating it. workers bounds the ModeDAG worker pool (0 means
+// runtime.GOMAXPROCS(0)); the other modes ignore it. The report's
+// TotalWork, SpanWork and CriticalPathWork are all measured on the same
+// run, so modes compare directly.
+func (w *Warehouse) ExecuteMode(s Strategy, mode Mode, workers int) (ParallelReport, error) {
+	return parallel.Run(w.core, s, w.core.Children, mode, parallel.Options{
+		Workers:  workers,
+		Validate: true,
+	})
 }
 
 // Verify checks every derived view against a from-scratch recomputation.

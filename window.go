@@ -32,6 +32,12 @@ type WindowReport struct {
 	Plan Plan
 	// Report is the measured execution.
 	Report Report
+	// Mode records how the strategy was scheduled (sequential when zero).
+	Mode Mode
+	// Parallel carries the scheduling metrics (TotalWork, SpanWork,
+	// CriticalPathWork, per-worker steps) for windows run through
+	// RunWindowMode with a concurrent mode; nil for sequential windows.
+	Parallel *ParallelReport
 	// Started is when the window began.
 	Started time.Time
 	// StaleAfter lists views left stale (deferred maintenance).
@@ -40,6 +46,11 @@ type WindowReport struct {
 
 // String summarizes the window.
 func (r WindowReport) String() string {
+	if r.Parallel != nil {
+		return fmt.Sprintf("window %d [%s, %s ×%d]: %s (span %d, critical path %d)",
+			r.Seq, r.Planner, r.Mode, r.Parallel.Workers, r.Report,
+			r.Parallel.SpanWork, r.Parallel.CriticalPathWork)
+	}
 	return fmt.Sprintf("window %d [%s]: %s", r.Seq, r.Planner, r.Report)
 }
 
@@ -48,6 +59,15 @@ func (r WindowReport) String() string {
 // warehouse's history. Changes must already be staged (StageDelta /
 // StageDeltaCSV).
 func (w *Warehouse) RunWindow(planner PlannerName) (WindowReport, error) {
+	return w.RunWindowMode(planner, ModeSequential, 0)
+}
+
+// RunWindowMode is RunWindow with an explicit scheduling mode: the planned
+// strategy executes sequentially, as barrier-separated stages, or
+// barrier-free over its precedence DAG with a pool of up to workers
+// goroutines (0 means runtime.GOMAXPROCS(0)). Concurrent windows carry
+// their scheduling metrics in WindowReport.Parallel.
+func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (WindowReport, error) {
 	var (
 		plan Plan
 		err  error
@@ -67,20 +87,49 @@ func (w *Warehouse) RunWindow(planner PlannerName) (WindowReport, error) {
 		return WindowReport{}, err
 	}
 	started := time.Now()
-	rep, err := w.Execute(plan.Strategy)
-	if err != nil {
-		return WindowReport{}, err
-	}
 	window := WindowReport{
-		Seq:        len(w.history) + 1,
-		Planner:    planner,
-		Plan:       plan,
-		Report:     rep,
-		Started:    started,
-		StaleAfter: w.StaleViews(),
+		Seq:     len(w.history) + 1,
+		Planner: planner,
+		Plan:    plan,
+		Started: started,
 	}
+	switch mode {
+	case ModeSequential, "":
+		window.Mode = ModeSequential
+		window.Report, err = w.Execute(plan.Strategy)
+		if err != nil {
+			return WindowReport{}, err
+		}
+	default:
+		pr, err := w.ExecuteMode(plan.Strategy, mode, workers)
+		if err != nil {
+			return WindowReport{}, err
+		}
+		window.Mode = pr.Mode
+		window.Parallel = &pr
+		window.Report = sequentialView(plan.Strategy, pr)
+	}
+	window.StaleAfter = w.StaleViews()
 	w.history = append(w.history, window)
 	return window, nil
+}
+
+// sequentialView flattens a parallel report into the exec.Report shape the
+// window history stores, so TotalWindowWork and friends see concurrent
+// windows too.
+func sequentialView(s Strategy, pr ParallelReport) Report {
+	rep := Report{Strategy: s, Elapsed: pr.Elapsed}
+	for _, stage := range pr.Steps {
+		for _, step := range stage {
+			rep.Steps = append(rep.Steps, step)
+			if _, ok := step.Expr.(Comp); ok {
+				rep.CompWork += step.Work
+			} else {
+				rep.InstWork += step.Work
+			}
+		}
+	}
+	return rep
 }
 
 // History returns the executed windows in order.

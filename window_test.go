@@ -81,6 +81,68 @@ func TestRunWindowAndHistory(t *testing.T) {
 	}
 }
 
+func TestRunWindowModes(t *testing.T) {
+	w := newRetail(t)
+
+	// Window 1: staged parallel execution through the facade.
+	stageSale(t, w)
+	win1, err := w.RunWindowMode(MinWorkPlanner, ModeStaged, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win1.Mode != ModeStaged || win1.Parallel == nil {
+		t.Fatalf("window 1 = %+v", win1)
+	}
+	if win1.Report.TotalWork() != win1.Parallel.TotalWork {
+		t.Errorf("flattened report work %d != parallel total %d",
+			win1.Report.TotalWork(), win1.Parallel.TotalWork)
+	}
+	if !strings.Contains(win1.String(), "[minwork, staged") {
+		t.Errorf("window string = %q", win1.String())
+	}
+
+	// Window 2: barrier-free DAG execution.
+	d, err := w.NewDelta("SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(Tuple{Int(105), Int(1), Float(3)}, 1)
+	if err := w.StageDelta("SALES", d); err != nil {
+		t.Fatal(err)
+	}
+	win2, err := w.RunWindowMode(DualStagePlanner, ModeDAG, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win2.Mode != ModeDAG || win2.Parallel == nil {
+		t.Fatalf("window 2 = %+v", win2)
+	}
+	pr := win2.Parallel
+	if pr.CriticalPathWork > pr.SpanWork || pr.SpanWork > pr.TotalWork {
+		t.Errorf("metric ordering violated: critpath %d span %d total %d",
+			pr.CriticalPathWork, pr.SpanWork, pr.TotalWork)
+	}
+	if !strings.Contains(win2.String(), "dag") || !strings.Contains(win2.String(), "critical path") {
+		t.Errorf("window string = %q", win2.String())
+	}
+
+	// History records both scheduling styles.
+	if len(w.History()) != 2 {
+		t.Fatalf("history = %d windows", len(w.History()))
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWindowModeRejectsUnknown(t *testing.T) {
+	w := newRetail(t)
+	stageSale(t, w)
+	if _, err := w.RunWindowMode(MinWorkPlanner, Mode("bogus"), 0); err == nil {
+		t.Errorf("unknown mode accepted")
+	}
+}
+
 func TestRunWindowUnknownPlanner(t *testing.T) {
 	w := newRetail(t)
 	if _, err := w.RunWindow("nope"); err == nil {
