@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench
+.PHONY: all build test race fuzz bench bench-smoke
 
 all: build test
 
@@ -28,3 +28,8 @@ fuzz:
 
 bench:
 	$(GO) test . -run '^$$' -bench . -benchtime 1x
+
+# One-iteration pass over the Compute benchmarks with allocation stats:
+# cheap enough for CI, and catches probe-path allocation regressions.
+bench-smoke:
+	$(GO) test . -run '^$$' -bench 'BenchmarkCompute' -benchtime 1x -benchmem

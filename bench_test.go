@@ -313,6 +313,90 @@ func BenchmarkEnginePrimitives(b *testing.B) {
 	})
 }
 
+// benchTermState holds the SF 0.01 mixed-workload warehouse the term-
+// parallel Compute benchmarks share (built once; ~0.5s).
+var benchTermState struct {
+	once sync.Once
+	err  error
+	tw   *tpcd.Warehouse
+}
+
+func benchTermSetup(b *testing.B) *tpcd.Warehouse {
+	benchTermState.once.Do(func() {
+		tw, err := tpcd.NewWarehouse(tpcd.Config{SF: 0.01, Seed: 7})
+		if err != nil {
+			benchTermState.err = err
+			return
+		}
+		if _, err := tw.StageChanges(tpcd.Mixed(0.10, 0.05)); err != nil {
+			benchTermState.err = err
+			return
+		}
+		benchTermState.tw = tw
+	})
+	if benchTermState.err != nil {
+		b.Fatal(benchTermState.err)
+	}
+	return benchTermState.tw
+}
+
+// BenchmarkComputeTermParallel measures the intra-Compute parallel engine on
+// the 63-term Comp(Q5, all six base views) — the multi-term expression the
+// dual-stage strategy pays for — at SF 0.01 under the mixed change workload.
+// "seq" is the classic single-threaded engine; "w=N" rows run ParallelTerms
+// with that worker budget (w=1 is strictly serial through the same code
+// path, so w=4 vs w=1 isolates the parallel speedup from the build-cache
+// win). Compute only accumulates pending changes, so iterations repeat
+// identical work on the same warehouse.
+func BenchmarkComputeTermParallel(b *testing.B) {
+	tw := benchTermSetup(b)
+	children := tw.W.Children(tpcd.Q5)
+	run := func(b *testing.B, w *tpcd.Warehouse) {
+		b.Helper()
+		b.ReportAllocs()
+		var saved int64
+		for i := 0; i < b.N; i++ {
+			rep, err := w.W.Compute(tpcd.Q5, children)
+			if err != nil {
+				b.Fatal(err)
+			}
+			saved = rep.BuildTuplesSaved
+		}
+		b.ReportMetric(float64(saved), "tuples_saved")
+	}
+	b.Run("seq", func(b *testing.B) {
+		w := tw.W.Clone()
+		b.ResetTimer()
+		run(b, &tpcd.Warehouse{W: w})
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			w := tw.W.Clone()
+			opts := w.Options()
+			opts.ParallelTerms, opts.Workers = true, workers
+			w.SetOptions(opts)
+			b.ResetTimer()
+			run(b, &tpcd.Warehouse{W: w})
+		})
+	}
+}
+
+// BenchmarkComputeProbeAllocs isolates the probe-path allocation diet on the
+// single-term Comp(Q3, {LINEITEM}): the hot loop reuses key-encoding buffers
+// and a scratch output row, so allocs/op stays proportional to output rows,
+// not probe rows.
+func BenchmarkComputeProbeAllocs(b *testing.B) {
+	tw := benchTermSetup(b)
+	w := tw.W.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Compute(tpcd.Q3, []string{tpcd.LineItem}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIndexedExecution compares the default scan-per-term execution
 // model (the linear work metric's assumption) against maintained hash
 // indexes on base tables — the storage-representation lever of the paper's

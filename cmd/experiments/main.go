@@ -28,18 +28,19 @@ func main() {
 
 	cfg := experiments.Config{SF: *sf, Seed: *seed, ChangeFrac: *p}
 	runners := map[string]func(experiments.Config) (experiments.Result, error){
-		"table1":      func(experiments.Config) (experiments.Result, error) { return experiments.Table1(), nil },
-		"fig12":       experiments.Fig12,
-		"fig13":       experiments.Fig13,
-		"fig14":       experiments.Fig14,
-		"fig15":       experiments.Fig15,
-		"parallel":    experiments.Parallel,
-		"stagedvsdag": experiments.StagedVsDAG,
-		"metric":      experiments.MetricAblation,
-		"estimation":  experiments.Estimation,
-		"deep":        experiments.Deep,
+		"table1":       func(experiments.Config) (experiments.Result, error) { return experiments.Table1(), nil },
+		"fig12":        experiments.Fig12,
+		"fig13":        experiments.Fig13,
+		"fig14":        experiments.Fig14,
+		"fig15":        experiments.Fig15,
+		"parallel":     experiments.Parallel,
+		"stagedvsdag":  experiments.StagedVsDAG,
+		"termparallel": experiments.TermParallel,
+		"metric":       experiments.MetricAblation,
+		"estimation":   experiments.Estimation,
+		"deep":         experiments.Deep,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "metric", "estimation", "deep"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep"}
 
 	var ids []string
 	if *only != "" {

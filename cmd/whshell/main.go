@@ -12,6 +12,7 @@
 //	DELTA <view> FROM '<file.csv>';             stage a change batch (CSV, __count column)
 //	REFRESH;                                    materialize derived views
 //	WINDOW [planner] [STAGED|DAG [workers]];    plan + execute an update window
+//	PARALLEL ON|OFF [workers];                  intra-compute term/morsel parallelism
 //	SELECT ...;                                 ad-hoc query
 //	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
 //	DEFER <view> ON|OFF;                        deferred maintenance policy
@@ -223,6 +224,34 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 		}
 		fmt.Fprintln(sh.out, "ok")
 		return false, nil
+	case "PARALLEL":
+		// PARALLEL ON|OFF [workers]: toggle the intra-Compute parallel
+		// engine (concurrent maintenance terms, morsel-parallel probes,
+		// shared build tables). The worker budget is shared with DAG
+		// windows (WINDOW ... DAG [workers]), so both levels compose.
+		if len(words) < 2 || (words[1] != "ON" && words[1] != "OFF") {
+			return false, fmt.Errorf("usage: PARALLEL ON|OFF [workers]")
+		}
+		on := words[1] == "ON"
+		workers := 0
+		if len(words) > 2 {
+			n, err := strconv.Atoi(words[2])
+			if err != nil || n < 0 {
+				return false, fmt.Errorf("PARALLEL: bad worker count %q", words[2])
+			}
+			workers = n
+		}
+		sh.w.SetParallelism(workers, on)
+		if on {
+			label := "GOMAXPROCS"
+			if workers > 0 {
+				label = strconv.Itoa(workers)
+			}
+			fmt.Fprintf(sh.out, "ok: term-parallel engine on (workers=%s)\n", label)
+		} else {
+			fmt.Fprintln(sh.out, "ok: term-parallel engine off")
+		}
+		return false, nil
 	case "VERIFY":
 		if err := sh.w.Verify(); err != nil {
 			return false, err
@@ -243,6 +272,7 @@ func (sh *shell) help() {
   LOAD <view> FROM '<file.csv>';        DELTA <view> FROM '<file.csv>';
   REFRESH;                              REFRESH STALE;
   WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;
+  PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
   SELECT ... [ORDER BY col [DESC]] [LIMIT n];
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
   DEFER <view> ON|OFF;

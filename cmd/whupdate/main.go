@@ -7,18 +7,25 @@
 //
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
 //	         [-planner minwork|prune|dualstage|reverse]
-//	         [-par sequential|staged|dag] [-workers N] [-skip-empty] [-v]
+//	         [-par sequential|staged|dag] [-workers N] [-par-terms]
+//	         [-skip-empty] [-v] [-cpuprofile f] [-memprofile f]
 //
 // -par staged executes the Section 9 barrier plan (one goroutine per stage
 // expression); -par dag schedules the precedence DAG barrier-free with a
 // pool of -workers goroutines (0 = GOMAXPROCS). -parallel is a deprecated
-// alias for -par staged.
+// alias for -par staged. -par-terms additionally parallelizes *inside* each
+// compute expression (concurrent maintenance terms, morsel-parallel probes,
+// shared build tables); it composes with -par dag under the same -workers
+// budget. -cpuprofile/-memprofile write pprof profiles of the run so
+// term-evaluation hot spots are measurable in the field.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cost"
@@ -36,24 +43,54 @@ func main() {
 	plannerName := flag.String("planner", "minwork", "minwork | prune | dualstage | reverse")
 	parallelFlag := flag.Bool("parallel", false, "deprecated alias for -par staged")
 	par := flag.String("par", "", "execution mode: sequential | staged | dag")
-	workers := flag.Int("workers", 0, "worker-pool size for -par dag (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker budget for -par dag and -par-terms (0 = GOMAXPROCS)")
+	parTerms := flag.Bool("par-terms", false, "parallelize inside each compute expression (terms + morsels, shared builds)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
 	verbose := flag.Bool("v", false, "print per-expression work")
 	dot := flag.Bool("dot", false, "print the expression graph (Graphviz) instead of executing")
 	script := flag.Bool("script", false, "print the §5.5 update script and stored-procedure catalog instead of executing")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Parse()
 
 	parName := *par
 	if parName == "" && *parallelFlag {
 		parName = "staged"
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whupdate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "whupdate:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(options{
 		sf: *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
-		par: parName, workers: *workers, skipEmpty: *skipEmpty, verbose: *verbose,
+		par: parName, workers: *workers, parTerms: *parTerms,
+		skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whupdate:", err)
 		os.Exit(1)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whupdate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "whupdate:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -62,6 +99,7 @@ type options struct {
 	seed                 int64
 	planner, par         string
 	workers              int
+	parTerms             bool
 	skipEmpty            bool
 	verbose, dot, script bool
 }
@@ -75,9 +113,15 @@ func run(o options) error {
 		return err
 	}
 	start := time.Now()
-	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty})
+	tw, err := tpcd.NewWarehouse(tpcd.Config{
+		SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty,
+		ParallelTerms: o.parTerms, Workers: o.workers,
+	})
 	if err != nil {
 		return err
+	}
+	if o.parTerms {
+		fmt.Printf("term-parallel engine on (workers=%d)\n", o.workers)
 	}
 	fmt.Printf("built TPC-D warehouse (SF=%g) in %s\n", sf, time.Since(start).Round(time.Millisecond))
 	for _, v := range tw.W.ViewNames() {
@@ -168,8 +212,9 @@ func run(o options) error {
 		if verbose {
 			for _, stage := range rep.Steps {
 				for _, step := range stage {
-					fmt.Printf("  %-28s work=%8d worker=%d %s\n",
-						step.Expr, step.Work, step.Worker, step.Elapsed.Round(time.Microsecond))
+					fmt.Printf("  %-28s work=%8d worker=%d %s%s\n",
+						step.Expr, step.Work, step.Worker, step.Elapsed.Round(time.Microsecond),
+						cacheSuffix(step))
 				}
 			}
 		}
@@ -182,8 +227,9 @@ func run(o options) error {
 		}
 		if verbose {
 			for _, step := range rep.Steps {
-				fmt.Printf("  %-28s work=%8d terms=%2d %s\n",
-					step.Expr, step.Work, step.Terms, step.Elapsed.Round(time.Microsecond))
+				fmt.Printf("  %-28s work=%8d terms=%2d %s%s\n",
+					step.Expr, step.Work, step.Terms, step.Elapsed.Round(time.Microsecond),
+					cacheSuffix(step))
 			}
 		}
 		fmt.Printf("update window: %s\n", rep)
@@ -195,4 +241,14 @@ func run(o options) error {
 	}
 	fmt.Printf("verified against recomputation in %s\n", time.Since(t0).Round(time.Millisecond))
 	return nil
+}
+
+// cacheSuffix renders a step's build-cache accounting (term-parallel engine
+// only; empty otherwise).
+func cacheSuffix(step exec.StepReport) string {
+	if step.CacheHits+step.CacheMisses == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" cache=%d/%d saved=%d",
+		step.CacheHits, step.CacheHits+step.CacheMisses, step.CacheTuplesSaved)
 }

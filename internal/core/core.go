@@ -39,6 +39,26 @@ type Options struct {
 	// scan-everything model; off by default so measurements match the
 	// metric the paper validates.
 	UseIndexes bool
+	// ParallelTerms enables the intra-Compute parallel engine: the 2^r − 1
+	// maintenance terms of one Comp evaluate concurrently, each join step's
+	// probe rows are dispatched in fixed-size morsels to a bounded worker
+	// pool, build-side hash tables are shared across terms through a
+	// per-Compute cache, and term output merges into the view's pending
+	// state through sharded, mutex-protected sinks. The produced bag of
+	// change rows — and the reported OperandTuples work — is identical to
+	// sequential evaluation; only wall-clock and physical scans differ.
+	// Off by default: the sequential engine is the paper's measured system.
+	ParallelTerms bool
+	// Workers bounds the warehouse-wide worker budget for ParallelTerms
+	// (0 = GOMAXPROCS). The pool is shared by every concurrent Compute, so
+	// term- and morsel-level parallelism composes with DAG-level strategy
+	// scheduling without multiplying goroutines: the submitting goroutine
+	// counts as one worker and at most Workers−1 extra goroutines run at
+	// any moment.
+	Workers int
+	// MorselSize overrides the number of probe rows per parallel morsel
+	// (0 = DefaultMorselSize). Mainly a test/tuning knob.
+	MorselSize int
 }
 
 // View is one materialized warehouse view.
@@ -133,18 +153,29 @@ type Warehouse struct {
 	views map[string]*View
 	order []string // definition order; children always precede parents
 	opts  Options
+	pool  *workerPool // shared budget for ParallelTerms (nil when off)
 }
 
 // New creates an empty warehouse.
 func New(opts Options) *Warehouse {
-	return &Warehouse{views: make(map[string]*View), opts: opts}
+	w := &Warehouse{views: make(map[string]*View)}
+	w.SetOptions(opts)
+	return w
 }
 
 // Options returns the warehouse's execution options.
 func (w *Warehouse) Options() Options { return w.opts }
 
-// SetOptions replaces the execution options.
-func (w *Warehouse) SetOptions(o Options) { w.opts = o }
+// SetOptions replaces the execution options and resizes the intra-Compute
+// worker pool accordingly. Not safe to call while strategies execute.
+func (w *Warehouse) SetOptions(o Options) {
+	w.opts = o
+	if o.ParallelTerms {
+		w.pool = newWorkerPool(o.Workers)
+	} else {
+		w.pool = nil
+	}
+}
 
 // DefineBase registers a base view with the given schema.
 func (w *Warehouse) DefineBase(name string, schema relation.Schema) error {

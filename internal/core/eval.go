@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/delta"
@@ -19,13 +20,26 @@ type CompReport struct {
 	Terms int
 	// OperandTuples is the total number of tuples scanned across all term
 	// operands — the quantity the linear work metric models as the work of
-	// a compute expression.
+	// a compute expression. It is independent of the build cache: the
+	// metric models every term's operand scan, whether or not the physical
+	// build-side hash table was shared (see BuildTuplesSaved).
 	OperandTuples int64
 	// OutputTuples is the number of (signed) change rows produced.
 	OutputTuples int64
 	// Skipped reports that the whole expression was elided because every
 	// delta operand was empty (only with Options.SkipEmptyDeltas).
 	Skipped bool
+	// BuildCacheHits counts join-step build tables served from the
+	// per-Compute build cache instead of re-scanning and re-hashing the
+	// operand (ParallelTerms engine only; 0 otherwise).
+	BuildCacheHits int
+	// BuildCacheMisses counts build tables physically constructed
+	// (ParallelTerms engine only; 0 otherwise).
+	BuildCacheMisses int
+	// BuildTuplesSaved totals the operand tuples whose physical re-scan the
+	// shared builds elided. OperandTuples still includes them: shared
+	// builds change the machine's work, not the metric's.
+	BuildTuplesSaved int64
 }
 
 // source abstracts the two operand kinds a term reads: a view's current
@@ -41,6 +55,16 @@ func (s deltaSource) Cardinality() int64 { return s.d.Size() }
 func (s deltaSource) Scan(fn func(relation.Tuple, int64) bool) {
 	s.d.Scan(fn)
 }
+
+// sinkFn consumes one joined-and-filtered row with its signed multiplicity.
+// Implementations must not retain the tuple: hot paths reuse the backing
+// array across calls.
+type sinkFn = func(row relation.Tuple, count int64)
+
+// sinkFactory hands out sink closures. Each concurrent task (term, morsel)
+// requests its own so per-call scratch buffers stay goroutine-local; the
+// sequential engine's factory returns one shared closure.
+type sinkFactory = func() sinkFn
 
 // Compute evaluates Comp(name, over): it propagates the pending deltas of
 // the views in over into the pending delta of the named view, reading the
@@ -87,9 +111,14 @@ func (w *Warehouse) Compute(name string, over []string) (CompReport, error) {
 		}
 	}
 
+	if w.opts.ParallelTerms {
+		return w.computeParallel(rep, v, terms, deltas)
+	}
+
 	sink, flush := w.makeSink(v)
+	sinks := seqSinks(sink)
 	for _, term := range terms {
-		scanned, terr := w.evalTerm(v.def, term, deltas, sink)
+		scanned, terr := w.evalTerm(v.def, term, deltas, sinks, nil)
 		if terr != nil {
 			return rep, terr
 		}
@@ -102,8 +131,9 @@ func (w *Warehouse) Compute(name string, over []string) (CompReport, error) {
 
 // makeSink returns the row sink that folds term output rows into the view's
 // pending change state, plus a flush function returning how many change rows
-// were produced by this Compute call.
-func (w *Warehouse) makeSink(v *View) (func(row relation.Tuple, count int64), func() int64) {
+// were produced by this Compute call. Single-threaded; the parallel engine
+// uses makeShardedSink instead.
+func (w *Warehouse) makeSink(v *View) (sinkFn, func() int64) {
 	if v.agg != nil {
 		if v.pendingPartials == nil {
 			v.pendingPartials = delta.NewGroupPartials(v.def.GroupSchema(), v.def.AggSpecs())
@@ -151,18 +181,97 @@ type operand struct {
 	src     source
 }
 
+// evalEnv carries the intra-term parallel machinery: the per-Compute build
+// cache, the warehouse worker pool and the morsel size. A nil env runs the
+// classic single-threaded pipeline with per-term builds.
+type evalEnv struct {
+	cache  *buildCache
+	scans  *scanCache
+	pool   *workerPool
+	morsel int
+}
+
+func (e *evalEnv) morselSize() int {
+	if e == nil || e.morsel <= 0 {
+		return DefaultMorselSize
+	}
+	return e.morsel
+}
+
+func (e *evalEnv) workerPool() *workerPool {
+	if e == nil {
+		return nil
+	}
+	return e.pool
+}
+
+func (e *evalEnv) buildCache() *buildCache {
+	if e == nil {
+		return nil
+	}
+	return e.cache
+}
+
 // evalTerm evaluates one maintenance term of cq: references listed in
 // term.DeltaRefs read their view's pending delta, all others read current
-// state. Joined rows that satisfy every filter are passed to sink with their
-// signed multiplicity. It returns the number of operand tuples scanned.
+// state. Joined rows that satisfy every filter are passed to a sink with
+// their signed multiplicity. It returns the number of operand tuples
+// scanned — the term's linear-metric work, which deliberately counts every
+// build-side operand even when env's cache served the physical table.
 //
 // The plan is a hash-join pipeline: the smallest delta operand drives;
 // remaining operands are joined one at a time, preferring operands connected
 // to the bound prefix by equi-join predicates (composite keys supported),
 // falling back to a cross product when the join graph is disconnected. Every
-// operand is scanned exactly once (to build its hash table), which is
-// precisely the execution model behind the paper's linear work metric.
-func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta, sink func(relation.Tuple, int64)) (int64, error) {
+// operand is (modeled as) scanned exactly once per term to build its hash
+// table, which is precisely the execution model behind the paper's linear
+// work metric. With a non-nil env, the driver rows run as parallel morsels
+// and matches stream straight into per-morsel sinks.
+func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta, sinks sinkFactory, env *evalEnv) (int64, error) {
+	plan, err := w.planTerm(cq, term, deltas)
+	if err != nil {
+		return 0, err
+	}
+	return runTerm(plan, sinks, env)
+}
+
+// termPlan is one maintenance term's fully planned execution: the driver
+// source, the probe pipeline, the deferred build-side requests, and the
+// term's modeled scan work. Planning depends only on cardinalities and
+// predicates — never on the data — so the modeled work (driver cardinality
+// plus every build-side operand's cardinality) is fixed here, independent
+// of what any cache later serves.
+type termPlan struct {
+	driverSrc source
+	scanned   int64
+	pl        pipeline
+	builds    []buildReq
+}
+
+// buildReq defers one default-path build side: pl.steps[step] needs the
+// hash table of src over the key columns cols.
+type buildReq struct {
+	step int
+	src  source
+	cols []int
+}
+
+// runTerm executes a planned term: materialize the driver, resolve the
+// build sides (through env's caches when present), and run the pipeline.
+func runTerm(plan *termPlan, sinks sinkFactory, env *evalEnv) (int64, error) {
+	rows := scanSource(env, plan.driverSrc)
+	for _, br := range plan.builds {
+		plan.pl.steps[br.step].build = buildFor(env, br.src, br.cols)
+	}
+	probed, err := plan.pl.run(rows, sinks, env)
+	if err != nil {
+		return 0, err
+	}
+	return plan.scanned + probed, nil
+}
+
+// planTerm resolves a term's operands and plans its join pipeline.
+func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta) (*termPlan, error) {
 	n := len(cq.Refs)
 	ops := make([]operand, n)
 	isDelta := make([]bool, n)
@@ -172,13 +281,13 @@ func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 	for i, ref := range cq.Refs {
 		child := w.views[ref.View]
 		if child == nil {
-			return 0, fmt.Errorf("core: unknown referenced view %q", ref.View)
+			return nil, fmt.Errorf("core: unknown referenced view %q", ref.View)
 		}
 		var src source
 		if isDelta[i] {
 			d := deltas[ref.View]
 			if d == nil {
-				return 0, fmt.Errorf("core: no delta resolved for %q", ref.View)
+				return nil, fmt.Errorf("core: no delta resolved for %q", ref.View)
 			}
 			src = deltaSource{d}
 		} else {
@@ -204,24 +313,17 @@ func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 		}
 	}
 
-	width := len(cq.JoinedSchema())
-	var scanned int64
-
-	// Materialize the driver.
-	var rows []prow
-	off := cq.RefOffset(driver)
-	ops[driver].src.Scan(func(t relation.Tuple, c int64) bool {
-		full := make(relation.Tuple, width)
-		copy(full[off:], t)
-		rows = append(rows, prow{row: full, count: c})
-		return true
-	})
-	scanned += ops[driver].src.Cardinality()
+	plan := &termPlan{driverSrc: ops[driver].src}
+	plan.scanned += ops[driver].src.Cardinality()
 
 	bound := uint64(1) << uint(driver)
 	applied := make([]bool, len(cq.Filters))
-	// Apply filters local to the driver.
-	rows = applyFilters(cq, rows, bound, applied)
+	plan.pl = pipeline{
+		off:   cq.RefOffset(driver),
+		width: len(cq.JoinedSchema()),
+		// Filters local to the driver run before the first probe.
+		driverPreds: pendingFilters(cq, bound, applied),
+	}
 
 	remaining := make([]int, 0, n-1)
 	for i := range ops {
@@ -259,75 +361,222 @@ func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 		for _, k := range keys {
 			applied[k.filterIdx] = true
 		}
+		// Canonical key order: both the build and probe sides project in
+		// newCol order, so cached build tables are reusable across terms
+		// that discover the same keys in a different sequence.
+		sortKeysByNewCol(keys)
 		roff := cq.RefOffset(i)
+		bound |= 1 << uint(i)
 
-		var out []prow
+		step := joinStep{
+			keys:  keys,
+			roff:  roff,
+			preds: pendingFilters(cq, bound, applied),
+		}
 		if tbl := indexableTable(w, ops[i]); tbl != nil && len(keys) > 0 {
 			// Indexed path: probe a maintained hash index per partial row
 			// instead of scanning the operand. Work counts the probes.
-			sortKeysByNewCol(keys)
 			idxCols := make([]int, len(keys))
 			for ki, k := range keys {
 				idxCols[ki] = k.newCol - roff
 			}
 			if err := tbl.EnsureIndex(idxCols); err != nil {
-				return 0, err
+				return nil, err
 			}
-			for _, pr := range rows {
-				key := make(relation.Tuple, len(keys))
-				for ki, k := range keys {
-					key[ki] = pr.row[k.boundCol]
-				}
-				scanned++
-				err := tbl.Lookup(idxCols, key, func(t relation.Tuple, c int64) bool {
-					full := pr.row.Clone()
-					copy(full[roff:], t)
-					out = append(out, prow{row: full, count: pr.count * c})
-					return true
-				})
-				if err != nil {
-					return 0, err
-				}
-			}
+			step.index = tbl
+			step.idxCols = idxCols
 		} else {
-			// Default path: build a per-term hash table (scan the operand
-			// once), matching the linear work metric's execution model.
-			type entry struct {
-				tup   relation.Tuple
-				count int64
+			// Default path: a build-side hash table over one operand scan,
+			// matching the linear work metric's execution model. The build
+			// itself is deferred to runTerm so the parallel engine can
+			// pre-warm distinct builds concurrently; the metric counts the
+			// scan per term regardless of how the table is served.
+			cols := make([]int, len(keys))
+			for ki, k := range keys {
+				cols[ki] = k.newCol - roff
 			}
-			build := make(map[string][]entry)
-			ops[i].src.Scan(func(t relation.Tuple, c int64) bool {
-				key := make(relation.Tuple, len(keys))
-				for ki, k := range keys {
-					key[ki] = t[k.newCol-roff]
-				}
-				ek := key.Encode()
-				build[ek] = append(build[ek], entry{tup: t, count: c})
-				return true
-			})
-			scanned += ops[i].src.Cardinality()
+			plan.builds = append(plan.builds, buildReq{step: len(plan.pl.steps), src: ops[i].src, cols: cols})
+			plan.scanned += ops[i].src.Cardinality()
+		}
+		plan.pl.steps = append(plan.pl.steps, step)
+	}
+	return plan, nil
+}
 
-			for _, pr := range rows {
-				key := make(relation.Tuple, len(keys))
-				for ki, k := range keys {
-					key[ki] = pr.row[k.boundCol]
-				}
-				for _, e := range build[key.Encode()] {
-					full := pr.row.Clone()
-					copy(full[roff:], e.tup)
-					out = append(out, prow{row: full, count: pr.count * e.count})
-				}
+// joinStep is one planned hash-join step: probe the partial row against an
+// operand via a build table or a maintained index, then apply the filters
+// that just became evaluable.
+type joinStep struct {
+	keys    []equiKey
+	roff    int
+	preds   []algebra.Expr
+	build   *buildTable    // default path (nil when indexed)
+	index   *storage.Table // indexed path
+	idxCols []int
+}
+
+// pipeline is one term's fully planned execution: the driver-local filters
+// plus the ordered join steps. Probing is depth-first and tuple-at-a-time —
+// a partial row is pushed through every remaining step before the next
+// match of the current step is tried — so intermediate join results are
+// never materialized. Each morsel works in a single scratch row of the
+// term's joined width: step i only overwrites its own operand's columns,
+// and the predicates evaluated at depth i only read columns bound at depths
+// ≤ i, so sibling matches can safely reuse the buffer.
+type pipeline struct {
+	off         int // driver's column offset in the joined row
+	width       int // joined-row width
+	driverPreds []algebra.Expr
+	steps       []joinStep
+}
+
+// run pushes the driver rows through the pipeline, splitting them into
+// parallel morsels when env carries a worker pool. It returns the number of
+// index probes performed (0 on the default path — build-side scans are
+// accounted at planning time).
+func (p *pipeline) run(rows []prow, sinks sinkFactory, env *evalEnv) (int64, error) {
+	pool := env.workerPool()
+	ms := env.morselSize()
+	if pool == nil || len(rows) <= ms {
+		return p.runMorsel(rows, sinks())
+	}
+	nm := (len(rows) + ms - 1) / ms
+	probes := make([]int64, nm)
+	errs := make([]error, nm)
+	var wg sync.WaitGroup
+	for m := 0; m < nm; m++ {
+		m := m
+		lo := m * ms
+		hi := lo + ms
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		pool.do(&wg, func() {
+			probes[m], errs[m] = p.runMorsel(rows[lo:hi], sinks())
+		})
+	}
+	wg.Wait()
+	var probed int64
+	for m := 0; m < nm; m++ {
+		if errs[m] != nil {
+			return 0, errs[m]
+		}
+		probed += probes[m]
+	}
+	return probed, nil
+}
+
+// morselState is the per-morsel scratch: the joined row under construction
+// plus per-depth key-projection and key-encoding buffers. All state is
+// local to one morsel, so morsels run concurrently; sink is the morsel's
+// goroutine-local sink closure.
+type morselState struct {
+	scratch relation.Tuple
+	keys    []relation.Tuple
+	encs    [][]byte
+	sink    sinkFn
+}
+
+// runMorsel pushes one slice of driver rows through the whole pipeline.
+func (p *pipeline) runMorsel(rows []prow, sink sinkFn) (int64, error) {
+	st := &morselState{
+		scratch: make(relation.Tuple, p.width),
+		keys:    make([]relation.Tuple, len(p.steps)),
+		encs:    make([][]byte, len(p.steps)),
+		sink:    sink,
+	}
+	for i := range p.steps {
+		st.keys[i] = make(relation.Tuple, len(p.steps[i].keys))
+		st.encs[i] = make([]byte, 0, 64)
+	}
+	var probed int64
+	for ri := range rows {
+		pr := &rows[ri]
+		copy(st.scratch[p.off:], pr.row)
+		ok := true
+		for _, f := range p.driverPreds {
+			if !algebra.EvalBool(f, st.scratch) {
+				ok = false
+				break
 			}
 		}
-		bound |= 1 << uint(i)
-		rows = applyFilters(cq, out, bound, applied)
+		if !ok {
+			continue
+		}
+		n, err := p.probe(0, pr.count, st)
+		probed += n
+		if err != nil {
+			return 0, err
+		}
 	}
+	return probed, nil
+}
 
-	for _, pr := range rows {
-		sink(pr.row, pr.count)
+// probe advances one partial row past step depth. Rows that clear the last
+// step stream into the sink; sinks must not retain the tuple (the scratch
+// row is reused immediately).
+func (p *pipeline) probe(depth int, count int64, st *morselState) (int64, error) {
+	if depth == len(p.steps) {
+		st.sink(st.scratch, count)
+		return 0, nil
 	}
-	return scanned, nil
+	s := &p.steps[depth]
+	keyT := st.keys[depth]
+	for ki, k := range s.keys {
+		keyT[ki] = st.scratch[k.boundCol]
+	}
+	if s.index != nil {
+		// Indexed path: probe the maintained hash index once per arriving
+		// partial row. Work counts the probe.
+		probed := int64(1)
+		var cbErr error
+		err := s.index.Lookup(s.idxCols, keyT, func(t relation.Tuple, c int64) bool {
+			n, eerr := p.emit(depth, t, count*c, st)
+			probed += n
+			if eerr != nil {
+				cbErr = eerr
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = cbErr
+		}
+		return probed, err
+	}
+	enc := keyT.AppendEncoded(st.encs[depth][:0])
+	st.encs[depth] = enc
+	var probed int64
+	bucket := s.build.buckets[hashBytes(enc)]
+	for ei := range bucket {
+		e := &bucket[ei]
+		// Hash-then-verify: the bucket may mix keys that collide on the
+		// 64-bit hash; confirm byte equality before emitting. The
+		// comparison below is allocation-free (no string conversion
+		// escapes).
+		if string(enc) != e.keyEnc {
+			continue
+		}
+		n, err := p.emit(depth, e.tup, count*e.count, st)
+		probed += n
+		if err != nil {
+			return probed, err
+		}
+	}
+	return probed, nil
+}
+
+// emit joins one match into the scratch row, applies the step's filters,
+// and recurses into the next step.
+func (p *pipeline) emit(depth int, t relation.Tuple, count int64, st *morselState) (int64, error) {
+	s := &p.steps[depth]
+	copy(st.scratch[s.roff:], t)
+	for _, pred := range s.preds {
+		if !algebra.EvalBool(pred, st.scratch) {
+			return 0, nil
+		}
+	}
+	return p.probe(depth+1, count, st)
 }
 
 // indexableTable returns the operand's backing counted table when the
@@ -346,7 +595,7 @@ func indexableTable(w *Warehouse, op operand) *storage.Table {
 }
 
 // sortKeysByNewCol orders equi-key pairs by their candidate-side column, the
-// canonical order storage indexes use.
+// canonical order storage indexes and the build cache use.
 func sortKeysByNewCol(keys []equiKey) {
 	sort.Slice(keys, func(a, b int) bool { return keys[a].newCol < keys[b].newCol })
 }
@@ -357,9 +606,9 @@ type prow struct {
 	count int64
 }
 
-// applyFilters applies every not-yet-applied filter whose referenced refs
-// are all bound.
-func applyFilters(cq *algebra.CQ, rows []prow, bound uint64, applied []bool) []prow {
+// pendingFilters collects — and marks applied — every not-yet-applied filter
+// whose referenced refs are all bound.
+func pendingFilters(cq *algebra.CQ, bound uint64, applied []bool) []algebra.Expr {
 	var preds []algebra.Expr
 	for fi, f := range cq.Filters {
 		if applied[fi] {
@@ -370,23 +619,7 @@ func applyFilters(cq *algebra.CQ, rows []prow, bound uint64, applied []bool) []p
 			applied[fi] = true
 		}
 	}
-	if len(preds) == 0 {
-		return rows
-	}
-	out := rows[:0]
-	for _, pr := range rows {
-		ok := true
-		for _, p := range preds {
-			if !algebra.EvalBool(p, pr.row) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, pr)
-		}
-	}
-	return out
+	return preds
 }
 
 // equiKey describes one usable equi-join key pair for a candidate operand.

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+var schemaT = relation.Schema{{Name: "c", Kind: relation.KindInt}, {Name: "d", Kind: relation.KindInt}}
+
+// newThreeWayWarehouse builds base R(a,b), S(b,c), T(c,d), the SPJ view
+// V3 = R ⋈ S ⋈ T (on b and c, selecting a, d) and the summary view
+// A3 = SELECT a, COUNT(*), SUM(d) over the same join — both three-ref
+// views, so Comp over all three children evaluates 2^3−1 = 7 terms and the
+// build cache has real sharing to find.
+func newThreeWayWarehouse(t *testing.T, opts Options) *Warehouse {
+	t.Helper()
+	w := New(opts)
+	for _, base := range []struct {
+		name   string
+		schema relation.Schema
+	}{{"R", schemaR}, {"S", schemaS}, {"T", schemaT}} {
+		if err := w.DefineBase(base.name, base.schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vb := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS).From("tt", "T", schemaT)
+	vb.Join("r.b", "s.b").Join("s.c", "tt.c").SelectCol("r.a").SelectCol("tt.d")
+	v3, err := vb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDerived("V3", v3); err != nil {
+		t.Fatal(err)
+	}
+	ab := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS).From("tt", "T", schemaT)
+	ab.Join("r.b", "s.b").Join("s.c", "tt.c").GroupByCol("r.a")
+	ab.Agg("n", delta.AggCount, nil).Agg("total", delta.AggSum, ab.Col("tt.d"))
+	a3, err := ab.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDerived("A3", a3); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stageRandomChanges loads random base data, refreshes, and stages a mixed
+// change batch per base view: deletes of loaded rows plus fresh inserts,
+// with multiplicities > 1 so bag semantics are exercised.
+func stageRandomChanges(t *testing.T, w *Warehouse, rng *rand.Rand) {
+	t.Helper()
+	loaded := map[string][]relation.Tuple{}
+	gen := func(name string, n int, mk func() relation.Tuple) {
+		rows := make([]relation.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			rows = append(rows, mk())
+		}
+		if err := w.LoadBase(name, rows); err != nil {
+			t.Fatal(err)
+		}
+		loaded[name] = rows
+	}
+	gen("R", 40+rng.Intn(40), func() relation.Tuple { return intRow(rng.Int63n(10), rng.Int63n(5)) })
+	gen("S", 30+rng.Intn(30), func() relation.Tuple { return intRow(rng.Int63n(5), rng.Int63n(5)) })
+	gen("T", 30+rng.Intn(30), func() relation.Tuple { return intRow(rng.Int63n(5), rng.Int63n(100)) })
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	schemas := map[string]relation.Schema{"R": schemaR, "S": schemaS, "T": schemaT}
+	for name, rows := range loaded {
+		d := delta.New(schemas[name])
+		for _, tup := range rows {
+			if rng.Intn(4) == 0 {
+				d.Add(tup, -1)
+			}
+		}
+		for i := 0; i < 5+rng.Intn(10); i++ {
+			d.Add(intRow(rng.Int63n(10), rng.Int63n(5)), 1+rng.Int63n(3))
+		}
+		if err := w.StageDelta(name, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func sameDelta(t *testing.T, label string, a, b *delta.Delta) {
+	t.Helper()
+	sa, sb := a.Sorted(), b.Sorted()
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: %d vs %d distinct changes", label, len(sa), len(sb))
+	}
+	for i := range sa {
+		if relation.CompareTuples(sa[i].Tuple, sb[i].Tuple) != 0 || sa[i].Count != sb[i].Count {
+			t.Fatalf("%s: change %d differs: %v×%d vs %v×%d",
+				label, i, sa[i].Tuple, sa[i].Count, sb[i].Tuple, sb[i].Count)
+		}
+	}
+}
+
+// TestParallelTermsMatchesSequential drives the parallel engine across
+// worker counts and morsel sizes (including degenerate one-row morsels)
+// against the sequential engine on the same staged changes: the produced
+// delta bags, the work accounting (OperandTuples — identical with and
+// without the build cache), and the post-install states must all agree,
+// and installs must survive the recomputation oracle.
+func TestParallelTermsMatchesSequential(t *testing.T) {
+	for _, cfg := range []struct {
+		workers, morsel int
+	}{
+		{1, 1024}, {2, 1}, {4, 4}, {4, 1024}, {8, 16},
+	} {
+		for _, useIndexes := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/morsel=%d/indexes=%v", cfg.workers, cfg.morsel, useIndexes)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(cfg.workers*1000 + cfg.morsel)))
+				base := newThreeWayWarehouse(t, Options{UseIndexes: useIndexes})
+				stageRandomChanges(t, base, rng)
+
+				seq := base.Clone()
+				par := base.Clone()
+				par.SetOptions(Options{
+					UseIndexes:    useIndexes,
+					ParallelTerms: true,
+					Workers:       cfg.workers,
+					MorselSize:    cfg.morsel,
+				})
+
+				over := []string{"R", "S", "T"}
+				for _, view := range []string{"V3", "A3"} {
+					seqRep, err := seq.Compute(view, over)
+					if err != nil {
+						t.Fatal(err)
+					}
+					parRep, err := par.Compute(view, over)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if parRep.Terms != seqRep.Terms {
+						t.Fatalf("%s: terms %d vs %d", view, parRep.Terms, seqRep.Terms)
+					}
+					if parRep.OperandTuples != seqRep.OperandTuples {
+						t.Fatalf("%s: OperandTuples %d (parallel) vs %d (sequential) — the build cache must not change the linear work metric",
+							view, parRep.OperandTuples, seqRep.OperandTuples)
+					}
+					if parRep.OutputTuples != seqRep.OutputTuples {
+						t.Fatalf("%s: OutputTuples %d vs %d", view, parRep.OutputTuples, seqRep.OutputTuples)
+					}
+					if !useIndexes {
+						// 7 terms over 3 shared states: the cache must fire.
+						if parRep.BuildCacheHits == 0 || parRep.BuildCacheMisses == 0 {
+							t.Fatalf("%s: expected build-cache traffic, got hits=%d misses=%d",
+								view, parRep.BuildCacheHits, parRep.BuildCacheMisses)
+						}
+						if parRep.BuildTuplesSaved <= 0 {
+							t.Fatalf("%s: expected saved build tuples, got %d", view, parRep.BuildTuplesSaved)
+						}
+					}
+					if seqRep.BuildCacheHits != 0 || seqRep.BuildTuplesSaved != 0 {
+						t.Fatalf("%s: sequential engine reported cache traffic", view)
+					}
+					ds, err := seq.DeltaOf(view)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dp, err := par.DeltaOf(view)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameDelta(t, view, dp, ds)
+				}
+
+				for _, w := range []*Warehouse{seq, par} {
+					for _, view := range []string{"V3", "A3", "R", "S", "T"} {
+						if _, err := w.Install(view); err != nil {
+							t.Fatalf("install %s: %v", view, err)
+						}
+					}
+				}
+				if err := par.VerifyAll(); err != nil {
+					t.Fatalf("parallel warehouse diverged from recomputation: %v", err)
+				}
+				for _, view := range []string{"V3", "A3"} {
+					if !parTable(seq, view).Equal(parTable(par, view)) {
+						t.Fatalf("%s: installed states differ", view)
+					}
+				}
+			})
+		}
+	}
+}
+
+// parTable renders a view's current state as a plain table for comparison.
+func parTable(w *Warehouse, name string) *storage.Table {
+	v := w.MustView(name)
+	if v.agg != nil {
+		return v.agg.AsTable()
+	}
+	return v.table
+}
+
+// TestParallelTermsSingleRef checks the degenerate cases: a one-ref view
+// (single term, no cache sharing) and an empty change batch.
+func TestParallelTermsSingleRef(t *testing.T) {
+	w := newJoinWarehouse(t)
+	loadJoinData(t, w)
+	w.SetOptions(Options{ParallelTerms: true, Workers: 4, MorselSize: 1})
+
+	d := delta.New(schemaR)
+	d.Add(intRow(7, 10), 2)
+	d.Add(intRow(1, 10), -1)
+	if err := w.StageDelta("R", d); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Compute("J", []string{"R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Terms != 1 || rep.BuildCacheHits != 0 {
+		t.Fatalf("single-ref compute: terms=%d hits=%d", rep.Terms, rep.BuildCacheHits)
+	}
+	if _, err := w.Compute("A", []string{"J"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, view := range []string{"R", "J", "A"} {
+		if _, err := w.Install(view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing staged: Compute must produce an empty delta without deadlock.
+	if _, err := w.Compute("J", []string{"R"}); err != nil {
+		t.Fatal(err)
+	}
+	dj, err := w.DeltaOf("J")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dj.IsEmpty() {
+		t.Fatalf("expected empty delta, got %d changes", dj.Size())
+	}
+}
+
+// TestWorkerPoolInlineFallback pins the budget semantics: a pool of one
+// worker admits zero background goroutines, so every task runs inline on
+// the submitter, strictly serially.
+func TestWorkerPoolInlineFallback(t *testing.T) {
+	p := newWorkerPool(1)
+	if cap(p.sem) != 0 {
+		t.Fatalf("one-worker pool admits %d background goroutines, want 0", cap(p.sem))
+	}
+	var wg sync.WaitGroup
+	ran := 0
+	for i := 0; i < 10; i++ {
+		p.do(&wg, func() { ran++ }) // inline: no synchronization needed
+	}
+	wg.Wait()
+	if ran != 10 {
+		t.Fatalf("ran %d of 10 tasks", ran)
+	}
+}

@@ -47,7 +47,7 @@ func (w *Warehouse) Recompute(name string) (*storage.Table, error) {
 			}
 			partials.Accumulate(group, inputs, count)
 		}
-		if _, err := w.evalTerm(v.def, fullTerm, nil, sink); err != nil {
+		if _, err := w.evalTerm(v.def, fullTerm, nil, seqSinks(sink), nil); err != nil {
 			return nil, err
 		}
 		fresh := storage.NewAggTable(v.def.GroupSchema(), v.def.AggSpecs(), v.def.AggNames())
@@ -70,7 +70,7 @@ func (w *Warehouse) Recompute(name string) (*storage.Table, error) {
 		}
 		out.Insert(tup, count)
 	}
-	if _, eerr := w.evalTerm(v.def, fullTerm, nil, sink); eerr != nil {
+	if _, eerr := w.evalTerm(v.def, fullTerm, nil, seqSinks(sink), nil); eerr != nil {
 		return nil, eerr
 	}
 	return out, err
@@ -113,7 +113,7 @@ func (w *Warehouse) Evaluate(cq *algebra.CQ) (*storage.Table, error) {
 			}
 			partials.Accumulate(group, inputs, count)
 		}
-		if _, err := w.evalTerm(cq, fullTerm, nil, sink); err != nil {
+		if _, err := w.evalTerm(cq, fullTerm, nil, seqSinks(sink), nil); err != nil {
 			return nil, err
 		}
 		fresh := storage.NewAggTable(cq.GroupSchema(), cq.AggSpecs(), cq.AggNames())
@@ -130,7 +130,7 @@ func (w *Warehouse) Evaluate(cq *algebra.CQ) (*storage.Table, error) {
 		}
 		out.Insert(tup, count)
 	}
-	if _, err := w.evalTerm(cq, fullTerm, nil, sink); err != nil {
+	if _, err := w.evalTerm(cq, fullTerm, nil, seqSinks(sink), nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -225,7 +225,7 @@ func (w *Warehouse) refreshOne(v *View) error {
 			}
 			partials.Accumulate(group, inputs, count)
 		}
-		if _, err := w.evalTerm(v.def, maintain.Term{}, nil, sink); err != nil {
+		if _, err := w.evalTerm(v.def, maintain.Term{}, nil, seqSinks(sink), nil); err != nil {
 			return err
 		}
 		v.agg.Clear()

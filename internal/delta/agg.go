@@ -246,10 +246,16 @@ func (p *GroupPartials) Specs() []AggSpec { return p.specs }
 // key and the aggregate input values (one per spec; the value for COUNT(*)
 // is ignored).
 func (p *GroupPartials) Accumulate(group relation.Tuple, inputs []relation.Value, count int64) {
+	p.AccumulateEncoded(group.Encode(), inputs, count)
+}
+
+// AccumulateEncoded is Accumulate for callers that already hold the group
+// tuple's Encode key, sparing a second encoding on the sink path. The
+// inputs slice is not retained; callers may reuse it across rows.
+func (p *GroupPartials) AccumulateEncoded(key string, inputs []relation.Value, count int64) {
 	if len(inputs) != len(p.specs) {
 		panic(fmt.Sprintf("delta: %d aggregate inputs for %d specs", len(inputs), len(p.specs)))
 	}
-	key := group.Encode()
 	gp := p.groups[key]
 	if gp == nil {
 		gp = &GroupPartial{Accums: make([]*Accum, len(p.specs))}

@@ -43,6 +43,16 @@ func (d *Delta) Add(tup relation.Tuple, count int64) {
 	d.addKey(key, count)
 }
 
+// AddEncoded is Add for callers that already hold the tuple's Encode key,
+// sparing a second encoding on the sink path. key must be a valid
+// Tuple.Encode result over the delta's schema; Scan decodes it back.
+func (d *Delta) AddEncoded(key string, count int64) {
+	if count == 0 {
+		return
+	}
+	d.addKey(key, count)
+}
+
 func (d *Delta) addKey(key string, count int64) {
 	old := d.rows[key]
 	nw := old + count

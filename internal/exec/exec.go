@@ -62,6 +62,14 @@ type StepReport struct {
 	Worker int
 	// Skipped marks a Comp elided by the empty-delta optimization.
 	Skipped bool
+	// CacheHits and CacheMisses count build-side hash tables served from /
+	// built into the per-Compute build cache (term-parallel engine; zero
+	// otherwise).
+	CacheHits, CacheMisses int
+	// CacheTuplesSaved totals operand tuples whose physical re-scan the
+	// shared builds elided. Work still counts them: the linear metric
+	// models every term's operand scan whether or not the build was shared.
+	CacheTuplesSaved int64
 }
 
 // Report summarizes a strategy execution — the update window.
@@ -126,6 +134,8 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, erro
 			step.Work = cr.OperandTuples
 			step.Terms = cr.Terms
 			step.Skipped = cr.Skipped
+			step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
+			step.CacheTuplesSaved = cr.BuildTuplesSaved
 			rep.CompWork += cr.OperandTuples
 		case strategy.Inst:
 			n, err := w.Install(x.View)
@@ -234,7 +244,11 @@ func Prepare(w *core.Warehouse) (*Prepared, error) {
 			comp := strategy.Comp{View: name, Over: []string{child}}
 			p.procs[comp.Key()] = func() (StepReport, error) {
 				cr, err := w.Compute(name, []string{child})
-				return StepReport{Expr: comp, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped}, err
+				return StepReport{
+					Expr: comp, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped,
+					CacheHits: cr.BuildCacheHits, CacheMisses: cr.BuildCacheMisses,
+					CacheTuplesSaved: cr.BuildTuplesSaved,
+				}, err
 			}
 		}
 	}

@@ -304,7 +304,7 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 10 {
+	if len(results) != 11 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -219,13 +219,38 @@ func TestDifferentialExecutors(t *testing.T) {
 
 		// Reference: sequential exec.Execute.
 		seq := base.Clone()
-		if _, err := exec.Execute(seq, s, exec.Options{Validate: true}); err != nil {
+		seqRep, err := exec.Execute(seq, s, exec.Options{Validate: true})
+		if err != nil {
 			t.Fatalf("trial %d sequential (%s): %v\nstrategy: %s", trial, g, err, s)
 		}
 		if err := seq.VerifyAll(); err != nil {
 			t.Fatalf("trial %d sequential: %v", trial, err)
 		}
 		ref := viewBags(seq)
+
+		// Term-parallel engine under sequential scheduling: same strategy,
+		// but each Comp runs concurrent terms with morsel-parallel probes
+		// and the shared build cache. Bags must match, and — because the
+		// cache saves physical scans, not modeled ones — every step's Work
+		// and Terms must equal the sequential report exactly.
+		tp := base.Clone()
+		tp.SetOptions(core.Options{ParallelTerms: true, Workers: 1 + rng.Intn(8)})
+		tpRep, err := exec.Execute(tp, s, exec.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("trial %d term-parallel: %v", trial, err)
+		}
+		compareBags(t, trial, "term-parallel", ref, viewBags(tp))
+		if len(tpRep.Steps) != len(seqRep.Steps) {
+			t.Fatalf("trial %d term-parallel: %d steps vs %d sequential",
+				trial, len(tpRep.Steps), len(seqRep.Steps))
+		}
+		for i, step := range tpRep.Steps {
+			want := seqRep.Steps[i]
+			if step.Work != want.Work || step.Terms != want.Terms {
+				t.Fatalf("trial %d term-parallel step %s: work=%d terms=%d, sequential work=%d terms=%d (build cache must not change the linear work metric)",
+					trial, step.Expr, step.Work, step.Terms, want.Work, want.Terms)
+			}
+		}
 
 		// Staged parallel.Execute.
 		staged := base.Clone()
@@ -243,6 +268,19 @@ func TestDifferentialExecutors(t *testing.T) {
 			t.Fatalf("trial %d dag: %v", trial, err)
 		}
 		compareBags(t, trial, "dag", ref, viewBags(dag))
+
+		// Both levels composed: DAG scheduling across expressions and the
+		// term-parallel engine inside each Comp, sharing one worker budget.
+		both := base.Clone()
+		workers := 1 + rng.Intn(8)
+		both.SetOptions(core.Options{ParallelTerms: true, Workers: workers})
+		if _, err := Run(both, s, both.Children, exec.ModeDAG, Options{
+			Workers:  workers,
+			Validate: true,
+		}); err != nil {
+			t.Fatalf("trial %d dag+term-parallel: %v", trial, err)
+		}
+		compareBags(t, trial, "dag+term-parallel", ref, viewBags(both))
 
 		// Full recompute: fold the base deltas in, rebuild every derived view
 		// from scratch.

@@ -237,6 +237,8 @@ func runExpr(w *core.Warehouse, e strategy.Expr, worker int) (exec.StepReport, e
 	case strategy.Comp:
 		cr, err := w.Compute(x.View, x.Over)
 		step.Work, step.Terms, step.Skipped = cr.OperandTuples, cr.Terms, cr.Skipped
+		step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
+		step.CacheTuplesSaved = cr.BuildTuplesSaved
 		step.Elapsed = time.Since(t0)
 		return step, err
 	case strategy.Inst:

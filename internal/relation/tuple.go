@@ -12,11 +12,18 @@ type Tuple []Value
 // suitable for use as a map key. Two tuples encode equal iff every value
 // compares Equal positionally.
 func (t Tuple) Encode() string {
-	buf := make([]byte, 0, 16*len(t))
+	return string(t.AppendEncoded(make([]byte, 0, 16*len(t))))
+}
+
+// AppendEncoded appends the tuple's Encode bytes to dst and returns the
+// extended slice. It is the zero-allocation form of Encode for hot paths
+// that reuse a scratch buffer across rows (hash-join probing, sink
+// sharding).
+func (t Tuple) AppendEncoded(dst []byte) []byte {
 	for _, v := range t {
-		buf = v.appendEncoded(buf)
+		dst = v.appendEncoded(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // DecodeTuple reverses Tuple.Encode.

@@ -63,7 +63,8 @@ func (ix *hashIndex) remove(rowEnc string, tup relation.Tuple) {
 
 // EnsureIndex builds (or returns) a maintained hash index on the given
 // column positions. Columns must be valid and non-empty; the column list is
-// canonicalized by sorting.
+// canonicalized by sorting. Safe to call from concurrent readers: the lazy
+// build is serialized under the table's index lock.
 func (t *Table) EnsureIndex(cols []int) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("storage: empty index column list")
@@ -79,6 +80,8 @@ func (t *Table) EnsureIndex(cols []int) error {
 		}
 	}
 	name := indexName(sorted)
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if t.indexes == nil {
 		t.indexes = make(map[string]*hashIndex)
 	}
@@ -98,12 +101,18 @@ func (t *Table) EnsureIndex(cols []int) error {
 func (t *Table) HasIndex(cols []int) bool {
 	sorted := append([]int(nil), cols...)
 	sort.Ints(sorted)
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
 	_, ok := t.indexes[indexName(sorted)]
 	return ok
 }
 
 // IndexCount returns the number of maintained indexes.
-func (t *Table) IndexCount() int { return len(t.indexes) }
+func (t *Table) IndexCount() int {
+	t.idxMu.RLock()
+	defer t.idxMu.RUnlock()
+	return len(t.indexes)
+}
 
 // Lookup streams the rows whose projection on cols equals key, with their
 // multiplicities. The columns must carry a maintained index (HasIndex);
@@ -112,7 +121,9 @@ func (t *Table) IndexCount() int { return len(t.indexes) }
 func (t *Table) Lookup(cols []int, key relation.Tuple, fn func(relation.Tuple, int64) bool) error {
 	sorted := append([]int(nil), cols...)
 	sort.Ints(sorted)
+	t.idxMu.RLock()
 	ix, ok := t.indexes[indexName(sorted)]
+	t.idxMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("storage: no index on columns %v", cols)
 	}

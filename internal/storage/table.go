@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/delta"
 	"repro/internal/relation"
@@ -25,7 +26,11 @@ type Table struct {
 	card   int64 // total multiplicity (sum of counts)
 	// indexes holds maintained hash indexes keyed by canonical column list
 	// (see index.go). Clones start without indexes; they are rebuilt on
-	// demand by EnsureIndex.
+	// demand by EnsureIndex. idxMu serializes that lazy build against
+	// concurrent probes: parallel executors may evaluate several compute
+	// expressions reading the same state table at once, and the first to
+	// need an index must not race the others.
+	idxMu   sync.RWMutex
 	indexes map[string]*hashIndex
 }
 

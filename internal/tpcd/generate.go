@@ -20,6 +20,11 @@ type Config struct {
 	SkipEmptyDeltas bool
 	// UseIndexes is passed through to the warehouse options.
 	UseIndexes bool
+	// ParallelTerms and Workers are passed through to the warehouse
+	// options: they enable the intra-Compute parallel engine and bound its
+	// shared worker pool.
+	ParallelTerms bool
+	Workers       int
 	// Queries selects which summary views to define; nil means all of
 	// Q3, Q5 and Q10. Experiment 1, for instance, uses a Q3-only warehouse.
 	Queries []string

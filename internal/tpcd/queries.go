@@ -186,7 +186,12 @@ func NewWarehouse(cfg Config) (*Warehouse, error) {
 	if cfg.SF <= 0 {
 		return nil, fmt.Errorf("tpcd: scale factor must be positive, got %v", cfg.SF)
 	}
-	w := core.New(core.Options{SkipEmptyDeltas: cfg.SkipEmptyDeltas, UseIndexes: cfg.UseIndexes})
+	w := core.New(core.Options{
+		SkipEmptyDeltas: cfg.SkipEmptyDeltas,
+		UseIndexes:      cfg.UseIndexes,
+		ParallelTerms:   cfg.ParallelTerms,
+		Workers:         cfg.Workers,
+	})
 	schemas := Schemas()
 	for _, name := range BaseViews {
 		if err := w.DefineBase(name, schemas[name]); err != nil {

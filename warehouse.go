@@ -149,6 +149,17 @@ type Options struct {
 	// state operands instead of scanning them (a storage-representation
 	// optimization; measured work then counts probes, not scans).
 	UseIndexes bool
+	// ParallelTerms enables the intra-Compute parallel engine: the 2^r − 1
+	// maintenance terms of each Comp evaluate concurrently, join-step
+	// probes run as morsels on a bounded pool, and build-side hash tables
+	// are shared across terms. Produced deltas and reported work are
+	// identical to sequential evaluation; only wall-clock changes.
+	ParallelTerms bool
+	// Workers bounds the worker budget the intra-Compute engine shares
+	// across all concurrent Computes (0 = GOMAXPROCS). Pass the same value
+	// to ExecuteMode/RunWindowMode so DAG-level and term-level parallelism
+	// compose under one budget.
+	Workers int
 	// Model overrides the cost model used by the planners; zero value means
 	// DefaultCostModel.
 	Model CostModel
@@ -172,9 +183,23 @@ func New(opts ...Options) *Warehouse {
 		model = DefaultCostModel
 	}
 	return &Warehouse{
-		core:  core.New(core.Options{SkipEmptyDeltas: o.SkipEmptyDeltas, UseIndexes: o.UseIndexes}),
+		core: core.New(core.Options{
+			SkipEmptyDeltas: o.SkipEmptyDeltas,
+			UseIndexes:      o.UseIndexes,
+			ParallelTerms:   o.ParallelTerms,
+			Workers:         o.Workers,
+		}),
 		model: model,
 	}
+}
+
+// SetParallelism reconfigures the intra-Compute parallel engine at runtime:
+// on toggles term/morsel parallelism, workers bounds the shared pool
+// (0 = GOMAXPROCS). Not safe to call while a window executes.
+func (w *Warehouse) SetParallelism(workers int, on bool) {
+	opts := w.core.Options()
+	opts.ParallelTerms, opts.Workers = on, workers
+	w.core.SetOptions(opts)
 }
 
 // DefineBase registers a base view (data loaded from sources).
