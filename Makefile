@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke
 
 all: build test
 
@@ -25,6 +25,13 @@ race-fast:
 # under plain `make test` already).
 fuzz:
 	$(GO) test ./internal/parallel/ -run '^$$' -fuzz FuzzParallelizeRespectsConflicts -fuzztime 30s
+
+# Short fuzz pass over the durability surfaces — the journal reader and the
+# snapshot reader both consume arbitrary on-disk bytes and must reject
+# corruption without panicking or mutating state. Cheap enough for CI.
+fuzz-smoke:
+	$(GO) test ./internal/journal/ -run '^$$' -fuzz FuzzJournal -fuzztime 10s
+	$(GO) test ./internal/snapshot/ -run '^$$' -fuzz FuzzSnapshotRead -fuzztime 10s
 
 bench:
 	$(GO) test . -run '^$$' -bench . -benchtime 1x

@@ -28,19 +28,20 @@ func main() {
 
 	cfg := experiments.Config{SF: *sf, Seed: *seed, ChangeFrac: *p}
 	runners := map[string]func(experiments.Config) (experiments.Result, error){
-		"table1":       func(experiments.Config) (experiments.Result, error) { return experiments.Table1(), nil },
-		"fig12":        experiments.Fig12,
-		"fig13":        experiments.Fig13,
-		"fig14":        experiments.Fig14,
-		"fig15":        experiments.Fig15,
-		"parallel":     experiments.Parallel,
-		"stagedvsdag":  experiments.StagedVsDAG,
-		"termparallel": experiments.TermParallel,
-		"metric":       experiments.MetricAblation,
-		"estimation":   experiments.Estimation,
-		"deep":         experiments.Deep,
+		"table1":         func(experiments.Config) (experiments.Result, error) { return experiments.Table1(), nil },
+		"fig12":          experiments.Fig12,
+		"fig13":          experiments.Fig13,
+		"fig14":          experiments.Fig14,
+		"fig15":          experiments.Fig15,
+		"parallel":       experiments.Parallel,
+		"stagedvsdag":    experiments.StagedVsDAG,
+		"termparallel":   experiments.TermParallel,
+		"metric":         experiments.MetricAblation,
+		"estimation":     experiments.Estimation,
+		"deep":           experiments.Deep,
+		"faulttolerance": experiments.FaultTolerance,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep", "faulttolerance"}
 
 	var ids []string
 	if *only != "" {

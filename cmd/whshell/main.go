@@ -19,7 +19,14 @@
 //	REFRESH STALE;                              recompute stale views
 //	VERIFY;                                     check every view against recomputation
 //	SNAPSHOT SAVE '<file>' | SNAPSHOT LOAD '<file>';
+//	JOURNAL ON '<file>' | OFF | STATUS;         crash-safe (journaled) windows
+//	RECOVER;                                    complete the journal's in-flight window
 //	HELP; EXIT;
+//
+// With a journal attached, WINDOW runs crash-safe: begin/step/commit
+// records frame the execution, and a process death mid-window leaves an
+// in-flight record. To recover after a crash: restore the pre-window state
+// (SNAPSHOT LOAD), reattach the journal (JOURNAL ON), and RECOVER.
 package main
 
 import (
@@ -51,7 +58,11 @@ func main() {
 		interactive = false
 	}
 	sh := &shell{w: warehouse.New(), out: os.Stdout}
-	if err := sh.run(in, interactive); err != nil {
+	err := sh.run(in, interactive)
+	if sh.j != nil {
+		sh.j.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "whshell:", err)
 		os.Exit(1)
 	}
@@ -59,6 +70,7 @@ func main() {
 
 type shell struct {
 	w   *warehouse.Warehouse
+	j   *warehouse.Journal // nil when journaling is off
 	out io.Writer
 }
 
@@ -202,7 +214,15 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 			}
 			workers = n
 		}
-		win, err := sh.w.RunWindowMode(planner, mode, workers)
+		var win warehouse.WindowReport
+		if sh.j != nil {
+			// Journaled (crash-safe) window through the robust runner.
+			win, err = sh.w.RunWindowOpts(warehouse.WindowOptions{
+				Planner: planner, Mode: mode, Workers: workers, Journal: sh.j,
+			})
+		} else {
+			win, err = sh.w.RunWindowMode(planner, mode, workers)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -260,6 +280,19 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 		return false, nil
 	case "SNAPSHOT":
 		return false, sh.snapshot(stmt)
+	case "JOURNAL":
+		return false, sh.journal(stmt)
+	case "RECOVER":
+		if sh.j == nil {
+			return false, fmt.Errorf("no journal attached (JOURNAL ON '<file>')")
+		}
+		win, err := sh.w.Recover(sh.j)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintln(sh.out, win)
+		fmt.Fprintln(sh.out, "ok: in-flight window recovered")
+		return false, nil
 	default:
 		return false, fmt.Errorf("unknown command %q (try HELP)", words[0])
 	}
@@ -277,6 +310,8 @@ func (sh *shell) help() {
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
   DEFER <view> ON|OFF;
   SNAPSHOT SAVE '<file>';               SNAPSHOT LOAD '<file>';
+  JOURNAL ON '<file>' | OFF | STATUS;   crash-safe (journaled) windows
+  RECOVER;                              complete the journal's in-flight window
   HELP;  EXIT;
 `)
 }
@@ -422,6 +457,52 @@ func (sh *shell) show(words []string) error {
 		fmt.Fprint(sh.out, g.Dot())
 	default:
 		return fmt.Errorf("SHOW %s not supported", words[0])
+	}
+	return nil
+}
+
+// journal parses JOURNAL ON '<file>' | OFF | STATUS.
+func (sh *shell) journal(stmt string) error {
+	fields := strings.Fields(stmt)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: JOURNAL ON '<file>' | OFF | STATUS")
+	}
+	switch strings.ToUpper(fields[1]) {
+	case "ON":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: JOURNAL ON '<file>'")
+		}
+		j, err := warehouse.OpenJournal(strings.Trim(fields[2], "'"))
+		if err != nil {
+			return err
+		}
+		if sh.j != nil {
+			sh.j.Close()
+		}
+		sh.j = j
+		note := ""
+		if j.NeedsRecovery() {
+			note = "; in-flight window found — RECOVER to complete it"
+		}
+		fmt.Fprintf(sh.out, "ok: journaling windows (%d committed%s)\n", j.Committed(), note)
+	case "OFF":
+		if sh.j != nil {
+			sh.j.Close()
+			sh.j = nil
+		}
+		fmt.Fprintln(sh.out, "ok: journaling off")
+	case "STATUS":
+		if sh.j == nil {
+			fmt.Fprintln(sh.out, "journaling off")
+			return nil
+		}
+		state := "clean"
+		if sh.j.NeedsRecovery() {
+			state = "in-flight window (RECOVER to complete it)"
+		}
+		fmt.Fprintf(sh.out, "journaling on: %d committed windows, %s\n", sh.j.Committed(), state)
+	default:
+		return fmt.Errorf("usage: JOURNAL ON '<file>' | OFF | STATUS")
 	}
 	return nil
 }

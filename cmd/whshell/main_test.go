@@ -189,3 +189,89 @@ func TestCutStatement(t *testing.T) {
 		t.Errorf("string-aware cut = %q %v", stmt, found)
 	}
 }
+
+// TestShellJournalRecover: the documented crash-recovery recipe — restore
+// the pre-window snapshot, reattach the journal, RECOVER — completes a
+// window that died mid-execution, through shell statements alone.
+func TestShellJournalRecover(t *testing.T) {
+	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
+	batch := writeFile(t, "batch.csv", "id,region,amount,__count\n3,west,7,1\n")
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "pre.snap")
+	jpath := filepath.Join(dir, "wh.journal")
+
+	setup := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+SNAPSHOT SAVE '` + snap + `';
+DELTA SALES FROM '` + batch + `';
+`
+	// The "crashing process": set up via shell statements, then die
+	// mid-window via an injected crash fault on the same warehouse.
+	var out strings.Builder
+	sh := &shell{w: warehouse.New(), out: &out}
+	if err := sh.run(strings.NewReader(setup), false); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	j, err := warehouse.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := warehouse.NewFaultInjector(1)
+	inj.CrashAt("step", 1)
+	if _, err := sh.w.RunWindowOpts(warehouse.WindowOptions{Journal: j, Faults: inj}); err == nil {
+		t.Fatal("crashed window reported success")
+	}
+	j.Close()
+
+	// The "restarted process": rebuild schema, restore the snapshot,
+	// reattach the journal, recover, and keep working.
+	recoverScript := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+SNAPSHOT LOAD '` + snap + `';
+JOURNAL ON '` + jpath + `';
+JOURNAL STATUS;
+RECOVER;
+VERIFY;
+SELECT region, total FROM TOTALS ORDER BY total DESC LIMIT 1;
+DELTA SALES FROM '` + batch + `';
+WINDOW DAG 2;
+JOURNAL STATUS;
+JOURNAL OFF;
+EXIT;
+`
+	got, err := runScript(t, recoverScript)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, got)
+	}
+	for _, want := range []string{
+		"in-flight window found — RECOVER to complete it",
+		"ok: in-flight window recovered",
+		"every view matches recomputation",
+		"west | 17",
+		"journaling on: 2 committed windows, clean",
+		"ok: journaling off",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestShellJournalErrors: malformed JOURNAL statements and RECOVER without
+// a journal are rejected.
+func TestShellJournalErrors(t *testing.T) {
+	for _, cmd := range []string{
+		"JOURNAL;",
+		"JOURNAL PUSH;",
+		"JOURNAL ON;",
+		"RECOVER;",
+	} {
+		if _, err := runScript(t, cmd+"\n"); err == nil {
+			t.Errorf("accepted %q", cmd)
+		}
+	}
+}

@@ -8,7 +8,8 @@
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
 //	         [-planner minwork|prune|dualstage|reverse]
 //	         [-par sequential|staged|dag] [-workers N] [-par-terms]
-//	         [-skip-empty] [-v] [-cpuprofile f] [-memprofile f]
+//	         [-skip-empty] [-timeout d] [-journal f [-resume]] [-retries N]
+//	         [-v] [-cpuprofile f] [-memprofile f]
 //
 // -par staged executes the Section 9 barrier plan (one goroutine per stage
 // expression); -par dag schedules the precedence DAG barrier-free with a
@@ -18,9 +19,24 @@
 // shared build tables); it composes with -par dag under the same -workers
 // budget. -cpuprofile/-memprofile write pprof profiles of the run so
 // term-evaluation hot spots are measurable in the field.
+//
+// -timeout bounds the window's wall-clock time; cancellation propagates
+// through the DAG scheduler and the morsel pool. -journal makes the window
+// crash-safe: a pre-window checkpoint is written next to the journal
+// (<journal>.snap) and begin/step/commit records frame the execution in an
+// append-only checksummed file. If the journal ends mid-window (the
+// previous run died), whupdate exits with code 4 until rerun with -resume,
+// which restores the checkpoint and completes the journaled window,
+// skipping steps the dead run finished. -retries retries transient
+// failures with exponential backoff.
+//
+// Exit codes: 0 success, 1 data/build error, 2 usage error, 3 window
+// execution or verification failure, 4 recovery needed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +46,34 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/journal"
 	"repro/internal/planner"
+	"repro/internal/recovery"
 	"repro/internal/strategy"
 	"repro/internal/tpcd"
 )
+
+// Exit codes.
+const (
+	exitOK       = 0
+	exitData     = 1
+	exitUsage    = 2
+	exitWindow   = 3
+	exitRecovery = 4
+)
+
+// exitErr pairs an error with the process exit code it warrants.
+type exitErr struct {
+	code int
+	err  error
+}
+
+func (e exitErr) Error() string { return e.err.Error() }
+func (e exitErr) Unwrap() error { return e.err }
+
+func usageErr(err error) error    { return exitErr{exitUsage, err} }
+func windowErr(err error) error   { return exitErr{exitWindow, err} }
+func recoveryErr(err error) error { return exitErr{exitRecovery, err} }
 
 func main() {
 	sf := flag.Float64("sf", 0.002, "TPC-D scale factor")
@@ -46,6 +86,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget for -par dag and -par-terms (0 = GOMAXPROCS)")
 	parTerms := flag.Bool("par-terms", false, "parallelize inside each compute expression (terms + morsels, shared builds)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
+	timeout := flag.Duration("timeout", 0, "bound the window's wall-clock time (0 = no limit)")
+	journalPath := flag.String("journal", "", "journal the window to this file (crash-safe execution)")
+	resume := flag.Bool("resume", false, "complete the journal's in-flight window instead of running a new one")
+	retries := flag.Int("retries", 0, "retry transient window failures this many times (exponential backoff)")
 	verbose := flag.Bool("v", false, "print per-expression work")
 	dot := flag.Bool("dot", false, "print the expression graph (Graphviz) instead of executing")
 	script := flag.Bool("script", false, "print the §5.5 update script and stored-procedure catalog instead of executing")
@@ -61,12 +105,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whupdate:", err)
-			os.Exit(1)
+			os.Exit(exitData)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "whupdate:", err)
-			os.Exit(1)
+			os.Exit(exitData)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -75,21 +119,27 @@ func main() {
 		par: parName, workers: *workers, parTerms: *parTerms,
 		skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
+		timeout: *timeout, journal: *journalPath, resume: *resume, retries: *retries,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whupdate:", err)
-		os.Exit(1)
+		code := exitData
+		var xe exitErr
+		if errors.As(err, &xe) {
+			code = xe.code
+		}
+		os.Exit(code)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whupdate:", err)
-			os.Exit(1)
+			os.Exit(exitData)
 		}
 		defer f.Close()
 		runtime.GC() // settle allocations so the heap profile reflects live data
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "whupdate:", err)
-			os.Exit(1)
+			os.Exit(exitData)
 		}
 	}
 }
@@ -102,6 +152,10 @@ type options struct {
 	parTerms             bool
 	skipEmpty            bool
 	verbose, dot, script bool
+	timeout              time.Duration
+	journal              string
+	resume               bool
+	retries              int
 }
 
 func run(o options) error {
@@ -110,8 +164,40 @@ func run(o options) error {
 	skipEmpty, verbose := o.skipEmpty, o.verbose
 	mode, err := exec.ParseMode(o.par)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
+	if o.resume && o.journal == "" {
+		return usageErr(errors.New("-resume requires -journal"))
+	}
+	switch plannerName {
+	case "minwork", "prune", "dualstage", "reverse":
+	default:
+		return usageErr(fmt.Errorf("unknown planner %q", plannerName))
+	}
+
+	// Read the journal first: an in-flight window blocks new work.
+	var jlog journal.Log
+	if o.journal != "" {
+		jlog, err = readJournalFile(o.journal)
+		if err != nil {
+			return err
+		}
+		if recovery.NeedsRecovery(&jlog) && !o.resume {
+			return recoveryErr(fmt.Errorf("journal %s ends in an in-flight window; rerun with -resume (same -sf/-seed) to complete it", o.journal))
+		}
+		if !recovery.NeedsRecovery(&jlog) && o.resume {
+			fmt.Printf("journal %s has no in-flight window; nothing to resume\n", o.journal)
+			return nil
+		}
+	}
+
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	tw, err := tpcd.NewWarehouse(tpcd.Config{
 		SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty,
@@ -126,6 +212,18 @@ func run(o options) error {
 	fmt.Printf("built TPC-D warehouse (SF=%g) in %s\n", sf, time.Since(start).Round(time.Millisecond))
 	for _, v := range tw.W.ViewNames() {
 		fmt.Printf("  %-9s %8d rows\n", v, tw.W.MustView(v).Cardinality())
+	}
+
+	if o.resume {
+		return resumeWindow(ctx, tw, &jlog, o)
+	}
+	// The checkpoint must capture the pre-window state before any staging:
+	// the snapshot format holds installed views only, and -resume re-stages
+	// the batch from the journal's begin record.
+	if o.journal != "" {
+		if err := writeCheckpoint(tw.W, o.journal); err != nil {
+			return err
+		}
 	}
 
 	var spec tpcd.ChangeSpec
@@ -183,7 +281,7 @@ func run(o options) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown planner %q", plannerName)
+		return usageErr(fmt.Errorf("unknown planner %q", plannerName))
 	}
 	fmt.Printf("strategy: %s\n", s)
 
@@ -203,10 +301,14 @@ func run(o options) error {
 		return nil
 	}
 
+	if o.journal != "" || o.retries > 0 {
+		return journaledRun(ctx, tw, s, mode, plannerName, &jlog, o)
+	}
+
 	if mode != exec.ModeSequential {
-		rep, err := parallelRun(tw, s, mode, o.workers)
+		rep, err := parallelRun(ctx, tw, s, mode, o.workers)
 		if err != nil {
-			return err
+			return windowErr(err)
 		}
 		fmt.Printf("%s plan (%d stages, %d workers): %s\n", mode, rep.Plan.Stages(), rep.Workers, rep.Plan)
 		if verbose {
@@ -221,9 +323,9 @@ func run(o options) error {
 		fmt.Printf("update window: %s, total work %d, span work %d, critical path %d, speedup %.2f\n",
 			rep.Elapsed.Round(time.Microsecond), rep.TotalWork, rep.SpanWork, rep.CriticalPathWork, rep.Speedup())
 	} else {
-		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true})
+		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true, Context: ctx})
 		if err != nil {
-			return err
+			return windowErr(err)
 		}
 		if verbose {
 			for _, step := range rep.Steps {
@@ -235,12 +337,7 @@ func run(o options) error {
 		fmt.Printf("update window: %s\n", rep)
 	}
 
-	t0 := time.Now()
-	if err := tw.W.VerifyAll(); err != nil {
-		return fmt.Errorf("final state verification failed: %w", err)
-	}
-	fmt.Printf("verified against recomputation in %s\n", time.Since(t0).Round(time.Millisecond))
-	return nil
+	return verify(tw.W)
 }
 
 // cacheSuffix renders a step's build-cache accounting (term-parallel engine

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/planner"
+	"repro/internal/recovery"
+	"repro/internal/tpcd"
+)
+
+// exitCode extracts the exit code run's error maps to.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var xe exitErr
+	if errors.As(err, &xe) {
+		return xe.code
+	}
+	return exitData
+}
+
+// TestUsageExitCode: unknown planners and modes are usage errors (2).
+func TestUsageExitCode(t *testing.T) {
+	if got := exitCode(run(options{sf: 0.001, par: "bogus"})); got != exitUsage {
+		t.Fatalf("unknown mode: exit %d, want %d", got, exitUsage)
+	}
+	if got := exitCode(run(options{sf: 0.001, planner: "bogus"})); got != exitUsage {
+		t.Fatalf("unknown planner: exit %d, want %d", got, exitUsage)
+	}
+	if got := exitCode(run(options{sf: 0.001, planner: "minwork", resume: true})); got != exitUsage {
+		t.Fatalf("-resume without -journal: exit %d, want %d", got, exitUsage)
+	}
+}
+
+// TestDataExitCode: an impossible warehouse build is a data error (1).
+func TestDataExitCode(t *testing.T) {
+	if got := exitCode(run(options{sf: -1, planner: "minwork"})); got != exitData {
+		t.Fatalf("bad scale factor: exit %d, want %d", got, exitData)
+	}
+}
+
+// TestCrashResumeFlow: a window that dies mid-execution leaves the journal
+// in-flight; whupdate then refuses new windows (exit 4) until -resume,
+// which rebuilds the warehouse from the same -sf/-seed and completes the
+// journaled window exactly.
+func TestCrashResumeFlow(t *testing.T) {
+	const sf, seed, p = 0.001, int64(7), 0.10
+	path := filepath.Join(t.TempDir(), "wh.journal")
+
+	// Simulate the dying process: build, stage, journal, crash at step 3.
+	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: sf, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpoint(tw.W, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.StageChanges(tpcd.UniformDecrease(p)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := exec.PlanningStats(tw.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := planner.MinWork(tw.Graph, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(1)
+	inj.CrashAt("step", 3)
+	_, err = recovery.Run(tw.W, res.Strategy, recovery.Options{
+		Journal: journal.NewWriter(f), Seq: 1, Planner: "minwork",
+		Mode: exec.ModeDAG, Workers: 4, Validate: true, Faults: inj,
+	})
+	f.Close()
+	if err == nil {
+		t.Fatal("crashed window reported success")
+	}
+
+	// A fresh whupdate run without -resume must refuse with exit 4.
+	base := options{sf: sf, seed: seed, p: p, planner: "minwork", journal: path}
+	if got := exitCode(run(base)); got != exitRecovery {
+		t.Fatalf("in-flight journal: exit %d, want %d", got, exitRecovery)
+	}
+
+	// -resume completes the window against the rebuilt warehouse and
+	// verifies the final state against recomputation.
+	withResume := base
+	withResume.resume = true
+	if err := run(withResume); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	lg, err := readJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovery.NeedsRecovery(&lg) || lg.CommittedCount() != 1 {
+		t.Fatalf("journal after resume: committed=%d needsRecovery=%v",
+			lg.CommittedCount(), recovery.NeedsRecovery(&lg))
+	}
+
+	// With the journal clean, the next journaled window runs normally.
+	if err := run(base); err != nil {
+		t.Fatalf("post-recovery window failed: %v", err)
+	}
+	lg, err = readJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.CommittedCount() != 2 {
+		t.Fatalf("journal holds %d committed windows, want 2", lg.CommittedCount())
+	}
+}

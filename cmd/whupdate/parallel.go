@@ -1,6 +1,11 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/parallel"
 	"repro/internal/strategy"
@@ -9,6 +14,19 @@ import (
 
 // parallelRun executes the strategy concurrently: staged (Section 9 barrier
 // plan) or barrier-free over the precedence DAG with a bounded worker pool.
-func parallelRun(tw *tpcd.Warehouse, s strategy.Strategy, mode exec.Mode, workers int) (parallel.Report, error) {
-	return parallel.Run(tw.W, s, tw.W.Children, mode, parallel.Options{Workers: workers})
+// The context bounds the window (-timeout): cancellation propagates through
+// the DAG scheduler and the morsel pool.
+func parallelRun(ctx context.Context, tw *tpcd.Warehouse, s strategy.Strategy, mode exec.Mode, workers int) (parallel.Report, error) {
+	return parallel.Run(tw.W, s, tw.W.Children, mode, parallel.Options{Workers: workers, Context: ctx})
+}
+
+// verify checks the final state against full recomputation; a mismatch is a
+// window failure (exit 3).
+func verify(w *core.Warehouse) error {
+	t0 := time.Now()
+	if err := w.VerifyAll(); err != nil {
+		return windowErr(fmt.Errorf("final state verification failed: %w", err))
+	}
+	fmt.Printf("verified against recomputation in %s\n", time.Since(t0).Round(time.Millisecond))
+	return nil
 }

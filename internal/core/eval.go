@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -73,6 +74,14 @@ type sinkFactory = func() sinkFn
 // view, matching the paper's model where the Comp expressions of a strategy
 // gather changes in δV until Inst(V) installs them.
 func (w *Warehouse) Compute(name string, over []string) (CompReport, error) {
+	return w.ComputeCtx(nil, name, over)
+}
+
+// ComputeCtx is Compute with cooperative cancellation: a nil ctx never
+// cancels; otherwise evaluation stops between terms (sequential engine) and
+// between morsels / term launches (parallel engine) once ctx is done,
+// returning an error that wraps ctx.Err().
+func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) (CompReport, error) {
 	rep := CompReport{View: name, Over: append([]string(nil), over...)}
 	v := w.views[name]
 	if v == nil {
@@ -112,12 +121,15 @@ func (w *Warehouse) Compute(name string, over []string) (CompReport, error) {
 	}
 
 	if w.opts.ParallelTerms {
-		return w.computeParallel(rep, v, terms, deltas)
+		return w.computeParallel(ctx, rep, v, terms, deltas)
 	}
 
 	sink, flush := w.makeSink(v)
 	sinks := seqSinks(sink)
 	for _, term := range terms {
+		if ctx != nil && ctx.Err() != nil {
+			return rep, fmt.Errorf("core: compute %s: %w", name, ctx.Err())
+		}
 		scanned, terr := w.evalTerm(v.def, term, deltas, sinks, nil)
 		if terr != nil {
 			return rep, terr
@@ -189,6 +201,18 @@ type evalEnv struct {
 	scans  *scanCache
 	pool   *workerPool
 	morsel int
+	ctx    context.Context
+}
+
+// ctxErr reports the env's cancellation state; nil env or ctx never cancels.
+func (e *evalEnv) ctxErr() error {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 func (e *evalEnv) morselSize() int {
@@ -452,6 +476,15 @@ func (p *pipeline) run(rows []prow, sinks sinkFactory, env *evalEnv) (int64, err
 			hi = len(rows)
 		}
 		pool.do(&wg, func() {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[m] = recoveredErr("morsel", r)
+				}
+			}()
+			if err := env.ctxErr(); err != nil {
+				errs[m] = err
+				return
+			}
 			probes[m], errs[m] = p.runMorsel(rows[lo:hi], sinks())
 		})
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -79,6 +81,16 @@ func (p *workerPool) do(wg *sync.WaitGroup, fn func()) {
 		}
 	}
 	fn()
+}
+
+// recoveredErr converts a recovered panic value into an error naming where
+// it happened. Error identity is preserved (%w) so injected faults stay
+// recognizable to errors.As after crossing a goroutine boundary as a panic.
+func recoveredErr(what string, p any) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("core: panic in %s: %w", what, err)
+	}
+	return fmt.Errorf("core: panic in %s: %v", what, p)
 }
 
 // hashBytes is FNV-1a over an encoded key, the hash of the engine's
@@ -272,9 +284,9 @@ func (c *buildCache) slot(key buildKey) *buildSlot {
 // the terms of one Comp all want the same few scans and builds first: left
 // to the terms, those constructions serialize behind sync.Once while every
 // other worker parks. Errors surface deterministically in term order.
-func (w *Warehouse) computeParallel(rep CompReport, v *View, terms []maintain.Term, deltas map[string]*delta.Delta) (CompReport, error) {
+func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View, terms []maintain.Term, deltas map[string]*delta.Delta) (CompReport, error) {
 	cache := newBuildCache()
-	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize}
+	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize, ctx: ctx}
 
 	plans := make([]*termPlan, len(terms))
 	for ti, term := range terms {
@@ -302,17 +314,43 @@ func (w *Warehouse) computeParallel(rep CompReport, v *View, terms []maintain.Te
 			buildSet[buildKey{src: br.src, cols: colsKey(br.cols)}] = warmBuild{src: br.src, cols: br.cols}
 		}
 	}
+	// Pre-warm closures run operand Scan callbacks, which can panic (a
+	// misbehaving operator, an injected fault). A panic in a pooled
+	// goroutine would kill the process, so every closure is guarded; the
+	// first panic (any order — warm work has no term identity) wins.
+	var warmMu sync.Mutex
+	var warmErr error
+	guard := func(what string, fn func()) func() {
+		return func() {
+			defer func() {
+				if r := recover(); r != nil {
+					warmMu.Lock()
+					if warmErr == nil {
+						warmErr = recoveredErr(what, r)
+					}
+					warmMu.Unlock()
+				}
+			}()
+			fn()
+		}
+	}
 	var wg sync.WaitGroup
 	for src := range srcSet {
 		src := src
-		w.pool.do(&wg, func() { env.scans.get(src) })
+		w.pool.do(&wg, guard("operand scan of "+v.name, func() { env.scans.get(src) }))
 	}
 	wg.Wait()
+	if warmErr != nil {
+		return rep, warmErr
+	}
 	for _, wb := range buildSet {
 		wb := wb
-		w.pool.do(&wg, func() { cache.warm(env, wb.src, wb.cols) })
+		w.pool.do(&wg, guard("build warm of "+v.name, func() { cache.warm(env, wb.src, wb.cols) }))
 	}
 	wg.Wait()
+	if warmErr != nil {
+		return rep, warmErr
+	}
 
 	sinks, flush := w.makeShardedSink(v)
 	scanned := make([]int64, len(terms))
@@ -320,6 +358,15 @@ func (w *Warehouse) computeParallel(rep CompReport, v *View, terms []maintain.Te
 	for ti := range terms {
 		ti := ti
 		w.pool.do(&wg, func() {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[ti] = recoveredErr(fmt.Sprintf("term %d of %s", ti, v.name), r)
+				}
+			}()
+			if err := env.ctxErr(); err != nil {
+				errs[ti] = err
+				return
+			}
 			scanned[ti], errs[ti] = runTerm(plans[ti], sinks, env)
 		})
 	}

@@ -8,7 +8,9 @@
 package delta
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"sort"
 
 	"repro/internal/relation"
@@ -132,6 +134,37 @@ func (d *Delta) Negate() *Delta {
 		out.rows[k] = -v
 	}
 	return out
+}
+
+// ScanEncoded calls fn for each changed tuple's encoded key with its signed
+// multiplicity, sparing the decode Scan performs. Iteration stops early if
+// fn returns false. Order is unspecified.
+func (d *Delta) ScanEncoded(fn func(key string, count int64) bool) {
+	for key, count := range d.rows {
+		if !fn(key, count) {
+			return
+		}
+	}
+}
+
+var digestTable = crc64.MakeTable(crc64.ECMA)
+
+// Digest returns an order-independent fingerprint of the delta's contents:
+// the XOR over rows of CRC64(encoded tuple ‖ varint count). Two deltas
+// holding the same bag of signed changes digest identically regardless of
+// accumulation order, which is what lets the window journal compare a
+// replayed step's installed delta against the journaled one across
+// execution modes.
+func (d *Delta) Digest() uint64 {
+	var h uint64
+	var buf [binary.MaxVarintLen64]byte
+	for key, count := range d.rows {
+		crc := crc64.Update(0, digestTable, []byte(key))
+		n := binary.PutVarint(buf[:], count)
+		crc = crc64.Update(crc, digestTable, buf[:n])
+		h ^= crc
+	}
+	return h
 }
 
 // Sorted returns the changes sorted lexicographically by tuple, for

@@ -8,10 +8,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/relation"
 	"repro/internal/strategy"
 	"repro/internal/vdag"
 )
@@ -31,6 +33,11 @@ const (
 	// an expression becomes runnable the moment its last conflicting
 	// predecessor completes — no inter-stage barriers.
 	ModeDAG Mode = "dag"
+	// ModeRecompute labels the graceful-degradation path: pending base
+	// deltas installed directly, every derived view rebuilt from scratch.
+	// It is a journal/report label, not a schedulable mode (ParseMode
+	// rejects it).
+	ModeRecompute Mode = "recompute"
 )
 
 // ParseMode maps a user-facing mode name ("sequential"/"seq", "staged",
@@ -70,6 +77,12 @@ type StepReport struct {
 	// shared builds elided. Work still counts them: the linear metric
 	// models every term's operand scan whether or not the build was shared.
 	CacheTuplesSaved int64
+	// Digest fingerprints the delta an Inst step installed (see
+	// delta.Digest); 0 for Comp steps and for views whose float-valued
+	// columns make bit-exact digests unsound across evaluation orders. The
+	// window journal records it so recovery can verify a replayed install
+	// against the crashed run.
+	Digest uint64
 }
 
 // Report summarizes a strategy execution — the update window.
@@ -97,6 +110,9 @@ type Options struct {
 	// (C1–C8) against the warehouse's VDAG before executing. Execution of
 	// an incorrect strategy would corrupt the warehouse.
 	Validate bool
+	// Context cancels execution between steps and propagates into term
+	// evaluation and the morsel pool; nil means no cancellation.
+	Context context.Context
 }
 
 // Graph derives the VDAG of a warehouse.
@@ -110,6 +126,78 @@ func Graph(w *core.Warehouse) (*vdag.Graph, error) {
 	return b.Build(), nil
 }
 
+// PanicError converts a recovered panic value into an error, preserving
+// error identity (errors.Is / errors.As see through the wrapping) when the
+// panic value is itself an error. Every executor that turns worker panics
+// into step failures routes them through here so a panicking operator in a
+// DAG worker or a morsel goroutine surfaces as a diagnosable error instead
+// of taking down the process.
+func PanicError(p any) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("panic: %w", err)
+	}
+	return fmt.Errorf("panic: %v", p)
+}
+
+// RunStep executes one strategy expression against the warehouse and
+// measures it. A panic inside the expression is recovered and returned as
+// an error (see PanicError); ctx cancels term evaluation and the morsel
+// pool mid-Comp. Inst steps fingerprint the delta they are about to install
+// (StepReport.Digest) so journaled windows can be verified on recovery.
+func RunStep(ctx context.Context, w *core.Warehouse, e strategy.Expr) (step StepReport, err error) {
+	step.Expr = e
+	defer func() {
+		if p := recover(); p != nil {
+			err = PanicError(p)
+		}
+	}()
+	t0 := time.Now()
+	switch x := e.(type) {
+	case strategy.Comp:
+		cr, cerr := w.ComputeCtx(ctx, x.View, x.Over)
+		if cerr != nil {
+			return step, cerr
+		}
+		step.Work = cr.OperandTuples
+		step.Terms = cr.Terms
+		step.Skipped = cr.Skipped
+		step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
+		step.CacheTuplesSaved = cr.BuildTuplesSaved
+	case strategy.Inst:
+		step.Digest = instDigest(w, x.View)
+		n, ierr := w.Install(x.View)
+		if ierr != nil {
+			return step, ierr
+		}
+		step.Work = n
+	default:
+		return step, fmt.Errorf("unknown expression type %T", e)
+	}
+	step.Elapsed = time.Since(t0)
+	return step, nil
+}
+
+// instDigest fingerprints the delta an install is about to fold in. Views
+// with float-valued columns digest to 0: float accumulation order varies
+// across evaluation modes, so bit-exact digests would be unsound there.
+// Finalizing the delta here is safe — Install is about to do it anyway.
+func instDigest(w *core.Warehouse, view string) uint64 {
+	v := w.View(view)
+	if v == nil || !v.HasPending() {
+		return 0
+	}
+	for _, col := range v.Schema() {
+		if col.Kind == relation.KindFloat {
+			return 0
+		}
+	}
+	d, err := w.DeltaOf(view)
+	if err != nil {
+		return 0
+	}
+	return d.Digest()
+}
+
 // Execute runs the strategy against the warehouse, mutating it, and returns
 // the measured report. If opts.Validate is set, the strategy is checked
 // against the warehouse's VDAG first and execution is refused on violation.
@@ -121,33 +209,21 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, erro
 			return rep, err
 		}
 	}
+	ctx := opts.Context
 	start := time.Now()
 	for _, e := range s {
-		step := StepReport{Expr: e}
-		t0 := time.Now()
-		switch x := e.(type) {
-		case strategy.Comp:
-			cr, err := w.Compute(x.View, x.Over)
-			if err != nil {
-				return rep, fmt.Errorf("exec: %s: %w", e, err)
-			}
-			step.Work = cr.OperandTuples
-			step.Terms = cr.Terms
-			step.Skipped = cr.Skipped
-			step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
-			step.CacheTuplesSaved = cr.BuildTuplesSaved
-			rep.CompWork += cr.OperandTuples
-		case strategy.Inst:
-			n, err := w.Install(x.View)
-			if err != nil {
-				return rep, fmt.Errorf("exec: %s: %w", e, err)
-			}
-			step.Work = n
-			rep.InstWork += n
-		default:
-			return rep, fmt.Errorf("exec: unknown expression type %T", e)
+		if ctx != nil && ctx.Err() != nil {
+			return rep, fmt.Errorf("exec: %s: %w", e, ctx.Err())
 		}
-		step.Elapsed = time.Since(t0)
+		step, err := RunStep(ctx, w, e)
+		if err != nil {
+			return rep, fmt.Errorf("exec: %s: %w", e, err)
+		}
+		if _, ok := e.(strategy.Comp); ok {
+			rep.CompWork += step.Work
+		} else {
+			rep.InstWork += step.Work
+		}
 		rep.Steps = append(rep.Steps, step)
 	}
 	rep.Elapsed = time.Since(start)

@@ -304,12 +304,36 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 11 {
+	if len(results) != 12 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {
 		if r.Format() == "" {
 			t.Errorf("%s: empty format", r.ID)
 		}
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	res, err := FaultTolerance(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base, journaled, recovered, retried := res.Rows[0], res.Rows[1], res.Rows[2], res.Rows[3]
+	// Journaling, crash-recovery and retry must not change the window's
+	// measured work — the metric is schedule- and machinery-invariant.
+	for _, r := range []Row{journaled, recovered, retried} {
+		if r.Work != base.Work {
+			t.Errorf("%s: work %d differs from the unjournaled window's %d", r.Label, r.Work, base.Work)
+		}
+	}
+	if !strings.Contains(recovered.Marker, "survived") {
+		t.Errorf("recovered row marker = %q", recovered.Marker)
+	}
+	if !strings.Contains(res.Rows[4].Marker, "degraded") {
+		t.Errorf("recompute row marker = %q", res.Rows[4].Marker)
 	}
 }

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/planner"
+	"repro/internal/recovery"
+	"repro/internal/tpcd"
+)
+
+// FaultTolerance measures the cost of the crash-safety machinery on the
+// Experiment 4 workload (the full TPC-D VDAG under a 10% decrease): what
+// journaling adds to an update window, what a crash-and-recover cycle
+// replays, what transient-failure retries cost, and what the
+// install-and-recompute fallback — the strategy the whole paper is an
+// argument against — costs relative to the incremental window it replaces.
+func FaultTolerance(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:    "faulttolerance",
+		Title: "Crash-safe update windows (journal, recovery, degradation)",
+		PaperClaim: "robustness extension — the recompute fallback re-derives every " +
+			"view from scratch, the very cost Section 7 shows incremental strategies avoid",
+	}
+	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: cfg.SF, Seed: cfg.Seed})
+	if err != nil {
+		return res, err
+	}
+	// Recovery replays on the pre-window (unstaged) state — it re-stages the
+	// journaled batch itself — so keep a pristine clone before staging.
+	pristine := tw.W.Clone()
+	if _, err := tw.StageChanges(tpcd.UniformDecrease(cfg.ChangeFrac)); err != nil {
+		return res, err
+	}
+	stats, err := exec.PlanningStats(tw.W)
+	if err != nil {
+		return res, err
+	}
+	mw, err := planner.MinWork(tw.Graph, stats)
+	if err != nil {
+		return res, err
+	}
+	s := mw.Strategy
+	noSleep := func(time.Duration) {}
+
+	// Baseline: the robust runner without a journal (clone-execute-swap
+	// only).
+	base, err := recovery.Run(tw.W, s, recovery.Options{Validate: true})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "unjournaled", Work: base.Report.TotalWork,
+		Elapsed: base.Report.Elapsed, Predicted: -1,
+	})
+
+	// Journaled: identical window, plus begin/step/commit records.
+	var jbuf bytes.Buffer
+	jr, err := recovery.Run(tw.W, s, recovery.Options{
+		Journal: journal.NewWriter(&jbuf), Seq: 1, Planner: "minwork", Validate: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "journaled", Work: jr.Report.TotalWork, Elapsed: jr.Report.Elapsed,
+		Predicted: -1, Marker: fmt.Sprintf("journal: %d bytes", jbuf.Len()),
+	})
+
+	// Crash mid-window, then recover on the pristine state: the journaled
+	// batch is re-staged, completed steps are verified against their
+	// journaled digests, and the recovered window's work must equal the
+	// uninterrupted one's.
+	crashAt := len(s)/2 + 1
+	var cbuf bytes.Buffer
+	inj := faults.New(cfg.Seed)
+	inj.CrashAt("step", crashAt)
+	if _, err := recovery.Run(tw.W, s, recovery.Options{
+		Journal: journal.NewWriter(&cbuf), Seq: 1, Planner: "minwork",
+		Validate: true, Faults: inj,
+	}); err == nil {
+		return res, fmt.Errorf("faulttolerance: injected crash did not surface")
+	}
+	lg, err := journal.ReadLog(bytes.NewReader(cbuf.Bytes()))
+	if err != nil {
+		return res, err
+	}
+	rec, err := recovery.Recover(pristine, &lg, recovery.Options{Validate: true})
+	if err != nil {
+		return res, err
+	}
+	marker := fmt.Sprintf("%d/%d steps survived the crash", crashAt-1, len(s))
+	if rec.Report.TotalWork != base.Report.TotalWork {
+		marker = fmt.Sprintf("WORK MISMATCH: %d vs %d", rec.Report.TotalWork, base.Report.TotalWork)
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: fmt.Sprintf("crash@%d + recover", crashAt), Work: rec.Report.TotalWork,
+		Elapsed: rec.Report.Elapsed, Predicted: -1, Marker: marker,
+	})
+
+	// Transient faults with retry: two injected failures, absorbed by the
+	// backoff loop.
+	tinj := faults.New(cfg.Seed)
+	tinj.FailTimes("step", 2)
+	tr, err := recovery.Run(tw.W, s, recovery.Options{
+		Validate: true, Faults: tinj, Retries: 3, Sleep: noSleep,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "2 transient faults + retry", Work: tr.Report.TotalWork,
+		Elapsed: tr.Report.Elapsed, Predicted: -1,
+		Marker: fmt.Sprintf("%d attempts", tr.Attempts),
+	})
+
+	// Persistent failure: every incremental attempt dies, and the window
+	// degrades to install-and-recompute.
+	pinj := faults.New(cfg.Seed)
+	pinj.SetProbability("step", 1)
+	rc, err := recovery.Run(tw.W, s, recovery.Options{
+		Validate: true, Faults: pinj, Retries: 1, Sleep: noSleep,
+		FallbackSequential: true, FallbackRecompute: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	if !rc.Recomputed {
+		return res, fmt.Errorf("faulttolerance: persistent faults did not reach the recompute fallback")
+	}
+	// The step-level linear metric only sees the installs: RefreshAll's
+	// re-derivation is unmetered. Count the re-derived rows so the bar is
+	// comparable.
+	recompWork := rc.Report.TotalWork
+	for _, name := range rc.Core.ViewNames() {
+		if !rc.Core.View(name).IsBase() {
+			recompWork += int64(rc.Core.View(name).Cardinality())
+		}
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "recompute fallback", Work: recompWork,
+		Elapsed: rc.Report.Elapsed, Predicted: -1,
+		Marker: fmt.Sprintf("%d attempts, degraded; installs + re-derived rows", rc.Attempts),
+	})
+
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("recovered window replays to the same total work as the uninterrupted one (%d)",
+			base.Report.TotalWork),
+		fmt.Sprintf("recompute / incremental work ratio: %.2f at SF=%g — recomputation scales with state size, incremental maintenance with change size; the gap widens as the warehouse grows",
+			float64(recompWork)/float64(base.Report.TotalWork), cfg.SF),
+	)
+	return res, nil
+}

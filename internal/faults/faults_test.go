@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit("anything"); err != nil {
+		t.Fatalf("nil injector Hit returned %v", err)
+	}
+	if inj.Hits("anything") != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+	if inj.Crashed() {
+		t.Fatal("nil injector crashed")
+	}
+}
+
+func TestFailAtFiresExactlyOnce(t *testing.T) {
+	inj := New(1)
+	inj.FailAt("p", 3)
+	var fired []int
+	for n := 1; n <= 6; n++ {
+		if err := inj.Hit("p"); err != nil {
+			if !IsTransient(err) {
+				t.Fatalf("hit %d: fault not transient: %v", n, err)
+			}
+			if IsCrash(err) {
+				t.Fatalf("hit %d: plain failure classified as crash", n)
+			}
+			fired = append(fired, n)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("FailAt(3) fired at %v, want [3]", fired)
+	}
+	if inj.Hits("p") != 6 {
+		t.Fatalf("Hits = %d, want 6", inj.Hits("p"))
+	}
+}
+
+func TestFailTimes(t *testing.T) {
+	inj := New(1)
+	inj.FailTimes("p", 2)
+	var fired []int
+	for n := 1; n <= 5; n++ {
+		if inj.Hit("p") != nil {
+			fired = append(fired, n)
+		}
+	}
+	if fmt.Sprint(fired) != "[1 2]" {
+		t.Fatalf("FailTimes(2) fired at %v, want [1 2]", fired)
+	}
+}
+
+func TestCrashClassification(t *testing.T) {
+	inj := New(1)
+	inj.CrashAt("p", 1)
+	err := inj.Hit("p")
+	if !IsCrash(err) {
+		t.Fatalf("CrashAt fault not IsCrash: %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("crash fault classified transient")
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() false after crash fault fired")
+	}
+	// Wrapping preserves classification.
+	wrapped := fmt.Errorf("executor: step 3: %w", err)
+	if !IsCrash(wrapped) {
+		t.Fatal("IsCrash lost through wrapping")
+	}
+	f, ok := AsFault(wrapped)
+	if !ok || f.Point != "p" || f.Hit != 1 {
+		t.Fatalf("AsFault(wrapped) = %v, %v", f, ok)
+	}
+}
+
+func TestPanicAtPanicsWithFault(t *testing.T) {
+	inj := New(1)
+	inj.PanicAt("p", 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicAt did not panic")
+		}
+		f, ok := r.(*Fault)
+		if !ok {
+			t.Fatalf("panic value %T, want *Fault", r)
+		}
+		if !f.Panicked || !f.Transient || f.Crash {
+			t.Fatalf("panic fault misclassified: %+v", f)
+		}
+	}()
+	inj.Hit("p")
+}
+
+func TestPanicCrashAt(t *testing.T) {
+	inj := New(1)
+	inj.PanicCrashAt("p", 1)
+	func() {
+		defer func() {
+			r := recover()
+			f, ok := r.(*Fault)
+			if !ok || !f.Crash || !f.Panicked {
+				t.Fatalf("PanicCrashAt panic value: %#v", r)
+			}
+		}()
+		inj.Hit("p")
+	}()
+	if !inj.Crashed() {
+		t.Fatal("Crashed() false after PanicCrashAt fired")
+	}
+}
+
+func TestProbabilityIsSeededAndBounded(t *testing.T) {
+	count := func(seed int64) int {
+		inj := New(seed)
+		inj.SetProbability("p", 0.3)
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if inj.Hit("p") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(42), count(42)
+	if a != b {
+		t.Fatalf("same seed produced %d vs %d faults", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 fired %d/1000 times", a)
+	}
+}
+
+func TestWriterInjectsAndDiesAfterCrash(t *testing.T) {
+	var buf bytes.Buffer
+	inj := New(1)
+	inj.FailAt("journal", 2)
+	w := &Writer{W: &buf, Inj: inj, Point: "journal"}
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := w.Write([]byte("b")); !IsTransient(err) {
+		t.Fatalf("second write: %v, want transient fault", err)
+	}
+	if buf.String() != "a" {
+		t.Fatalf("buffer = %q after failed write", buf.String())
+	}
+	// After a crash anywhere on the injector, the sink is dead.
+	inj.CrashAt("other", 1)
+	_ = inj.Hit("other")
+	if _, err := w.Write([]byte("c")); !IsCrash(err) {
+		t.Fatalf("post-crash write: %v, want crash fault", err)
+	}
+	if buf.String() != "a" {
+		t.Fatalf("post-crash write reached the buffer: %q", buf.String())
+	}
+}
+
+func TestErrorsAsThroughJoin(t *testing.T) {
+	inj := New(1)
+	inj.FailAt("p", 1)
+	err := inj.Hit("p")
+	var f *Fault
+	if !errors.As(fmt.Errorf("a: %w", fmt.Errorf("b: %w", err)), &f) {
+		t.Fatal("errors.As failed through double wrap")
+	}
+}

@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournal feeds arbitrary bytes to ReadLog: it must never panic, and
+// whatever it does parse must re-encode to a journal that parses back to
+// the same shape (windows, steps, closure).
+func FuzzJournal(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	_ = w.Begin(testBegin())
+	_ = w.Step(StepRecord{Index: 0, Key: "C:V:A,B", Work: 42, Terms: 3})
+	_ = w.Step(StepRecord{Index: 2, Key: "I:V", Work: 7, Digest: 0xabcdef})
+	_ = w.Commit(CommitRecord{TotalWork: 49, ElapsedNS: 1})
+	_ = w.Begin(BeginRecord{Seq: 2, Mode: "sequential"})
+	_ = w.Abort(AbortRecord{Reason: "boom"})
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()-3])
+	f.Add([]byte{})
+	f.Add([]byte{typeBegin, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lg, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, wl := range lg.Windows {
+			if err := w.Begin(wl.Begin); err != nil {
+				t.Fatalf("re-encoding begin: %v", err)
+			}
+			for _, s := range wl.Steps {
+				if err := w.Step(s); err != nil {
+					t.Fatalf("re-encoding step: %v", err)
+				}
+			}
+			if wl.Commit != nil {
+				if err := w.Commit(*wl.Commit); err != nil {
+					t.Fatalf("re-encoding commit: %v", err)
+				}
+			}
+			if wl.Abort != nil {
+				if err := w.Abort(*wl.Abort); err != nil {
+					t.Fatalf("re-encoding abort: %v", err)
+				}
+			}
+		}
+		lg2, err := ReadLog(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded journal unreadable: %v", err)
+		}
+		if lg2.Truncated {
+			t.Fatal("re-encoded journal truncated")
+		}
+		if len(lg2.Windows) != len(lg.Windows) {
+			t.Fatalf("round trip lost windows: %d vs %d", len(lg2.Windows), len(lg.Windows))
+		}
+		for i := range lg.Windows {
+			a, b := &lg.Windows[i], &lg2.Windows[i]
+			if len(a.Steps) != len(b.Steps) || a.Committed() != b.Committed() ||
+				(a.Abort == nil) != (b.Abort == nil) {
+				t.Fatalf("window %d shape changed", i)
+			}
+		}
+	})
+}

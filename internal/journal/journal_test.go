@@ -1,0 +1,288 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+func testBegin() BeginRecord {
+	return BeginRecord{
+		Seq:             3,
+		Planner:         "minwork",
+		Mode:            "dag",
+		Workers:         4,
+		SkipEmptyDeltas: true,
+		StateDigest:     0xdeadbeefcafe,
+		BatchDigest:     0x1234,
+		Strategy: strategy.Strategy{
+			strategy.Comp{View: "V", Over: []string{"A", "B"}},
+			strategy.Comp{View: "W", Over: []string{"A"}},
+			strategy.Inst{View: "V"},
+			strategy.Inst{View: "W"},
+		},
+		Batch: []ViewBatch{
+			{View: "A", Rows: []RowChange{{Key: "k1", Count: 2}, {Key: "k2", Count: -1}}},
+			{View: "B", Rows: []RowChange{{Key: "k3", Count: 1}}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b := testBegin()
+	if err := w.Begin(b); err != nil {
+		t.Fatal(err)
+	}
+	steps := []StepRecord{
+		{Index: 0, Key: "C:V:A,B", Work: 42, Terms: 3},
+		{Index: 2, Key: "I:V", Work: 7, Digest: 0xabcdef},
+		{Index: 1, Key: "C:W:A", Work: 0, Terms: 1, Skipped: true},
+	}
+	for _, s := range steps {
+		if err := w.Step(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(CommitRecord{TotalWork: 49, ElapsedNS: 12345}); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Truncated {
+		t.Fatal("intact journal reported truncated")
+	}
+	if len(lg.Windows) != 1 {
+		t.Fatalf("%d windows, want 1", len(lg.Windows))
+	}
+	wl := lg.Windows[0]
+	if !wl.Committed() || wl.Abort != nil {
+		t.Fatalf("window not committed: %+v", wl)
+	}
+	got := wl.Begin
+	if got.Seq != b.Seq || got.Planner != b.Planner || got.Mode != b.Mode ||
+		got.Workers != b.Workers || !got.SkipEmptyDeltas || got.UseIndexes ||
+		got.StateDigest != b.StateDigest || got.BatchDigest != b.BatchDigest {
+		t.Fatalf("begin mismatch: %+v vs %+v", got, b)
+	}
+	if got.Strategy.String() != b.Strategy.String() {
+		t.Fatalf("strategy %s, want %s", got.Strategy, b.Strategy)
+	}
+	if len(got.Batch) != 2 || got.Batch[0].View != "A" || len(got.Batch[0].Rows) != 2 ||
+		got.Batch[0].Rows[1].Count != -1 || got.Batch[1].Rows[0].Key != "k3" {
+		t.Fatalf("batch mismatch: %+v", got.Batch)
+	}
+	if len(wl.Steps) != 3 {
+		t.Fatalf("%d steps, want 3", len(wl.Steps))
+	}
+	if wl.Steps[1].Digest != 0xabcdef || !wl.Steps[2].Skipped || wl.Steps[0].Terms != 3 {
+		t.Fatalf("steps mismatch: %+v", wl.Steps)
+	}
+	if wl.Commit.TotalWork != 49 || wl.Commit.ElapsedNS != 12345 {
+		t.Fatalf("commit mismatch: %+v", wl.Commit)
+	}
+	if lg.InFlight() != nil {
+		t.Fatal("committed journal reports in-flight window")
+	}
+	if lg.CommittedCount() != 1 {
+		t.Fatalf("CommittedCount = %d", lg.CommittedCount())
+	}
+}
+
+func TestInFlightDetection(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(testBegin()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Step(StepRecord{Index: 0, Key: "C:V:A,B", Work: 10}); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := lg.InFlight()
+	if wl == nil {
+		t.Fatal("crashed journal has no in-flight window")
+	}
+	if len(wl.Steps) != 1 || wl.Steps[0].Work != 10 {
+		t.Fatalf("in-flight steps: %+v", wl.Steps)
+	}
+
+	// An aborted window is closed, not in-flight.
+	if err := w.Abort(AbortRecord{Reason: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	lg, err = ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.InFlight() != nil {
+		t.Fatal("aborted window reported in-flight")
+	}
+	if lg.Windows[0].Abort.Reason != "boom" {
+		t.Fatalf("abort reason %q", lg.Windows[0].Abort.Reason)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(testBegin()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Step(StepRecord{Index: 0, Key: "C:V:A,B"}); err != nil {
+		t.Fatal(err)
+	}
+	intact := buf.Len()
+	if err := w.Step(StepRecord{Index: 1, Key: "C:W:A"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix that cuts into the last record must parse to the
+	// first two records with Truncated set.
+	for cut := intact + 1; cut < len(full); cut++ {
+		lg, err := ReadLog(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !lg.Truncated {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if len(lg.Windows) != 1 || len(lg.Windows[0].Steps) != 1 {
+			t.Fatalf("cut %d: parsed %+v", cut, lg.Windows)
+		}
+	}
+}
+
+func TestCorruptByteDropsTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(testBegin()); err != nil {
+		t.Fatal(err)
+	}
+	mark := buf.Len()
+	if err := w.Step(StepRecord{Index: 0, Key: "C:V:A,B", Work: 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[mark+3] ^= 0xff // corrupt the step record's body
+	lg, err := ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lg.Truncated || len(lg.Windows[0].Steps) != 0 {
+		t.Fatalf("corrupt record not dropped: truncated=%v steps=%d", lg.Truncated, len(lg.Windows[0].Steps))
+	}
+}
+
+func TestStepOutsideWindowIsError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Step(StepRecord{Index: 0, Key: "C:V:A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("step before begin accepted")
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	if err := w.Commit(CommitRecord{}); err == nil {
+		t.Fatal("write to failing sink succeeded")
+	}
+	if err := w.Err(); err == nil {
+		t.Fatal("sticky error not recorded")
+	}
+	if err := w.Abort(AbortRecord{}); err == nil {
+		t.Fatal("append after failure succeeded")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }
+
+func TestBatchRoundTripThroughWarehouse(t *testing.T) {
+	schema := relation.Schema{
+		{Name: "a", Kind: relation.KindInt},
+		{Name: "b", Kind: relation.KindInt},
+	}
+	build := func() *core.Warehouse {
+		w := core.New(core.Options{})
+		if err := w.DefineBase("B0", schema); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w := build()
+	d := delta.New(schema)
+	d.Add(relation.Tuple{relation.NewInt(1), relation.NewInt(2)}, 3)
+	d.Add(relation.Tuple{relation.NewInt(4), relation.NewInt(5)}, -1)
+	if err := w.StageDelta("B0", d); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := BatchOf(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0].View != "B0" || len(batch[0].Rows) != 2 {
+		t.Fatalf("batch: %+v", batch)
+	}
+	w2 := build()
+	if err := RestoreBatch(w2, batch); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := w2.DeltaOf("B0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Digest() != d.Digest() || d2.Size() != d.Size() {
+		t.Fatalf("restored delta digest %x size %d, want %x size %d",
+			d2.Digest(), d2.Size(), d.Digest(), d.Size())
+	}
+	if BatchDigest(batch) == 0 {
+		t.Fatal("batch digest is zero for a non-empty batch")
+	}
+}
+
+func TestStateDigestDetectsChanges(t *testing.T) {
+	schema := relation.Schema{{Name: "a", Kind: relation.KindInt}}
+	w := core.New(core.Options{})
+	if err := w.DefineBase("B0", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadBase("B0", []relation.Tuple{{relation.NewInt(1)}, {relation.NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	h1 := StateDigest(w)
+	clone := w.Clone()
+	if StateDigest(clone) != h1 {
+		t.Fatal("clone digests differently")
+	}
+	// Pending changes do not contribute until installed.
+	d := delta.New(schema)
+	d.Add(relation.Tuple{relation.NewInt(9)}, 1)
+	if err := clone.StageDelta("B0", d); err != nil {
+		t.Fatal(err)
+	}
+	if StateDigest(clone) != h1 {
+		t.Fatal("staged-but-uninstalled delta changed the state digest")
+	}
+	if _, err := clone.Install("B0"); err != nil {
+		t.Fatal(err)
+	}
+	if StateDigest(clone) == h1 {
+		t.Fatal("installed delta did not change the state digest")
+	}
+}

@@ -175,7 +175,7 @@ func Execute(w *core.Warehouse, plan Plan) (Report, error) {
 			wg.Add(1)
 			go func(i int, e strategy.Expr) {
 				defer wg.Done()
-				results[i], errs[i] = runExpr(w, e, i)
+				results[i], errs[i] = runExpr(nil, w, e, i, nil)
 			}(i, e)
 		}
 		wg.Wait()

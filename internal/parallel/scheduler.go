@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/strategy"
 )
 
@@ -190,6 +191,24 @@ type Options struct {
 	// Validate checks the strategy against the correctness conditions
 	// (C1–C8, relaxed by the quiescent set) before executing.
 	Validate bool
+	// OnStep, when non-nil, is called after each expression completes
+	// successfully, with the expression's strategy index and its measured
+	// step. An error fails the step (the window journal uses this to make
+	// a failed journal append fail the window). Staged and DAG execution
+	// call it from concurrent workers: it must be safe for concurrent use.
+	OnStep func(idx int, step exec.StepReport) error
+	// Faults, when non-nil, is consulted at every step boundary (point
+	// "step") before the expression runs. Injected failures, panics and
+	// crashes surface exactly as real ones would.
+	Faults *faults.Injector
+}
+
+// notify invokes OnStep if set.
+func (o Options) notify(idx int, step exec.StepReport) error {
+	if o.OnStep == nil {
+		return nil
+	}
+	return o.OnStep(idx, step)
 }
 
 // Run executes the strategy under the given mode and returns a Report whose
@@ -210,9 +229,9 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 	switch mode {
 	case exec.ModeSequential, "":
 		mode = exec.ModeSequential
-		rep, err = executeSequential(w, d)
+		rep, err = executeSequential(w, d, opts)
 	case exec.ModeStaged:
-		rep, err = executeStaged(w, d)
+		rep, err = executeStaged(w, d, opts)
 	case exec.ModeDAG:
 		rep, err = ExecuteDAG(w, d, opts)
 	default:
@@ -229,26 +248,22 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 }
 
 // runExpr executes one expression against the warehouse, measuring its work
-// and wall-clock duration.
-func runExpr(w *core.Warehouse, e strategy.Expr, worker int) (exec.StepReport, error) {
-	step := exec.StepReport{Expr: e, Worker: worker}
-	t0 := time.Now()
-	switch x := e.(type) {
-	case strategy.Comp:
-		cr, err := w.Compute(x.View, x.Over)
-		step.Work, step.Terms, step.Skipped = cr.OperandTuples, cr.Terms, cr.Skipped
-		step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
-		step.CacheTuplesSaved = cr.BuildTuplesSaved
-		step.Elapsed = time.Since(t0)
-		return step, err
-	case strategy.Inst:
-		n, err := w.Install(x.View)
-		step.Work = n
-		step.Elapsed = time.Since(t0)
-		return step, err
-	default:
-		return step, fmt.Errorf("parallel: unknown expression type %T", e)
+// and wall-clock duration. A panic anywhere inside — the expression itself
+// or an injected fault — is recovered into an error, so a panicking operator
+// in a worker goroutine fails its step instead of killing the process.
+func runExpr(ctx context.Context, w *core.Warehouse, e strategy.Expr, worker int, inj *faults.Injector) (step exec.StepReport, err error) {
+	step = exec.StepReport{Expr: e, Worker: worker}
+	defer func() {
+		if p := recover(); p != nil {
+			err = exec.PanicError(p)
+		}
+	}()
+	if ferr := inj.Hit("step"); ferr != nil {
+		return step, ferr
 	}
+	step, err = exec.RunStep(ctx, w, e)
+	step.Worker = worker
+	return step, err
 }
 
 // finishReport assembles a Report from per-node step reports: steps are
@@ -274,19 +289,29 @@ func (d *DAG) finishReport(rep *Report, steps []exec.StepReport, ran []bool) {
 // executeSequential runs the nodes one at a time in strategy order. The
 // report still carries SpanWork and CriticalPathWork, predicting what the
 // same run would cost staged or DAG-scheduled.
-func executeSequential(w *core.Warehouse, d *DAG) (Report, error) {
+func executeSequential(w *core.Warehouse, d *DAG, opts Options) (Report, error) {
 	rep := Report{Workers: 1}
+	ctx := opts.Context
 	steps := make([]exec.StepReport, d.Len())
 	ran := make([]bool, d.Len())
 	start := time.Now()
 	for i := 0; i < d.Len(); i++ {
-		step, err := runExpr(w, d.Expr(i), 0)
+		var err error
+		if ctx != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		} else {
+			var step exec.StepReport
+			step, err = runExpr(ctx, w, d.Expr(i), 0, opts.Faults)
+			if err == nil {
+				steps[i], ran[i] = step, true
+				err = opts.notify(i, step)
+			}
+		}
 		if err != nil {
 			d.finishReport(&rep, steps, ran)
 			rep.Elapsed = time.Since(start)
 			return rep, fmt.Errorf("parallel: %s: %w", d.Expr(i), err)
 		}
-		steps[i], ran[i] = step, true
 	}
 	rep.Elapsed = time.Since(start)
 	d.finishReport(&rep, steps, ran)
@@ -296,8 +321,9 @@ func executeSequential(w *core.Warehouse, d *DAG) (Report, error) {
 // executeStaged runs the barrier plan of the DAG: each level's expressions
 // in parallel goroutines, a barrier between levels (the Section 9 model,
 // with per-step Elapsed and worker ids filled in).
-func executeStaged(w *core.Warehouse, d *DAG) (Report, error) {
+func executeStaged(w *core.Warehouse, d *DAG, opts Options) (Report, error) {
 	rep := Report{}
+	ctx := opts.Context
 	steps := make([]exec.StepReport, d.Len())
 	ran := make([]bool, d.Len())
 	byLevel := make([][]int, d.Levels())
@@ -306,13 +332,23 @@ func executeStaged(w *core.Warehouse, d *DAG) (Report, error) {
 	}
 	start := time.Now()
 	for _, nodes := range byLevel {
+		if ctx != nil && ctx.Err() != nil {
+			d.finishReport(&rep, steps, ran)
+			rep.Elapsed = time.Since(start)
+			return rep, fmt.Errorf("parallel: %s: %w", d.Expr(nodes[0]), ctx.Err())
+		}
 		errs := make([]error, len(nodes))
 		var wg sync.WaitGroup
 		for slot, idx := range nodes {
 			wg.Add(1)
 			go func(slot, idx int) {
 				defer wg.Done()
-				steps[idx], errs[slot] = runExpr(w, d.Expr(idx), slot)
+				step, err := runExpr(ctx, w, d.Expr(idx), slot, opts.Faults)
+				if err == nil {
+					steps[idx] = step
+					err = opts.notify(idx, step)
+				}
+				errs[slot] = err
 			}(slot, idx)
 		}
 		wg.Wait()
@@ -397,11 +433,13 @@ func ExecuteDAG(w *core.Warehouse, d *DAG, opts Options) (Report, error) {
 				// Once cancelled, keep draining (so every node flows
 				// through and the queue closes) without executing.
 				if ctx.Err() == nil {
-					step, err := runExpr(w, d.Expr(idx), worker)
+					step, err := runExpr(ctx, w, d.Expr(idx), worker, opts.Faults)
+					if err == nil {
+						steps[idx], ran[idx] = step, true
+						err = opts.notify(idx, step)
+					}
 					if err != nil {
 						record(idx, err)
-					} else {
-						steps[idx], ran[idx] = step, true
 					}
 				}
 				for _, succ := range d.succs[idx] {

@@ -1,0 +1,412 @@
+// Package recovery makes update windows crash-safe. Run executes a strategy
+// as a journaled, atomic, retryable window: every attempt runs on a clone of
+// the warehouse, so the caller's state is untouched until the attempt
+// commits, and the journal records window begin (strategy, change batch,
+// digests), every completed step, and commit/abort. Recover completes a
+// window whose journal ends without commit or abort — the signature of a
+// crash — by restoring the pre-window state, re-staging the journaled change
+// batch, and re-executing the journaled strategy, verifying each replayed
+// step against the journaled step records.
+//
+// Replay is by re-execution: the engine is deterministic given the same
+// pre-window state, change batch and work-affecting options (which the
+// begin record captures), so a recovered window is bag-identical to the
+// window the crashed process would have produced. Completed steps of the
+// crashed run are not re-journaled; their journaled work and delta digests
+// are instead checked against the replay, turning silent divergence into a
+// hard error.
+//
+// Run also hardens windows against non-crash failures: transient errors
+// retry with exponential backoff (each attempt its own journal window, same
+// sequence number), parallel-mode failures can degrade to sequential
+// execution, and as a last resort the window can fall back to installing
+// the base deltas and recomputing every derived view from scratch.
+package recovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/parallel"
+	"repro/internal/strategy"
+)
+
+// Options configure Run and Recover.
+type Options struct {
+	// Journal receives the window's records; nil runs unjournaled (the
+	// window is still atomic and retryable, just not recoverable).
+	Journal *journal.Writer
+	// Seq is the window's sequence number, recorded in the begin record.
+	Seq int
+	// Planner names the strategy's planner, recorded in the begin record.
+	Planner string
+	// Mode schedules the strategy (sequential, staged, dag); empty means
+	// sequential.
+	Mode exec.Mode
+	// Workers bounds DAG-mode parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Context cancels the window between steps; nil never cancels.
+	Context context.Context
+	// Validate checks the strategy against the correctness conditions
+	// before each attempt.
+	Validate bool
+	// Faults, when non-nil, is consulted at step boundaries and at the
+	// recompute fallback (points "step" and "recompute").
+	Faults *faults.Injector
+	// Retries is how many times a transiently failed attempt is re-run
+	// (beyond the first attempt). Only errors marked transient
+	// (faults.IsTransient) retry; deterministic failures don't.
+	Retries int
+	// Backoff is the first retry's delay, doubling per retry; 0 means 1ms.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep between retries (tests); nil sleeps.
+	Sleep func(time.Duration)
+	// FallbackSequential degrades a failed staged/DAG window to one
+	// sequential attempt before giving up on incremental maintenance.
+	FallbackSequential bool
+	// FallbackRecompute degrades an unrecoverable incremental window to
+	// installing the base deltas and recomputing every derived view — the
+	// maximum-work, minimum-assumptions path.
+	FallbackRecompute bool
+}
+
+// Result is a completed window: Core is the successor warehouse state (the
+// attempt's clone — the caller adopts it), Report the execution measurements.
+type Result struct {
+	Core   *core.Warehouse
+	Report parallel.Report
+	// Mode is how the committed attempt actually ran — it differs from
+	// Options.Mode after degradation.
+	Mode exec.Mode
+	// Attempts counts executed attempts, including fallbacks.
+	Attempts int
+	// FellBackSequential and Recomputed record which degradations fired.
+	FellBackSequential bool
+	Recomputed         bool
+	// Recovered marks results produced by Recover.
+	Recovered bool
+}
+
+// isCrash classifies an attempt failure as a simulated process crash: the
+// error chain carries a crash-flavoured fault, or the injector fired one
+// anywhere (under DAG concurrency the first-in-strategy-order error the
+// scheduler surfaces may be a knock-on failure, not the crash itself).
+func isCrash(err error, inj *faults.Injector) bool {
+	return faults.IsCrash(err) || inj.Crashed()
+}
+
+// Run executes the strategy as a robust update window against w. w itself is
+// never mutated: each attempt executes on a clone, and the committed clone
+// is returned in Result.Core for the caller to adopt. On a crash-class
+// failure Run returns immediately with the journal left in-flight — exactly
+// the state a killed process leaves behind — for Recover to complete.
+func Run(w *core.Warehouse, s strategy.Strategy, opts Options) (*Result, error) {
+	mode := opts.Mode
+	if mode == "" {
+		mode = exec.ModeSequential
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	res := &Result{}
+	retriesLeft := opts.Retries
+	triedSequential := false
+	for {
+		res.Attempts++
+		rep, clone, err := runAttempt(w, s, mode, opts)
+		if err == nil {
+			res.Core, res.Report, res.Mode = clone, rep, mode
+			return res, nil
+		}
+		if isCrash(err, opts.Faults) {
+			return nil, err
+		}
+		if faults.IsTransient(err) && retriesLeft > 0 {
+			retriesLeft--
+			sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		if opts.FallbackSequential && mode != exec.ModeSequential && !triedSequential {
+			triedSequential = true
+			mode = exec.ModeSequential
+			res.FellBackSequential = true
+			continue
+		}
+		if opts.FallbackRecompute {
+			res.Attempts++
+			rep, clone, rerr := runRecompute(w, s, opts)
+			if rerr == nil {
+				res.Recomputed = true
+				res.Core, res.Report, res.Mode = clone, rep, exec.ModeRecompute
+				return res, nil
+			}
+			if isCrash(rerr, opts.Faults) {
+				return nil, rerr
+			}
+			return nil, fmt.Errorf("recovery: recompute fallback failed: %w (incremental window failed: %v)", rerr, err)
+		}
+		return nil, err
+	}
+}
+
+// beginRecord captures everything recovery needs to re-execute the window:
+// the strategy, the full change batch, digests of the pre-window state and
+// batch, and the work-affecting engine options.
+func beginRecord(w *core.Warehouse, s strategy.Strategy, mode exec.Mode, opts Options) (journal.BeginRecord, error) {
+	batch, err := journal.BatchOf(w)
+	if err != nil {
+		return journal.BeginRecord{}, err
+	}
+	o := w.Options()
+	return journal.BeginRecord{
+		Seq:             opts.Seq,
+		Planner:         opts.Planner,
+		Mode:            string(mode),
+		Workers:         opts.Workers,
+		SkipEmptyDeltas: o.SkipEmptyDeltas,
+		UseIndexes:      o.UseIndexes,
+		StateDigest:     journal.StateDigest(w),
+		BatchDigest:     journal.BatchDigest(batch),
+		Strategy:        s.Clone(),
+		Batch:           batch,
+	}, nil
+}
+
+// stepRecord converts an executed step into its journal record.
+func stepRecord(idx int, step exec.StepReport) journal.StepRecord {
+	return journal.StepRecord{
+		Index:   idx,
+		Key:     step.Expr.Key(),
+		Work:    step.Work,
+		Terms:   step.Terms,
+		Skipped: step.Skipped,
+		Digest:  step.Digest,
+	}
+}
+
+// runAttempt executes one journaled attempt on a fresh clone. Failures
+// append an abort record — unless they are crash-class, in which case the
+// journal is left exactly as a killed process would leave it.
+func runAttempt(w *core.Warehouse, s strategy.Strategy, mode exec.Mode, opts Options) (parallel.Report, *core.Warehouse, error) {
+	clone := w.Clone()
+	jw := opts.Journal
+	if jw != nil {
+		b, err := beginRecord(w, s, mode, opts)
+		if err != nil {
+			return parallel.Report{}, nil, err
+		}
+		if err := jw.Begin(b); err != nil {
+			return parallel.Report{}, nil, err
+		}
+	}
+	popts := parallel.Options{
+		Workers:  opts.Workers,
+		Context:  opts.Context,
+		Validate: opts.Validate,
+		Faults:   opts.Faults,
+	}
+	if jw != nil {
+		popts.OnStep = func(idx int, step exec.StepReport) error {
+			return jw.Step(stepRecord(idx, step))
+		}
+	}
+	t0 := time.Now()
+	rep, err := parallel.Run(clone, s, clone.Children, mode, popts)
+	if err != nil {
+		if jw != nil && !isCrash(err, opts.Faults) {
+			_ = jw.Abort(journal.AbortRecord{Reason: err.Error()})
+		}
+		return rep, nil, err
+	}
+	if jw != nil {
+		if cerr := jw.Commit(journal.CommitRecord{TotalWork: rep.TotalWork, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+			return rep, nil, cerr
+		}
+	}
+	return rep, clone, nil
+}
+
+// runRecompute is the graceful-degradation attempt: install the staged base
+// deltas and rebuild every derived view from scratch on a fresh clone. Its
+// journal window has no step records — recovery of an in-flight recompute
+// window simply redoes the whole recompute.
+func runRecompute(w *core.Warehouse, s strategy.Strategy, opts Options) (parallel.Report, *core.Warehouse, error) {
+	clone := w.Clone()
+	jw := opts.Journal
+	if jw != nil {
+		b, err := beginRecord(w, s, exec.ModeRecompute, opts)
+		if err != nil {
+			return parallel.Report{}, nil, err
+		}
+		if err := jw.Begin(b); err != nil {
+			return parallel.Report{}, nil, err
+		}
+	}
+	t0 := time.Now()
+	work, err := recomputeAll(clone, opts.Faults)
+	if err != nil {
+		if jw != nil && !isCrash(err, opts.Faults) {
+			_ = jw.Abort(journal.AbortRecord{Reason: err.Error()})
+		}
+		return parallel.Report{}, nil, err
+	}
+	rep := parallel.Report{Mode: exec.ModeRecompute, Workers: 1, TotalWork: work, Elapsed: time.Since(t0)}
+	if jw != nil {
+		if cerr := jw.Commit(journal.CommitRecord{TotalWork: work, ElapsedNS: rep.Elapsed.Nanoseconds()}); cerr != nil {
+			return rep, nil, cerr
+		}
+	}
+	return rep, clone, nil
+}
+
+// recomputeAll installs every pending base delta and refreshes every derived
+// view from the new base data. Work counts the installed rows (the refresh
+// work is recomputation, outside the incremental work metric).
+func recomputeAll(w *core.Warehouse, inj *faults.Injector) (int64, error) {
+	if err := inj.Hit("recompute"); err != nil {
+		return 0, err
+	}
+	var work int64
+	for _, name := range w.ViewNames() {
+		v := w.View(name)
+		if v.IsBase() && v.HasPending() {
+			n, err := w.Install(name)
+			if err != nil {
+				return work, err
+			}
+			work += n
+		}
+	}
+	if err := w.RefreshAll(); err != nil {
+		return work, err
+	}
+	return work, nil
+}
+
+// NeedsRecovery reports whether the journal ends in an in-flight window —
+// a begin without commit or abort, the on-disk signature of a crash.
+func NeedsRecovery(lg *journal.Log) bool {
+	return lg != nil && lg.InFlight() != nil
+}
+
+// Recover completes the journal's in-flight window. w must be the warehouse
+// restored from the pre-window snapshot (the begin record's state digest
+// verifies this). The journaled change batch is re-staged on a clone, the
+// journaled strategy re-executed under the journaled work-affecting options;
+// steps the crashed run completed are verified (key, work, installed-delta
+// digest) rather than re-journaled, missing steps and the commit are
+// appended through opts.Journal. The completed clone comes back in
+// Result.Core for the caller to adopt.
+func Recover(w *core.Warehouse, lg *journal.Log, opts Options) (*Result, error) {
+	if lg == nil || lg.InFlight() == nil {
+		return nil, errors.New("recovery: journal has no in-flight window")
+	}
+	wl := lg.InFlight()
+	b := wl.Begin
+	if got := journal.StateDigest(w); b.StateDigest != 0 && got != b.StateDigest {
+		return nil, fmt.Errorf("recovery: restored state digest %016x does not match window %d's journaled pre-state %016x — wrong snapshot",
+			got, b.Seq, b.StateDigest)
+	}
+	if got := journal.BatchDigest(b.Batch); got != b.BatchDigest {
+		return nil, fmt.Errorf("recovery: window %d's change batch digests to %016x, journaled %016x — corrupt begin record",
+			b.Seq, got, b.BatchDigest)
+	}
+	clone := w.Clone()
+	co := clone.Options()
+	co.SkipEmptyDeltas = b.SkipEmptyDeltas
+	co.UseIndexes = b.UseIndexes
+	clone.SetOptions(co)
+	if err := journal.RestoreBatch(clone, b.Batch); err != nil {
+		return nil, fmt.Errorf("recovery: re-staging window %d's batch: %w", b.Seq, err)
+	}
+
+	jw := opts.Journal
+	res := &Result{Recovered: true, Attempts: 1}
+	t0 := time.Now()
+
+	if exec.Mode(b.Mode) == exec.ModeRecompute {
+		work, err := recomputeAll(clone, opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: redoing recompute window %d: %w", b.Seq, err)
+		}
+		if jw != nil {
+			if cerr := jw.Commit(journal.CommitRecord{TotalWork: work, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+				return nil, cerr
+			}
+		}
+		res.Core = clone
+		res.Mode = exec.ModeRecompute
+		res.Recomputed = true
+		res.Report = parallel.Report{Mode: exec.ModeRecompute, Workers: 1, TotalWork: work, Elapsed: time.Since(t0)}
+		return res, nil
+	}
+
+	mode, err := exec.ParseMode(b.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: window %d: %w", b.Seq, err)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = b.Workers
+	}
+	done := make(map[int]journal.StepRecord, len(wl.Steps))
+	for _, sr := range wl.Steps {
+		done[sr.Index] = sr
+	}
+	popts := parallel.Options{
+		Workers: workers,
+		Context: opts.Context,
+		Faults:  opts.Faults,
+		OnStep: func(idx int, step exec.StepReport) error {
+			if sr, ok := done[idx]; ok {
+				// The crashed run completed this step — verify the replay
+				// reproduced it instead of re-journaling it.
+				if sr.Key != step.Expr.Key() {
+					return fmt.Errorf("recovery: journaled step %d is %s, strategy step %d is %s",
+						idx, sr.Key, idx, step.Expr.Key())
+				}
+				if sr.Skipped != step.Skipped || sr.Work != step.Work {
+					return fmt.Errorf("recovery: replay diverged at step %d (%s): journaled work=%d skipped=%v, replayed work=%d skipped=%v",
+						idx, sr.Key, sr.Work, sr.Skipped, step.Work, step.Skipped)
+				}
+				if sr.Digest != 0 && step.Digest != 0 && sr.Digest != step.Digest {
+					return fmt.Errorf("recovery: replay diverged at step %d (%s): journaled delta digest %016x, replayed %016x",
+						idx, sr.Key, sr.Digest, step.Digest)
+				}
+				return nil
+			}
+			if jw == nil {
+				return nil
+			}
+			return jw.Step(stepRecord(idx, step))
+		},
+	}
+	rep, err := parallel.Run(clone, b.Strategy, clone.Children, mode, popts)
+	if err != nil {
+		if jw != nil && !isCrash(err, opts.Faults) {
+			_ = jw.Abort(journal.AbortRecord{Reason: "recovery failed: " + err.Error()})
+		}
+		return nil, fmt.Errorf("recovery: replaying window %d: %w", b.Seq, err)
+	}
+	if jw != nil {
+		if cerr := jw.Commit(journal.CommitRecord{TotalWork: rep.TotalWork, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+			return nil, cerr
+		}
+	}
+	res.Core = clone
+	res.Report = rep
+	res.Mode = mode
+	return res, nil
+}

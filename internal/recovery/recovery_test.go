@@ -1,0 +1,395 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/relation"
+	"repro/internal/strategy"
+)
+
+var (
+	schemaR = relation.Schema{{Name: "a", Kind: relation.KindInt}, {Name: "b", Kind: relation.KindInt}}
+	schemaS = relation.Schema{{Name: "b", Kind: relation.KindInt}, {Name: "c", Kind: relation.KindInt}}
+)
+
+func intRow(vals ...int64) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.NewInt(v)
+	}
+	return t
+}
+
+// newFixture builds R, S, J = R ⋈ S, A = Γ(J), loads data, and stages a
+// change batch; returns the warehouse and a dual-stage strategy.
+func newFixture(t *testing.T) (*core.Warehouse, strategy.Strategy) {
+	t.Helper()
+	w := core.New(core.Options{})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineBase("R", schemaR))
+	must(w.DefineBase("S", schemaS))
+	jb := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	jb.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	must(w.DefineDerived("J", jb.MustBuild()))
+	js := w.MustView("J").Schema()
+	ab := algebra.NewBuilder().From("j", "J", js)
+	ab.GroupByCol("j.a").Agg("total", delta.AggSum, ab.Col("j.c"))
+	must(w.DefineDerived("A", ab.MustBuild()))
+	must(w.LoadBase("R", []relation.Tuple{intRow(1, 10), intRow(2, 10), intRow(3, 20)}))
+	must(w.LoadBase("S", []relation.Tuple{intRow(10, 100), intRow(20, 200)}))
+	must(w.RefreshAll())
+
+	dr := delta.New(schemaR)
+	dr.Add(intRow(4, 20), 1)
+	dr.Add(intRow(1, 10), -1)
+	must(w.StageDelta("R", dr))
+	ds := delta.New(schemaS)
+	ds.Add(intRow(10, 300), 1)
+	must(w.StageDelta("S", ds))
+
+	g, err := exec.Graph(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, strategy.DualStageVDAG(g)
+}
+
+func bags(t *testing.T, w *core.Warehouse) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, name := range w.ViewNames() {
+		var b bytes.Buffer
+		for _, r := range w.MustView(name).SortedRows() {
+			fmt.Fprintf(&b, "%v x%d;", r.Tuple, r.Count)
+		}
+		out[name] = b.String()
+	}
+	return out
+}
+
+func sameBags(t *testing.T, what string, ref, got map[string]string) {
+	t.Helper()
+	for v := range ref {
+		if ref[v] != got[v] {
+			t.Fatalf("%s: %s diverged:\n got %s\nwant %s", what, v, got[v], ref[v])
+		}
+	}
+}
+
+func readLog(t *testing.T, buf *bytes.Buffer) journal.Log {
+	t.Helper()
+	lg, err := journal.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+// refRun executes the strategy uninterrupted on a clone and returns the
+// resulting bags.
+func refRun(t *testing.T, w *core.Warehouse, s strategy.Strategy) map[string]string {
+	t.Helper()
+	res, err := Run(w, s, Options{Mode: exec.ModeSequential, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bags(t, res.Core)
+}
+
+func TestRunCommitsAndAdopts(t *testing.T) {
+	w, s := newFixture(t)
+	before := bags(t, w)
+	var buf bytes.Buffer
+	res, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 7, Planner: "dual", Mode: exec.ModeDAG,
+		Workers: 4, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original warehouse is untouched; the clone carries the window.
+	sameBags(t, "original", before, bags(t, w))
+	if res.Core == w {
+		t.Fatal("Run returned the input warehouse, not a clone")
+	}
+	if err := res.Core.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	lg := readLog(t, &buf)
+	if lg.CommittedCount() != 1 || NeedsRecovery(&lg) {
+		t.Fatalf("journal shape: committed=%d inflight=%v", lg.CommittedCount(), lg.InFlight() != nil)
+	}
+	wl := lg.Windows[0]
+	if wl.Begin.Seq != 7 || wl.Begin.Planner != "dual" || wl.Begin.Mode != "dag" {
+		t.Fatalf("begin record: %+v", wl.Begin)
+	}
+	if len(wl.Steps) != len(s) {
+		t.Fatalf("%d journaled steps, strategy has %d", len(wl.Steps), len(s))
+	}
+	if wl.Commit.TotalWork != res.Report.TotalWork {
+		t.Fatalf("journaled work %d, report %d", wl.Commit.TotalWork, res.Report.TotalWork)
+	}
+}
+
+func TestTransientRetryJournalShape(t *testing.T) {
+	w, s := newFixture(t)
+	want := refRun(t, w, s)
+	inj := faults.New(1)
+	inj.FailAt("step", 2) // second step of the first attempt fails transiently
+	var buf bytes.Buffer
+	var slept []time.Duration
+	res, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 3, Mode: exec.ModeSequential, Validate: true,
+		Faults: inj, Retries: 2, Backoff: 5 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("backoff sleeps: %v", slept)
+	}
+	sameBags(t, "retried window", want, bags(t, res.Core))
+	lg := readLog(t, &buf)
+	if len(lg.Windows) != 2 {
+		t.Fatalf("%d journal windows, want 2 (abort + commit)", len(lg.Windows))
+	}
+	if lg.Windows[0].Abort == nil || lg.Windows[0].Committed() {
+		t.Fatalf("first attempt not aborted: %+v", lg.Windows[0])
+	}
+	if len(lg.Windows[0].Steps) != 1 {
+		t.Fatalf("aborted attempt journaled %d steps, want 1", len(lg.Windows[0].Steps))
+	}
+	if !lg.Windows[1].Committed() {
+		t.Fatal("second attempt not committed")
+	}
+	if lg.Windows[0].Begin.Seq != 3 || lg.Windows[1].Begin.Seq != 3 {
+		t.Fatal("retry attempts must share the window sequence number")
+	}
+}
+
+func TestSequentialFallback(t *testing.T) {
+	w, s := newFixture(t)
+	want := refRun(t, w, s)
+	inj := faults.New(1)
+	inj.FailAt("step", 1) // first attempt dies; error is transient but Retries=0
+	res, err := Run(w, s, Options{
+		Mode: exec.ModeDAG, Workers: 4, Validate: true,
+		Faults: inj, FallbackSequential: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBackSequential || res.Mode != exec.ModeSequential {
+		t.Fatalf("no sequential fallback: %+v", res)
+	}
+	sameBags(t, "fallback window", want, bags(t, res.Core))
+}
+
+func TestRecomputeFallback(t *testing.T) {
+	w, s := newFixture(t)
+	want := refRun(t, w, s)
+	inj := faults.New(1)
+	inj.SetProbability("step", 1) // every incremental step fails
+	var buf bytes.Buffer
+	res, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 9, Mode: exec.ModeDAG, Workers: 2, Validate: true,
+		Faults: inj, FallbackSequential: true, FallbackRecompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recomputed || res.Mode != exec.ModeRecompute {
+		t.Fatalf("no recompute fallback: %+v", res)
+	}
+	sameBags(t, "recompute window", want, bags(t, res.Core))
+	if err := res.Core.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	lg := readLog(t, &buf)
+	last := lg.Windows[len(lg.Windows)-1]
+	if !last.Committed() || last.Begin.Mode != string(exec.ModeRecompute) || len(last.Steps) != 0 {
+		t.Fatalf("recompute window shape: %+v", last)
+	}
+	for _, wl := range lg.Windows[:len(lg.Windows)-1] {
+		if wl.Abort == nil {
+			t.Fatalf("failed incremental attempt not aborted: %+v", wl.Begin)
+		}
+	}
+}
+
+func TestCrashLeavesJournalInFlight(t *testing.T) {
+	w, s := newFixture(t)
+	inj := faults.New(1)
+	inj.CrashAt("step", 2)
+	var buf bytes.Buffer
+	_, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 1, Mode: exec.ModeSequential, Validate: true,
+		Faults: inj, Retries: 5, FallbackSequential: true, FallbackRecompute: true,
+	})
+	if err == nil {
+		t.Fatal("crash did not fail the run")
+	}
+	var f *faults.Fault
+	if !errors.As(err, &f) || !f.Crash {
+		t.Fatalf("crash fault not surfaced: %v", err)
+	}
+	lg := readLog(t, &buf)
+	if !NeedsRecovery(&lg) {
+		t.Fatal("crashed journal does not need recovery")
+	}
+	wl := lg.InFlight()
+	if wl.Abort != nil || wl.Commit != nil || len(wl.Steps) != 1 {
+		t.Fatalf("in-flight window shape: steps=%d closed=%v", len(wl.Steps), wl.Closed())
+	}
+}
+
+func TestRecoverCompletesCrashedWindow(t *testing.T) {
+	w, s := newFixture(t)
+	want := refRun(t, w, s)
+
+	inj := faults.New(1)
+	inj.CrashAt("step", 3)
+	var buf bytes.Buffer
+	_, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 4, Mode: exec.ModeSequential, Validate: true, Faults: inj,
+	})
+	if err == nil {
+		t.Fatal("crash did not fail the run")
+	}
+
+	// Restart: the pre-window state (no staged batch — the journal
+	// re-stages it) as a snapshot would restore it.
+	lg := readLog(t, &buf)
+	res, err := Recover(buildPristine(t), &lg, Options{Journal: journal.NewWriter(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("result not marked recovered")
+	}
+	sameBags(t, "recovered window", want, bags(t, res.Core))
+	if err := res.Core.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	final := readLog(t, &buf)
+	if NeedsRecovery(&final) || final.CommittedCount() != 1 {
+		t.Fatalf("journal not completed: inflight=%v committed=%d", final.InFlight() != nil, final.CommittedCount())
+	}
+	wl := final.Windows[len(final.Windows)-1]
+	if len(wl.Steps) != len(s) {
+		t.Fatalf("completed window has %d steps, strategy %d (crashed steps + replayed rest, no duplicates)", len(wl.Steps), len(s))
+	}
+	seen := make(map[int]bool)
+	for _, sr := range wl.Steps {
+		if seen[sr.Index] {
+			t.Fatalf("step %d journaled twice", sr.Index)
+		}
+		seen[sr.Index] = true
+	}
+}
+
+// buildPristine is the fixture catalog and data without the staged batch —
+// the state a pre-window snapshot restores.
+func buildPristine(t *testing.T) *core.Warehouse {
+	t.Helper()
+	w := core.New(core.Options{})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.DefineBase("R", schemaR))
+	must(w.DefineBase("S", schemaS))
+	jb := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	jb.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	must(w.DefineDerived("J", jb.MustBuild()))
+	js := w.MustView("J").Schema()
+	ab := algebra.NewBuilder().From("j", "J", js)
+	ab.GroupByCol("j.a").Agg("total", delta.AggSum, ab.Col("j.c"))
+	must(w.DefineDerived("A", ab.MustBuild()))
+	must(w.LoadBase("R", []relation.Tuple{intRow(1, 10), intRow(2, 10), intRow(3, 20)}))
+	must(w.LoadBase("S", []relation.Tuple{intRow(10, 100), intRow(20, 200)}))
+	must(w.RefreshAll())
+	return w
+}
+
+func TestRecoverInFlightRecomputeWindow(t *testing.T) {
+	w, s := newFixture(t)
+	want := refRun(t, w, s)
+	inj := faults.New(1)
+	inj.SetProbability("step", 1)
+	inj.CrashAt("recompute", 1)
+	var buf bytes.Buffer
+	_, err := Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Seq: 2, Mode: exec.ModeSequential, Validate: true,
+		Faults: inj, FallbackRecompute: true,
+	})
+	if err == nil {
+		t.Fatal("crash during recompute did not fail the run")
+	}
+	lg := readLog(t, &buf)
+	if !NeedsRecovery(&lg) || lg.InFlight().Begin.Mode != string(exec.ModeRecompute) {
+		t.Fatalf("in-flight recompute window not found: %+v", lg.InFlight())
+	}
+	res, err := Recover(buildPristine(t), &lg, Options{Journal: journal.NewWriter(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recomputed || res.Mode != exec.ModeRecompute {
+		t.Fatalf("recovery did not redo the recompute: %+v", res)
+	}
+	sameBags(t, "recovered recompute", want, bags(t, res.Core))
+	final := readLog(t, &buf)
+	if NeedsRecovery(&final) {
+		t.Fatal("journal still in-flight after recovery")
+	}
+}
+
+func TestRecoverRejectsWrongSnapshot(t *testing.T) {
+	w, s := newFixture(t)
+	inj := faults.New(1)
+	inj.CrashAt("step", 2)
+	var buf bytes.Buffer
+	_, _ = Run(w, s, Options{
+		Journal: journal.NewWriter(&buf), Mode: exec.ModeSequential, Validate: true, Faults: inj,
+	})
+	lg := readLog(t, &buf)
+	wrong := buildPristine(t)
+	d := delta.New(schemaR)
+	d.Add(intRow(9, 9), 1)
+	if err := wrong.StageDelta("R", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrong.Install("R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(wrong, &lg, Options{}); err == nil {
+		t.Fatal("recovery accepted a warehouse whose state digest mismatches the journal")
+	}
+}
+
+func TestRecoverNothingToDo(t *testing.T) {
+	if _, err := Recover(buildPristine(t), &journal.Log{}, Options{}); err == nil {
+		t.Fatal("recovery of an empty journal succeeded")
+	}
+}

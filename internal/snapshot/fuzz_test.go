@@ -1,0 +1,47 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotRead throws arbitrary bytes at the snapshot decoder. The
+// invariants: Read never panics; a failed Read leaves the warehouse exactly
+// as it was; a successful Read yields a state that round-trips through
+// Write/Read to the same bags.
+func FuzzSnapshotRead(f *testing.F) {
+	w := build(f)
+	valid := snapshotOf(f, w)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("WHSNAP01"))
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0x00))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := build(t)
+		before := viewState(target)
+		if err := Read(target, bytes.NewReader(data)); err != nil {
+			if !sameState(before, viewState(target)) {
+				t.Fatalf("failed Read mutated the warehouse: %v", err)
+			}
+			return
+		}
+		// Accepted input: the restored state must round-trip.
+		got := viewState(target)
+		var buf bytes.Buffer
+		if err := Write(target, &buf); err != nil {
+			t.Fatalf("re-snapshotting accepted state: %v", err)
+		}
+		again := build(t)
+		if err := Read(again, bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-reading re-snapshot: %v", err)
+		}
+		if !sameState(got, viewState(again)) {
+			t.Fatal("accepted snapshot does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// viewState captures every view's sorted (tuple, count) bag as strings.
+func viewState(w *core.Warehouse) map[string][]string {
+	state := make(map[string][]string)
+	for _, name := range w.ViewNames() {
+		for _, r := range w.MustView(name).SortedRows() {
+			state[name] = append(state[name], fmt.Sprintf("%s x%d", r.Tuple, r.Count))
+		}
+	}
+	return state
+}
+
+func sameState(a, b map[string][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv := b[k]
+		if len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestReadTruncatedLeavesStateIntact feeds every possible truncation of a
+// valid snapshot to Read: each must fail with a clear error and leave the
+// target warehouse byte-for-byte as it was.
+func TestReadTruncatedLeavesStateIntact(t *testing.T) {
+	w := build(t)
+	data := snapshotOf(t, w)
+
+	target := build(t)
+	before := viewState(target)
+	for cut := 0; cut < len(data); cut++ {
+		err := Read(target, bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+		if !strings.HasPrefix(err.Error(), "snapshot:") {
+			t.Fatalf("truncation at %d: error lacks package context: %v", cut, err)
+		}
+		if !sameState(before, viewState(target)) {
+			t.Fatalf("truncation at %d/%d mutated the warehouse: %v", cut, len(data), err)
+		}
+	}
+	// A mid-stream cut must read as truncation, not a clean end of input.
+	err := Read(target, bytes.NewReader(data[:len(data)/2]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-stream truncation not reported as unexpected EOF: %v", err)
+	}
+	// And the intact snapshot must still restore fine afterwards.
+	if err := Read(target, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadTrailingGarbage: bytes after the checksum mean the input is not a
+// snapshot (concatenated, padded, or corrupt) — reject, without mutating.
+func TestReadTrailingGarbage(t *testing.T) {
+	w := build(t)
+	data := snapshotOf(t, w)
+
+	for _, extra := range [][]byte{{0x00}, []byte("junk"), append([]byte(nil), data...)} {
+		target := build(t)
+		before := viewState(target)
+		err := Read(target, bytes.NewReader(append(append([]byte(nil), data...), extra...)))
+		if err == nil || !strings.Contains(err.Error(), "trailing garbage") {
+			t.Fatalf("%d trailing bytes: %v", len(extra), err)
+		}
+		if !sameState(before, viewState(target)) {
+			t.Fatalf("%d trailing bytes mutated the warehouse", len(extra))
+		}
+	}
+}
+
+// TestReadCorruptionLeavesStateIntact: every single-byte corruption of the
+// snapshot either fails cleanly (warehouse untouched) or — never — succeeds
+// with wrong data. The CRC trailer makes the "accepted" arm impossible.
+func TestReadCorruptionLeavesStateIntact(t *testing.T) {
+	w := build(t)
+	data := snapshotOf(t, w)
+
+	target := build(t)
+	before := viewState(target)
+	for pos := 0; pos < len(data); pos++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0xFF
+		if err := Read(target, bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at %d/%d accepted", pos, len(data))
+		}
+		if !sameState(before, viewState(target)) {
+			t.Fatalf("bit flip at %d/%d mutated the warehouse", pos, len(data))
+		}
+	}
+}
+
+// TestReadHugeLengthPrefix: a corrupt length prefix claiming billions of
+// rows must fail on decode, not attempt a giant allocation.
+func TestReadHugeLengthPrefix(t *testing.T) {
+	w := build(t)
+	data := snapshotOf(t, w)
+
+	// Splice an implausible string length right after the magic: the view
+	// name of the first view becomes 2^40 bytes long.
+	corrupt := append([]byte(nil), data[:len(magic)+1]...)
+	corrupt = append(corrupt, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^42
+	corrupt = append(corrupt, data[len(magic)+1:]...)
+
+	target := build(t)
+	before := viewState(target)
+	if err := Read(target, bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("implausible length prefix accepted")
+	}
+	if !sameState(before, viewState(target)) {
+		t.Fatal("implausible length prefix mutated the warehouse")
+	}
+}

@@ -112,10 +112,35 @@ func Write(w *core.Warehouse, out io.Writer) error {
 	return bw.Flush()
 }
 
+// stagedPrealloc caps slice preallocation from length prefixes: a corrupt
+// or hostile prefix can claim billions of rows, so capacity beyond this is
+// earned by actually decoding rows, not claimed up front.
+const stagedPrealloc = 1 << 16
+
+type stagedRow struct {
+	tup   relation.Tuple
+	count int64
+}
+
+type stagedGroup struct {
+	key     string
+	support int64
+	accums  []*delta.Accum
+}
+
+type stagedView struct {
+	name   string
+	isAgg  bool
+	rows   []stagedRow
+	groups []stagedGroup
+}
+
 // Read restores a snapshot into w, whose catalog must match the snapshot's
-// (same view names in the same order, schema-compatible rows). Existing
-// materialized state is replaced. On error the warehouse may be partially
-// restored and should be discarded.
+// (same view names in the same order, schema-compatible rows). The entire
+// stream is decoded and verified — length prefixes, row encodings,
+// accumulator states, the CRC trailer, and that nothing trails it — into
+// staging buffers first; the warehouse is mutated only after every check
+// has passed, so on error w is left exactly as it was.
 func Read(w *core.Warehouse, in io.Reader) error {
 	if pending := w.PendingViews(); len(pending) > 0 {
 		return fmt.Errorf("snapshot: refusing to restore over pending changes on %v", pending)
@@ -126,32 +151,34 @@ func Read(w *core.Warehouse, in io.Reader) error {
 
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return fmt.Errorf("snapshot: reading header: %w", err)
+		return fmt.Errorf("snapshot: reading header: %w", truncErr(err))
 	}
 	if string(head) != magic {
 		return fmt.Errorf("snapshot: bad magic %q (want %q)", head, magic)
 	}
 	nViews, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("snapshot: reading view count: %w", err)
+		return fmt.Errorf("snapshot: reading view count: %w", truncErr(err))
 	}
 	names := w.ViewNames()
 	if uint64(len(names)) != nViews {
 		return fmt.Errorf("snapshot: holds %d views but catalog defines %d", nViews, len(names))
 	}
+	staged := make([]stagedView, 0, len(names))
 	for _, want := range names {
 		name, err := readString(br)
 		if err != nil {
-			return fmt.Errorf("snapshot: reading view name: %w", err)
+			return fmt.Errorf("snapshot: reading view name: %w", truncErr(err))
 		}
 		if name != want {
 			return fmt.Errorf("snapshot: view %q where catalog expects %q (definition order must match)", name, want)
 		}
 		kind, err := br.ReadByte()
 		if err != nil {
-			return fmt.Errorf("snapshot: reading view kind: %w", err)
+			return fmt.Errorf("snapshot: reading view kind: %w", truncErr(err))
 		}
 		v := w.MustView(name)
+		sv := stagedView{name: name}
 		switch kind {
 		case kindTable:
 			tbl := v.Table()
@@ -160,14 +187,14 @@ func Read(w *core.Warehouse, in io.Reader) error {
 			}
 			n, err := binary.ReadUvarint(br)
 			if err != nil {
-				return fmt.Errorf("snapshot: %s: reading row count: %w", name, err)
+				return fmt.Errorf("snapshot: %s: reading row count: %w", name, truncErr(err))
 			}
-			tbl.Clear()
 			width := len(tbl.Schema())
+			sv.rows = make([]stagedRow, 0, min(n, stagedPrealloc))
 			for i := uint64(0); i < n; i++ {
 				enc, err := readString(br)
 				if err != nil {
-					return fmt.Errorf("snapshot: %s: reading row: %w", name, err)
+					return fmt.Errorf("snapshot: %s: reading row: %w", name, truncErr(err))
 				}
 				tup, err := relation.DecodeTuple(enc)
 				if err != nil {
@@ -178,12 +205,12 @@ func Read(w *core.Warehouse, in io.Reader) error {
 				}
 				count, err := binary.ReadVarint(br)
 				if err != nil {
-					return fmt.Errorf("snapshot: %s: reading count: %w", name, err)
+					return fmt.Errorf("snapshot: %s: reading count: %w", name, truncErr(err))
 				}
 				if count <= 0 {
 					return fmt.Errorf("snapshot: %s: non-positive row count %d", name, count)
 				}
-				tbl.Insert(tup, count)
+				sv.rows = append(sv.rows, stagedRow{tup, count})
 			}
 		case kindAgg:
 			agg := v.AggStore()
@@ -192,49 +219,99 @@ func Read(w *core.Warehouse, in io.Reader) error {
 			}
 			n, err := binary.ReadUvarint(br)
 			if err != nil {
-				return fmt.Errorf("snapshot: %s: reading group count: %w", name, err)
+				return fmt.Errorf("snapshot: %s: reading group count: %w", name, truncErr(err))
 			}
-			agg.Clear()
 			specs := agg.Specs()
+			sv.isAgg = true
+			sv.groups = make([]stagedGroup, 0, min(n, stagedPrealloc))
 			for i := uint64(0); i < n; i++ {
 				groupKey, err := readString(br)
 				if err != nil {
-					return fmt.Errorf("snapshot: %s: reading group key: %w", name, err)
+					return fmt.Errorf("snapshot: %s: reading group key: %w", name, truncErr(err))
+				}
+				if _, err := relation.DecodeTuple(groupKey); err != nil {
+					return fmt.Errorf("snapshot: %s: corrupt group key: %w", name, err)
 				}
 				support, err := binary.ReadVarint(br)
 				if err != nil {
-					return fmt.Errorf("snapshot: %s: reading support: %w", name, err)
+					return fmt.Errorf("snapshot: %s: reading support: %w", name, truncErr(err))
+				}
+				if support <= 0 {
+					return fmt.Errorf("snapshot: %s: non-positive group support %d", name, support)
 				}
 				accums := make([]*delta.Accum, len(specs))
 				for j, spec := range specs {
 					raw, err := readString(br)
 					if err != nil {
-						return fmt.Errorf("snapshot: %s: reading accumulator: %w", name, err)
+						return fmt.Errorf("snapshot: %s: reading accumulator: %w", name, truncErr(err))
 					}
 					a, err := delta.DecodeAccum(&stringByteReader{s: raw}, spec)
 					if err != nil {
 						return fmt.Errorf("snapshot: %s: %w", name, err)
 					}
+					if !a.Valid() {
+						return fmt.Errorf("snapshot: %s: accumulator %d of group %q is invalid", name, j, groupKey)
+					}
 					accums[j] = a
 				}
-				if err := agg.RestoreGroup(groupKey, support, accums); err != nil {
-					return fmt.Errorf("snapshot: %s: %w", name, err)
-				}
+				sv.groups = append(sv.groups, stagedGroup{groupKey, support, accums})
 			}
 		default:
 			return fmt.Errorf("snapshot: unknown view kind %d", kind)
 		}
+		staged = append(staged, sv)
 	}
 	// Verify the CRC trailer over everything consumed so far.
 	want := br.h.Sum64()
 	var tail [8]byte
 	if _, err := io.ReadFull(br.r, tail[:]); err != nil {
-		return fmt.Errorf("snapshot: reading checksum: %w", err)
+		return fmt.Errorf("snapshot: reading checksum: %w", truncErr(err))
 	}
 	if got := binary.BigEndian.Uint64(tail[:]); got != want {
 		return fmt.Errorf("snapshot: checksum mismatch (file %x, computed %x)", got, want)
 	}
+	// The checksum is the last thing in a snapshot; trailing bytes mean the
+	// file is not what it claims to be (concatenated, padded, or corrupt).
+	switch _, err := br.r.ReadByte(); err {
+	case io.EOF:
+	case nil:
+		return fmt.Errorf("snapshot: trailing garbage after checksum")
+	default:
+		return fmt.Errorf("snapshot: reading past checksum: %w", err)
+	}
+
+	// Everything verified — swap the staged state in.
+	for _, sv := range staged {
+		v := w.MustView(sv.name)
+		if sv.isAgg {
+			agg := v.AggStore()
+			agg.Clear()
+			for _, g := range sv.groups {
+				if err := agg.RestoreGroup(g.key, g.support, g.accums); err != nil {
+					// Unreachable: every RestoreGroup precondition was
+					// checked during staging.
+					return fmt.Errorf("snapshot: %s: %w", sv.name, err)
+				}
+			}
+		} else {
+			tbl := v.Table()
+			tbl.Clear()
+			for _, r := range sv.rows {
+				tbl.Insert(r.tup, r.count)
+			}
+		}
+	}
 	return nil
+}
+
+// truncErr normalizes a bare io.EOF from a mid-stream read into
+// io.ErrUnexpectedEOF so truncation errors read as truncation, not as a
+// clean end of input.
+func truncErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 var crcTable = crc64.MakeTable(crc64.ECMA)

@@ -26,7 +26,7 @@ func intRow(vals ...int64) relation.Tuple {
 
 // build creates a warehouse with one base view, one SPJ view, and one
 // aggregate view (SUM + MIN, so accumulator value-multisets round-trip).
-func build(t *testing.T) *core.Warehouse {
+func build(t testing.TB) *core.Warehouse {
 	t.Helper()
 	w := core.New(core.Options{})
 	must := func(err error) {
@@ -53,7 +53,7 @@ func build(t *testing.T) *core.Warehouse {
 	return w
 }
 
-func snapshotOf(t *testing.T, w *core.Warehouse) []byte {
+func snapshotOf(t testing.TB, w *core.Warehouse) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := Write(w, &buf); err != nil {

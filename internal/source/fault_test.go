@@ -1,0 +1,199 @@
+package source
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/relation"
+)
+
+// seededExtractor builds a TXN source with a SALES extraction and a few
+// logged post-load transactions, so Drain has a real batch to extract.
+func seededExtractor(t *testing.T) (*Source, *Extractor) {
+	t.Helper()
+	s := newSource(t)
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 10, 100, "ok")})
+	x, err := NewExtractor(s, map[string]Extraction{"SALES": extraction()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.InitialLoad(); err != nil {
+		t.Fatal(err)
+	}
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(2, 11, 40, "ok")})
+	s.MustApply(Tx{Table: "TXN", Op: OpUpdate, Row: txnRow(1, 10, 150, "ok")})
+	return s, x
+}
+
+// TestDrainFaultPreservesBatch: a failed Drain must leave the transaction
+// log intact, so the next attempt extracts the identical batch.
+func TestDrainFaultPreservesBatch(t *testing.T) {
+	s, x := seededExtractor(t)
+	logged := s.LogLength()
+
+	inj := faults.New(1)
+	inj.FailAt("source.drain", 1)
+	x.SetFaults(inj)
+	if _, err := x.Drain(); !faults.IsTransient(err) {
+		t.Fatalf("injected drain fault not surfaced as transient: %v", err)
+	}
+	if s.LogLength() != logged {
+		t.Fatalf("failed drain consumed the log: %d of %d entries left", s.LogLength(), logged)
+	}
+	deltas, err := x.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltas["SALES"]
+	if d == nil || d.PlusCount() != 2 || d.MinusCount() != 1 {
+		t.Fatalf("retried drain lost changes: %v", deltas)
+	}
+	if s.LogLength() != 0 {
+		t.Errorf("successful drain left %d log entries", s.LogLength())
+	}
+}
+
+// TestPerViewExtractionFault: the per-view injection point fires with the
+// view's name, and the batch survives for retry.
+func TestPerViewExtractionFault(t *testing.T) {
+	s, x := seededExtractor(t)
+	inj := faults.New(1)
+	inj.FailAt("extract:SALES", 1)
+	x.SetFaults(inj)
+	_, err := x.Drain()
+	var f *faults.Fault
+	if !errors.As(err, &f) || f.Point != "extract:SALES" {
+		t.Fatalf("per-view fault not surfaced: %v", err)
+	}
+	if s.LogLength() == 0 {
+		t.Fatal("failed per-view extraction consumed the log")
+	}
+	if _, err := x.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainAfterRejectedApply: a rejected transaction must contribute
+// nothing to the change log — the next drain sees only accepted work.
+func TestDrainAfterRejectedApply(t *testing.T) {
+	s := newSource(t)
+	x, err := NewExtractor(s, map[string]Extraction{"SALES": extraction()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 10, 100, "ok")})
+	rejections := []Tx{
+		{Table: "TXN", Op: OpInsert, Row: txnRow(1, 99, 1, "ok")},            // duplicate key
+		{Table: "TXN", Op: OpDelete, Row: txnRow(7, 0, 0, "")},               // missing key
+		{Table: "TXN", Op: OpUpdate, Row: txnRow(8, 0, 0, "ok")},             // missing key
+		{Table: "TXN", Op: OpInsert, Row: relation.Tuple{relation.NewInt(2)}}, // arity
+		{Table: "nope", Op: OpInsert, Row: txnRow(2, 0, 0, "ok")},            // unknown table
+		{Table: "TXN", Op: Op(9), Row: txnRow(2, 0, 0, "ok")},                // unknown op
+	}
+	for i, tx := range rejections {
+		if err := s.Apply(tx); err == nil {
+			t.Fatalf("rejection %d accepted", i)
+		}
+	}
+	if s.LogLength() != 1 {
+		t.Fatalf("rejected transactions leaked into the log: %d entries", s.LogLength())
+	}
+	deltas, err := x.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltas["SALES"]
+	if d == nil || d.PlusCount() != 1 || d.MinusCount() != 0 {
+		t.Fatalf("drain after rejections = %v", deltas)
+	}
+}
+
+// TestDrainWithRetryBackoff: transient faults are retried with exponential
+// backoff until the batch comes through, and the batch is complete.
+func TestDrainWithRetryBackoff(t *testing.T) {
+	_, x := seededExtractor(t)
+	inj := faults.New(1)
+	inj.FailTimes("source.drain", 2)
+	x.SetFaults(inj)
+
+	var slept []time.Duration
+	deltas, err := x.DrainWithRetry(RetryPolicy{
+		Attempts: 4,
+		Backoff:  5 * time.Millisecond,
+		Factor:   2,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := deltas["SALES"]; d == nil || d.PlusCount() != 2 || d.MinusCount() != 1 {
+		t.Fatalf("retried batch incomplete: %v", deltas)
+	}
+	if len(slept) != 2 || slept[0] != 5*time.Millisecond || slept[1] != 10*time.Millisecond {
+		t.Fatalf("backoff schedule = %v", slept)
+	}
+	if inj.Hits("source.drain") != 3 {
+		t.Fatalf("drain attempted %d times, want 3", inj.Hits("source.drain"))
+	}
+}
+
+// TestDrainWithRetryExhausted: when every attempt fails the last fault
+// surfaces, annotated with the attempt count.
+func TestDrainWithRetryExhausted(t *testing.T) {
+	s, x := seededExtractor(t)
+	inj := faults.New(1)
+	inj.FailTimes("source.drain", 10)
+	x.SetFaults(inj)
+	var slept int
+	_, err := x.DrainWithRetry(RetryPolicy{Attempts: 3, Sleep: func(time.Duration) { slept++ }})
+	if !faults.IsTransient(err) {
+		t.Fatalf("exhausted retry lost the fault: %v", err)
+	}
+	if slept != 2 {
+		t.Fatalf("%d sleeps for 3 attempts", slept)
+	}
+	if s.LogLength() == 0 {
+		t.Fatal("exhausted retry consumed the log")
+	}
+}
+
+// TestDrainWithRetryDoesNotRetryDeterministic: crash-class faults and
+// malformed-row extraction errors are not transient — they must surface on
+// the first attempt with no sleeping.
+func TestDrainWithRetryDoesNotRetryDeterministic(t *testing.T) {
+	_, x := seededExtractor(t)
+	inj := faults.New(1)
+	inj.CrashAt("source.drain", 1)
+	x.SetFaults(inj)
+	var slept int
+	_, err := x.DrainWithRetry(RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { slept++ }})
+	if !faults.IsCrash(err) {
+		t.Fatalf("crash fault not surfaced: %v", err)
+	}
+	if slept != 0 {
+		t.Fatalf("crash-class fault was retried %d times", slept)
+	}
+
+	// Malformed rows: the extraction rule itself fails, deterministically.
+	s2 := newSource(t)
+	bad := Extraction{
+		Table:      "TXN",
+		Shape:      func(r relation.Tuple) relation.Tuple { return r[:1] },
+		ViewSchema: baseSchema,
+	}
+	x2, err := NewExtractor(s2, map[string]Extraction{"V": bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 1, 1, "ok")})
+	slept = 0
+	_, err = x2.DrainWithRetry(RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { slept++ }})
+	if err == nil {
+		t.Fatal("malformed-row extraction accepted")
+	}
+	if slept != 0 {
+		t.Fatalf("deterministic extraction error was retried %d times", slept)
+	}
+}

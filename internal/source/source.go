@@ -13,8 +13,10 @@ package source
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/delta"
+	"repro/internal/faults"
 	"repro/internal/relation"
 )
 
@@ -218,7 +220,14 @@ type Extractor struct {
 	src *Source
 	// extractions maps base-view name → extraction rule.
 	extractions map[string]Extraction
+	// faults, when set, injects failures at extraction boundaries: point
+	// "source.drain" once per Drain, "extract:<view>" once per view.
+	faults *faults.Injector
 }
+
+// SetFaults installs a fault injector on the extractor. A nil injector
+// disables injection; the hooks are no-ops when unset.
+func (x *Extractor) SetFaults(inj *faults.Injector) { x.faults = inj }
 
 // NewExtractor creates an extractor over the source with the given
 // base-view extraction rules.
@@ -264,9 +273,19 @@ func (x *Extractor) InitialLoad() (map[string][]relation.Tuple, error) {
 // and clears the log — one warehouse update batch. Inserts cancel deletes
 // of identical rows within the batch (delta cancellation), matching the
 // paper's model where only net changes arrive at the warehouse.
+//
+// Drain is retry-safe: the log is cleared only on success, so a failed
+// drain (an extraction error or an injected fault) leaves the full batch in
+// place for the next attempt.
 func (x *Extractor) Drain() (map[string]*delta.Delta, error) {
+	if err := x.faults.Hit("source.drain"); err != nil {
+		return nil, err
+	}
 	out := make(map[string]*delta.Delta)
 	for view, e := range x.extractions {
+		if err := x.faults.Hit("extract:" + view); err != nil {
+			return nil, err
+		}
 		d := delta.New(e.ViewSchema)
 		for _, tx := range x.src.log {
 			if tx.Table != e.Table {
@@ -292,4 +311,53 @@ func (x *Extractor) Drain() (map[string]*delta.Delta, error) {
 	}
 	x.src.log = nil
 	return out, nil
+}
+
+// RetryPolicy bounds DrainWithRetry: up to Attempts tries with exponential
+// backoff starting at Backoff and multiplying by Factor between attempts.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; values below 1 mean one.
+	Attempts int
+	// Backoff is the sleep before the first retry; <= 0 means 1ms.
+	Backoff time.Duration
+	// Factor multiplies the backoff after each retry; < 1 means 2.
+	Factor float64
+	// Sleep replaces time.Sleep, for tests.
+	Sleep func(time.Duration)
+}
+
+// DrainWithRetry is Drain with bounded retries for transient failures — the
+// flaky-network model of talking to a remote source. Only transient faults
+// are retried: extraction rule errors (malformed rows) and crash-class
+// faults are deterministic or terminal, so they surface immediately. Since
+// a failed Drain leaves the transaction log intact, every attempt extracts
+// the same batch.
+func (x *Extractor) DrainWithRetry(p RetryPolicy) (map[string]*delta.Delta, error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	factor := p.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	for attempt := 1; ; attempt++ {
+		out, err := x.Drain()
+		if err == nil {
+			return out, nil
+		}
+		if attempt >= attempts || !faults.IsTransient(err) {
+			return nil, fmt.Errorf("source: drain attempt %d/%d: %w", attempt, attempts, err)
+		}
+		sleep(backoff)
+		backoff = time.Duration(float64(backoff) * factor)
+	}
 }

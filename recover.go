@@ -1,0 +1,269 @@
+package warehouse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/recovery"
+)
+
+// FaultInjector delivers seeded faults at named injection points — the
+// library's fault-injection harness, re-exported for experiments and tests
+// that exercise the crash-recovery machinery. See NewFaultInjector.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector creates a fault injector whose probabilistic rules draw
+// from the given seed.
+var NewFaultInjector = faults.New
+
+// ModeRecompute labels windows completed by the recompute fallback
+// (graceful degradation); it is not a schedulable execution mode.
+const ModeRecompute = exec.ModeRecompute
+
+// ErrRecoveryNeeded is returned by RunWindowOpts when the attached journal
+// ends in an in-flight window: a previous process died mid-window, and
+// Recover must complete it before new windows may run.
+var ErrRecoveryNeeded = errors.New("warehouse: journal has an in-flight update window; recover it first")
+
+// Journal is an append-only, checksummed log of update windows: what each
+// window was about to do (strategy, change batch, pre-state digest), each
+// completed step, and the final commit or abort. A window that begins but
+// never closes is the on-disk signature of a crash, and carries everything
+// needed to finish it (see Warehouse.Recover).
+type Journal struct {
+	w    *journal.Writer
+	f    *os.File
+	path string
+	log  journal.Log
+	seq  int
+	// crashed marks that a window run through this handle died with a
+	// crash-class fault, leaving the file in-flight. The parsed log in this
+	// handle predates that window, so recovery must go through a fresh
+	// OpenJournal, which reads the in-flight record back.
+	crashed bool
+}
+
+// OpenJournal opens (creating if absent) a file-backed journal in append
+// mode. Existing content is parsed first: Committed reports how many
+// windows it already holds, NeedsRecovery whether it ends mid-window. A
+// torn final record — a crash during a journal write — is tolerated and
+// treated as not written.
+func OpenJournal(path string) (*Journal, error) {
+	var lg journal.Log
+	if in, err := os.Open(path); err == nil {
+		lg, err = journal.ReadLog(in)
+		in.Close()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: reading journal %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{w: journal.NewWriter(f), f: f, path: path, log: lg, seq: lg.CommittedCount() + 1}, nil
+}
+
+// NewJournal wraps any writer as a window journal (no recovery state is
+// read; the journal starts empty). Useful for buffers in tests.
+func NewJournal(out io.Writer) *Journal {
+	return &Journal{w: journal.NewWriter(out), seq: 1}
+}
+
+// NeedsRecovery reports whether the journal ends in an in-flight window.
+func (j *Journal) NeedsRecovery() bool { return j.crashed || recovery.NeedsRecovery(&j.log) }
+
+// Committed returns the number of committed windows the journal held when
+// opened, plus those committed through it since.
+func (j *Journal) Committed() int { return j.log.CommittedCount() }
+
+// Close closes the underlying file, if any.
+func (j *Journal) Close() error {
+	if j.f != nil {
+		return j.f.Close()
+	}
+	return nil
+}
+
+// WindowOptions configure a robust update window (RunWindowOpts). The zero
+// value plans with MinWork and executes sequentially, unjournaled — the
+// same window RunWindow runs.
+type WindowOptions struct {
+	// Planner selects the planning algorithm (MinWorkPlanner when empty).
+	Planner PlannerName
+	// Mode schedules the strategy (sequential when empty).
+	Mode Mode
+	// Workers bounds the ModeDAG pool (0 = GOMAXPROCS).
+	Workers int
+	// Journal, when set, makes the window crash-safe: begin/step/commit
+	// records frame the execution, and a process death leaves an in-flight
+	// window for Recover.
+	Journal *Journal
+	// Timeout bounds the window's wall-clock time; cancellation propagates
+	// through the DAG scheduler and the morsel pool. 0 means no limit.
+	Timeout time.Duration
+	// Context, when set, carries external cancellation (composes with
+	// Timeout).
+	Context context.Context
+	// Retries is how many times a transient failure is retried (with
+	// exponential backoff starting at Backoff) before degrading.
+	Retries int
+	// Backoff is the first retry's sleep; <= 0 means 1ms.
+	Backoff time.Duration
+	// FallbackSequential retries a failed parallel window sequentially once.
+	FallbackSequential bool
+	// FallbackRecompute degrades a persistently failing incremental window
+	// to install-and-recompute — always correct, never fast.
+	FallbackRecompute bool
+	// Faults injects failures for testing (point "step" at step boundaries,
+	// "recompute" in the recompute fallback).
+	Faults *FaultInjector
+}
+
+// plan runs the named planner (shared by RunWindowMode and RunWindowOpts).
+func (w *Warehouse) plan(name PlannerName) (PlannerName, Plan, error) {
+	switch name {
+	case MinWorkPlanner, "":
+		p, err := w.PlanMinWork()
+		return MinWorkPlanner, p, err
+	case PrunePlanner:
+		p, err := w.PlanPrune()
+		return name, p, err
+	case DualStagePlanner:
+		p, err := w.PlanDualStage()
+		return name, p, err
+	default:
+		return name, Plan{}, fmt.Errorf("warehouse: unknown planner %q", name)
+	}
+}
+
+// RunWindowOpts executes one update window with the full robustness
+// machinery: journaled execution, retry with backoff, sequential and
+// recompute fallbacks, timeout. The window runs on a clone and the
+// warehouse adopts the result only on success, so a failed window —
+// including a crash-class fault — leaves the in-memory state untouched. On
+// a crash-class failure the journal is left in-flight for Recover.
+func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
+	if o.Journal != nil && o.Journal.NeedsRecovery() {
+		return WindowReport{}, ErrRecoveryNeeded
+	}
+	planner, plan, err := w.plan(o.Planner)
+	if err != nil {
+		return WindowReport{}, err
+	}
+	ctx := o.Context
+	if o.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	ropts := recovery.Options{
+		Planner:            string(planner),
+		Mode:               o.Mode,
+		Workers:            o.Workers,
+		Context:            ctx,
+		Validate:           true,
+		Faults:             o.Faults,
+		Retries:            o.Retries,
+		Backoff:            o.Backoff,
+		FallbackSequential: o.FallbackSequential,
+		FallbackRecompute:  o.FallbackRecompute,
+	}
+	if o.Journal != nil {
+		ropts.Journal = o.Journal.w
+		ropts.Seq = o.Journal.seq
+	}
+	started := time.Now()
+	res, err := recovery.Run(w.core, plan.Strategy, ropts)
+	if err != nil {
+		if o.Journal != nil && (faults.IsCrash(err) || o.Faults.Crashed()) {
+			o.Journal.crashed = true
+		}
+		return WindowReport{}, err
+	}
+	w.core = res.Core
+	if o.Journal != nil {
+		o.Journal.noteCommitted(res.Report.TotalWork)
+	}
+	window := WindowReport{
+		Seq:                len(w.history) + 1,
+		Planner:            planner,
+		Plan:               plan,
+		Mode:               res.Mode,
+		Parallel:           &res.Report,
+		Report:             sequentialView(plan.Strategy, res.Report),
+		Started:            started,
+		StaleAfter:         w.StaleViews(),
+		Attempts:           res.Attempts,
+		FellBackSequential: res.FellBackSequential,
+		Recomputed:         res.Recomputed,
+	}
+	w.history = append(w.history, window)
+	return window, nil
+}
+
+// Recover completes the journal's in-flight window. The warehouse must be
+// in the pre-window state the journal's begin record describes — rebuilt
+// from the same sources or restored from a snapshot taken before the window
+// (the journaled state digest verifies this). The journaled change batch is
+// re-staged, the journaled strategy re-executed; steps the crashed run
+// completed are verified against their journaled work and delta digests,
+// and the missing steps plus the commit are appended to the journal.
+func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
+	if j == nil {
+		return WindowReport{}, errors.New("warehouse: Recover requires a journal")
+	}
+	if j.crashed {
+		return WindowReport{}, fmt.Errorf("warehouse: this journal handle saw a crash mid-window; reopen it with OpenJournal(%q) to load the in-flight window", j.path)
+	}
+	started := time.Now()
+	inflight := j.log.InFlight()
+	res, err := recovery.Recover(w.core, &j.log, recovery.Options{Journal: j.w, Validate: true})
+	if err != nil {
+		return WindowReport{}, err
+	}
+	w.core = res.Core
+	begin := inflight.Begin
+	// The in-flight window is now committed: mirror the appended commit in
+	// the parsed log so NeedsRecovery flips without re-reading the file.
+	inflight.Commit = &journal.CommitRecord{TotalWork: res.Report.TotalWork}
+	j.seq = j.log.CommittedCount() + 1
+	window := WindowReport{
+		Seq:        len(w.history) + 1,
+		Planner:    PlannerName(begin.Planner),
+		Plan:       Plan{Strategy: begin.Strategy, EstimatedWork: -1},
+		Mode:       res.Mode,
+		Parallel:   &res.Report,
+		Report:     sequentialView(begin.Strategy, res.Report),
+		Started:    started,
+		StaleAfter: w.StaleViews(),
+		Attempts:   res.Attempts,
+		Recovered:  true,
+		Recomputed: res.Recomputed,
+	}
+	w.history = append(w.history, window)
+	return window, nil
+}
+
+// noteCommitted records a window committed through this journal handle, so
+// Committed and the next window's sequence number stay accurate without
+// re-reading the file.
+func (j *Journal) noteCommitted(totalWork int64) {
+	j.log.Windows = append(j.log.Windows, journal.WindowLog{
+		Begin:  journal.BeginRecord{Seq: j.seq},
+		Commit: &journal.CommitRecord{TotalWork: totalWork},
+	})
+	j.seq++
+}

@@ -1,0 +1,224 @@
+package warehouse
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// rowsOf snapshots a view's rows for comparison.
+func rowsOf(t *testing.T, w *Warehouse, view string) []CountedRow {
+	t.Helper()
+	rows, err := w.Rows(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func sameRows(a, b []CountedRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || a[i].Tuple.String() != b[i].Tuple.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunWindowOptsJournaled: a journaled window commits, matches the
+// legacy path's result, and the journal accumulates committed windows.
+func TestRunWindowOptsJournaled(t *testing.T) {
+	ref := newRetail(t)
+	stageSale(t, ref)
+	if _, err := ref.RunWindow(MinWorkPlanner); err != nil {
+		t.Fatal(err)
+	}
+
+	w := newRetail(t)
+	stageSale(t, w)
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "wh.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rep, err := w.RunWindowOpts(WindowOptions{Journal: j, Mode: ModeDAG, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 1 || rep.Recovered || rep.Recomputed {
+		t.Fatalf("window report flags: %+v", rep)
+	}
+	if j.Committed() != 1 || j.NeedsRecovery() {
+		t.Fatalf("journal: committed=%d needsRecovery=%v", j.Committed(), j.NeedsRecovery())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ref.Views() {
+		if !sameRows(rowsOf(t, ref, v), rowsOf(t, w, v)) {
+			t.Fatalf("%s differs from the legacy window's result", v)
+		}
+	}
+	// A second window through the same journal.
+	stageSale2(t, w)
+	if _, err := w.RunWindowOpts(WindowOptions{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Committed() != 2 {
+		t.Fatalf("journal committed = %d after two windows", j.Committed())
+	}
+	if len(w.History()) != 2 {
+		t.Fatalf("history has %d windows", len(w.History()))
+	}
+}
+
+// stageSale2 stages a second, different change batch.
+func stageSale2(t *testing.T, w *Warehouse) {
+	t.Helper()
+	d, err := w.NewDelta("SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(Tuple{Int(104), Int(1), Float(7)}, 1)
+	if err := w.StageDelta("SALES", d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWindowOptsDegradation: persistent step failures degrade to the
+// recompute fallback, which still produces the correct state.
+func TestRunWindowOptsDegradation(t *testing.T) {
+	ref := newRetail(t)
+	stageSale(t, ref)
+	if _, err := ref.RunWindow(MinWorkPlanner); err != nil {
+		t.Fatal(err)
+	}
+
+	w := newRetail(t)
+	stageSale(t, w)
+	inj := NewFaultInjector(3)
+	inj.SetProbability("step", 1)
+	rep, err := w.RunWindowOpts(WindowOptions{
+		Mode: ModeDAG, Workers: 4, Faults: inj,
+		Retries: 1, FallbackSequential: true, FallbackRecompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recomputed || rep.Mode != ModeRecompute {
+		t.Fatalf("expected recompute fallback, got %+v", rep)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ref.Views() {
+		if !sameRows(rowsOf(t, ref, v), rowsOf(t, w, v)) {
+			t.Fatalf("%s differs after recompute fallback", v)
+		}
+	}
+}
+
+// TestCrashAndRecoverThroughFacade: a crash-class fault mid-window leaves
+// the journal in-flight and the warehouse untouched; a fresh process
+// (rebuilt warehouse + reopened journal) recovers to the exact state an
+// uninterrupted window produces.
+func TestCrashAndRecoverThroughFacade(t *testing.T) {
+	ref := newRetail(t)
+	stageSale(t, ref)
+	if _, err := ref.RunWindow(MinWorkPlanner); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "wh.journal")
+	w := newRetail(t)
+	stageSale(t, w)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewFaultInjector(1)
+	inj.CrashAt("step", 2)
+	_, err = w.RunWindowOpts(WindowOptions{Journal: j, Faults: inj})
+	if err == nil {
+		t.Fatal("crashed window reported success")
+	}
+	// The in-memory warehouse is untouched: the batch is still pending.
+	if len(w.Pending()) == 0 {
+		t.Fatal("crashed window consumed the staged batch")
+	}
+	// The handle refuses further work and in-handle recovery.
+	if !j.NeedsRecovery() {
+		t.Fatal("crashed handle does not report recovery needed")
+	}
+	if _, err := w.RunWindowOpts(WindowOptions{Journal: j}); !errors.Is(err, ErrRecoveryNeeded) {
+		t.Fatalf("window after crash: %v", err)
+	}
+	if _, err := w.Recover(j); err == nil {
+		t.Fatal("stale handle recovery accepted")
+	}
+	j.Close()
+
+	// "Restart": reopen the journal, rebuild the pre-window warehouse.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.NeedsRecovery() {
+		t.Fatal("reopened journal does not show the in-flight window")
+	}
+	w2 := newRetail(t)
+	rep, err := w2.Recover(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Recovered {
+		t.Fatalf("recovered window not flagged: %+v", rep)
+	}
+	if err := w2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ref.Views() {
+		if !sameRows(rowsOf(t, ref, v), rowsOf(t, w2, v)) {
+			t.Fatalf("%s differs from the uninterrupted window's result", v)
+		}
+	}
+	if j2.Committed() != 1 || j2.NeedsRecovery() {
+		t.Fatalf("journal after recovery: committed=%d needsRecovery=%v", j2.Committed(), j2.NeedsRecovery())
+	}
+	// Recovered warehouse keeps working: run the next window through the
+	// same journal.
+	stageSale2(t, w2)
+	if _, err := w2.RunWindowOpts(WindowOptions{Journal: j2, Mode: ModeDAG}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Committed() != 2 {
+		t.Fatalf("journal committed = %d after post-recovery window", j2.Committed())
+	}
+}
+
+// TestRunWindowOptsTimeout: an already-expired deadline stops the window
+// before it mutates anything.
+func TestRunWindowOptsTimeout(t *testing.T) {
+	w := newRetail(t)
+	stageSale(t, w)
+	_, err := w.RunWindowOpts(WindowOptions{Mode: ModeDAG, Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if len(w.Pending()) == 0 {
+		t.Fatal("timed-out window consumed the staged batch")
+	}
+	// Without the timeout the same window succeeds.
+	if _, err := w.RunWindowOpts(WindowOptions{Mode: ModeDAG}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -42,6 +42,17 @@ type WindowReport struct {
 	Started time.Time
 	// StaleAfter lists views left stale (deferred maintenance).
 	StaleAfter []string
+	// Attempts counts execution attempts for windows run through
+	// RunWindowOpts (retries and fallbacks included); 0 for legacy paths.
+	Attempts int
+	// FellBackSequential reports a parallel window that succeeded only
+	// after degrading to sequential execution.
+	FellBackSequential bool
+	// Recomputed reports the window was completed by the recompute fallback
+	// (install base deltas, rebuild derived views) instead of incrementally.
+	Recomputed bool
+	// Recovered reports the window was completed by Recover after a crash.
+	Recovered bool
 }
 
 // String summarizes the window.
