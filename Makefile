@@ -1,14 +1,30 @@
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke staticcheck serve-smoke
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package: tests that lean on
+# sibling-test side effects fail here before they flake anywhere else.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+# Static analysis beyond go vet, when the tool is installed (CI installs
+# it; locally this degrades to a notice instead of a hard dependency).
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 \
+		&& staticcheck ./... \
+		|| echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+
+# End-to-end smoke of the query daemon: boot whserverd with a fast window
+# driver, then hit readiness, run queries against flipping epochs, commit a
+# window over HTTP, and drain — the TestServerLifecycle path plus the HTTP
+# handler tests.
+serve-smoke:
+	$(GO) test ./cmd/whserverd/ ./internal/serve/ -count=1
 
 # The concurrency tier: the full suite under the race detector. The
 # parallel, exec and core packages are the ones exercising goroutines

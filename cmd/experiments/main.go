@@ -40,8 +40,9 @@ func main() {
 		"estimation":     experiments.Estimation,
 		"deep":           experiments.Deep,
 		"faulttolerance": experiments.FaultTolerance,
+		"onlinewindow":   experiments.OnlineWindow,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep", "faulttolerance"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep", "faulttolerance", "onlinewindow"}
 
 	var ids []string
 	if *only != "" {

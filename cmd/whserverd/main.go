@@ -1,0 +1,258 @@
+// Command whserverd is a long-running warehouse service: it serves ad-hoc
+// OLAP queries over HTTP while update windows run, demonstrating the online
+// update window end to end. Queries pass through a bounded admission queue
+// (full queue → immediate 503, Retry-After: 1) and each one is answered
+// from a pinned epoch, so results are snapshot-isolated across window
+// commits: a client sees exactly the pre- or post-window state, never a
+// blend, and epochs never go backwards.
+//
+//	whserverd [-addr :8080] [-queue 64] [-workers N] [-query-timeout 5s]
+//	          [-window-budget 0] [-window-every 0] [-mode dag] [-planner minwork]
+//	          [-stores 8] [-sales 2000] [-seed 7]
+//
+// The served warehouse is the retail demo VDAG (SALES/STORES bases, a join
+// view, an aggregate summary), populated from -seed. With -window-every set,
+// the daemon stages a synthetic change batch and runs an update window on
+// that period — windows whose wall-clock exceeds -window-budget abort
+// cleanly and leave the serving epoch unchanged. Windows can also be
+// triggered externally with POST /window.
+//
+// Endpoints: /query, /window, /epoch, /stats, /healthz (liveness),
+// /readyz (readiness; flips to 503 the moment a drain begins).
+//
+// SIGINT/SIGTERM drain gracefully: readiness goes red, in-flight queries
+// finish, new ones are refused, and the process exits 0. A second signal
+// kills the process immediately (NotifyContext restores default handling).
+//
+// Exit codes: 0 clean shutdown, 1 startup or serve error, 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue sheds with 503)")
+	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "per-query deadline (queue wait + execution)")
+	windowBudget := flag.Duration("window-budget", 0, "wall-clock budget per update window (0 = unbounded)")
+	windowEvery := flag.Duration("window-every", 0, "stage a synthetic batch and run a window on this period (0 = off)")
+	mode := flag.String("mode", "dag", "window scheduling: sequential | staged | dag")
+	plannerName := flag.String("planner", "minwork", "window planner: minwork | prune | dualstage")
+	stores := flag.Int("stores", 8, "demo warehouse: number of stores")
+	sales := flag.Int("sales", 2000, "demo warehouse: initial sales rows")
+	seed := flag.Int64("seed", 7, "demo warehouse generation seed")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight work on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, config{
+		addr: *addr, queue: *queue, workers: *workers,
+		queryTimeout: *queryTimeout, windowBudget: *windowBudget,
+		windowEvery: *windowEvery, mode: *mode, planner: *plannerName,
+		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "whserverd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr                       string
+	queue, workers             int
+	queryTimeout, windowBudget time.Duration
+	windowEvery, drainTimeout  time.Duration
+	mode, planner              string
+	stores, sales              int
+	seed                       int64
+	ready                      chan<- string // receives the bound address (tests); may be nil
+}
+
+// run builds the demo warehouse, serves it until ctx is cancelled, then
+// drains and returns.
+func run(ctx context.Context, cfg config) error {
+	w, gen, err := buildDemo(cfg.stores, cfg.sales, cfg.seed)
+	if err != nil {
+		return err
+	}
+	s := serve.New(w, serve.Config{
+		QueueDepth:   cfg.queue,
+		Workers:      cfg.workers,
+		QueryTimeout: cfg.queryTimeout,
+		WindowBudget: cfg.windowBudget,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("whserverd: serving %d views on %s (queue=%d, epoch=%d)\n",
+		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch())
+	if cfg.ready != nil {
+		cfg.ready <- ln.Addr().String()
+	}
+
+	windows := make(chan error, 1)
+	if cfg.windowEvery > 0 {
+		go windowDriver(ctx, s, gen, cfg, windows)
+	}
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		fmt.Println("whserverd: signal received, draining")
+	case runErr = <-serveErr:
+	case runErr = <-windows:
+	}
+
+	// Drain: readiness flips red (Draining), in-flight requests finish.
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && runErr == nil {
+		runErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := s.Close(shutCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	if errors.Is(runErr, http.ErrServerClosed) {
+		runErr = nil
+	}
+	st := s.Stats()
+	fmt.Printf("whserverd: drained (epoch=%d, served=%d, shed=%d, windows=%d committed / %d aborted)\n",
+		st.Epoch, st.Completed, st.Shed, st.WindowsCommitted, st.WindowsAborted)
+	return runErr
+}
+
+// windowDriver periodically stages a synthetic sales batch and runs an
+// update window through the server. Aborted (over-budget) windows are
+// logged and the staged batch carries over into the next period.
+func windowDriver(ctx context.Context, s *serve.Server, gen *demoGen, cfg config, out chan<- error) {
+	tick := time.NewTicker(cfg.windowEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if err := gen.stageBatch(s.Warehouse()); err != nil {
+			out <- fmt.Errorf("staging batch: %w", err)
+			return
+		}
+		rep, err := s.RunWindow(ctx, warehouse.WindowOptions{
+			Planner: warehouse.PlannerName(cfg.planner),
+			Mode:    warehouse.Mode(cfg.mode),
+		})
+		switch {
+		case errors.Is(err, warehouse.ErrWindowAborted):
+			if ctx.Err() != nil {
+				return // shutting down
+			}
+			fmt.Printf("whserverd: window aborted (budget %s); batch stays staged\n", cfg.windowBudget)
+		case err != nil:
+			out <- fmt.Errorf("update window: %w", err)
+			return
+		default:
+			fmt.Printf("whserverd: committed %s -> epoch %d\n", rep, s.Epoch())
+		}
+	}
+}
+
+// demoGen generates synthetic change batches for the demo warehouse.
+type demoGen struct {
+	rng    *rand.Rand
+	stores int
+	nextID int64
+}
+
+// buildDemo assembles the retail demo warehouse: STORES and SALES bases, a
+// join view, and a regional aggregate, populated from seed.
+func buildDemo(stores, sales int, seed int64) (*warehouse.Warehouse, *demoGen, error) {
+	if stores < 1 || sales < 0 {
+		return nil, nil, fmt.Errorf("demo warehouse needs stores >= 1 and sales >= 0 (got %d, %d)", stores, sales)
+	}
+	w := warehouse.New()
+	w.MustDefineBase("STORES", warehouse.Schema{
+		{Name: "store_id", Kind: warehouse.KindInt},
+		{Name: "region", Kind: warehouse.KindString},
+	})
+	w.MustDefineBase("SALES", warehouse.Schema{
+		{Name: "sale_id", Kind: warehouse.KindInt},
+		{Name: "store_id", Kind: warehouse.KindInt},
+		{Name: "amount", Kind: warehouse.KindFloat},
+	})
+	w.MustDefineViewSQL("SALES_BY_STORE", `
+		SELECT s.sale_id, s.amount, st.region
+		FROM SALES s, STORES st
+		WHERE s.store_id = st.store_id`)
+	w.MustDefineViewSQL("REGION_TOTALS", `
+		SELECT region, SUM(amount) AS total, COUNT(*) AS n
+		FROM SALES_BY_STORE GROUP BY region`)
+
+	regions := []string{"north", "south", "east", "west"}
+	rng := rand.New(rand.NewSource(seed))
+	var storeRows []warehouse.Tuple
+	for i := 0; i < stores; i++ {
+		storeRows = append(storeRows, warehouse.Tuple{
+			warehouse.Int(int64(i + 1)),
+			warehouse.String(regions[i%len(regions)]),
+		})
+	}
+	if err := w.Load("STORES", storeRows); err != nil {
+		return nil, nil, err
+	}
+	gen := &demoGen{rng: rng, stores: stores, nextID: 1}
+	var saleRows []warehouse.Tuple
+	for i := 0; i < sales; i++ {
+		saleRows = append(saleRows, gen.sale())
+	}
+	if err := w.Load("SALES", saleRows); err != nil {
+		return nil, nil, err
+	}
+	if err := w.Refresh(); err != nil {
+		return nil, nil, err
+	}
+	return w, gen, nil
+}
+
+// sale generates one synthetic sales row.
+func (g *demoGen) sale() warehouse.Tuple {
+	id := g.nextID
+	g.nextID++
+	return warehouse.Tuple{
+		warehouse.Int(id),
+		warehouse.Int(int64(g.rng.Intn(g.stores) + 1)),
+		warehouse.Float(float64(g.rng.Intn(10000)) / 100),
+	}
+}
+
+// stageBatch stages ~1% of the initial sales volume as new inserts.
+func (g *demoGen) stageBatch(w *warehouse.Warehouse) error {
+	d, err := w.NewDelta("SALES")
+	if err != nil {
+		return err
+	}
+	n := 1 + g.rng.Intn(20)
+	for i := 0; i < n; i++ {
+		d.Add(g.sale(), 1)
+	}
+	return w.StageDelta("SALES", d)
+}

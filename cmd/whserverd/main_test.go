@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerLifecycle boots the daemon on an ephemeral port with a fast
+// window driver, watches queries stay answerable while epochs advance, and
+// then drains it the way a signal would (context cancellation).
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr: "127.0.0.1:0", queue: 64, workers: 2,
+			queryTimeout: 2 * time.Second, windowEvery: 5 * time.Millisecond,
+			mode: "dag", planner: "minwork",
+			stores: 4, sales: 200, seed: 7,
+			drainTimeout: 5 * time.Second, ready: ready,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited during startup: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	query := func() (uint64, int) {
+		resp, err := http.Get(base + "/query?q=SELECT+region,+SUM(amount)+AS+total+FROM+SALES_BY_STORE+GROUP+BY+region")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return 0, resp.StatusCode
+		}
+		var qr struct {
+			Epoch uint64  `json:"epoch"`
+			Rows  [][]any `json:"rows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		if len(qr.Rows) != 4 {
+			t.Fatalf("query returned %d regions", len(qr.Rows))
+		}
+		return qr.Epoch, 200
+	}
+
+	// Queries keep answering while the window driver commits epochs; wait
+	// until at least two windows have flipped the epoch.
+	deadline := time.Now().Add(10 * time.Second)
+	var last uint64
+	for time.Now().Before(deadline) {
+		e, code := query()
+		if code != 200 {
+			t.Fatalf("query = %d", code)
+		}
+		if e < last {
+			t.Fatalf("epoch went backwards: %d after %d", e, last)
+		}
+		last = e
+		if e >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if last < 3 {
+		t.Fatalf("epoch stuck at %d; window driver not committing", last)
+	}
+
+	// Drain as a signal would.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

@@ -27,18 +27,36 @@
 // records frame the execution, and a process death mid-window leaves an
 // in-flight record. To recover after a crash: restore the pre-window state
 // (SNAPSHOT LOAD), reattach the journal (JOURNAL ON), and RECOVER.
+//
+// SIGINT/SIGTERM cancel the in-flight window and whshell exits 3: the
+// warehouse keeps its pre-window state, the staged batch stays pending, and
+// a journaled window closes with an abort record, so the journal never
+// needs recovery after an interrupt. Exit codes: 0 success, 1 script or
+// data error, 3 window interrupted, 4 recovery needed.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	warehouse "repro"
+)
+
+// Exit codes (documented in the package comment).
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitInterrupted = 3
+	exitRecovery    = 4
 )
 
 func main() {
@@ -51,20 +69,40 @@ func main() {
 		f, err := os.Open(*scriptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "whshell:", err)
-			os.Exit(1)
+			os.Exit(exitError)
 		}
 		defer f.Close()
 		in = f
 		interactive = false
 	}
-	sh := &shell{w: warehouse.New(), out: os.Stdout}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sh := &shell{w: warehouse.New(), out: os.Stdout, ctx: ctx}
 	err := sh.run(in, interactive)
 	if sh.j != nil {
 		sh.j.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whshell:", err)
-		os.Exit(1)
+		os.Exit(exitCodeFor(err))
+	}
+}
+
+// exitCodeFor classifies a shell error: an interrupted or timed-out window
+// is 3 (state untouched, journal consistent), a journal that needs
+// recovery is 4, anything else 1.
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, warehouse.ErrWindowAborted),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return exitInterrupted
+	case errors.Is(err, warehouse.ErrRecoveryNeeded):
+		return exitRecovery
+	default:
+		return exitError
 	}
 }
 
@@ -72,6 +110,9 @@ type shell struct {
 	w   *warehouse.Warehouse
 	j   *warehouse.Journal // nil when journaling is off
 	out io.Writer
+	// ctx carries process-level cancellation (SIGINT/SIGTERM) into update
+	// windows; nil means Background.
+	ctx context.Context
 }
 
 // run reads semicolon-terminated statements and executes them.
@@ -215,10 +256,12 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 			workers = n
 		}
 		var win warehouse.WindowReport
-		if sh.j != nil {
-			// Journaled (crash-safe) window through the robust runner.
+		if sh.j != nil || sh.ctx != nil {
+			// Robust runner: journaled when a journal is attached, and
+			// cancellable either way (SIGINT/SIGTERM aborts the window).
 			win, err = sh.w.RunWindowOpts(warehouse.WindowOptions{
-				Planner: planner, Mode: mode, Workers: workers, Journal: sh.j,
+				Planner: planner, Mode: mode, Workers: workers,
+				Journal: sh.j, Context: sh.ctx,
 			})
 		} else {
 			win, err = sh.w.RunWindowMode(planner, mode, workers)

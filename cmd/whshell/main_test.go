@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -273,5 +274,71 @@ func TestShellJournalErrors(t *testing.T) {
 		if _, err := runScript(t, cmd+"\n"); err == nil {
 			t.Errorf("accepted %q", cmd)
 		}
+	}
+}
+
+// TestShellInterrupt: a fired process signal (modelled as a cancelled shell
+// context) aborts the WINDOW command with the interrupted exit code; the
+// warehouse keeps its pre-window state, the batch stays pending, and the
+// journal ends with an abort record, not an in-flight window.
+func TestShellInterrupt(t *testing.T) {
+	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
+	batch := writeFile(t, "batch.csv", "id,region,amount,__count\n3,west,7,1\n")
+	jpath := filepath.Join(t.TempDir(), "wh.journal")
+	script := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+DELTA SALES FROM '` + batch + `';
+JOURNAL ON '` + jpath + `';
+WINDOW;
+`
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal already fired
+	var out strings.Builder
+	sh := &shell{w: warehouse.New(), out: &out, ctx: ctx}
+	err := sh.run(strings.NewReader(script), false)
+	if sh.j != nil {
+		sh.j.Close()
+	}
+	if err == nil {
+		t.Fatalf("interrupted WINDOW succeeded:\n%s", out.String())
+	}
+	if got := exitCodeFor(err); got != exitInterrupted {
+		t.Fatalf("exit code %d for %v, want %d", got, err, exitInterrupted)
+	}
+	if got, _ := sh.w.Size("TOTALS"); got != 2 {
+		t.Errorf("TOTALS size = %d after aborted window", got)
+	}
+	if p := sh.w.Pending(); len(p) != 1 || p[0] != "SALES" {
+		t.Errorf("pending = %v after aborted window", p)
+	}
+	j, jerr := warehouse.OpenJournal(jpath)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	defer j.Close()
+	if j.NeedsRecovery() {
+		t.Error("interrupted window left the journal in-flight; want abort record")
+	}
+
+	// A fresh shell over the same journal runs the window to completion.
+	sh2 := &shell{w: warehouse.New(), out: &out, ctx: context.Background()}
+	script2 := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+DELTA SALES FROM '` + batch + `';
+JOURNAL ON '` + jpath + `';
+WINDOW;
+VERIFY;
+`
+	if err := sh2.run(strings.NewReader(script2), false); err != nil {
+		t.Fatalf("post-interrupt window failed: %v", err)
+	}
+	if sh2.j != nil {
+		sh2.j.Close()
 	}
 }

@@ -54,14 +54,17 @@ func checkpointPath(journalPath string) string { return journalPath + ".snap" }
 // writeCheckpoint snapshots the installed (pre-window) state atomically
 // (temp file + rename). It must run before staging — the snapshot format
 // holds installed views only; the journal's begin record carries the batch.
-func writeCheckpoint(w *core.Warehouse, journalPath string) error {
+// The write observes ctx: an interrupt mid-checkpoint abandons the temp
+// file, and because the rename is the commit point, a cancelled (half-
+// written) checkpoint can never be adopted as <journal>.snap.
+func writeCheckpoint(ctx context.Context, w *core.Warehouse, journalPath string) error {
 	path := checkpointPath(journalPath)
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := snapshot.Write(w, tmp); err != nil {
+	if err := snapshot.WriteContext(ctx, w, tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("writing checkpoint %s: %w", path, err)
 	}
@@ -95,7 +98,13 @@ func journaledRun(ctx context.Context, tw *tpcd.Warehouse, s strategy.Strategy, 
 	res, err := recovery.Run(tw.W, s, ropts)
 	if err != nil {
 		if o.journal != "" {
-			fmt.Fprintf(os.Stderr, "whupdate: journal %s may hold an in-flight window; a rerun with -resume will complete it\n", o.journal)
+			if ctx.Err() != nil {
+				// Interrupt or deadline: the attempt appended an abort
+				// record, so the journal is consistent — no resume needed.
+				fmt.Fprintf(os.Stderr, "whupdate: window aborted (%v); journal %s is consistent, staged batch not applied\n", ctx.Err(), o.journal)
+			} else {
+				fmt.Fprintf(os.Stderr, "whupdate: journal %s may hold an in-flight window; a rerun with -resume will complete it\n", o.journal)
+			}
 		}
 		return windowErr(err)
 	}

@@ -32,6 +32,12 @@
 //
 // Exit codes: 0 success, 1 data/build error, 2 usage error, 3 window
 // execution or verification failure, 4 recovery needed.
+//
+// SIGINT/SIGTERM cancel the in-flight window: execution stops at the next
+// step boundary, the staged batch is not applied, and whupdate exits 3. A
+// journaled window appends an abort record on the way out, so the journal
+// stays consistent — no -resume is needed after an interrupt, only after a
+// real crash.
 package main
 
 import (
@@ -40,8 +46,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/cost"
@@ -114,8 +122,11 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if err := run(options{
-		sf: *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
+		ctx: ctx,
+		sf:  *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
 		par: parName, workers: *workers, parTerms: *parTerms,
 		skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
@@ -145,6 +156,9 @@ func main() {
 }
 
 type options struct {
+	// ctx carries process-level cancellation (SIGINT/SIGTERM); nil means
+	// Background.
+	ctx                  context.Context
 	sf, p, insert        float64
 	seed                 int64
 	planner, par         string
@@ -191,7 +205,10 @@ func run(o options) error {
 		}
 	}
 
-	ctx := context.Background()
+	ctx := o.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
@@ -221,7 +238,13 @@ func run(o options) error {
 	// the snapshot format holds installed views only, and -resume re-stages
 	// the batch from the journal's begin record.
 	if o.journal != "" {
-		if err := writeCheckpoint(tw.W, o.journal); err != nil {
+		if err := writeCheckpoint(ctx, tw.W, o.journal); err != nil {
+			if ctx.Err() != nil {
+				// Interrupted mid-checkpoint: the temp file was abandoned
+				// before the rename, so no half-written .snap was adopted
+				// and the journal was never touched.
+				return windowErr(err)
+			}
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -59,7 +60,7 @@ func TestCrashResumeFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeCheckpoint(tw.W, path); err != nil {
+	if err := writeCheckpoint(context.Background(), tw.W, path); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := tw.StageChanges(tpcd.UniformDecrease(p)); err != nil {
@@ -120,5 +121,80 @@ func TestCrashResumeFlow(t *testing.T) {
 	}
 	if lg.CommittedCount() != 2 {
 		t.Fatalf("journal holds %d committed windows, want 2", lg.CommittedCount())
+	}
+}
+
+// TestInterruptExitCode: a cancelled process context (what SIGINT/SIGTERM
+// deliver through main's NotifyContext) aborts the window with exit 3 and
+// leaves the journal consistent — an abort record closes the window, so no
+// -resume is needed and the next run proceeds normally.
+func TestInterruptExitCode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wh.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal already fired
+	o := options{ctx: ctx, sf: 0.001, seed: 7, p: 0.10, planner: "minwork", par: "dag", journal: path}
+	if got := exitCode(run(o)); got != exitWindow {
+		t.Fatalf("interrupted window: exit %d, want %d", got, exitWindow)
+	}
+	lg, err := readJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovery.NeedsRecovery(&lg) {
+		t.Fatal("interrupted window left the journal in-flight; want an abort record")
+	}
+	if lg.CommittedCount() != 0 {
+		t.Fatalf("interrupted window committed %d windows", lg.CommittedCount())
+	}
+
+	// The same invocation with a live context completes and commits.
+	o.ctx = context.Background()
+	if err := run(o); err != nil {
+		t.Fatalf("post-interrupt window failed: %v", err)
+	}
+	if lg, err = readJournalFile(path); err != nil || lg.CommittedCount() != 1 {
+		t.Fatalf("journal after rerun: committed=%d err=%v", lg.CommittedCount(), err)
+	}
+}
+
+// TestCheckpointNotAdoptedOnCancel: an interrupt during the pre-window
+// checkpoint abandons the temp file before the rename, so no half-written
+// .snap appears — and an existing good checkpoint is left untouched.
+func TestCheckpointNotAdoptedOnCancel(t *testing.T) {
+	tw, err := tpcd.NewWarehouse(tpcd.Config{SF: 0.001, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(t.TempDir(), "wh.journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := writeCheckpoint(ctx, tw.W, jpath); err == nil {
+		t.Fatal("cancelled checkpoint reported success")
+	}
+	if _, err := os.Stat(checkpointPath(jpath)); !os.IsNotExist(err) {
+		t.Fatalf("cancelled checkpoint left %s behind (stat err=%v)", checkpointPath(jpath), err)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(filepath.Dir(jpath), ".snap-*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("cancelled checkpoint leaked temp files: %v", leftovers)
+	}
+
+	// A good checkpoint, then a cancelled rewrite: the good one survives.
+	if err := writeCheckpoint(context.Background(), tw.W, jpath); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(checkpointPath(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCheckpoint(ctx, tw.W, jpath); err == nil {
+		t.Fatal("cancelled rewrite reported success")
+	}
+	after, err := os.ReadFile(checkpointPath(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("cancelled rewrite clobbered the good checkpoint")
 	}
 }

@@ -337,3 +337,34 @@ func TestFaultTolerance(t *testing.T) {
 		t.Errorf("recompute row marker = %q", res.Rows[4].Marker)
 	}
 }
+
+// TestOnlineWindowShape asserts the online-serving experiment's accounting:
+// an idle row plus one row per window mode, each mode committing the same
+// windows over the same staged batches (identical total work), with a live
+// query stream recorded in every marker.
+func TestOnlineWindowShape(t *testing.T) {
+	res, err := OnlineWindow(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Label != "idle (no window)" || res.Rows[0].Work != 0 {
+		t.Errorf("baseline row = %+v", res.Rows[0])
+	}
+	work := res.Rows[1].Work
+	for _, row := range res.Rows[1:] {
+		if row.Work != work {
+			t.Errorf("%s: work %d, other modes %d — same batches must cost the same", row.Label, row.Work, work)
+		}
+		if row.Elapsed <= 0 {
+			t.Errorf("%s: no window time recorded", row.Label)
+		}
+	}
+	for _, row := range res.Rows {
+		if !strings.Contains(row.Marker, "p99=") || !strings.Contains(row.Marker, "shed=") {
+			t.Errorf("%s: marker lacks latency/shed stats: %s", row.Label, row.Marker)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package journal
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
@@ -140,6 +141,7 @@ type Writer struct {
 	mu  sync.Mutex
 	out io.Writer
 	err error
+	ctx context.Context // when non-nil, gates begin/step appends
 }
 
 // NewWriter creates a journal writer appending to out. If out has a
@@ -154,6 +156,18 @@ func (w *Writer) Err() error {
 	return w.err
 }
 
+// SetContext attaches ctx to the writer: once ctx is cancelled, Begin and
+// Step appends are refused with ctx's error, so a dead window cannot keep
+// opening or extending journal windows. Commit and Abort stay exempt — they
+// are how an already-executed window closes its journal record, and
+// refusing them would manufacture a phantom in-flight window. The refusal
+// is not sticky (the journal tail is intact). Pass nil to detach.
+func (w *Writer) SetContext(ctx context.Context) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ctx = ctx
+}
+
 func (w *Writer) append(typ byte, payload []byte) error {
 	frame := make([]byte, 0, len(payload)+binary.MaxVarintLen64+9)
 	frame = append(frame, typ)
@@ -166,6 +180,11 @@ func (w *Writer) append(typ byte, payload []byte) error {
 	defer w.mu.Unlock()
 	if w.err != nil {
 		return w.err
+	}
+	if w.ctx != nil && (typ == typeBegin || typ == typeStep) {
+		if err := w.ctx.Err(); err != nil {
+			return fmt.Errorf("journal: append cancelled: %w", err)
+		}
 	}
 	if _, err := w.out.Write(frame); err != nil {
 		w.err = fmt.Errorf("journal: append: %w", err)

@@ -2,6 +2,8 @@ package journal
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -284,5 +286,48 @@ func TestStateDigestDetectsChanges(t *testing.T) {
 	}
 	if StateDigest(clone) == h1 {
 		t.Fatal("installed delta did not change the state digest")
+	}
+}
+
+// TestWriterSetContext: with a cancelled context attached, Begin and Step
+// are refused (a dead window must not open or extend journal windows) while
+// Abort and Commit still land — they close a window that already executed.
+// The refusal is not sticky, and detaching the context restores appends.
+func TestWriterSetContext(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(testBegin()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.SetContext(ctx)
+	if err := w.Step(StepRecord{Index: 0, Key: "C:V:A", Work: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("step under cancelled ctx: %v", err)
+	}
+	if err := w.Begin(testBegin()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("begin under cancelled ctx: %v", err)
+	}
+	if err := w.Abort(AbortRecord{Reason: "cancelled"}); err != nil {
+		t.Fatalf("abort must land under cancelled ctx: %v", err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("context refusal became sticky: %v", w.Err())
+	}
+	w.SetContext(nil)
+	if err := w.Begin(testBegin()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(CommitRecord{TotalWork: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.InFlight() != nil || lg.CommittedCount() != 1 || len(lg.Windows) != 2 {
+		t.Fatalf("log shape: windows=%d committed=%d inflight=%v",
+			len(lg.Windows), lg.CommittedCount(), lg.InFlight() != nil)
 	}
 }

@@ -119,6 +119,13 @@ func Run(w *core.Warehouse, s strategy.Strategy, opts Options) (*Result, error) 
 	if backoff <= 0 {
 		backoff = time.Millisecond
 	}
+	if opts.Journal != nil && opts.Context != nil {
+		// Gate journal begin/step appends on the window's context: a
+		// cancelled window stops extending the journal (commit/abort still
+		// land, closing the window's record).
+		opts.Journal.SetContext(opts.Context)
+		defer opts.Journal.SetContext(nil)
+	}
 	res := &Result{}
 	retriesLeft := opts.Retries
 	triedSequential := false
@@ -130,6 +137,11 @@ func Run(w *core.Warehouse, s strategy.Strategy, opts Options) (*Result, error) 
 			return res, nil
 		}
 		if isCrash(err, opts.Faults) {
+			return nil, err
+		}
+		if opts.Context != nil && opts.Context.Err() != nil {
+			// Deadline or cancellation: the attempt already journaled its
+			// abort; retries and fallbacks would just re-run a dead window.
 			return nil, err
 		}
 		if faults.IsTransient(err) && retriesLeft > 0 {

@@ -1,0 +1,40 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestWriteContextCancelled: a cancelled context stops the write with the
+// context's error, and the truncated stream it leaves behind is rejected by
+// Read — so a half-written snapshot can never restore, let alone restore
+// silently wrong state.
+func TestWriteContextCancelled(t *testing.T) {
+	w := build(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var buf bytes.Buffer
+	err := WriteContext(ctx, w, &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled write returned %v", err)
+	}
+
+	// Whatever bytes escaped before the cancellation must not restore.
+	if buf.Len() > 0 {
+		if rerr := Read(build(t), bytes.NewReader(buf.Bytes())); rerr == nil {
+			t.Fatal("truncated snapshot restored cleanly")
+		}
+	}
+
+	// The same warehouse snapshots fine once the pressure is off.
+	buf.Reset()
+	if err := WriteContext(context.Background(), w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Read(build(t), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,7 @@ package snapshot
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash"
@@ -37,6 +38,21 @@ const (
 
 // Write serializes the warehouse's materialized state to out.
 func Write(w *core.Warehouse, out io.Writer) error {
+	return WriteContext(context.Background(), w, out)
+}
+
+// cancelCheckRows is how many rows WriteContext streams between context
+// checks — frequent enough that cancellation stops a large snapshot within
+// microseconds, rare enough to stay off the encode hot path.
+const cancelCheckRows = 1 << 12
+
+// WriteContext is Write observing ctx: the write stops — between views and
+// every few thousand rows within one — as soon as ctx is cancelled, and
+// returns ctx's error. A cancelled write leaves out holding a truncated
+// stream with no CRC trailer, which Read rejects outright; callers writing
+// checkpoint files must still write to a temp file and rename only on
+// success, so a cancelled checkpoint can never be adopted.
+func WriteContext(ctx context.Context, w *core.Warehouse, out io.Writer) error {
 	if pending := w.PendingViews(); len(pending) > 0 {
 		return fmt.Errorf("snapshot: warehouse has pending changes on %v; finish the update window first", pending)
 	}
@@ -52,6 +68,9 @@ func Write(w *core.Warehouse, out io.Writer) error {
 		return err
 	}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("snapshot: write cancelled before %s: %w", name, err)
+		}
 		v := w.MustView(name)
 		if err := writeString(dst, name); err != nil {
 			return err
@@ -64,7 +83,14 @@ func Write(w *core.Warehouse, out io.Writer) error {
 				return err
 			}
 			var werr error
+			var row int
 			agg.ScanGroups(func(groupKey string, support int64, accums []*delta.Accum) bool {
+				if row++; row%cancelCheckRows == 0 {
+					if werr = ctx.Err(); werr != nil {
+						werr = fmt.Errorf("snapshot: write cancelled in %s: %w", name, werr)
+						return false
+					}
+				}
 				if werr = writeString(dst, groupKey); werr != nil {
 					return false
 				}
@@ -91,7 +117,14 @@ func Write(w *core.Warehouse, out io.Writer) error {
 			return err
 		}
 		var werr error
+		var row int
 		tbl.Scan(func(tup relation.Tuple, count int64) bool {
+			if row++; row%cancelCheckRows == 0 {
+				if werr = ctx.Err(); werr != nil {
+					werr = fmt.Errorf("snapshot: write cancelled in %s: %w", name, werr)
+					return false
+				}
+			}
 			if werr = writeString(dst, tup.Encode()); werr != nil {
 				return false
 			}

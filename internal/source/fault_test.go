@@ -85,12 +85,12 @@ func TestDrainAfterRejectedApply(t *testing.T) {
 	}
 	s.MustApply(Tx{Table: "TXN", Op: OpInsert, Row: txnRow(1, 10, 100, "ok")})
 	rejections := []Tx{
-		{Table: "TXN", Op: OpInsert, Row: txnRow(1, 99, 1, "ok")},            // duplicate key
-		{Table: "TXN", Op: OpDelete, Row: txnRow(7, 0, 0, "")},               // missing key
-		{Table: "TXN", Op: OpUpdate, Row: txnRow(8, 0, 0, "ok")},             // missing key
+		{Table: "TXN", Op: OpInsert, Row: txnRow(1, 99, 1, "ok")},             // duplicate key
+		{Table: "TXN", Op: OpDelete, Row: txnRow(7, 0, 0, "")},                // missing key
+		{Table: "TXN", Op: OpUpdate, Row: txnRow(8, 0, 0, "ok")},              // missing key
 		{Table: "TXN", Op: OpInsert, Row: relation.Tuple{relation.NewInt(2)}}, // arity
-		{Table: "nope", Op: OpInsert, Row: txnRow(2, 0, 0, "ok")},            // unknown table
-		{Table: "TXN", Op: Op(9), Row: txnRow(2, 0, 0, "ok")},                // unknown op
+		{Table: "nope", Op: OpInsert, Row: txnRow(2, 0, 0, "ok")},             // unknown table
+		{Table: "TXN", Op: Op(9), Row: txnRow(2, 0, 0, "ok")},                 // unknown op
 	}
 	for i, tx := range rejections {
 		if err := s.Apply(tx); err == nil {

@@ -19,6 +19,10 @@ type AggTable struct {
 	specs       []delta.AggSpec
 	outSchema   relation.Schema
 	groups      map[string]*groupEntry
+	// cow marks groups (map and entries) as shared with other handles
+	// (Clone is copy-on-write): mutation through this handle must detach
+	// onto private entries first. See Table.cow for the sharing contract.
+	cow bool
 }
 
 type groupEntry struct {
@@ -152,6 +156,25 @@ func (t *AggTable) FinalizeDelta(p *delta.GroupPartials) (*delta.Delta, error) {
 	return d, nil
 }
 
+// detach gives the table private group entries before the first mutation
+// through this handle. Entries are deep-copied (Apply folds accumulators in
+// place), leaving sibling handles' state untouched.
+func (t *AggTable) detach() {
+	if !t.cow {
+		return
+	}
+	groups := make(map[string]*groupEntry, len(t.groups))
+	for k, e := range t.groups {
+		ne := &groupEntry{support: e.support, accums: make([]*delta.Accum, len(e.accums))}
+		for i, a := range e.accums {
+			ne.accums[i] = a.Clone()
+		}
+		groups[k] = ne
+	}
+	t.groups = groups
+	t.cow = false
+}
+
 // Apply installs the partials, mutating the group state. It returns an error
 // (leaving the table partially modified only on programmer error upstream)
 // if any group's support would go negative.
@@ -172,6 +195,7 @@ func (t *AggTable) Apply(p *delta.GroupPartials) error {
 	if err != nil {
 		return err
 	}
+	t.detach()
 	p.Scan(func(groupKey string, gp *delta.GroupPartial) bool {
 		old := t.groups[groupKey]
 		if old == nil {
@@ -231,6 +255,7 @@ func (t *AggTable) RestoreGroup(groupKey string, support int64, accums []*delta.
 			return fmt.Errorf("storage: restored accumulator %d has negative value counts", i)
 		}
 	}
+	t.detach()
 	e := &groupEntry{support: support, accums: make([]*delta.Accum, len(accums))}
 	for i, a := range accums {
 		e.accums[i] = a.Clone()
@@ -239,18 +264,18 @@ func (t *AggTable) RestoreGroup(groupKey string, support int64, accums []*delta.
 	return nil
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns an independent copy of the table in O(1): the group map and
+// its entries are shared copy-on-write, and whichever handle mutates first
+// detaches onto deep-copied entries. See Table.Clone.
 func (t *AggTable) Clone() *AggTable {
-	out := NewAggTable(t.groupSchema, t.specs, make([]string, len(t.specs)))
-	out.outSchema = t.outSchema.Clone()
-	for k, e := range t.groups {
-		ne := &groupEntry{support: e.support, accums: make([]*delta.Accum, len(e.accums))}
-		for i, a := range e.accums {
-			ne.accums[i] = a.Clone()
-		}
-		out.groups[k] = ne
+	t.cow = true
+	return &AggTable{
+		groupSchema: t.groupSchema.Clone(),
+		specs:       append([]delta.AggSpec(nil), t.specs...),
+		outSchema:   t.outSchema.Clone(),
+		groups:      t.groups,
+		cow:         true,
 	}
-	return out
 }
 
 // AsTable converts the current output rows into a plain counted Table, for
@@ -264,5 +289,9 @@ func (t *AggTable) AsTable() *Table {
 	return out
 }
 
-// Clear removes all groups.
-func (t *AggTable) Clear() { t.groups = make(map[string]*groupEntry) }
+// Clear removes all groups. A shared (cloned) group map is simply
+// abandoned to its other handles.
+func (t *AggTable) Clear() {
+	t.groups = make(map[string]*groupEntry)
+	t.cow = false
+}

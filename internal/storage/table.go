@@ -24,6 +24,12 @@ type Table struct {
 	schema relation.Schema
 	rows   map[string]int64
 	card   int64 // total multiplicity (sum of counts)
+	// cow marks rows as shared with other Table handles (Clone is
+	// copy-on-write at relation granularity): the map must not be mutated
+	// through this handle until detach gives it a private copy. Handles are
+	// single-writer; the flag needs no lock because sharing handles only
+	// ever read the shared map.
+	cow bool
 	// indexes holds maintained hash indexes keyed by canonical column list
 	// (see index.go). Clones start without indexes; they are rebuilt on
 	// demand by EnsureIndex. idxMu serializes that lazy build against
@@ -48,11 +54,28 @@ func (t *Table) Cardinality() int64 { return t.card }
 // DistinctCount returns the number of distinct rows.
 func (t *Table) DistinctCount() int64 { return int64(len(t.rows)) }
 
+// detach gives the table a private copy of a shared row map before the
+// first mutation through this handle. Sibling handles (and the readers
+// scanning them) keep the original map untouched — this is what makes a
+// cloned epoch immutable while its successor is updated in place.
+func (t *Table) detach() {
+	if !t.cow {
+		return
+	}
+	rows := make(map[string]int64, len(t.rows))
+	for k, v := range t.rows {
+		rows[k] = v
+	}
+	t.rows = rows
+	t.cow = false
+}
+
 // Insert adds count copies of the tuple. Count must be positive.
 func (t *Table) Insert(tup relation.Tuple, count int64) {
 	if count <= 0 {
 		panic(fmt.Sprintf("storage: Insert with non-positive count %d", count))
 	}
+	t.detach()
 	key := tup.Encode()
 	existed := t.rows[key] > 0
 	t.rows[key] += count
@@ -71,6 +94,7 @@ func (t *Table) Delete(tup relation.Tuple, count int64) error {
 	if have < count {
 		return fmt.Errorf("storage: delete of %d copies of %v but only %d present", count, tup, have)
 	}
+	t.detach()
 	if have == count {
 		delete(t.rows, key)
 	} else {
@@ -118,14 +142,14 @@ type CountedTuple struct {
 	Count int64
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns an independent copy of the table in O(1): the row map is
+// shared copy-on-write, and whichever handle mutates first detaches onto a
+// private copy. An epoch that clones a hundred-relation warehouse therefore
+// pays only for the relations its update window actually touches.
+// Maintained indexes are not shared; the clone starts without any.
 func (t *Table) Clone() *Table {
-	out := NewTable(t.schema)
-	out.card = t.card
-	for k, v := range t.rows {
-		out.rows[k] = v
-	}
-	return out
+	t.cow = true
+	return &Table{schema: t.schema.Clone(), rows: t.rows, card: t.card, cow: true}
 }
 
 // Equal reports whether two tables hold the same bag of rows.
@@ -220,9 +244,11 @@ func (t *Table) ApplyDelta(d *delta.Delta) error {
 	return err
 }
 
-// Clear removes every row. Maintained indexes are emptied but kept.
+// Clear removes every row. Maintained indexes are emptied but kept. A
+// shared (cloned) row map is simply abandoned to its other handles.
 func (t *Table) Clear() {
 	t.rows = make(map[string]int64)
+	t.cow = false
 	t.card = 0
 	for _, ix := range t.indexes {
 		ix.buckets = make(map[string]map[string]struct{})

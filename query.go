@@ -1,27 +1,124 @@
 package warehouse
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/sqlparse"
 )
 
-// Query runs an ad-hoc OLAP query against the warehouse's current state:
-// the same SELECT-FROM-WHERE-GROUPBY class as view definitions, plus
+// Query runs an ad-hoc OLAP query against the warehouse's current serving
+// epoch: the same SELECT-FROM-WHERE-GROUPBY class as view definitions, plus
 // presentation clauses ORDER BY <output column> [ASC|DESC] and LIMIT n.
 // Duplicates (for non-aggregate queries over bag data) are expanded in the
 // result, SQL-style.
 //
-// Queries read whatever state the views are in, so they remain answerable
-// during an update window; a strategy's installs decide when each view's
-// new state becomes visible.
+// Queries stay answerable during an update window and are snapshot-
+// isolated: each query pins one published epoch, so it sees exactly the
+// pre-window or the post-window state — never a partially installed
+// mixture. Safe for concurrent use.
 func (w *Warehouse) Query(sql string) ([]Tuple, error) {
-	q, err := sqlparse.ParseQuery(sql, w.resolveSchema)
+	rows, _, err := w.QueryEpoch(sql)
+	return rows, err
+}
+
+// QueryEpoch is Query returning, additionally, the epoch number the result
+// was served from. Epoch numbers are monotonic: once any reader has
+// observed epoch e, no later query is served from an epoch before e
+// (read-your-epoch consistency across a window commit).
+func (w *Warehouse) QueryEpoch(sql string) ([]Tuple, uint64, error) {
+	p := w.PinEpoch()
+	defer p.Close()
+	rows, err := p.Query(sql)
+	return rows, p.Epoch(), err
+}
+
+// QuerySchema returns the output schema an ad-hoc query would produce,
+// without evaluating it.
+func (w *Warehouse) QuerySchema(sql string) (Schema, error) {
+	p := w.PinEpoch()
+	defer p.Close()
+	q, err := sqlparse.ParseQuery(sql, coreResolver(p.pin.Warehouse()))
 	if err != nil {
 		return nil, err
 	}
-	tbl, err := w.core.Evaluate(q.CQ)
+	return q.CQ.OutputSchema(), nil
+}
+
+// PinEpoch pins the current serving epoch and returns a read view over it.
+// Every query and row read through the pin sees the same frozen state, no
+// matter how many windows commit in the meantime — this is how a reader
+// gets multi-view consistency (e.g. a fact view and a summary over it that
+// agree). Close the pin when done: a retired epoch is garbage-collected
+// when its last reader unpins.
+func (w *Warehouse) PinEpoch() *PinnedEpoch {
+	return &PinnedEpoch{pin: w.epochs.Pin()}
+}
+
+// PinnedEpoch is a consistent read view over one published epoch. It is
+// cheap to create and must be Closed. A PinnedEpoch is not safe for
+// concurrent use by multiple goroutines; each reader pins its own.
+type PinnedEpoch struct {
+	pin *core.Pin
+}
+
+// Epoch returns the pinned epoch's number.
+func (p *PinnedEpoch) Epoch() uint64 { return p.pin.Epoch() }
+
+// Close releases the pin. Idempotent.
+func (p *PinnedEpoch) Close() { p.pin.Unpin() }
+
+// Query evaluates an ad-hoc query against the pinned state.
+func (p *PinnedEpoch) Query(sql string) ([]Tuple, error) {
+	return queryCore(p.pin.Warehouse(), sql)
+}
+
+// Rows returns a view's rows (with multiplicities) in sorted order, as of
+// the pinned epoch.
+func (p *PinnedEpoch) Rows(name string) ([]CountedRow, error) {
+	v := p.pin.Warehouse().View(name)
+	if v == nil {
+		return nil, fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	var out []CountedRow
+	for _, r := range v.SortedRows() {
+		out = append(out, CountedRow{Tuple: r.Tuple, Count: r.Count})
+	}
+	return out, nil
+}
+
+// Size returns |V| as of the pinned epoch.
+func (p *PinnedEpoch) Size(name string) (int64, error) {
+	v := p.pin.Warehouse().View(name)
+	if v == nil {
+		return 0, fmt.Errorf("warehouse: unknown view %q", name)
+	}
+	return v.Cardinality(), nil
+}
+
+// Views returns all view names in definition order.
+func (p *PinnedEpoch) Views() []string { return p.pin.Warehouse().ViewNames() }
+
+// coreResolver resolves view schemas against one core snapshot.
+func coreResolver(c *core.Warehouse) func(view string) (Schema, error) {
+	return func(view string) (Schema, error) {
+		v := c.View(view)
+		if v == nil {
+			return nil, fmt.Errorf("warehouse: unknown view %q", view)
+		}
+		return v.Schema(), nil
+	}
+}
+
+// queryCore parses and evaluates an ad-hoc query against one core snapshot.
+func queryCore(c *core.Warehouse, sql string) ([]Tuple, error) {
+	q, err := sqlparse.ParseQuery(sql, coreResolver(c))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := c.Evaluate(q.CQ)
 	if err != nil {
 		return nil, err
 	}
@@ -51,14 +148,4 @@ func (w *Warehouse) Query(sql string) ([]Tuple, error) {
 		out = out[:q.Limit]
 	}
 	return out, nil
-}
-
-// QuerySchema returns the output schema an ad-hoc query would produce,
-// without evaluating it.
-func (w *Warehouse) QuerySchema(sql string) (Schema, error) {
-	q, err := sqlparse.ParseQuery(sql, w.resolveSchema)
-	if err != nil {
-		return nil, err
-	}
-	return q.CQ.OutputSchema(), nil
 }

@@ -32,6 +32,13 @@ const ModeRecompute = exec.ModeRecompute
 // Recover must complete it before new windows may run.
 var ErrRecoveryNeeded = errors.New("warehouse: journal has an in-flight update window; recover it first")
 
+// ErrWindowAborted is returned (wrapped) by RunWindowOpts when the window's
+// deadline or context fired mid-execution. The window aborted cleanly: the
+// serving epoch is unchanged, the journal (if any) carries an abort record,
+// and no recovery is needed — the staged changes remain pending and the
+// window can simply be re-run. Test with errors.Is.
+var ErrWindowAborted = errors.New("warehouse: update window aborted by deadline or cancellation")
+
 // Journal is an append-only, checksummed log of update windows: what each
 // window was about to do (strategy, change batch, pre-state digest), each
 // completed step, and the final commit or abort. A window that begins but
@@ -153,6 +160,8 @@ func (w *Warehouse) plan(name PlannerName) (PlannerName, Plan, error) {
 // including a crash-class fault — leaves the in-memory state untouched. On
 // a crash-class failure the journal is left in-flight for Recover.
 func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if o.Journal != nil && o.Journal.NeedsRecovery() {
 		return WindowReport{}, ErrRecoveryNeeded
 	}
@@ -191,9 +200,12 @@ func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
 		if o.Journal != nil && (faults.IsCrash(err) || o.Faults.Crashed()) {
 			o.Journal.crashed = true
 		}
+		if ctx != nil && ctx.Err() != nil {
+			return WindowReport{}, fmt.Errorf("%w: %w", ErrWindowAborted, err)
+		}
 		return WindowReport{}, err
 	}
-	w.core = res.Core
+	w.adopt(res.Core)
 	if o.Journal != nil {
 		o.Journal.noteCommitted(res.Report.TotalWork)
 	}
@@ -225,6 +237,8 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 	if j == nil {
 		return WindowReport{}, errors.New("warehouse: Recover requires a journal")
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if j.crashed {
 		return WindowReport{}, fmt.Errorf("warehouse: this journal handle saw a crash mid-window; reopen it with OpenJournal(%q) to load the in-flight window", j.path)
 	}
@@ -234,7 +248,7 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 	if err != nil {
 		return WindowReport{}, err
 	}
-	w.core = res.Core
+	w.adopt(res.Core)
 	begin := inflight.Begin
 	// The in-flight window is now committed: mirror the appended commit in
 	// the parsed log so NeedsRecovery flips without re-reading the file.

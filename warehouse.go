@@ -32,6 +32,7 @@ package warehouse
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -166,8 +167,37 @@ type Options struct {
 }
 
 // Warehouse is a catalog of materialized views plus their state.
+//
+// # Thread safety
+//
+// A Warehouse serves consistent reads while update windows run. The
+// contract, enforced by the concurrency tests, is:
+//
+//   - Query, QueryEpoch, PinEpoch, Rows, Size, Epoch, LiveEpochs and
+//     ViewSchema are safe to call from any number of goroutines at any
+//     time, including while a window executes or commits. Reads are served
+//     from the pinned epoch — an immutable published version of the state —
+//     so a reader observes exactly the pre-window or post-window warehouse,
+//     never a mix (see PinEpoch for multi-view consistency).
+//   - StageDelta, StageDeltaCSV, RunWindow, RunWindowMode, RunWindowOpts,
+//     Recover, Clone, History, TotalWindowWork and Pending are safe to call
+//     concurrently with each other and with readers; they serialize on an
+//     internal mutex (a StageDelta issued while a window runs blocks until
+//     the window commits or aborts, and lands in the next window).
+//   - Setup methods — DefineBase, DefineViewSQL, DefineView, Load, LoadCSV,
+//     Refresh, SetDeferred, RefreshStale, SetParallelism — mutate the
+//     current epoch in place and require exclusive access: complete the
+//     loading phase before serving queries concurrently.
+//   - Execute, ExecuteMode and ExecuteParallel also mutate in place (they
+//     are the measurement primitives); a served warehouse runs windows
+//     through RunWindow* only, whose commit is an atomic epoch flip.
 type Warehouse struct {
+	// mu serializes every state transition: staging, update windows
+	// (including the commit swap), recovery and history. Readers do not
+	// take it — they pin the current epoch instead.
+	mu      sync.Mutex
 	core    *core.Warehouse
+	epochs  *core.Epochs
 	model   CostModel
 	history []WindowReport
 }
@@ -182,21 +212,41 @@ func New(opts ...Options) *Warehouse {
 	if model.CompCoeff == 0 && model.InstCoeff == 0 {
 		model = DefaultCostModel
 	}
-	return &Warehouse{
-		core: core.New(core.Options{
-			SkipEmptyDeltas: o.SkipEmptyDeltas,
-			UseIndexes:      o.UseIndexes,
-			ParallelTerms:   o.ParallelTerms,
-			Workers:         o.Workers,
-		}),
-		model: model,
-	}
+	c := core.New(core.Options{
+		SkipEmptyDeltas: o.SkipEmptyDeltas,
+		UseIndexes:      o.UseIndexes,
+		ParallelTerms:   o.ParallelTerms,
+		Workers:         o.Workers,
+	})
+	return &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
 }
+
+// adopt publishes next as the new serving epoch: the head pointer moves and
+// the epoch registry flips atomically, so readers pinned to the predecessor
+// keep their frozen state while new pins see the successor. Callers hold
+// w.mu.
+func (w *Warehouse) adopt(next *core.Warehouse) {
+	w.core = next
+	w.epochs.Flip(next)
+}
+
+// Epoch returns the current serving epoch number. It starts at 1 and
+// increments on every committed update window (and LoadSnapshot); an
+// aborted or crashed window leaves it unchanged.
+func (w *Warehouse) Epoch() uint64 { return w.epochs.Current() }
+
+// LiveEpochs returns how many epoch versions are currently alive: the
+// serving epoch plus retired epochs still pinned by readers. Quiescent
+// warehouses report 1; a growing number under load means long-running
+// readers are holding history alive.
+func (w *Warehouse) LiveEpochs() int { return w.epochs.Live() }
 
 // SetParallelism reconfigures the intra-Compute parallel engine at runtime:
 // on toggles term/morsel parallelism, workers bounds the shared pool
 // (0 = GOMAXPROCS). Not safe to call while a window executes.
 func (w *Warehouse) SetParallelism(workers int, on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	opts := w.core.Options()
 	opts.ParallelTerms, opts.Workers = on, workers
 	w.core.SetOptions(opts)
@@ -292,7 +342,7 @@ func (w *Warehouse) StageDeltaCSV(name string, r io.Reader) (*Delta, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d, w.core.StageDelta(name, d)
+	return d, w.StageDelta(name, d)
 }
 
 // DumpCSV writes a view's current rows (duplicates expanded) as CSV.
@@ -313,8 +363,12 @@ func (w *Warehouse) NewDelta(name string) (*Delta, error) {
 	return delta.New(v.Schema()), nil
 }
 
-// StageDelta records an arriving change batch for a base view.
+// StageDelta records an arriving change batch for a base view. Safe to call
+// concurrently with readers and windows: a batch staged while a window runs
+// blocks until the window finishes and applies to the next one.
 func (w *Warehouse) StageDelta(name string, d *Delta) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.core.StageDelta(name, d)
 }
 
@@ -324,26 +378,19 @@ func (w *Warehouse) Views() []string { return w.core.ViewNames() }
 // ViewSchema returns a view's output schema.
 func (w *Warehouse) ViewSchema(name string) (Schema, error) { return w.resolveSchema(name) }
 
-// Size returns |V|: the view's current row count.
+// Size returns |V|: the view's row count in the current serving epoch.
 func (w *Warehouse) Size(name string) (int64, error) {
-	v := w.core.View(name)
-	if v == nil {
-		return 0, fmt.Errorf("warehouse: unknown view %q", name)
-	}
-	return v.Cardinality(), nil
+	p := w.PinEpoch()
+	defer p.Close()
+	return p.Size(name)
 }
 
-// Rows returns a view's current rows (with multiplicities) in sorted order.
+// Rows returns a view's rows (with multiplicities) in sorted order, as of
+// the current serving epoch.
 func (w *Warehouse) Rows(name string) ([]CountedRow, error) {
-	v := w.core.View(name)
-	if v == nil {
-		return nil, fmt.Errorf("warehouse: unknown view %q", name)
-	}
-	var out []CountedRow
-	for _, r := range v.SortedRows() {
-		out = append(out, CountedRow{Tuple: r.Tuple, Count: r.Count})
-	}
-	return out, nil
+	p := w.PinEpoch()
+	defer p.Close()
+	return p.Rows(name)
 }
 
 // CountedRow pairs a tuple with its multiplicity.
@@ -529,18 +576,28 @@ func (w *Warehouse) ExecuteMode(s Strategy, mode Mode, workers int) (ParallelRep
 // Verify checks every derived view against a from-scratch recomputation.
 func (w *Warehouse) Verify() error { return w.core.VerifyAll() }
 
-// Clone returns a deep copy; executing a strategy on the clone leaves the
-// original untouched. Window history is copied too.
+// Clone returns an independent copy; executing a strategy on the clone
+// leaves the original untouched. Window history is copied too. Cloning is
+// cheap — storage is shared copy-on-write at relation granularity — and
+// safe to call while the original serves queries or runs a window.
 func (w *Warehouse) Clone() *Warehouse {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.core.Clone()
 	return &Warehouse{
-		core:    w.core.Clone(),
+		core:    c,
+		epochs:  core.NewEpochs(c),
 		model:   w.model,
 		history: append([]WindowReport(nil), w.history...),
 	}
 }
 
 // Pending returns the views with staged or computed-but-uninstalled changes.
-func (w *Warehouse) Pending() []string { return w.core.PendingViews() }
+func (w *Warehouse) Pending() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.core.PendingViews()
+}
 
 // Internal returns the underlying core warehouse for advanced (in-module)
 // use such as the experiment harness.
@@ -548,12 +605,28 @@ func (w *Warehouse) Internal() *core.Warehouse { return w.core }
 
 // SaveSnapshot writes the materialized state of every view to out in the
 // library's versioned binary format. The warehouse must be quiescent (no
-// staged or uninstalled changes).
-func (w *Warehouse) SaveSnapshot(out io.Writer) error { return snapshot.Write(w.core, out) }
+// staged or uninstalled changes). The state written is one consistent
+// epoch: a window committing mid-write cannot tear the snapshot.
+func (w *Warehouse) SaveSnapshot(out io.Writer) error {
+	p := w.PinEpoch()
+	defer p.Close()
+	return snapshot.Write(p.pin.Warehouse(), out)
+}
 
 // LoadSnapshot restores state saved by SaveSnapshot into this warehouse,
-// whose catalog must match the snapshot's. Existing state is replaced.
-func (w *Warehouse) LoadSnapshot(in io.Reader) error { return snapshot.Read(w.core, in) }
+// whose catalog must match the snapshot's. Existing state is replaced. The
+// restore lands as a new serving epoch, so concurrent readers see either
+// the old state or the restored one, never a partial restore.
+func (w *Warehouse) LoadSnapshot(in io.Reader) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := w.core.Clone()
+	if err := snapshot.Read(next, in); err != nil {
+		return err
+	}
+	w.adopt(next)
+	return nil
+}
 
 // Script renders a strategy as the Section 5.5 "update script": one stored
 // procedure call per expression, against procedures compiled once from the

@@ -3,6 +3,9 @@ package warehouse
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/exec"
+	"repro/internal/parallel"
 )
 
 // PlannerName selects the planning algorithm for RunWindow.
@@ -78,7 +81,13 @@ func (w *Warehouse) RunWindow(planner PlannerName) (WindowReport, error) {
 // barrier-free over its precedence DAG with a pool of up to workers
 // goroutines (0 means runtime.GOMAXPROCS(0)). Concurrent windows carry
 // their scheduling metrics in WindowReport.Parallel.
+//
+// The window executes on a copy-on-write clone and commits by an atomic
+// epoch flip, so concurrent readers see exactly the pre- or post-window
+// state; a failed window leaves the serving epoch unchanged.
 func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (WindowReport, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	var (
 		plan Plan
 		err  error
@@ -104,15 +113,19 @@ func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (
 		Plan:    plan,
 		Started: started,
 	}
+	clone := w.core.Clone()
 	switch mode {
 	case ModeSequential, "":
 		window.Mode = ModeSequential
-		window.Report, err = w.Execute(plan.Strategy)
+		window.Report, err = exec.Execute(clone, plan.Strategy, exec.Options{Validate: true})
 		if err != nil {
 			return WindowReport{}, err
 		}
 	default:
-		pr, err := w.ExecuteMode(plan.Strategy, mode, workers)
+		pr, err := parallel.Run(clone, plan.Strategy, clone.Children, mode, parallel.Options{
+			Workers:  workers,
+			Validate: true,
+		})
 		if err != nil {
 			return WindowReport{}, err
 		}
@@ -120,6 +133,7 @@ func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (
 		window.Parallel = &pr
 		window.Report = sequentialView(plan.Strategy, pr)
 	}
+	w.adopt(clone)
 	window.StaleAfter = w.StaleViews()
 	w.history = append(w.history, window)
 	return window, nil
@@ -145,11 +159,15 @@ func sequentialView(s Strategy, pr ParallelReport) Report {
 
 // History returns the executed windows in order.
 func (w *Warehouse) History() []WindowReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return append([]WindowReport(nil), w.history...)
 }
 
 // TotalWindowWork sums the measured work of every executed window.
 func (w *Warehouse) TotalWindowWork() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	var total int64
 	for _, win := range w.history {
 		total += win.Report.TotalWork()
