@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke staticcheck serve-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke
 
 all: build test
 
@@ -56,3 +56,22 @@ bench:
 # cheap enough for CI, and catches probe-path allocation regressions.
 bench-smoke:
 	$(GO) test . -run '^$$' -bench 'BenchmarkCompute' -benchtime 1x -benchmem
+
+# The key performance benchmarks — the window-level schedulers and the two
+# sharing layers (intra-Compute build cache, window-wide cross-view
+# registry) — as a machine-readable baseline. bench-json refreshes the
+# committed BENCH_5.json; bench-check reruns the same benchmarks and fails
+# only on a >2x ns/op slowdown against it (sub-millisecond baselines are
+# ignored: one-iteration timings that small are noise).
+BENCH_JSON    ?= BENCH_5.json
+BENCH_PATTERN ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+
+bench-json:
+	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) bench-out.txt
+	@rm -f bench-out.txt
+
+bench-check:
+	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_JSON) bench-out.txt
+	@rm -f bench-out.txt

@@ -383,6 +383,46 @@ func BenchmarkComputeTermParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedComp measures window-wide cross-view shared computation on
+// the dual-stage VDAG strategy at SF 0.01 under the mixed change workload:
+// Q3, Q5 and Q10 all Comp over the same base views in one stage, so with
+// sharing on the first Comp to need an operand's build-side hash table
+// materializes it for every sibling. "off" rows run the plain window;
+// tuples_saved reports the operand tuples whose physical re-scan the shared
+// tables elided (0 when sharing is off — the work metric never moves either
+// way).
+func BenchmarkSharedComp(b *testing.B) {
+	tw := benchTermSetup(b)
+	dual := strategy.DualStageVDAG(tw.Graph)
+	run := func(b *testing.B, share bool, mode exec.Mode) {
+		b.Helper()
+		var saved int64
+		for i := 0; i < b.N; i++ {
+			w := tw.W.Clone()
+			if share {
+				opts := w.Options()
+				opts.ShareComputation = true
+				w.SetOptions(opts)
+			}
+			rep, err := benchParallelRun(w, dual, mode, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			saved = 0
+			for _, stage := range rep.Steps {
+				for _, step := range stage {
+					saved += step.SharedTuplesSaved
+				}
+			}
+		}
+		b.ReportMetric(float64(saved), "tuples_saved")
+	}
+	for _, mode := range []exec.Mode{exec.ModeStaged, exec.ModeDAG} {
+		b.Run(fmt.Sprintf("off/%s", mode), func(b *testing.B) { run(b, false, mode) })
+		b.Run(fmt.Sprintf("on/%s", mode), func(b *testing.B) { run(b, true, mode) })
+	}
+}
+
 // BenchmarkComputeProbeAllocs isolates the probe-path allocation diet on the
 // single-term Comp(Q3, {LINEITEM}): the hot loop reuses key-encoding buffers
 // and a scratch output row, so allocs/op stays proportional to output rows,

@@ -1,0 +1,210 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON summary, and checks a fresh run against a committed baseline.
+//
+// Usage:
+//
+//	go test . -run '^$' -bench ... > bench.txt
+//	benchjson -out BENCH_5.json bench.txt       # write the summary
+//	benchjson -baseline BENCH_5.json bench.txt  # tolerant regression check
+//
+// The regression check is deliberately loose: machines differ, CI runners
+// jitter, and one-iteration runs are noisy, so it fails only when a
+// benchmark present in both runs got more than -factor (default 2×) slower,
+// and it ignores benchmarks whose baseline is below -min-ns (default 1ms —
+// too fast to time reliably at -benchtime 1x). New and removed benchmarks
+// are reported but never fail the check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	// Name has the -GOMAXPROCS suffix stripped so runs from machines with
+	// different core counts stay comparable.
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (work, tuples_saved, B/op…).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary is the JSON document: the run's environment plus its benchmarks.
+type Summary struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed summary as JSON to this file")
+	baseline := flag.String("baseline", "", "compare the parsed run against this JSON baseline")
+	factor := flag.Float64("factor", 2.0, "fail the baseline check when ns/op grew by more than this factor")
+	minNs := flag.Float64("min-ns", 1e6, "ignore baseline entries faster than this (too noisy to gate on)")
+	flag.Parse()
+	if (*out == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -baseline is required")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sum.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(sum.Benchmarks), *out)
+		return
+	}
+
+	base, err := readSummary(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if failures := compare(os.Stdout, base, sum, *factor, *minNs); failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f× vs %s\n",
+			failures, *factor, *baseline)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func readSummary(path string) (Summary, error) {
+	var s Summary
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	return s, json.Unmarshal(buf, &s)
+}
+
+// trimProcs strips the trailing -GOMAXPROCS from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parse reads `go test -bench` text output.
+func parse(r io.Reader) (Summary, error) {
+	var sum Summary
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for field, dst := range map[string]*string{
+			"goos:": &sum.GOOS, "goarch:": &sum.GOARCH, "pkg:": &sum.Pkg, "cpu:": &sum.CPU,
+		} {
+			if strings.HasPrefix(line, field) {
+				*dst = strings.TrimSpace(strings.TrimPrefix(line, field))
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(f[0]), Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return sum, fmt.Errorf("line %q: bad value %q", line, f[i])
+			}
+			if f[i+1] == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+	return sum, sc.Err()
+}
+
+// compare prints one line per baseline benchmark and returns the number of
+// regressions beyond factor.
+func compare(w io.Writer, base, cur Summary, factor, minNs float64) int {
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[b.Name] = b
+	}
+	failures := 0
+	for _, b := range base.Benchmarks {
+		got, ok := current[b.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "  %-50s missing from this run (skipped)\n", b.Name)
+		case b.NsPerOp < minNs:
+			fmt.Fprintf(w, "  %-50s baseline %.0fns below gate threshold (skipped)\n", b.Name, b.NsPerOp)
+		default:
+			ratio := got.NsPerOp / b.NsPerOp
+			verdict := "ok"
+			if ratio > factor {
+				verdict = "REGRESSION"
+				failures++
+			}
+			fmt.Fprintf(w, "  %-50s %.2fx (%.0fns -> %.0fns) %s\n", b.Name, ratio, b.NsPerOp, got.NsPerOp, verdict)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		found := false
+		for _, o := range base.Benchmarks {
+			if o.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "  %-50s new benchmark (not in baseline)\n", b.Name)
+		}
+	}
+	return failures
+}

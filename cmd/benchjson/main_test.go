@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSharedComp/off/staged-4         	       1	11985230005 ns/op	         0 tuples_saved
+BenchmarkSharedComp/on/staged-4          	       1	1814129360 ns/op	   3140250 tuples_saved
+BenchmarkComputeTermParallel/seq-4       	       2	 500000000 ns/op	    123 B/op	      4 allocs/op
+PASS
+ok  	repro	27.086s
+`
+
+func TestParse(t *testing.T) {
+	sum, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GOOS != "linux" || sum.GOARCH != "amd64" || sum.Pkg != "repro" {
+		t.Errorf("header: %+v", sum)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d", len(sum.Benchmarks))
+	}
+	b := sum.Benchmarks[1]
+	if b.Name != "BenchmarkSharedComp/on/staged" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 1814129360 {
+		t.Errorf("parsed %+v", b)
+	}
+	if b.Metrics["tuples_saved"] != 3140250 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if m := sum.Benchmarks[2].Metrics; m["B/op"] != 123 || m["allocs/op"] != 4 {
+		t.Errorf("benchmem metrics = %v", m)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Summary{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 100e6}, // will regress 3×
+		{Name: "B", NsPerOp: 100e6}, // within tolerance
+		{Name: "C", NsPerOp: 1000},  // below the 1ms gate: never fails
+		{Name: "D", NsPerOp: 100e6}, // missing from current: never fails
+	}}
+	cur := Summary{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 300e6},
+		{Name: "B", NsPerOp: 199e6},
+		{Name: "C", NsPerOp: 1e9},
+		{Name: "E", NsPerOp: 5e6}, // new: never fails
+	}}
+	var out strings.Builder
+	if got := compare(&out, base, cur, 2.0, 1e6); got != 1 {
+		t.Fatalf("failures = %d, want 1 (only A)\n%s", got, out.String())
+	}
+	for _, want := range []string{"REGRESSION", "below gate threshold", "missing from this run", "new benchmark"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+}

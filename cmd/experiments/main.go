@@ -36,13 +36,14 @@ func main() {
 		"parallel":       experiments.Parallel,
 		"stagedvsdag":    experiments.StagedVsDAG,
 		"termparallel":   experiments.TermParallel,
+		"sharedcomp":     experiments.SharedComp,
 		"metric":         experiments.MetricAblation,
 		"estimation":     experiments.Estimation,
 		"deep":           experiments.Deep,
 		"faulttolerance": experiments.FaultTolerance,
 		"onlinewindow":   experiments.OnlineWindow,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "metric", "estimation", "deep", "faulttolerance", "onlinewindow"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow"}
 
 	var ids []string
 	if *only != "" {

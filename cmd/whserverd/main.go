@@ -8,7 +8,7 @@
 //
 //	whserverd [-addr :8080] [-queue 64] [-workers N] [-query-timeout 5s]
 //	          [-window-budget 0] [-window-every 0] [-mode dag] [-planner minwork]
-//	          [-stores 8] [-sales 2000] [-seed 7]
+//	          [-share] [-pprof addr] [-stores 8] [-sales 2000] [-seed 7]
 //
 // The served warehouse is the retail demo VDAG (SALES/STORES bases, a join
 // view, an aggregate summary), populated from -seed. With -window-every set,
@@ -19,6 +19,10 @@
 //
 // Endpoints: /query, /window, /epoch, /stats, /healthz (liveness),
 // /readyz (readiness; flips to 503 the moment a drain begins).
+//
+// With -pprof set, the standard net/http/pprof profiling endpoints are
+// served on that address through a separate mux, so profiling traffic never
+// competes with (or exposes itself to) query clients.
 //
 // SIGINT/SIGTERM drain gracefully: readiness goes red, in-flight queries
 // finish, new ones are refused, and the process exits 0. A second signal
@@ -35,6 +39,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +58,8 @@ func main() {
 	windowEvery := flag.Duration("window-every", 0, "stage a synthetic batch and run a window on this period (0 = off)")
 	mode := flag.String("mode", "dag", "window scheduling: sequential | staged | dag")
 	plannerName := flag.String("planner", "minwork", "window planner: minwork | prune | dualstage")
+	share := flag.Bool("share", false, "enable window-wide shared computation for update windows")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (separate mux; empty = off)")
 	stores := flag.Int("stores", 8, "demo warehouse: number of stores")
 	sales := flag.Int("sales", 2000, "demo warehouse: initial sales rows")
 	seed := flag.Int64("seed", 7, "demo warehouse generation seed")
@@ -65,6 +72,7 @@ func main() {
 		addr: *addr, queue: *queue, workers: *workers,
 		queryTimeout: *queryTimeout, windowBudget: *windowBudget,
 		windowEvery: *windowEvery, mode: *mode, planner: *plannerName,
+		share: *share, pprofAddr: *pprofAddr,
 		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whserverd:", err)
@@ -78,6 +86,8 @@ type config struct {
 	queryTimeout, windowBudget time.Duration
 	windowEvery, drainTimeout  time.Duration
 	mode, planner              string
+	share                      bool
+	pprofAddr                  string
 	stores, sales              int
 	seed                       int64
 	ready                      chan<- string // receives the bound address (tests); may be nil
@@ -89,6 +99,9 @@ func run(ctx context.Context, cfg config) error {
 	w, gen, err := buildDemo(cfg.stores, cfg.sales, cfg.seed)
 	if err != nil {
 		return err
+	}
+	if cfg.share {
+		w.SetSharing(true, 0)
 	}
 	s := serve.New(w, serve.Config{
 		QueueDepth:   cfg.queue,
@@ -108,6 +121,17 @@ func run(ctx context.Context, cfg config) error {
 		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch())
 	if cfg.ready != nil {
 		cfg.ready <- ln.Addr().String()
+	}
+
+	var ps *http.Server
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		ps = &http.Server{Handler: pprofMux()}
+		go func() { _ = ps.Serve(pln) }()
+		fmt.Printf("whserverd: pprof on %s\n", pln.Addr())
 	}
 
 	windows := make(chan error, 1)
@@ -132,6 +156,9 @@ func run(ctx context.Context, cfg config) error {
 	if err := s.Close(shutCtx); err != nil && runErr == nil {
 		runErr = err
 	}
+	if ps != nil {
+		_ = ps.Shutdown(shutCtx)
+	}
 	if errors.Is(runErr, http.ErrServerClosed) {
 		runErr = nil
 	}
@@ -139,6 +166,19 @@ func run(ctx context.Context, cfg config) error {
 	fmt.Printf("whserverd: drained (epoch=%d, served=%d, shed=%d, windows=%d committed / %d aborted)\n",
 		st.Epoch, st.Completed, st.Shed, st.WindowsCommitted, st.WindowsAborted)
 	return runErr
+}
+
+// pprofMux builds a mux carrying only the net/http/pprof endpoints, kept
+// separate from the query mux so profiling is opt-in and unexposed by
+// default.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // windowDriver periodically stages a synthetic sales batch and runs an

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -90,6 +91,22 @@ func TestServerLifecycle(t *testing.T) {
 		t.Fatalf("epoch stuck at %d; window driver not committing", last)
 	}
 
+	// /stats carries the engine counters (cache + cross-view sharing).
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"CacheHits", "CacheTuplesSaved", "SharedHits", "SharedTuplesSaved", "SharedBytesPeak"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q: %v", key, stats)
+		}
+	}
+
 	// Drain as a signal would.
 	cancel()
 	select {
@@ -99,5 +116,20 @@ func TestServerLifecycle(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestPprofMux checks the opt-in profiling mux serves the stdlib pprof
+// index without touching the query mux.
+func TestPprofMux(t *testing.T) {
+	srv := httptest.NewServer(pprofMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ = %d", resp.StatusCode)
 	}
 }

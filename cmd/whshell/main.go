@@ -315,6 +315,34 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 			fmt.Fprintln(sh.out, "ok: term-parallel engine off")
 		}
 		return false, nil
+	case "SHARE":
+		// SHARE ON|OFF [budget-mb]: toggle window-wide shared computation
+		// (operands several views' Comps read are hashed once and reused
+		// across them, bounded by the transient byte budget). WINDOW
+		// reports shared=hits/total and the bytes peak when it engages.
+		if len(words) < 2 || (words[1] != "ON" && words[1] != "OFF") {
+			return false, fmt.Errorf("usage: SHARE ON|OFF [budget-mb]")
+		}
+		on := words[1] == "ON"
+		var budget int64
+		if len(words) > 2 {
+			n, err := strconv.ParseInt(words[2], 10, 64)
+			if err != nil || n < 0 {
+				return false, fmt.Errorf("SHARE: bad budget %q (MiB)", words[2])
+			}
+			budget = n << 20
+		}
+		sh.w.SetSharing(on, budget)
+		if on {
+			label := "64MiB default"
+			if budget > 0 {
+				label = fmt.Sprintf("%dMiB", budget>>20)
+			}
+			fmt.Fprintf(sh.out, "ok: window-wide shared computation on (budget=%s)\n", label)
+		} else {
+			fmt.Fprintln(sh.out, "ok: window-wide shared computation off")
+		}
+		return false, nil
 	case "VERIFY":
 		if err := sh.w.Verify(); err != nil {
 			return false, err
@@ -349,6 +377,7 @@ func (sh *shell) help() {
   REFRESH;                              REFRESH STALE;
   WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;
   PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
+  SHARE ON|OFF [budget-mb];             window-wide cross-view shared computation
   SELECT ... [ORDER BY col [DESC]] [LIMIT n];
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
   DEFER <view> ON|OFF;

@@ -118,6 +118,52 @@ EXIT;
 	}
 }
 
+// TestShellSharing drives SHARE ON/OFF around a window whose two sibling
+// join views read the same operands, so the cross-view registry engages and
+// the WINDOW line reports it.
+func TestShellSharing(t *testing.T) {
+	r := writeFile(t, "r.csv", "id,a\n1,10\n2,20\n3,30\n")
+	s := writeFile(t, "s.csv", "id,b\n1,1\n2,2\n3,3\n")
+	dr := writeFile(t, "dr.csv", "id,a,__count\n4,40,1\n")
+	ds := writeFile(t, "ds.csv", "id,b,__count\n4,4,1\n")
+	script := `
+CREATE BASE R (id INTEGER, a INTEGER);
+CREATE BASE S (id INTEGER, b INTEGER);
+CREATE VIEW V1 AS SELECT r.a AS a, s.b AS b FROM R r, S s WHERE r.id = s.id;
+CREATE VIEW V2 AS SELECT r.a AS g, SUM(s.b) AS t FROM R r, S s WHERE r.id = s.id GROUP BY r.a;
+LOAD R FROM '` + r + `';
+LOAD S FROM '` + s + `';
+REFRESH;
+DELTA R FROM '` + dr + `';
+DELTA S FROM '` + ds + `';
+SHARE ON 32;
+WINDOW dualstage;
+VERIFY;
+SHARE OFF;
+EXIT;
+`
+	out, err := runScript(t, script)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"ok: window-wide shared computation on (budget=32MiB)",
+		" shared=",
+		"every view matches recomputation",
+		"ok: window-wide shared computation off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runScript(t, "SHARE MAYBE;\n"); err == nil {
+		t.Error("bad SHARE argument accepted")
+	}
+	if _, err := runScript(t, "SHARE ON -3;\n"); err == nil {
+		t.Error("negative SHARE budget accepted")
+	}
+}
+
 func TestShellMultilineAndComments(t *testing.T) {
 	out, err := runScript(t, `
 -- a comment line

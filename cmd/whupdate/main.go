@@ -8,6 +8,7 @@
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
 //	         [-planner minwork|prune|dualstage|reverse]
 //	         [-par sequential|staged|dag] [-workers N] [-par-terms]
+//	         [-share] [-share-budget-mb N]
 //	         [-skip-empty] [-timeout d] [-journal f [-resume]] [-retries N]
 //	         [-v] [-cpuprofile f] [-memprofile f]
 //
@@ -17,7 +18,10 @@
 // alias for -par staged. -par-terms additionally parallelizes *inside* each
 // compute expression (concurrent maintenance terms, morsel-parallel probes,
 // shared build tables); it composes with -par dag under the same -workers
-// budget. -cpuprofile/-memprofile write pprof profiles of the run so
+// budget. -share enables window-wide shared computation: operands several
+// views' compute expressions read are hashed once and reused across them,
+// bounded by -share-budget-mb of transient materialization (0 = 64 MiB
+// default). -cpuprofile/-memprofile write pprof profiles of the run so
 // term-evaluation hot spots are measurable in the field.
 //
 // -timeout bounds the window's wall-clock time; cancellation propagates
@@ -93,6 +97,8 @@ func main() {
 	par := flag.String("par", "", "execution mode: sequential | staged | dag")
 	workers := flag.Int("workers", 0, "worker budget for -par dag and -par-terms (0 = GOMAXPROCS)")
 	parTerms := flag.Bool("par-terms", false, "parallelize inside each compute expression (terms + morsels, shared builds)")
+	share := flag.Bool("share", false, "share computed operands across views within the window (cross-view CSE)")
+	shareBudgetMB := flag.Int64("share-budget-mb", 0, "transient materialization budget for -share, in MiB (0 = 64 MiB default)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
 	timeout := flag.Duration("timeout", 0, "bound the window's wall-clock time (0 = no limit)")
 	journalPath := flag.String("journal", "", "journal the window to this file (crash-safe execution)")
@@ -128,6 +134,7 @@ func main() {
 		ctx: ctx,
 		sf:  *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
 		par: parName, workers: *workers, parTerms: *parTerms,
+		share: *share, shareBudgetMB: *shareBudgetMB,
 		skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
 		timeout: *timeout, journal: *journalPath, resume: *resume, retries: *retries,
@@ -164,6 +171,8 @@ type options struct {
 	planner, par         string
 	workers              int
 	parTerms             bool
+	share                bool
+	shareBudgetMB        int64
 	skipEmpty            bool
 	verbose, dot, script bool
 	timeout              time.Duration
@@ -219,12 +228,17 @@ func run(o options) error {
 	tw, err := tpcd.NewWarehouse(tpcd.Config{
 		SF: sf, Seed: seed, SkipEmptyDeltas: skipEmpty,
 		ParallelTerms: o.parTerms, Workers: o.workers,
+		ShareComputation:  o.share,
+		SharedBudgetBytes: o.shareBudgetMB << 20,
 	})
 	if err != nil {
 		return err
 	}
 	if o.parTerms {
 		fmt.Printf("term-parallel engine on (workers=%d)\n", o.workers)
+	}
+	if o.share {
+		fmt.Printf("window-wide shared computation on (budget=%s)\n", budgetLabel(o.shareBudgetMB))
 	}
 	fmt.Printf("built TPC-D warehouse (SF=%g) in %s\n", sf, time.Since(start).Round(time.Millisecond))
 	for _, v := range tw.W.ViewNames() {
@@ -345,6 +359,11 @@ func run(o options) error {
 		}
 		fmt.Printf("update window: %s, total work %d, span work %d, critical path %d, speedup %.2f\n",
 			rep.Elapsed.Round(time.Microsecond), rep.TotalWork, rep.SpanWork, rep.CriticalPathWork, rep.Speedup())
+		var flat []exec.StepReport
+		for _, stage := range rep.Steps {
+			flat = append(flat, stage...)
+		}
+		printSharedSummary(flat, rep.SharedBytesPeak)
 	} else {
 		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true, Context: ctx})
 		if err != nil {
@@ -358,17 +377,48 @@ func run(o options) error {
 			}
 		}
 		fmt.Printf("update window: %s\n", rep)
+		printSharedSummary(rep.Steps, rep.SharedBytesPeak)
 	}
 
 	return verify(tw.W)
 }
 
-// cacheSuffix renders a step's build-cache accounting (term-parallel engine
-// only; empty otherwise).
+// cacheSuffix renders a step's build-cache and shared-computation accounting
+// (empty when neither engine touched the step).
 func cacheSuffix(step exec.StepReport) string {
-	if step.CacheHits+step.CacheMisses == 0 {
-		return ""
+	var s string
+	if step.CacheHits+step.CacheMisses > 0 {
+		s += fmt.Sprintf(" cache=%d/%d saved=%d",
+			step.CacheHits, step.CacheHits+step.CacheMisses, step.CacheTuplesSaved)
 	}
-	return fmt.Sprintf(" cache=%d/%d saved=%d",
-		step.CacheHits, step.CacheHits+step.CacheMisses, step.CacheTuplesSaved)
+	if step.SharedHits+step.SharedMisses > 0 {
+		s += fmt.Sprintf(" shared=%d/%d saved=%d",
+			step.SharedHits, step.SharedHits+step.SharedMisses, step.SharedTuplesSaved)
+	}
+	return s
+}
+
+// printSharedSummary totals the window's cross-view sharing counters; silent
+// when sharing never engaged.
+func printSharedSummary(steps []exec.StepReport, peak int64) {
+	var hits, misses int
+	var saved int64
+	for _, st := range steps {
+		hits += st.SharedHits
+		misses += st.SharedMisses
+		saved += st.SharedTuplesSaved
+	}
+	if hits+misses == 0 {
+		return
+	}
+	fmt.Printf("shared computation: %d/%d builds reused, %d operand tuples saved, peak %d bytes\n",
+		hits, hits+misses, saved, peak)
+}
+
+// budgetLabel renders the -share-budget-mb value for logging.
+func budgetLabel(mb int64) string {
+	if mb <= 0 {
+		return "64MiB default"
+	}
+	return fmt.Sprintf("%dMiB", mb)
 }

@@ -59,6 +59,17 @@ type Options struct {
 	// MorselSize overrides the number of probe rows per parallel morsel
 	// (0 = DefaultMorselSize). Mainly a test/tuning knob.
 	MorselSize int
+	// ShareComputation enables the window-wide shared-computation layer:
+	// with a registry attached (AttachSharing), operands read by several
+	// Comp expressions of one window are hashed once and transiently
+	// materialized for every consumer. Like the build cache, sharing
+	// changes physical work only — OperandTuples is planned from
+	// cardinalities and never sees it. Off by default.
+	ShareComputation bool
+	// SharedBudgetBytes bounds the transiently materialized shared results
+	// (0 = a 64 MiB default). Entries that would exceed the budget are
+	// computed for their requester but not retained.
+	SharedBudgetBytes int64
 }
 
 // View is one materialized warehouse view.
@@ -154,6 +165,10 @@ type Warehouse struct {
 	order []string // definition order; children always precede parents
 	opts  Options
 	pool  *workerPool // shared budget for ParallelTerms (nil when off)
+	// shared is the window-wide shared-computation registry, attached for
+	// the duration of one update window (AttachSharing/DetachSharing) and
+	// nil otherwise. Clones never inherit it: each window attaches its own.
+	shared *SharedRegistry
 }
 
 // New creates an empty warehouse.
@@ -374,12 +389,18 @@ func (w *Warehouse) Install(name string) (int64, error) {
 		}
 		v.pendingPartials = nil
 		v.finalized = nil
+		if w.shared != nil {
+			w.shared.bumpVersion(name)
+		}
 		return n, nil
 	}
 	if err := v.table.ApplyDelta(d); err != nil {
 		return 0, fmt.Errorf("core: installing δ%s: %w", name, err)
 	}
 	v.pendingDelta = nil
+	if w.shared != nil {
+		w.shared.bumpVersion(name)
+	}
 	return n, nil
 }
 

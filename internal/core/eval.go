@@ -41,6 +41,20 @@ type CompReport struct {
 	// shared builds elided. OperandTuples still includes them: shared
 	// builds change the machine's work, not the metric's.
 	BuildTuplesSaved int64
+	// SharedHits counts build tables this Compute probed from the
+	// window-wide shared registry instead of materializing its own copy
+	// (only with an attached SharedRegistry; 0 otherwise). In the parallel
+	// engine the per-Compute cache fronts the registry, so each distinct
+	// operand counts once per Compute; the sequential engine consults the
+	// registry per term.
+	SharedHits int
+	// SharedMisses counts shared tables this Compute was first to
+	// materialize into the registry.
+	SharedMisses int
+	// SharedTuplesSaved totals the operand tuples whose scan-and-hash the
+	// shared registry elided for this Compute. Like BuildTuplesSaved, it
+	// never changes OperandTuples.
+	SharedTuplesSaved int64
 }
 
 // source abstracts the two operand kinds a term reads: a view's current
@@ -97,6 +111,15 @@ func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) 
 	if err != nil {
 		return rep, err
 	}
+	// With a shared registry attached, this Compute participates in
+	// window-wide sharing: su carries its counters, and the deferred
+	// release retires its interest in its hinted operands on every exit
+	// path — success, skip-empty, or error.
+	var su *sharedUse
+	if w.shared != nil {
+		su = &sharedUse{reg: w.shared, comp: CompKey(name, over)}
+		defer w.shared.releaseComp(su.comp)
+	}
 	// Resolve each over-view's delta once.
 	deltas := make(map[string]*delta.Delta, len(over))
 	for _, child := range over {
@@ -121,16 +144,24 @@ func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) 
 	}
 
 	if w.opts.ParallelTerms {
-		return w.computeParallel(ctx, rep, v, terms, deltas)
+		return w.computeParallel(ctx, rep, v, terms, deltas, su)
 	}
 
+	// The sequential engine consults the registry per term through a
+	// minimal env (no pool, no caches): execution order and semantics are
+	// untouched, only build tables of shared operands come from (and go
+	// to) the registry.
+	var env *evalEnv
+	if su != nil {
+		env = &evalEnv{shared: su}
+	}
 	sink, flush := w.makeSink(v)
 	sinks := seqSinks(sink)
 	for _, term := range terms {
 		if ctx != nil && ctx.Err() != nil {
 			return rep, fmt.Errorf("core: compute %s: %w", name, ctx.Err())
 		}
-		scanned, terr := w.evalTerm(v.def, term, deltas, sinks, nil)
+		scanned, terr := w.evalTerm(v.def, term, deltas, sinks, env)
 		if terr != nil {
 			return rep, terr
 		}
@@ -138,6 +169,7 @@ func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) 
 		rep.OperandTuples += scanned
 	}
 	rep.OutputTuples = flush()
+	su.fill(&rep)
 	return rep, nil
 }
 
@@ -202,6 +234,9 @@ type evalEnv struct {
 	pool   *workerPool
 	morsel int
 	ctx    context.Context
+	// shared is this Compute's handle on the window-wide registry (nil
+	// when no registry is attached).
+	shared *sharedUse
 }
 
 // ctxErr reports the env's cancellation state; nil env or ctx never cancels.
@@ -273,11 +308,14 @@ type termPlan struct {
 }
 
 // buildReq defers one default-path build side: pl.steps[step] needs the
-// hash table of src over the key columns cols.
+// hash table of src over the key columns cols. view/isDelta carry the
+// operand's logical identity for the window-wide shared registry.
 type buildReq struct {
-	step int
-	src  source
-	cols []int
+	step    int
+	src     source
+	cols    []int
+	view    string
+	isDelta bool
 }
 
 // runTerm executes a planned term: materialize the driver, resolve the
@@ -285,7 +323,7 @@ type buildReq struct {
 func runTerm(plan *termPlan, sinks sinkFactory, env *evalEnv) (int64, error) {
 	rows := scanSource(env, plan.driverSrc)
 	for _, br := range plan.builds {
-		plan.pl.steps[br.step].build = buildFor(env, br.src, br.cols)
+		plan.pl.steps[br.step].build = buildFor(env, br)
 	}
 	probed, err := plan.pl.run(rows, sinks, env)
 	if err != nil {
@@ -419,7 +457,10 @@ func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 			for ki, k := range keys {
 				cols[ki] = k.newCol - roff
 			}
-			plan.builds = append(plan.builds, buildReq{step: len(plan.pl.steps), src: ops[i].src, cols: cols})
+			plan.builds = append(plan.builds, buildReq{
+				step: len(plan.pl.steps), src: ops[i].src, cols: cols,
+				view: cq.Refs[i].View, isDelta: ops[i].isDelta,
+			})
 			plan.scanned += ops[i].src.Cardinality()
 		}
 		plan.pl.steps = append(plan.pl.steps, step)

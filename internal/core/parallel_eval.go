@@ -143,14 +143,27 @@ func newBuildTable(rows []prow, cols []int) *buildTable {
 	return bt
 }
 
-// buildFor returns a build table over src's cols, through the per-Compute
+// buildFor returns a build table for one request, through the per-Compute
 // cache when the parallel engine supplies one.
-func buildFor(env *evalEnv, src source, cols []int) *buildTable {
+func buildFor(env *evalEnv, br buildReq) *buildTable {
 	cache := env.buildCache()
 	if cache == nil {
-		return newBuildTable(scanSource(env, src), cols)
+		return resolveBuild(env, br)
 	}
-	return cache.get(env, src, cols)
+	return cache.get(env, br)
+}
+
+// resolveBuild materializes one build request, serving it from the
+// window-wide shared registry when one is attached and the operand is worth
+// sharing. With the per-Compute cache in front (parallel engine), the
+// registry sees each distinct (operand, columns) pair once per Compute.
+func resolveBuild(env *evalEnv, br buildReq) *buildTable {
+	if env != nil && env.shared != nil {
+		if bt := env.shared.reg.acquire(env, env.shared, br); bt != nil {
+			return bt
+		}
+	}
+	return newBuildTable(scanSource(env, br.src), br.cols)
 }
 
 // scanCache memoizes materialized operand scans for one Compute: the 2^r−1
@@ -243,24 +256,27 @@ func newBuildCache() *buildCache {
 	return &buildCache{tables: make(map[buildKey]*buildSlot)}
 }
 
-// warm constructs the build table without touching the hit/miss accounting.
-// Pre-warming is an engine scheduling detail: the first term that asks for
-// the build still records the construction as its miss, so the reported
-// hits/misses/saved are identical with and without pre-warming.
-func (c *buildCache) warm(env *evalEnv, src source, cols []int) {
-	slot := c.slot(buildKey{src: src, cols: colsKey(cols)})
-	slot.once.Do(func() { slot.bt = newBuildTable(scanSource(env, src), cols) })
+// warm constructs the build table without touching the per-Compute hit/miss
+// accounting. Pre-warming is an engine scheduling detail: the first term
+// that asks for the build still records the construction as its miss, so
+// the reported hits/misses/saved are identical with and without
+// pre-warming. Resolution goes through resolveBuild, so the warm phase is
+// also where a shared registry serves (or admits) the table — exactly one
+// registry interaction per distinct build of the Compute.
+func (c *buildCache) warm(env *evalEnv, br buildReq) {
+	slot := c.slot(buildKey{src: br.src, cols: colsKey(br.cols)})
+	slot.once.Do(func() { slot.bt = resolveBuild(env, br) })
 }
 
-func (c *buildCache) get(env *evalEnv, src source, cols []int) *buildTable {
-	slot := c.slot(buildKey{src: src, cols: colsKey(cols)})
+func (c *buildCache) get(env *evalEnv, br buildReq) *buildTable {
+	slot := c.slot(buildKey{src: br.src, cols: colsKey(br.cols)})
 	if slot.counted.CompareAndSwap(false, true) {
 		c.misses.Add(1)
 	} else {
 		c.hits.Add(1)
-		c.saved.Add(src.Cardinality())
+		c.saved.Add(br.src.Cardinality())
 	}
-	slot.once.Do(func() { slot.bt = newBuildTable(scanSource(env, src), cols) })
+	slot.once.Do(func() { slot.bt = resolveBuild(env, br) })
 	return slot.bt
 }
 
@@ -284,9 +300,9 @@ func (c *buildCache) slot(key buildKey) *buildSlot {
 // the terms of one Comp all want the same few scans and builds first: left
 // to the terms, those constructions serialize behind sync.Once while every
 // other worker parks. Errors surface deterministically in term order.
-func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View, terms []maintain.Term, deltas map[string]*delta.Delta) (CompReport, error) {
+func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View, terms []maintain.Term, deltas map[string]*delta.Delta, su *sharedUse) (CompReport, error) {
 	cache := newBuildCache()
-	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize, ctx: ctx}
+	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize, ctx: ctx, shared: su}
 
 	plans := make([]*termPlan, len(terms))
 	for ti, term := range terms {
@@ -302,16 +318,12 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 	// whole pool; warm() bypasses the hit/miss accounting, so the first
 	// term to request each build still records its one miss.
 	srcSet := make(map[source]bool)
-	type warmBuild struct {
-		src  source
-		cols []int
-	}
-	buildSet := make(map[buildKey]warmBuild)
+	buildSet := make(map[buildKey]buildReq)
 	for _, plan := range plans {
 		srcSet[plan.driverSrc] = true
 		for _, br := range plan.builds {
 			srcSet[br.src] = true
-			buildSet[buildKey{src: br.src, cols: colsKey(br.cols)}] = warmBuild{src: br.src, cols: br.cols}
+			buildSet[buildKey{src: br.src, cols: colsKey(br.cols)}] = br
 		}
 	}
 	// Pre-warm closures run operand Scan callbacks, which can panic (a
@@ -345,7 +357,7 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 	}
 	for _, wb := range buildSet {
 		wb := wb
-		w.pool.do(&wg, guard("build warm of "+v.name, func() { cache.warm(env, wb.src, wb.cols) }))
+		w.pool.do(&wg, guard("build warm of "+v.name, func() { cache.warm(env, wb) }))
 	}
 	wg.Wait()
 	if warmErr != nil {
@@ -382,6 +394,7 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 	rep.BuildCacheHits = int(cache.hits.Load())
 	rep.BuildCacheMisses = int(cache.misses.Load())
 	rep.BuildTuplesSaved = cache.saved.Load()
+	su.fill(&rep)
 	return rep, nil
 }
 

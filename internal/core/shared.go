@@ -1,0 +1,291 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cost"
+)
+
+// This file is the window-wide shared-computation layer: a registry of
+// transiently materialized build-side hash tables shared across the Comp
+// expressions of one update window. The per-Compute buildCache shares builds across
+// the 2^r − 1 terms of *one* Compute; the registry extends the same idea
+// across *views* — sibling Comps that scan the same operand (the state or
+// pending delta of one view, at one point of the strategy) hash it once and
+// every later consumer probes the same physical table.
+//
+// Correctness rests on epoch versioning: an operand's content is stable
+// between installs (conditions C5/C8 put every Comp of V before any reader
+// of δV, and a view's state changes only at Inst(V)), so entries are keyed
+// by (view, delta?, install-version) and the version counter bumps on every
+// Install. The scheduler's conflict ordering already serializes each Comp
+// against the installs of the views it reads, in every execution mode, so a
+// consumer always observes the version its planner-computed hints predicted.
+//
+// The work metric is untouched by construction: plans fix OperandTuples
+// from cardinalities before any table is served (see termPlan), so shared
+// results change what the machine does, never what the metric counts.
+// SharedHits/SharedTuplesSaved report the physical scans elided.
+
+// SharedOperand identifies one shareable operand: a view's pending delta or
+// materialized state, at a specific install version (the number of
+// Inst(View) expressions executed before the read).
+type SharedOperand struct {
+	View    string
+	Delta   bool
+	Version int
+}
+
+// SharingHints is the planner's sharing analysis in executor terms: how
+// many Comp expressions of the window read each operand, and which operands
+// each Comp (by canonical key) reads — the registry's refcount seed and
+// release schedule. Hints may overcount (a Comp elided by SkipEmptyDeltas,
+// or served by the indexed path, never asks); releases reconcile that.
+type SharingHints struct {
+	// Consumers maps each operand to the number of Comps that read it.
+	Consumers map[SharedOperand]int
+	// ByComp maps a Comp's canonical key (strategy.Expr.Key()) to the
+	// operands its terms read.
+	ByComp map[string][]SharedOperand
+}
+
+// CompKey renders the canonical key of Comp(view, over), byte-identical to
+// strategy.Comp.Key() so planner hints and executor lookups agree.
+func CompKey(view string, over []string) string {
+	sorted := append([]string(nil), over...)
+	sort.Strings(sorted)
+	return "C:" + view + ":" + strings.Join(sorted, ",")
+}
+
+// defaultSharedBudget bounds transient materialization when the caller does
+// not configure Options.SharedBudgetBytes.
+const defaultSharedBudget = 64 << 20
+
+// sharedKey identifies one registry entry: the operand plus the canonical
+// equi-key column list its hash table is built on.
+type sharedKey struct {
+	op   SharedOperand
+	cols string
+}
+
+// sharedEntry is one transiently materialized build table. bt is published
+// through once; the bookkeeping fields (rows, bytes set inside once;
+// charged under the registry mutex) feed budget accounting.
+type sharedEntry struct {
+	once    sync.Once
+	bt      *buildTable
+	rows    int64
+	bytes   int64
+	charged bool
+}
+
+// SharedRegistry is the window-wide shared-result store. One registry is
+// attached to a warehouse for the duration of one update window (see
+// AttachSharing) and detached — reporting its footprint — at the end.
+// Entries hold refcounts seeded from the planner's hints and are dropped
+// eagerly when their last hinted consumer releases, when their view's
+// version advances, or when retention would exceed the byte budget.
+type SharedRegistry struct {
+	mu        sync.Mutex
+	budget    int64
+	hints     *SharingHints
+	versions  map[string]int        // installs executed per view
+	remaining map[SharedOperand]int // hinted consumers not yet released
+	entries   map[sharedKey]*sharedEntry
+	used      int64 // bytes of retained entries
+	bytesPeak int64
+	created   int
+	evicted   int
+}
+
+// SharedStats summarizes a detached registry for reporting.
+type SharedStats struct {
+	// BytesPeak is the high-water transient footprint, counting entries
+	// that were built but not retained.
+	BytesPeak int64
+	// Entries is the number of shared tables materialized.
+	Entries int
+	// Evicted counts tables dropped by the budget gate rather than by
+	// normal end-of-life release.
+	Evicted int
+}
+
+// AttachSharing installs a shared-computation registry on the warehouse for
+// the coming window, seeded with the planner's hints. It reports false —
+// and attaches nothing — when sharing is disabled by options, a registry is
+// already attached, or there are no hints. Not safe to call while
+// expressions execute; callers attach before the window's first step.
+func (w *Warehouse) AttachSharing(h *SharingHints) bool {
+	if !w.opts.ShareComputation || w.shared != nil || h == nil {
+		return false
+	}
+	budget := w.opts.SharedBudgetBytes
+	if budget <= 0 {
+		budget = defaultSharedBudget
+	}
+	remaining := make(map[SharedOperand]int, len(h.Consumers))
+	for op, n := range h.Consumers {
+		remaining[op] = n
+	}
+	w.shared = &SharedRegistry{
+		budget:    budget,
+		hints:     h,
+		versions:  make(map[string]int),
+		remaining: remaining,
+		entries:   make(map[sharedKey]*sharedEntry),
+	}
+	return true
+}
+
+// DetachSharing removes the registry (dropping every entry) and returns its
+// stats. Safe to call when nothing is attached.
+func (w *Warehouse) DetachSharing() SharedStats {
+	r := w.shared
+	w.shared = nil
+	if r == nil {
+		return SharedStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SharedStats{BytesPeak: r.bytesPeak, Entries: r.created, Evicted: r.evicted}
+}
+
+// sharedUse is one Compute's handle on the registry: the Comp's canonical
+// key (for release) plus per-Compute hit/miss/saved counters feeding
+// CompReport.
+type sharedUse struct {
+	reg    *SharedRegistry
+	comp   string
+	hits   atomic.Int64
+	misses atomic.Int64
+	saved  atomic.Int64
+}
+
+// fill copies the counters into a CompReport; a nil receiver (no registry
+// attached) leaves the report untouched.
+func (su *sharedUse) fill(rep *CompReport) {
+	if su == nil {
+		return
+	}
+	rep.SharedHits = int(su.hits.Load())
+	rep.SharedMisses = int(su.misses.Load())
+	rep.SharedTuplesSaved = su.saved.Load()
+}
+
+// acquire serves a build request from the registry: nil when the operand is
+// not worth sharing (fewer than two outstanding consumers and no existing
+// entry), otherwise the shared table — built here by the first requester
+// (who records the miss), reused by everyone else (who record the hit and
+// the operand scan saved). The requester always gets a table; the budget
+// gates only whether it is *retained* for later consumers.
+func (r *SharedRegistry) acquire(env *evalEnv, su *sharedUse, br buildReq) *buildTable {
+	r.mu.Lock()
+	op := SharedOperand{View: br.view, Delta: br.isDelta, Version: r.versions[br.view]}
+	consumers := r.remaining[op]
+	key := sharedKey{op: op, cols: colsKey(br.cols)}
+	e := r.entries[key]
+	if e == nil {
+		if consumers < 2 {
+			r.mu.Unlock()
+			return nil
+		}
+		e = &sharedEntry{}
+		r.entries[key] = e
+		r.created++
+	}
+	r.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		rows := scanSource(env, br.src)
+		e.bt = newBuildTable(rows, br.cols)
+		e.rows = br.src.Cardinality()
+		width := 1
+		if len(rows) > 0 {
+			width = len(rows[0].row)
+		}
+		e.bytes = cost.EstimateMaterializedBytes(e.rows, width)
+		built = true
+	})
+	if built {
+		su.misses.Add(1)
+		r.retain(key, e, consumers)
+	} else {
+		su.hits.Add(1)
+		su.saved.Add(e.rows)
+	}
+	return e.bt
+}
+
+// retain applies the reuse-vs-recompute gate to a freshly built entry: the
+// peak footprint records the build either way; the entry stays in the map
+// only if materializing it for its remaining consumers fits the budget.
+func (r *SharedRegistry) retain(key sharedKey, e *sharedEntry, consumers int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries[key] != e {
+		return // released or superseded while building
+	}
+	if peak := r.used + e.bytes; peak > r.bytesPeak {
+		r.bytesPeak = peak
+	}
+	if !cost.ShouldShare(consumers, e.bytes, r.budget, r.used) {
+		delete(r.entries, key)
+		r.evicted++
+		return
+	}
+	e.charged = true
+	r.used += e.bytes
+}
+
+// releaseComp retires one Comp's interest in its hinted operands; operands
+// whose last consumer releases drop their entries immediately, so transient
+// tables live no longer than their final reader.
+func (r *SharedRegistry) releaseComp(comp string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, op := range r.hints.ByComp[comp] {
+		n, ok := r.remaining[op]
+		if !ok {
+			continue
+		}
+		n--
+		r.remaining[op] = n
+		if n <= 0 {
+			r.dropOp(op)
+		}
+	}
+}
+
+// bumpVersion advances a view's install version, invalidating (and
+// dropping) every entry built on the superseded delta or state.
+func (r *SharedRegistry) bumpVersion(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[name]++
+	nv := r.versions[name]
+	for key, e := range r.entries {
+		if key.op.View == name && key.op.Version < nv {
+			if e.charged {
+				r.used -= e.bytes
+			}
+			delete(r.entries, key)
+		}
+	}
+}
+
+// dropOp removes every entry of one operand (any key-column list). Callers
+// hold r.mu.
+func (r *SharedRegistry) dropOp(op SharedOperand) {
+	for key, e := range r.entries {
+		if key.op == op {
+			if e.charged {
+				r.used -= e.bytes
+			}
+			delete(r.entries, key)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// newSiblingWarehouse builds base R(a,b), S(b,c) and n sibling join views
+// V1..Vn = R ⋈ S on b with distinct selection thresholds — the cross-view
+// sharing case: every view's Comp over {R, S} reads the same four operands
+// (δR, δS, and the states of R and S).
+func newSiblingWarehouse(t *testing.T, n int, opts Options) *Warehouse {
+	t.Helper()
+	w := New(opts)
+	if err := w.DefineBase("R", schemaR); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineBase("S", schemaS); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		b := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+		b.Join("r.b", "s.b").
+			Where(&algebra.Binary{Op: algebra.OpGt, L: b.Col("s.c"), R: &algebra.Const{Value: relation.NewInt(int64(i * 10))}}).
+			SelectCol("r.a").SelectCol("s.c")
+		cq, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDerived(fmt.Sprintf("V%d", i), cq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func loadSiblingData(t *testing.T, w *Warehouse) {
+	t.Helper()
+	var rRows, sRows []relation.Tuple
+	for i := int64(0); i < 120; i++ {
+		rRows = append(rRows, intRow(i, i%10))
+		sRows = append(sRows, intRow(i%10, i))
+	}
+	if err := w.LoadBase("R", rRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadBase("S", sRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{"R", "S"} {
+		d := delta.New(w.MustView(base).Schema())
+		d.Add(intRow(1000, 3), 1)
+		d.Add(intRow(3, 55), 1)
+		if err := w.StageDelta(base, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// siblingHints hand-builds the dual-stage hints for n sibling views: every
+// Comp(Vi, {R, S}) reads δR, δS and the version-0 states of R and S.
+func siblingHints(n int) *SharingHints {
+	ops := []SharedOperand{
+		{View: "R", Delta: true}, {View: "S", Delta: true},
+		{View: "R"}, {View: "S"},
+	}
+	h := &SharingHints{
+		Consumers: make(map[SharedOperand]int),
+		ByComp:    make(map[string][]SharedOperand),
+	}
+	for _, op := range ops {
+		h.Consumers[op] = n
+	}
+	for i := 1; i <= n; i++ {
+		h.ByComp[CompKey(fmt.Sprintf("V%d", i), []string{"R", "S"})] = ops
+	}
+	return h
+}
+
+// runSiblingWindow computes and installs every view dual-stage, returning
+// the per-view CompReports.
+func runSiblingWindow(t *testing.T, w *Warehouse, n int) []CompReport {
+	t.Helper()
+	reps := make([]CompReport, n)
+	for i := 1; i <= n; i++ {
+		rep, err := w.Compute(fmt.Sprintf("V%d", i), []string{"R", "S"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i-1] = rep
+	}
+	for _, name := range []string{"R", "S", "V1", "V2", "V3"}[:n+2] {
+		if _, err := w.Install(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reps
+}
+
+// TestSharedRegistryHitMissSaved: with three sibling views, the first
+// Compute builds the shared tables (misses), later ones reuse them (hits)
+// and report the operand tuples whose physical scan was elided — while the
+// reported work stays identical to an unshared run and the final state
+// verifies against recomputation.
+func TestSharedRegistryHitMissSaved(t *testing.T) {
+	const n = 3
+	shared := newSiblingWarehouse(t, n, Options{ShareComputation: true})
+	loadSiblingData(t, shared)
+	plain := newSiblingWarehouse(t, n, Options{})
+	loadSiblingData(t, plain)
+
+	if !shared.AttachSharing(siblingHints(n)) {
+		t.Fatal("AttachSharing refused")
+	}
+	sharedReps := runSiblingWindow(t, shared, n)
+	stats := shared.DetachSharing()
+	plainReps := runSiblingWindow(t, plain, n)
+
+	var hits, misses int
+	var saved int64
+	for i := range sharedReps {
+		if sharedReps[i].OperandTuples != plainReps[i].OperandTuples {
+			t.Errorf("V%d: work %d with sharing, %d without — the metric must not move",
+				i+1, sharedReps[i].OperandTuples, plainReps[i].OperandTuples)
+		}
+		hits += sharedReps[i].SharedHits
+		misses += sharedReps[i].SharedMisses
+		saved += sharedReps[i].SharedTuplesSaved
+		if p := plainReps[i]; p.SharedHits != 0 || p.SharedMisses != 0 || p.SharedTuplesSaved != 0 {
+			t.Errorf("V%d: sharing-off run reports shared counters %+v", i+1, p)
+		}
+	}
+	if misses == 0 || hits == 0 || saved == 0 {
+		t.Fatalf("sharing never engaged: hits=%d misses=%d saved=%d", hits, misses, saved)
+	}
+	// Later views reuse the first view's builds: every view after the first
+	// must hit at least once.
+	for i := 1; i < n; i++ {
+		if sharedReps[i].SharedHits == 0 {
+			t.Errorf("V%d: no shared hits", i+1)
+		}
+	}
+	if stats.Entries == 0 || stats.BytesPeak == 0 {
+		t.Errorf("registry stats empty: %+v", stats)
+	}
+	if err := shared.VerifyAll(); err != nil {
+		t.Fatalf("shared run corrupted state: %v", err)
+	}
+}
+
+// TestSharedRegistryBudgetEviction: a 1-byte budget makes retention
+// impossible — every build is evicted, later consumers rebuild privately
+// (no hits), and correctness is unaffected.
+func TestSharedRegistryBudgetEviction(t *testing.T) {
+	const n = 2
+	w := newSiblingWarehouse(t, n, Options{ShareComputation: true, SharedBudgetBytes: 1})
+	loadSiblingData(t, w)
+	if !w.AttachSharing(siblingHints(n)) {
+		t.Fatal("AttachSharing refused")
+	}
+	reps := runSiblingWindow(t, w, n)
+	stats := w.DetachSharing()
+	var hits int
+	for _, rep := range reps {
+		hits += rep.SharedHits
+	}
+	if hits != 0 {
+		t.Errorf("1-byte budget still served %d hits", hits)
+	}
+	if stats.Evicted == 0 {
+		t.Errorf("no evictions under a 1-byte budget: %+v", stats)
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedRegistryLifecycle: entries drop when their last hinted consumer
+// releases, and an Install of a view drops the entries built on its
+// superseded delta and state.
+func TestSharedRegistryLifecycle(t *testing.T) {
+	const n = 2
+	w := newSiblingWarehouse(t, n, Options{ShareComputation: true})
+	loadSiblingData(t, w)
+	if !w.AttachSharing(siblingHints(n)) {
+		t.Fatal("AttachSharing refused")
+	}
+	if _, err := w.Compute("V1", []string{"R", "S"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := w.shared
+	reg.mu.Lock()
+	live := len(reg.entries)
+	reg.mu.Unlock()
+	if live == 0 {
+		t.Fatal("no entries retained after the first of two consumers")
+	}
+	if _, err := w.Compute("V2", []string{"R", "S"}); err != nil {
+		t.Fatal(err)
+	}
+	reg.mu.Lock()
+	live, used := len(reg.entries), reg.used
+	reg.mu.Unlock()
+	if live != 0 || used != 0 {
+		t.Errorf("last consumer released but %d entries / %d bytes remain", live, used)
+	}
+
+	// Re-attach and verify Install-driven invalidation: after Compute(V1),
+	// Install(R) must drop every entry built on R's version-0 operands.
+	w2 := newSiblingWarehouse(t, n, Options{ShareComputation: true})
+	loadSiblingData(t, w2)
+	if !w2.AttachSharing(siblingHints(n)) {
+		t.Fatal("AttachSharing refused")
+	}
+	if _, err := w2.Compute("V1", []string{"R", "S"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Install("R"); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := w2.shared
+	reg2.mu.Lock()
+	for key := range reg2.entries {
+		if key.op.View == "R" {
+			t.Errorf("entry %+v survived Install(R)", key)
+		}
+	}
+	reg2.mu.Unlock()
+	w2.DetachSharing()
+}
+
+// TestSharedRegistryDisabled: without ShareComputation the attach refuses
+// and Computes report no shared counters.
+func TestSharedRegistryDisabled(t *testing.T) {
+	w := newSiblingWarehouse(t, 2, Options{})
+	loadSiblingData(t, w)
+	if w.AttachSharing(siblingHints(2)) {
+		t.Fatal("AttachSharing accepted hints with sharing disabled")
+	}
+	if w.AttachSharing(nil) {
+		t.Fatal("AttachSharing accepted nil hints")
+	}
+	if stats := w.DetachSharing(); stats != (SharedStats{}) {
+		t.Errorf("detach with nothing attached: %+v", stats)
+	}
+}

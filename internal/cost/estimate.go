@@ -15,6 +15,42 @@ type ViewInfo struct {
 	IsAggregate bool
 }
 
+// bytesPerColumn is the rough in-memory footprint of one column value in a
+// materialized hash table: a boxed value plus slice/map overhead amortized
+// per cell. The constant only needs to be consistent between the budget and
+// the estimates it gates.
+const bytesPerColumn = 48
+
+// EstimateMaterializedBytes estimates the transient memory footprint of
+// materializing rows tuples of the given width (columns) into a hash table.
+// Used by the shared-computation registry to charge entries against its
+// byte budget.
+func EstimateMaterializedBytes(rows int64, width int) int64 {
+	if rows <= 0 {
+		return 0
+	}
+	if width < 1 {
+		width = 1
+	}
+	return rows * int64(width) * bytesPerColumn
+}
+
+// ShouldShare is the reuse-vs-recompute gate for one shared subexpression
+// result: materializing is worthwhile only when at least two consumers will
+// read it (the first computation is paid either way) and the estimated
+// footprint fits in what remains of the transient byte budget. A
+// non-positive budget means "no budget configured": sharing is then gated
+// on consumer count alone.
+func ShouldShare(consumers int, bytes, budget, used int64) bool {
+	if consumers < 2 {
+		return false
+	}
+	if budget <= 0 {
+		return true
+	}
+	return used+bytes <= budget
+}
+
 // EstimateDeltas fills the DeltaPlus/DeltaMinus statistics of derived views
 // bottom-up from the (exact) base-view deltas, using standard independence
 // assumptions (Section 5.5 of the paper defers to "standard query result

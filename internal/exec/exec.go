@@ -77,6 +77,14 @@ type StepReport struct {
 	// shared builds elided. Work still counts them: the linear metric
 	// models every term's operand scan whether or not the build was shared.
 	CacheTuplesSaved int64
+	// SharedHits and SharedMisses count build tables served from / built
+	// into the window-wide shared-computation registry (zero when sharing
+	// is off). A hit means another view's Comp already hashed the operand.
+	SharedHits, SharedMisses int
+	// SharedTuplesSaved totals operand tuples whose physical scan the
+	// cross-view shared tables elided. Like CacheTuplesSaved, Work still
+	// counts them.
+	SharedTuplesSaved int64
 	// Digest fingerprints the delta an Inst step installed (see
 	// delta.Digest); 0 for Comp steps and for views whose float-valued
 	// columns make bit-exact digests unsound across evaluation orders. The
@@ -91,6 +99,9 @@ type Report struct {
 	Steps    []StepReport
 	// CompWork and InstWork split the measured work by expression type.
 	CompWork, InstWork int64
+	// SharedBytesPeak is the high-water transient footprint of the
+	// window's shared-computation registry (0 when sharing is off).
+	SharedBytesPeak int64
 	// Elapsed is the total update window.
 	Elapsed time.Duration
 }
@@ -163,6 +174,8 @@ func RunStep(ctx context.Context, w *core.Warehouse, e strategy.Expr) (step Step
 		step.Skipped = cr.Skipped
 		step.CacheHits, step.CacheMisses = cr.BuildCacheHits, cr.BuildCacheMisses
 		step.CacheTuplesSaved = cr.BuildTuplesSaved
+		step.SharedHits, step.SharedMisses = cr.SharedHits, cr.SharedMisses
+		step.SharedTuplesSaved = cr.SharedTuplesSaved
 	case strategy.Inst:
 		step.Digest = instDigest(w, x.View)
 		n, ierr := w.Install(x.View)
@@ -201,8 +214,8 @@ func instDigest(w *core.Warehouse, view string) uint64 {
 // Execute runs the strategy against the warehouse, mutating it, and returns
 // the measured report. If opts.Validate is set, the strategy is checked
 // against the warehouse's VDAG first and execution is refused on violation.
-func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, error) {
-	rep := Report{Strategy: s}
+func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (rep Report, err error) {
+	rep = Report{Strategy: s}
 	changed := ChangedViews(w)
 	if opts.Validate {
 		if err := Validate(w, s); err != nil {
@@ -210,6 +223,8 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (Report, erro
 		}
 	}
 	ctx := opts.Context
+	detach := AttachSharing(w, s)
+	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
 	start := time.Now()
 	for _, e := range s {
 		if ctx != nil && ctx.Err() != nil {
@@ -324,6 +339,8 @@ func Prepare(w *core.Warehouse) (*Prepared, error) {
 					Expr: comp, Work: cr.OperandTuples, Terms: cr.Terms, Skipped: cr.Skipped,
 					CacheHits: cr.BuildCacheHits, CacheMisses: cr.BuildCacheMisses,
 					CacheTuplesSaved: cr.BuildTuplesSaved,
+					SharedHits:       cr.SharedHits, SharedMisses: cr.SharedMisses,
+					SharedTuplesSaved: cr.SharedTuplesSaved,
 				}, err
 			}
 		}

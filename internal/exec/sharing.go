@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/strategy"
+)
+
+// This file bridges the planner's static sharing analysis to the executor's
+// window-wide shared-result registry: every executor entry point (sequential
+// Execute here, the staged/DAG scheduler in internal/parallel) attaches a
+// registry seeded from planner.AnalyzeSharing before its first step and
+// detaches it — harvesting the transient-footprint stats — when the window
+// ends.
+
+// RefsOf adapts a warehouse catalog to the reference function
+// planner.AnalyzeSharing expects: the FROM-clause view list of each derived
+// view's definition (one entry per reference, so self-joins repeat), nil for
+// base views and unknown names.
+func RefsOf(w *core.Warehouse) func(view string) []string {
+	return func(view string) []string {
+		v := w.View(view)
+		if v == nil || v.IsBase() {
+			return nil
+		}
+		refs := v.Def().Refs
+		out := make([]string, len(refs))
+		for i, ref := range refs {
+			out[i] = ref.View
+		}
+		return out
+	}
+}
+
+// SharingHints runs the planner's sharing analysis for a strategy and
+// converts it to the executor's hint form. The registry only materializes
+// operands the hints mark as multi-consumer, so feeding hints for a strategy
+// other than the one about to run is safe but useless.
+func SharingHints(w *core.Warehouse, s strategy.Strategy) *core.SharingHints {
+	plan := planner.AnalyzeSharing(s, RefsOf(w), nil)
+	h := &core.SharingHints{
+		Consumers: make(map[core.SharedOperand]int, len(plan.Consumers)),
+		ByComp:    make(map[string][]core.SharedOperand, len(plan.ByComp)),
+	}
+	for op, n := range plan.Consumers {
+		h.Consumers[core.SharedOperand(op)] = n
+	}
+	for comp, ops := range plan.ByComp {
+		conv := make([]core.SharedOperand, len(ops))
+		for i, op := range ops {
+			conv[i] = core.SharedOperand(op)
+		}
+		h.ByComp[comp] = conv
+	}
+	return h
+}
+
+// AttachSharing attaches a shared-computation registry for the strategy when
+// the warehouse's options enable it, and returns the detach function the
+// caller must invoke once the window completes. When sharing is off (or a
+// registry is already attached) the returned function is a harmless no-op,
+// so callers can attach/detach unconditionally.
+func AttachSharing(w *core.Warehouse, s strategy.Strategy) func() core.SharedStats {
+	if !w.Options().ShareComputation {
+		return func() core.SharedStats { return core.SharedStats{} }
+	}
+	if !w.AttachSharing(SharingHints(w, s)) {
+		return func() core.SharedStats { return core.SharedStats{} }
+	}
+	return w.DetachSharing
+}

@@ -218,6 +218,45 @@ func TestStagedVsDAGShape(t *testing.T) {
 	}
 }
 
+// TestSharedCompShape asserts the cross-view sharing experiment's accounting:
+// per (SF, mode) pair the share=off and share=on legs measure identical work
+// (sharing elides physical scans, never modeled ones), and the share=on legs
+// reuse enough cross-view builds to elide at least 25% of compute-side
+// operand tuples with a nonzero transient footprint. Wall-clock is reported
+// but not asserted (best-of-3 still jitters at test scale).
+func TestSharedCompShape(t *testing.T) {
+	res, err := SharedComp(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 SFs × 2 modes × share off/on
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		off, on := res.Rows[i], res.Rows[i+1]
+		if !strings.Contains(off.Label, "share=off") || !strings.Contains(on.Label, "share=on") {
+			t.Fatalf("row order wrong: %q, %q", off.Label, on.Label)
+		}
+		if off.Work != on.Work {
+			t.Errorf("%s: work %d with sharing, %d without — the metric must not move",
+				on.Label, on.Work, off.Work)
+		}
+		var hits, total int
+		var saved, peak int64
+		var frac, speedup float64
+		if _, err := fmt.Sscanf(on.Marker, "shared %d/%d saved=%d (%f%% of comp work) peakB=%d speedup=%f",
+			&hits, &total, &saved, &frac, &peak, &speedup); err != nil {
+			t.Fatalf("%s: bad marker %q: %v", on.Label, on.Marker, err)
+		}
+		if hits == 0 || saved == 0 || peak == 0 {
+			t.Errorf("%s: sharing never engaged: %s", on.Label, on.Marker)
+		}
+		if frac < 25 {
+			t.Errorf("%s: only %.0f%% of comp-side operand tuples elided, want ≥25%%", on.Label, frac)
+		}
+	}
+}
+
 // TestMetricAblation certifies the Discussion-section argument: the variant
 // metric inverts the MinWork-vs-dual-stage comparison that measurement (and
 // the real metric) gives.
@@ -304,7 +343,7 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
+	if len(results) != 13 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -282,6 +282,56 @@ func TestDifferentialExecutors(t *testing.T) {
 		}
 		compareBags(t, trial, "dag+term-parallel", ref, viewBags(both))
 
+		// Window-wide shared computation under sequential scheduling: the
+		// cross-view registry serves build tables across Comps. Bags must
+		// match, and — sharing elides physical scans, never modeled ones —
+		// every step's Work and Terms must equal the sequential report.
+		shared := base.Clone()
+		shared.SetOptions(core.Options{ShareComputation: true})
+		shRep, err := exec.Execute(shared, s, exec.Options{Validate: true})
+		if err != nil {
+			t.Fatalf("trial %d shared: %v", trial, err)
+		}
+		compareBags(t, trial, "shared", ref, viewBags(shared))
+		for i, step := range shRep.Steps {
+			want := seqRep.Steps[i]
+			if step.Work != want.Work || step.Terms != want.Terms {
+				t.Fatalf("trial %d shared step %s: work=%d terms=%d, sequential work=%d terms=%d (the shared registry must not change the linear work metric)",
+					trial, step.Expr, step.Work, step.Terms, want.Work, want.Terms)
+			}
+		}
+
+		// Sharing composed with the concurrent schedulers (and, on even
+		// trials, the term-parallel engine inside each Comp): per-step work
+		// must still match the sequential reference.
+		wantWork := make(map[string]int64, len(seqRep.Steps))
+		for _, step := range seqRep.Steps {
+			wantWork[fmt.Sprint(step.Expr)] = step.Work
+		}
+		shMode := exec.ModeDAG
+		if trial%2 == 0 {
+			shMode = exec.ModeStaged
+		}
+		shPar := base.Clone()
+		wk := 1 + rng.Intn(8)
+		shPar.SetOptions(core.Options{ShareComputation: true, ParallelTerms: trial%2 == 0, Workers: wk})
+		shParRep, err := Run(shPar, s, shPar.Children, shMode, Options{
+			Workers:  wk,
+			Validate: true,
+		})
+		if err != nil {
+			t.Fatalf("trial %d shared+%s: %v", trial, shMode, err)
+		}
+		compareBags(t, trial, "shared+"+string(shMode), ref, viewBags(shPar))
+		for _, stage := range shParRep.Steps {
+			for _, step := range stage {
+				if want, ok := wantWork[fmt.Sprint(step.Expr)]; !ok || step.Work != want {
+					t.Fatalf("trial %d shared+%s step %s: work=%d, sequential work=%d",
+						trial, shMode, step.Expr, step.Work, want)
+				}
+			}
+		}
+
 		// Full recompute: fold the base deltas in, rebuild every derived view
 		// from scratch.
 		rec := base.Clone()

@@ -144,6 +144,9 @@ type Report struct {
 	// with unlimited parallelism. Always ≤ SpanWork: dropping barriers can
 	// only shorten the schedule.
 	CriticalPathWork int64
+	// SharedBytesPeak is the high-water transient footprint of the window's
+	// shared-computation registry (0 when sharing is off).
+	SharedBytesPeak int64
 	// Elapsed is the measured wall-clock update window.
 	Elapsed time.Duration
 	// Steps holds the per-expression reports, per stage (per DAG level for
@@ -164,8 +167,16 @@ func (r Report) Speedup() float64 {
 // CriticalPathWork equals SpanWork: under a barrier schedule the executed
 // critical path *is* the chain of stage maxima (use Run with ModeDAG, or
 // ExecuteDAG, for barrier-free scheduling and the tighter path metric).
-func Execute(w *core.Warehouse, plan Plan) (Report, error) {
-	rep := Report{Plan: plan, Mode: exec.ModeStaged}
+func Execute(w *core.Warehouse, plan Plan) (rep Report, err error) {
+	rep = Report{Plan: plan, Mode: exec.ModeStaged}
+	// Flattening the plan in stage order preserves every conflicting pair's
+	// relative order, so the sharing analysis sees the versions stages run.
+	var flat strategy.Strategy
+	for _, stage := range plan {
+		flat = append(flat, stage...)
+	}
+	detach := exec.AttachSharing(w, flat)
+	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
 	start := time.Now()
 	for _, stage := range plan {
 		results := make([]exec.StepReport, len(stage))

@@ -222,6 +222,7 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 	}
 	changed := exec.ChangedViews(w)
 	d := BuildDAG(s, children)
+	detach := exec.AttachSharing(w, s)
 	var (
 		rep Report
 		err error
@@ -235,9 +236,11 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 	case exec.ModeDAG:
 		rep, err = ExecuteDAG(w, d, opts)
 	default:
+		detach()
 		return Report{}, fmt.Errorf("parallel: unknown execution mode %q", mode)
 	}
 	rep.Mode = mode
+	rep.SharedBytesPeak = detach().BytesPeak
 	if err != nil {
 		return rep, err
 	}

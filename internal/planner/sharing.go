@@ -1,0 +1,111 @@
+package planner
+
+import (
+	"repro/internal/cost"
+	"repro/internal/strategy"
+)
+
+// This file is the planner side of window-wide shared computation: a static
+// walk of the strategy that identifies the operands (a view's pending delta
+// or materialized state, at a specific point of the install sequence) that
+// more than one Comp expression reads. The executor's shared-result
+// registry (internal/core) is seeded with this analysis: operands with
+// several consumers are materialized once and reused; operands with one
+// consumer are never retained.
+//
+// The walk mirrors the linear work metric's operand model (cost.CompWork):
+// for Comp(V, over) with r delta-bound references, a reference in over
+// contributes its delta (in every term) and — when r > 1 — its pre-state
+// (in the terms where another reference carries the delta); a reference
+// outside over contributes only its state. Which *version* of an operand a
+// Comp reads is determined by the installs preceding it: Inst(X) both
+// consumes δX and changes X's state, so the walk advances X's version
+// counter at each Inst(X). The scheduler's conflict ordering preserves
+// exactly these read-after-install relations in every execution mode, so
+// the hints remain valid under staged, DAG and term-parallel execution.
+
+// OperandKey identifies one shareable operand in a strategy: a view's delta
+// or state, at the given install version (installs of the view executed
+// before the read).
+type OperandKey struct {
+	View    string
+	Delta   bool
+	Version int
+}
+
+// SharingPlan is the result of AnalyzeSharing.
+type SharingPlan struct {
+	// Consumers maps each operand to the number of Comp expressions
+	// reading it. Operands read once are included (the executor's gate
+	// needs the complete refcount schedule).
+	Consumers map[OperandKey]int
+	// ByComp maps each Comp's canonical key to the operands its
+	// maintenance terms read, in reference order.
+	ByComp map[string][]OperandKey
+	// SharedOperands counts operands with at least two consumers.
+	SharedOperands int
+	// EstimatedSavedTuples is the planning-statistics estimate of the
+	// operand tuples sharing saves: each operand's size times its
+	// consumer count beyond the first. Zero when no stats are supplied.
+	EstimatedSavedTuples int64
+}
+
+// AnalyzeSharing walks a strategy and returns its cross-view sharing
+// structure. refs supplies each derived view's FROM-clause reference list
+// (one entry per reference; repeat for self-joins) — exec.RefsOf adapts a
+// warehouse. stats, when non-nil, sizes the estimated savings; planning
+// proceeds without it.
+func AnalyzeSharing(s strategy.Strategy, refs func(view string) []string, stats cost.Stats) SharingPlan {
+	plan := SharingPlan{
+		Consumers: make(map[OperandKey]int),
+		ByComp:    make(map[string][]OperandKey),
+	}
+	version := make(map[string]int)
+	for _, e := range s {
+		switch x := e.(type) {
+		case strategy.Comp:
+			deltas, states := x.Reads(refs(x.View))
+			var ops []OperandKey
+			for _, v := range deltas {
+				ops = append(ops, OperandKey{View: v, Delta: true, Version: version[v]})
+			}
+			for _, v := range states {
+				ops = append(ops, OperandKey{View: v, Version: version[v]})
+			}
+			// Self-joins repeat an operand inside one Comp; consumers and
+			// releases are per Comp (intra-Compute reuse is the build
+			// cache's job), so deduplicate before counting.
+			key := x.Key()
+			seen := make(map[OperandKey]bool, len(ops))
+			for _, op := range ops {
+				if !seen[op] {
+					seen[op] = true
+					plan.Consumers[op]++
+					plan.ByComp[key] = append(plan.ByComp[key], op)
+				}
+			}
+		case strategy.Inst:
+			version[x.View]++
+		}
+	}
+	for op, n := range plan.Consumers {
+		if n < 2 {
+			continue
+		}
+		plan.SharedOperands++
+		if stats != nil {
+			st, ok := stats[op.View]
+			if !ok {
+				continue
+			}
+			size := st.Size
+			if op.Delta {
+				size = st.DeltaSize()
+			} else if op.Version > 0 {
+				size = st.SizeAfter()
+			}
+			plan.EstimatedSavedTuples += int64(n-1) * size
+		}
+	}
+	return plan
+}

@@ -217,11 +217,17 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 		name     string
 		mode     exec.Mode
 		parTerms bool
+		share    bool
 	}{
-		{"sequential", exec.ModeSequential, false},
-		{"staged", exec.ModeStaged, false},
-		{"dag", exec.ModeDAG, false},
-		{"term-parallel", exec.ModeSequential, true},
+		{"sequential", exec.ModeSequential, false, false},
+		{"staged", exec.ModeStaged, false, false},
+		{"dag", exec.ModeDAG, false, false},
+		{"term-parallel", exec.ModeSequential, true, false},
+		// Window-wide shared computation: crashes must not leak the transient
+		// registry, and a sharing-off recovery of a sharing-on window must
+		// replay to identical digests (sharing elides scans, not results).
+		{"shared", exec.ModeSequential, false, true},
+		{"shared-dag", exec.ModeDAG, false, true},
 	}
 	for trial := 0; trial < trials; trial++ {
 		seed := int64(20260806 + trial)
@@ -255,7 +261,7 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 		useIndexes := rng.Intn(3) == 0
 
 		for mi, m := range modes {
-			co := core.Options{SkipEmptyDeltas: skipEmpty, UseIndexes: useIndexes}
+			co := core.Options{SkipEmptyDeltas: skipEmpty, UseIndexes: useIndexes, ShareComputation: m.share}
 			if m.parTerms {
 				co.ParallelTerms = true
 				co.Workers = 1 + rng.Intn(4)

@@ -83,6 +83,14 @@ type Stats struct {
 	// WindowsCommitted and WindowsAborted count update windows run through
 	// the server, by outcome.
 	WindowsCommitted, WindowsAborted uint64
+	// CacheHits and CacheTuplesSaved accumulate the per-Compute build
+	// cache counters over every committed window; SharedHits and
+	// SharedTuplesSaved accumulate the cross-view shared-computation
+	// counters. SharedBytesPeak is the largest transient footprint any
+	// window's shared registry reached.
+	CacheHits, SharedHits               uint64
+	CacheTuplesSaved, SharedTuplesSaved uint64
+	SharedBytesPeak                     int64
 	// Epoch is the current serving epoch, LiveEpochs how many retired
 	// epochs readers still pin (plus the current one).
 	Epoch      uint64
@@ -119,6 +127,9 @@ type Server struct {
 
 	admitted, shed, expired, completed, failed atomic.Uint64
 	windowsCommitted, windowsAborted           atomic.Uint64
+	cacheHits, sharedHits                      atomic.Uint64
+	cacheTuplesSaved, sharedTuplesSaved        atomic.Uint64
+	sharedBytesPeak                            atomic.Int64
 
 	// gate, when set (tests), runs in the worker before each query executes
 	// — a hook to hold workers busy and fill the queue deterministically.
@@ -239,6 +250,17 @@ func (s *Server) RunWindow(ctx context.Context, opts warehouse.WindowOptions) (w
 		return rep, err
 	}
 	s.windowsCommitted.Add(1)
+	c := rep.Counters()
+	s.cacheHits.Add(uint64(c.CacheHits))
+	s.cacheTuplesSaved.Add(uint64(c.CacheTuplesSaved))
+	s.sharedHits.Add(uint64(c.SharedHits))
+	s.sharedTuplesSaved.Add(uint64(c.SharedTuplesSaved))
+	for {
+		peak := s.sharedBytesPeak.Load()
+		if c.SharedBytesPeak <= peak || s.sharedBytesPeak.CompareAndSwap(peak, c.SharedBytesPeak) {
+			break
+		}
+	}
 	return rep, nil
 }
 
@@ -266,18 +288,23 @@ func (s *Server) Stats() Stats {
 	qlen := len(s.queue)
 	s.mu.Unlock()
 	return Stats{
-		Admitted:         s.admitted.Load(),
-		Shed:             s.shed.Load(),
-		Expired:          s.expired.Load(),
-		Completed:        s.completed.Load(),
-		Failed:           s.failed.Load(),
-		WindowsCommitted: s.windowsCommitted.Load(),
-		WindowsAborted:   s.windowsAborted.Load(),
-		Epoch:            s.w.Epoch(),
-		LiveEpochs:       s.w.LiveEpochs(),
-		QueueLen:         qlen,
-		QueueCap:         s.cfg.QueueDepth,
-		Draining:         draining,
+		Admitted:          s.admitted.Load(),
+		Shed:              s.shed.Load(),
+		Expired:           s.expired.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		WindowsCommitted:  s.windowsCommitted.Load(),
+		WindowsAborted:    s.windowsAborted.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		CacheTuplesSaved:  s.cacheTuplesSaved.Load(),
+		SharedHits:        s.sharedHits.Load(),
+		SharedTuplesSaved: s.sharedTuplesSaved.Load(),
+		SharedBytesPeak:   s.sharedBytesPeak.Load(),
+		Epoch:             s.w.Epoch(),
+		LiveEpochs:        s.w.LiveEpochs(),
+		QueueLen:          qlen,
+		QueueCap:          s.cfg.QueueDepth,
+		Draining:          draining,
 	}
 }
 

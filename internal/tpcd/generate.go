@@ -25,6 +25,11 @@ type Config struct {
 	// shared worker pool.
 	ParallelTerms bool
 	Workers       int
+	// ShareComputation and SharedBudgetBytes are passed through to the
+	// warehouse options: they enable window-wide cross-view sharing of
+	// transiently materialized operands and bound its footprint.
+	ShareComputation  bool
+	SharedBudgetBytes int64
 	// Queries selects which summary views to define; nil means all of
 	// Q3, Q5 and Q10. Experiment 1, for instance, uses a Q3-only warehouse.
 	Queries []string

@@ -187,10 +187,12 @@ func NewWarehouse(cfg Config) (*Warehouse, error) {
 		return nil, fmt.Errorf("tpcd: scale factor must be positive, got %v", cfg.SF)
 	}
 	w := core.New(core.Options{
-		SkipEmptyDeltas: cfg.SkipEmptyDeltas,
-		UseIndexes:      cfg.UseIndexes,
-		ParallelTerms:   cfg.ParallelTerms,
-		Workers:         cfg.Workers,
+		SkipEmptyDeltas:   cfg.SkipEmptyDeltas,
+		UseIndexes:        cfg.UseIndexes,
+		ParallelTerms:     cfg.ParallelTerms,
+		Workers:           cfg.Workers,
+		ShareComputation:  cfg.ShareComputation,
+		SharedBudgetBytes: cfg.SharedBudgetBytes,
 	})
 	schemas := Schemas()
 	for _, name := range BaseViews {

@@ -161,6 +161,19 @@ type Options struct {
 	// to ExecuteMode/RunWindowMode so DAG-level and term-level parallelism
 	// compose under one budget.
 	Workers int
+	// ShareComputation enables window-wide shared computation: operands
+	// (a view's state or pending delta) that several views' Comp
+	// expressions read are hashed once, transiently materialized, and
+	// reused by every consumer in the window — across sequential, staged,
+	// DAG and term-parallel execution. Reported work (the linear metric)
+	// is unchanged; SharedHits/SharedTuplesSaved report the physical scans
+	// elided.
+	ShareComputation bool
+	// SharedBudgetBytes bounds the transient footprint of shared
+	// materialization; results whose retention would exceed it are served
+	// to their first consumer and recomputed by later ones. 0 means the
+	// 64 MiB default.
+	SharedBudgetBytes int64
 	// Model overrides the cost model used by the planners; zero value means
 	// DefaultCostModel.
 	Model CostModel
@@ -213,10 +226,12 @@ func New(opts ...Options) *Warehouse {
 		model = DefaultCostModel
 	}
 	c := core.New(core.Options{
-		SkipEmptyDeltas: o.SkipEmptyDeltas,
-		UseIndexes:      o.UseIndexes,
-		ParallelTerms:   o.ParallelTerms,
-		Workers:         o.Workers,
+		SkipEmptyDeltas:   o.SkipEmptyDeltas,
+		UseIndexes:        o.UseIndexes,
+		ParallelTerms:     o.ParallelTerms,
+		Workers:           o.Workers,
+		ShareComputation:  o.ShareComputation,
+		SharedBudgetBytes: o.SharedBudgetBytes,
 	})
 	return &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
 }
@@ -250,6 +265,41 @@ func (w *Warehouse) SetParallelism(workers int, on bool) {
 	opts := w.core.Options()
 	opts.ParallelTerms, opts.Workers = on, workers
 	w.core.SetOptions(opts)
+}
+
+// SetSharing reconfigures window-wide shared computation at runtime: on
+// enables cross-view reuse of transiently materialized operands,
+// budgetBytes bounds their footprint (0 = the 64 MiB default). Not safe to
+// call while a window executes.
+func (w *Warehouse) SetSharing(on bool, budgetBytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	opts := w.core.Options()
+	opts.ShareComputation, opts.SharedBudgetBytes = on, budgetBytes
+	w.core.SetOptions(opts)
+}
+
+// SharingAnalysis summarizes a strategy's cross-view sharing potential (see
+// AnalyzeSharing).
+type SharingAnalysis struct {
+	// SharedOperands counts operands (a view's state or delta, at one
+	// point of the install sequence) read by at least two Comps.
+	SharedOperands int
+	// EstimatedSavedTuples is the planning-statistics estimate of operand
+	// tuples sharing avoids rescanning.
+	EstimatedSavedTuples int64
+}
+
+// AnalyzeSharing runs the planner's static sharing analysis on a strategy
+// with the current planning statistics — the preview of what
+// ShareComputation would reuse.
+func (w *Warehouse) AnalyzeSharing(s Strategy) (SharingAnalysis, error) {
+	stats, err := w.PlanningStats()
+	if err != nil {
+		return SharingAnalysis{}, err
+	}
+	p := planner.AnalyzeSharing(s, exec.RefsOf(w.core), stats)
+	return SharingAnalysis{SharedOperands: p.SharedOperands, EstimatedSavedTuples: p.EstimatedSavedTuples}, nil
 }
 
 // DefineBase registers a base view (data loaded from sources).

@@ -60,12 +60,54 @@ type WindowReport struct {
 
 // String summarizes the window.
 func (r WindowReport) String() string {
+	var s string
 	if r.Parallel != nil {
-		return fmt.Sprintf("window %d [%s, %s ×%d]: %s (span %d, critical path %d)",
+		s = fmt.Sprintf("window %d [%s, %s ×%d]: %s (span %d, critical path %d)",
 			r.Seq, r.Planner, r.Mode, r.Parallel.Workers, r.Report,
 			r.Parallel.SpanWork, r.Parallel.CriticalPathWork)
+	} else {
+		s = fmt.Sprintf("window %d [%s]: %s", r.Seq, r.Planner, r.Report)
 	}
-	return fmt.Sprintf("window %d [%s]: %s", r.Seq, r.Planner, r.Report)
+	if c := r.Counters(); c.SharedHits+c.SharedMisses > 0 {
+		s += fmt.Sprintf(" shared=%d/%d saved=%d peakB=%d",
+			c.SharedHits, c.SharedHits+c.SharedMisses, c.SharedTuplesSaved, c.SharedBytesPeak)
+	}
+	return s
+}
+
+// WindowCounters aggregates one window's engine counters: the per-Compute
+// build cache (intra-Compute sharing across a Comp's maintenance terms) and
+// the window-wide shared-computation registry (cross-view sharing). Both
+// report physical scans elided; the work metric counts those scans
+// regardless.
+type WindowCounters struct {
+	// CacheHits and CacheMisses count build tables served from / built
+	// into the per-Compute build cache.
+	CacheHits, CacheMisses int
+	// CacheTuplesSaved totals operand tuples the per-Compute cache spared.
+	CacheTuplesSaved int64
+	// SharedHits and SharedMisses count build tables served from / built
+	// into the cross-view shared registry.
+	SharedHits, SharedMisses int
+	// SharedTuplesSaved totals operand tuples cross-view sharing spared.
+	SharedTuplesSaved int64
+	// SharedBytesPeak is the registry's high-water transient footprint.
+	SharedBytesPeak int64
+}
+
+// Counters sums the per-step engine counters of the window.
+func (r WindowReport) Counters() WindowCounters {
+	var c WindowCounters
+	for _, step := range r.Report.Steps {
+		c.CacheHits += step.CacheHits
+		c.CacheMisses += step.CacheMisses
+		c.CacheTuplesSaved += step.CacheTuplesSaved
+		c.SharedHits += step.SharedHits
+		c.SharedMisses += step.SharedMisses
+		c.SharedTuplesSaved += step.SharedTuplesSaved
+	}
+	c.SharedBytesPeak = r.Report.SharedBytesPeak
+	return c
 }
 
 // RunWindow executes one complete update window: plan the staged changes
@@ -143,7 +185,7 @@ func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (
 // window history stores, so TotalWindowWork and friends see concurrent
 // windows too.
 func sequentialView(s Strategy, pr ParallelReport) Report {
-	rep := Report{Strategy: s, Elapsed: pr.Elapsed}
+	rep := Report{Strategy: s, Elapsed: pr.Elapsed, SharedBytesPeak: pr.SharedBytesPeak}
 	for _, stage := range pr.Steps {
 		for _, step := range stage {
 			rep.Steps = append(rep.Steps, step)
