@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke replica-smoke
 
 all: build test
 
@@ -25,6 +25,14 @@ staticcheck:
 # handler tests.
 serve-smoke:
 	$(GO) test ./cmd/whserverd/ ./internal/serve/ -count=1
+
+# End-to-end smoke of replication: a whserverd leader with a fast window
+# driver plus two -follow daemons whose lag drains to zero at an advanced
+# epoch, and the replicate package's ship/replay, torn-stream, and failover
+# tests. (The full differential harness runs in the race tier.)
+replica-smoke:
+	$(GO) test ./cmd/whserverd/ -run 'TestReplicaSmoke' -count=1
+	$(GO) test ./internal/replicate/ -count=1
 
 # The concurrency tier: the full suite under the race detector. The
 # parallel, exec and core packages are the ones exercising goroutines

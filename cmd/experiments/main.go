@@ -42,8 +42,9 @@ func main() {
 		"deep":           experiments.Deep,
 		"faulttolerance": experiments.FaultTolerance,
 		"onlinewindow":   experiments.OnlineWindow,
+		"replication":    experiments.Replication,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication"}
 
 	var ids []string
 	if *only != "" {

@@ -9,6 +9,7 @@
 //	whserverd [-addr :8080] [-queue 64] [-workers N] [-query-timeout 5s]
 //	          [-window-budget 0] [-window-every 0] [-mode dag] [-planner minwork]
 //	          [-share] [-pprof addr] [-stores 8] [-sales 2000] [-seed 7]
+//	          [-follow leader-addr] [-fetch-interval 100ms]
 //
 // The served warehouse is the retail demo VDAG (SALES/STORES bases, a join
 // view, an aggregate summary), populated from -seed. With -window-every set,
@@ -17,8 +18,18 @@
 // cleanly and leave the serving epoch unchanged. Windows can also be
 // triggered externally with POST /window.
 //
+// Without -follow the daemon is a replication leader: every update window is
+// journaled and the journal is published under /replicate/ for followers.
+// With -follow <leader-addr> it is a follower: it builds the identical demo
+// warehouse (same -stores/-sales/-seed), continuously fetches the leader's
+// journal, replays each committed window with full digest verification, and
+// serves queries at its own — possibly stale — epoch. Followers are
+// read-only (POST /window answers 403) and report their staleness on /lag.
+//
 // Endpoints: /query, /window, /epoch, /stats, /healthz (liveness),
-// /readyz (readiness; flips to 503 the moment a drain begins).
+// /readyz (readiness; flips to 503 the moment a drain begins). Leaders add
+// /replicate/log and /replicate/stats; followers add /lag and
+// /replicate/stats.
 //
 // With -pprof set, the standard net/http/pprof profiling endpoints are
 // served on that address through a separate mux, so profiling traffic never
@@ -42,10 +53,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	warehouse "repro"
+	"repro/internal/replicate"
 	"repro/internal/serve"
 )
 
@@ -64,6 +77,8 @@ func main() {
 	sales := flag.Int("sales", 2000, "demo warehouse: initial sales rows")
 	seed := flag.Int64("seed", 7, "demo warehouse generation seed")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight work on shutdown")
+	follow := flag.String("follow", "", "run as a follower of this leader (host:port or URL); serve reads at a possibly-stale epoch")
+	fetchInterval := flag.Duration("fetch-interval", 100*time.Millisecond, "follower: idle poll period against the leader's journal")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,6 +89,7 @@ func main() {
 		windowEvery: *windowEvery, mode: *mode, planner: *plannerName,
 		share: *share, pprofAddr: *pprofAddr,
 		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
+		follow: *follow, fetchInterval: *fetchInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whserverd:", err)
 		os.Exit(1)
@@ -90,12 +106,20 @@ type config struct {
 	pprofAddr                  string
 	stores, sales              int
 	seed                       int64
+	follow                     string // leader address; empty = lead
+	fetchInterval              time.Duration
 	ready                      chan<- string // receives the bound address (tests); may be nil
 }
 
 // run builds the demo warehouse, serves it until ctx is cancelled, then
-// drains and returns.
+// drains and returns. Without cfg.follow the daemon leads — every window is
+// journaled into an in-memory log published under /replicate/. With
+// cfg.follow it follows: the same demo warehouse is rebuilt locally and
+// the leader's journal is continuously fetched and replayed.
 func run(ctx context.Context, cfg config) error {
+	if cfg.follow != "" && cfg.windowEvery > 0 {
+		return fmt.Errorf("-window-every cannot be combined with -follow: a follower replays the leader's windows")
+	}
 	w, gen, err := buildDemo(cfg.stores, cfg.sales, cfg.seed)
 	if err != nil {
 		return err
@@ -103,22 +127,52 @@ func run(ctx context.Context, cfg config) error {
 	if cfg.share {
 		w.SetSharing(true, 0)
 	}
-	s := serve.New(w, serve.Config{
+	svCfg := serve.Config{
 		QueueDepth:   cfg.queue,
 		Workers:      cfg.workers,
 		QueryTimeout: cfg.queryTimeout,
 		WindowBudget: cfg.windowBudget,
-	})
+	}
+	var leader *replicate.Leader
+	var follower *replicate.Follower
+	if cfg.follow == "" {
+		// Leader: every window — driver loop or POST /window — lands in the
+		// shipped journal.
+		leader = replicate.NewLeader(w)
+		svCfg.WindowJournal = leader.Journal()
+	}
+	s := serve.New(w, svCfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if leader != nil {
+		mux.Handle("/replicate/", leader.Handler())
+	} else {
+		follower = replicate.NewFollower(w, replicate.FollowerConfig{
+			Leader:   leaderURL(cfg.follow),
+			Interval: cfg.fetchInterval,
+		})
+		fh := follower.Handler()
+		mux.Handle("/lag", fh)
+		mux.Handle("/replicate/", fh)
+		mux.HandleFunc("/window", func(rw http.ResponseWriter, r *http.Request) {
+			http.Error(rw, "read-only follower: windows replicate from the leader", http.StatusForbidden)
+		})
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	hs := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Printf("whserverd: serving %d views on %s (queue=%d, epoch=%d)\n",
-		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch())
+	role := "leading"
+	if follower != nil {
+		role = "following " + follower.LeaderAddr()
+	}
+	fmt.Printf("whserverd: serving %d views on %s (queue=%d, epoch=%d, %s)\n",
+		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch(), role)
 	if cfg.ready != nil {
 		cfg.ready <- ln.Addr().String()
 	}
@@ -137,6 +191,14 @@ func run(ctx context.Context, cfg config) error {
 	windows := make(chan error, 1)
 	if cfg.windowEvery > 0 {
 		go windowDriver(ctx, s, gen, cfg, windows)
+	}
+	if follower != nil {
+		go func() {
+			err := follower.Run(ctx)
+			if err != nil && ctx.Err() == nil {
+				windows <- fmt.Errorf("replication: %w", err)
+			}
+		}()
 	}
 
 	var runErr error
@@ -166,6 +228,15 @@ func run(ctx context.Context, cfg config) error {
 	fmt.Printf("whserverd: drained (epoch=%d, served=%d, shed=%d, windows=%d committed / %d aborted)\n",
 		st.Epoch, st.Completed, st.Shed, st.WindowsCommitted, st.WindowsAborted)
 	return runErr
+}
+
+// leaderURL normalizes a -follow operand: a bare host:port gets an http://
+// scheme so it can be handed straight to the follower.
+func leaderURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/")
 }
 
 // pprofMux builds a mux carrying only the net/http/pprof endpoints, kept
@@ -273,14 +344,18 @@ func buildDemo(stores, sales int, seed int64) (*warehouse.Warehouse, *demoGen, e
 	return w, gen, nil
 }
 
-// sale generates one synthetic sales row.
+// sale generates one synthetic sales row. Amounts are quarter-unit prices:
+// multiples of 0.25 are exact in binary floating point, so SUM(amount) is
+// exact regardless of accumulation order and independently built replicas
+// digest identically (cent prices are inexact and make the aggregate's low
+// bits depend on map iteration order).
 func (g *demoGen) sale() warehouse.Tuple {
 	id := g.nextID
 	g.nextID++
 	return warehouse.Tuple{
 		warehouse.Int(id),
 		warehouse.Int(int64(g.rng.Intn(g.stores) + 1)),
-		warehouse.Float(float64(g.rng.Intn(10000)) / 100),
+		warehouse.Float(float64(g.rng.Intn(10000)) / 4),
 	}
 }
 

@@ -119,6 +119,139 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestReplicaSmoke boots a leader with a fast window driver and two
+// followers pointed at it, waits for both followers to drain their lag to
+// zero at an advanced epoch, checks follower queries answer and followers
+// refuse writes, then drains all three daemons.
+func TestReplicaSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	boot := func(follow string, windowEvery time.Duration) (string, chan error) {
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, config{
+				addr: "127.0.0.1:0", queue: 64, workers: 2,
+				queryTimeout: 2 * time.Second, windowEvery: windowEvery,
+				mode: "dag", planner: "minwork",
+				stores: 4, sales: 200, seed: 7,
+				// Generous drain: under -race the whole module's test
+				// binaries share this machine, and three daemons drain
+				// at once.
+				drainTimeout: 30 * time.Second, ready: ready,
+				follow: follow, fetchInterval: 5 * time.Millisecond,
+			})
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, done
+		case err := <-done:
+			t.Fatalf("daemon (follow=%q) exited during startup: %v", follow, err)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon (follow=%q) never became ready", follow)
+		}
+		panic("unreachable")
+	}
+
+	leaderBase, leaderDone := boot("", 5*time.Millisecond)
+	f1Base, f1Done := boot(leaderBase, 0)
+	f2Base, f2Done := boot(leaderBase, 0)
+
+	getJSON := func(url string, into any) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("%s: %v", url, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Both followers must catch up to an advanced epoch with zero lag.
+	type lag struct {
+		Epoch     uint64 `json:"epoch"`
+		Leader    uint64 `json:"leader_epoch"`
+		LagEpochs uint64 `json:"lag_epochs"`
+		LagBytes  int64  `json:"lag_bytes"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for _, base := range []string{f1Base, f2Base} {
+		for {
+			var l lag
+			if code := getJSON(base+"/lag", &l); code != 200 {
+				t.Fatalf("%s/lag = %d", base, code)
+			}
+			if l.Epoch >= 3 && l.LagEpochs == 0 && l.LagBytes == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never caught up: %+v", base, l)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Follower answers queries at its replicated epoch and refuses writes.
+	var qr struct {
+		Epoch uint64  `json:"epoch"`
+		Rows  [][]any `json:"rows"`
+	}
+	if code := getJSON(f1Base+"/query?q=SELECT+region,+SUM(amount)+AS+total+FROM+SALES_BY_STORE+GROUP+BY+region", &qr); code != 200 {
+		t.Fatalf("follower query = %d", code)
+	}
+	if len(qr.Rows) != 4 || qr.Epoch < 3 {
+		t.Fatalf("follower query: %d rows at epoch %d", len(qr.Rows), qr.Epoch)
+	}
+	resp, err := http.Post(f1Base+"/window", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower POST /window = %d, want 403", resp.StatusCode)
+	}
+
+	// Replication stats are live on both sides.
+	var fs struct {
+		Replayed int64  `json:"replayed_windows"`
+		Shipped  int64  `json:"shipped_records"`
+		Dead     string `json:"dead,omitempty"`
+	}
+	if code := getJSON(f2Base+"/replicate/stats", &fs); code != 200 {
+		t.Fatalf("follower stats = %d", code)
+	}
+	if fs.Replayed < 3 || fs.Shipped == 0 || fs.Dead != "" {
+		t.Fatalf("follower stats: %+v", fs)
+	}
+	var ls struct {
+		Chunks int64 `json:"chunks_served"`
+	}
+	if code := getJSON(leaderBase+"/replicate/stats", &ls); code != 200 {
+		t.Fatalf("leader stats = %d", code)
+	}
+	if ls.Chunks == 0 {
+		t.Fatalf("leader served no chunks: %+v", ls)
+	}
+
+	cancel()
+	for _, done := range []chan error{f1Done, f2Done, leaderDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain returned %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+}
+
 // TestPprofMux checks the opt-in profiling mux serves the stdlib pprof
 // index without touching the query mux.
 func TestPprofMux(t *testing.T) {

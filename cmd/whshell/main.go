@@ -18,6 +18,7 @@
 //	DEFER <view> ON|OFF;                        deferred maintenance policy
 //	REFRESH STALE;                              recompute stale views
 //	VERIFY;                                     check every view against recomputation
+//	DIGEST;                                     print epoch + state digest (replica comparison)
 //	SNAPSHOT SAVE '<file>' | SNAPSHOT LOAD '<file>';
 //	JOURNAL ON '<file>' | OFF | STATUS;         crash-safe (journaled) windows
 //	RECOVER;                                    complete the journal's in-flight window
@@ -349,6 +350,9 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 		}
 		fmt.Fprintln(sh.out, "ok: every view matches recomputation")
 		return false, nil
+	case "DIGEST":
+		fmt.Fprintf(sh.out, "epoch %d  state digest %016x\n", sh.w.Epoch(), sh.w.StateDigest())
+		return false, nil
 	case "SNAPSHOT":
 		return false, sh.snapshot(stmt)
 	case "JOURNAL":
@@ -375,7 +379,7 @@ func (sh *shell) help() {
   CREATE VIEW <name> AS SELECT ...;
   LOAD <view> FROM '<file.csv>';        DELTA <view> FROM '<file.csv>';
   REFRESH;                              REFRESH STALE;
-  WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;
+  WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;  DIGEST;
   PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
   SHARE ON|OFF [budget-mb];             window-wide cross-view shared computation
   SELECT ... [ORDER BY col [DESC]] [LIMIT n];

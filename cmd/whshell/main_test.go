@@ -76,6 +76,50 @@ EXIT;
 	}
 }
 
+// TestShellDigest: DIGEST prints the epoch and state digest; two shells fed
+// the same script agree (the replica-comparison use case), and a window
+// changes the digest.
+func TestShellDigest(t *testing.T) {
+	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
+	batch := writeFile(t, "batch.csv", "id,region,amount,__count\n3,west,7,1\n")
+	script := `
+CREATE BASE SALES (id INTEGER, region VARCHAR, amount FLOAT);
+CREATE VIEW TOTALS AS SELECT region, SUM(amount) AS total FROM SALES GROUP BY region;
+LOAD SALES FROM '` + sales + `';
+REFRESH;
+DIGEST;
+DELTA SALES FROM '` + batch + `';
+WINDOW;
+DIGEST;
+EXIT;
+`
+	digests := func() []string {
+		out, err := runScript(t, script)
+		if err != nil {
+			t.Fatalf("%v\noutput:\n%s", err, out)
+		}
+		var got []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "state digest") {
+				got = append(got, line)
+			}
+		}
+		return got
+	}
+	a, b := digests(), digests()
+	if len(a) != 2 || a[0] == a[1] {
+		t.Fatalf("digest lines: %q", a)
+	}
+	if !strings.HasPrefix(a[0], "epoch 1 ") || !strings.HasPrefix(a[1], "epoch 2 ") {
+		t.Fatalf("digest lines missing epochs: %q", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same script, different digests: %q vs %q", a[i], b[i])
+		}
+	}
+}
+
 func TestShellWindowModes(t *testing.T) {
 	sales := writeFile(t, "sales.csv", "id,region,amount\n1,west,10\n2,east,5\n")
 	b1 := writeFile(t, "b1.csv", "id,region,amount,__count\n3,west,7,1\n")

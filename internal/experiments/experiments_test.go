@@ -407,3 +407,32 @@ func TestOnlineWindowShape(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicationShape runs the replication trial sweep: one row per
+// follower count, identical leader window load in every row, a falling
+// leader read share, and converged digests (the experiment itself errors on
+// divergence).
+func TestReplicationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica sweep in -short mode")
+	}
+	res, err := Replication(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	work := res.Rows[0].Work
+	for i, row := range res.Rows {
+		if row.Work != work {
+			t.Errorf("%s: leader work %d, row 0 had %d — identical load expected", row.Label, row.Work, work)
+		}
+		if !strings.Contains(row.Marker, "steady=") || !strings.Contains(row.Marker, "leader-share=") {
+			t.Errorf("%s: marker lacks throughput stats: %s", row.Label, row.Marker)
+		}
+		if i > 0 && !strings.Contains(row.Marker, "p99 lag=") {
+			t.Errorf("%s: marker lacks lag stats: %s", row.Label, row.Marker)
+		}
+	}
+}

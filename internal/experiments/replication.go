@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/replicate"
+	"repro/internal/serve"
+)
+
+// Replication measures what journal shipping buys the read path: a leader
+// runs back-to-back update windows while 0..3 followers replay the shipped
+// journal and serve reads at their own (possibly stale) epochs. A fixed
+// client pool spreads queries round-robin across every replica, so read
+// throughput should scale with follower count while the leader's window —
+// the thing the paper shrinks — stays the same size. Follower staleness is
+// sampled throughout and reported as p99 epoch lag.
+func Replication(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:    "replication",
+		Title: "Read throughput and staleness vs follower count",
+		PaperClaim: "replication extension — the shrunk update window is also the unit of " +
+			"replication: shipping its journal scales read capacity out without growing the window",
+	}
+
+	for nf := 0; nf <= 3; nf++ {
+		row, err := replicationTrial(cfg, nf)
+		if err != nil {
+			return res, fmt.Errorf("replication (%d followers): %w", nf, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"Work and Elapsed are the leader's update windows — identical load in every row",
+		"markers report the spread read stream (total served, steady-state rate, the leader's share of reads) and the followers' sampled p99 epoch lag",
+		"total read rate is bound by the host's cores; the structural win is the leader's read share falling toward 1/(followers+1) while its windows stay the same size",
+		"every trial ends with all follower state digests equal to the leader's",
+	)
+	return res, nil
+}
+
+// replicationTrial runs one leader plus nf followers and hammers reads
+// across all of them while the leader commits windows.
+func replicationTrial(cfg Config, nf int) (Row, error) {
+	const (
+		stores     = 32
+		sales      = 6000
+		windows    = 5
+		clients    = 8
+		numWorkers = 2
+		queueDepth = 16
+	)
+	queries := []string{
+		"SELECT region, SUM(amount) AS t, COUNT(*) AS n FROM SALES_BY_STORE GROUP BY region",
+		"SELECT region, total, n FROM REGION_TOTALS ORDER BY region",
+	}
+
+	w, rng, err := onlineWarehouse(cfg.Seed, stores, sales)
+	if err != nil {
+		return Row{}, err
+	}
+	leader := replicate.NewLeader(w)
+	srv := httptest.NewServer(leader.Handler())
+	defer srv.Close()
+	servers := []*serve.Server{serve.New(w, serve.Config{
+		QueueDepth: queueDepth, Workers: numWorkers, WindowJournal: leader.Journal(),
+	})}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var followers []*replicate.Follower
+	var runWG sync.WaitGroup
+	for i := 0; i < nf; i++ {
+		fw, _, err := onlineWarehouse(cfg.Seed, stores, sales)
+		if err != nil {
+			return Row{}, err
+		}
+		f := replicate.NewFollower(fw, replicate.FollowerConfig{
+			Leader: srv.URL, Interval: time.Millisecond,
+		})
+		followers = append(followers, f)
+		servers = append(servers, serve.New(fw, serve.Config{QueueDepth: queueDepth, Workers: numWorkers}))
+		runWG.Add(1)
+		go func() {
+			defer runWG.Done()
+			_ = f.Run(ctx)
+		}()
+	}
+
+	// Sample follower epoch lag while the windows run.
+	var lagMu sync.Mutex
+	var lagSamples []time.Duration // epochs, stored as Durations for percentile()
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				lagMu.Lock()
+				for _, f := range followers {
+					lagSamples = append(lagSamples, time.Duration(f.Lag().Epochs))
+				}
+				lagMu.Unlock()
+			}
+		}
+	}()
+
+	servedNow := func() uint64 {
+		var n uint64
+		for _, s := range servers {
+			n += s.Stats().Completed
+		}
+		return n
+	}
+	var totalWork int64
+	var windowTime time.Duration
+	var steadyServed uint64
+	const steady = 400 * time.Millisecond
+	nextID := int64(sales)
+	lats, werr := hammerMulti(servers, queries, clients, func() error {
+		for i := 0; i < windows; i++ {
+			if err := stageOnlineBatch(w, rng, &nextID, int(float64(sales)*cfg.ChangeFrac)); err != nil {
+				return err
+			}
+			rep, err := servers[0].RunWindow(context.Background(), warehouse.WindowOptions{Mode: warehouse.ModeDAG})
+			if err != nil {
+				return err
+			}
+			totalWork += rep.Report.TotalWork()
+			windowTime += rep.Report.Elapsed
+			time.Sleep(5 * time.Millisecond) // let the read stream see this epoch
+		}
+		// Let every follower drain before the stream stops. A follower's own
+		// Lag() is relative to its last contact, so compare its high-water
+		// mark against the leader's authoritative stable watermark.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, f := range followers {
+			for f.HWM() != leader.Log().StableLen() {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("follower never caught up: hwm %d, leader stable %d", f.HWM(), leader.Log().StableLen())
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Steady state: every replica serves the final epoch; the read rate
+		// over this fixed interval is the throughput comparison across rows.
+		before := servedNow()
+		time.Sleep(steady)
+		steadyServed = servedNow() - before
+		return nil
+	})
+	cancel()
+	runWG.Wait()
+	<-sampleDone
+	if werr != nil {
+		return Row{}, werr
+	}
+
+	served := servedNow()
+	leaderServed := servers[0].Stats().Completed
+	for _, s := range servers {
+		if err := s.Close(context.Background()); err != nil {
+			return Row{}, err
+		}
+	}
+	for i, f := range followers {
+		if got, want := f.Warehouse().StateDigest(), w.StateDigest(); got != want {
+			return Row{}, fmt.Errorf("follower %d digest %016x != leader %016x", i, got, want)
+		}
+	}
+
+	marker := fmt.Sprintf("reads=%d steady=%.0f/s leader-share=%.0f%% p50=%s",
+		served, float64(steadyServed)/steady.Seconds(), 100*float64(leaderServed)/float64(served),
+		percentile(lats, 0.50).Round(time.Microsecond))
+	if nf > 0 {
+		marker += fmt.Sprintf(" p99 lag=%d epochs shipped=%dB", int64(lagPercentile(lagSamples, 0.99)), leader.Stats().ShippedBytes)
+	}
+	return Row{
+		Label: fmt.Sprintf("%d followers", nf), Work: totalWork,
+		Elapsed: windowTime, Predicted: -1, Marker: marker,
+	}, nil
+}
+
+// hammerMulti is hammer spread across several servers: client c sends its
+// i-th query to server (c+i) mod len(servers) — reads scale out across
+// replicas while body drives the leader's windows.
+func hammerMulti(servers []*serve.Server, queries []string, clients int, body func() error) ([]time.Duration, error) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lats []time.Duration
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				s := servers[(c+i)%len(servers)]
+				t0 := time.Now()
+				if _, err := s.Query(context.Background(), queries[(c+i)%len(queries)]); err == nil {
+					local = append(local, time.Since(t0))
+				} else {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	err := body()
+	close(stop)
+	wg.Wait()
+	return lats, err
+}
+
+// lagPercentile is percentile() for the lag samples (stored as Durations).
+func lagPercentile(samples []time.Duration, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(sorted[int(p*float64(len(sorted)-1))])
+}

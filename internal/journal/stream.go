@@ -1,0 +1,143 @@
+package journal
+
+// Streaming support: replication ships journal frames over the network, so
+// the reader side needs to (a) decode records incrementally from a byte
+// stream that may end mid-frame, and (b) reassemble records into windows as
+// they arrive — without the whole log in hand, which is what ReadLog wants.
+// DecodeRecord is the incremental frame parser; Assembler folds a record
+// sequence back into WindowLogs, yielding each window the moment its commit
+// or abort record lands.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+)
+
+// Exported record type tags, for callers that route on DecodeRecord's typ
+// (the values match the on-disk frame type byte).
+const (
+	TypeBegin  = typeBegin
+	TypeStep   = typeStep
+	TypeCommit = typeCommit
+	TypeAbort  = typeAbort
+)
+
+// ErrCorruptFrame reports a frame that is definitely damaged — a CRC
+// mismatch, an unknown record type, or an implausible length — as opposed to
+// one that is merely incomplete. Streaming readers re-fetch on corruption
+// and wait for more bytes on incompleteness; ReadLog's file-oriented policy
+// (treat both as a torn tail) is wrong for a network stream, where a
+// bit-flip must not be mistaken for "the rest hasn't arrived yet".
+var ErrCorruptFrame = errors.New("journal: corrupt frame")
+
+// ChunkCRC fingerprints a shipped byte range with the journal's CRC64
+// polynomial, so a transfer can be verified end-to-end independently of the
+// per-record CRCs (a truncated response, for instance, still ends on a valid
+// record boundary).
+func ChunkCRC(p []byte) uint64 { return crc64.Checksum(p, crcTable) }
+
+// DecodeRecord parses the first complete frame of buf. It returns the
+// record's type byte, its payload (aliasing buf — copy to retain), and the
+// frame's total encoded length. n == 0 with a nil error means buf holds only
+// a prefix of a valid frame: the caller should wait for more bytes. A frame
+// that can never become valid — CRC failure, unknown type, oversized length
+// — returns an error wrapping ErrCorruptFrame.
+func DecodeRecord(buf []byte) (typ byte, payload []byte, n int, err error) {
+	if len(buf) == 0 {
+		return 0, nil, 0, nil
+	}
+	typ = buf[0]
+	plen, ulen := binary.Uvarint(buf[1:])
+	if ulen == 0 {
+		return 0, nil, 0, nil // length varint incomplete
+	}
+	if ulen < 0 || plen > maxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: implausible payload length", ErrCorruptFrame)
+	}
+	head := 1 + ulen
+	total := head + int(plen) + 8
+	if len(buf) < total {
+		return 0, nil, 0, nil
+	}
+	sum := crc64.Checksum(buf[:head+int(plen)], crcTable)
+	if binary.BigEndian.Uint64(buf[head+int(plen):total]) != sum {
+		return 0, nil, 0, fmt.Errorf("%w: CRC mismatch on type-%d record", ErrCorruptFrame, typ)
+	}
+	if typ < typeBegin || typ > typeAbort {
+		return 0, nil, 0, fmt.Errorf("%w: unknown record type %d", ErrCorruptFrame, typ)
+	}
+	return typ, buf[head : head+int(plen)], total, nil
+}
+
+// Assembler folds a sequence of decoded records back into windows. Feed it
+// each record in stream order; it returns the completed WindowLog when a
+// commit or abort record closes the open window, nil otherwise. Records that
+// violate the window grammar (a step outside any window, a begin inside an
+// open one) are errors: on a verified stream they indicate a protocol bug,
+// not line noise.
+type Assembler struct {
+	cur *WindowLog
+}
+
+// InFlight reports whether a window is open (a begin has been fed without
+// its commit or abort).
+func (a *Assembler) InFlight() bool { return a.cur != nil }
+
+// Reset discards any partially assembled window — used when the stream
+// position is rewound (e.g. a corrupt chunk is dropped and re-fetched).
+func (a *Assembler) Reset() { a.cur = nil }
+
+// Feed consumes one decoded record. When the record closes a window, the
+// assembled WindowLog is returned and the assembler becomes idle.
+func (a *Assembler) Feed(typ byte, payload []byte) (*WindowLog, error) {
+	switch typ {
+	case typeBegin:
+		if a.cur != nil {
+			return nil, fmt.Errorf("journal: begin record arrived inside open window %d", a.cur.Begin.Seq)
+		}
+		b, err := decodeBegin(payload)
+		if err != nil {
+			return nil, err
+		}
+		a.cur = &WindowLog{Begin: b}
+		return nil, nil
+	case typeStep:
+		if a.cur == nil {
+			return nil, errors.New("journal: step record outside any window")
+		}
+		s, err := decodeStep(payload)
+		if err != nil {
+			return nil, err
+		}
+		a.cur.Steps = append(a.cur.Steps, s)
+		return nil, nil
+	case typeCommit:
+		if a.cur == nil {
+			return nil, errors.New("journal: commit record outside any window")
+		}
+		c, err := decodeCommit(payload)
+		if err != nil {
+			return nil, err
+		}
+		wl := a.cur
+		wl.Commit = &c
+		a.cur = nil
+		return wl, nil
+	case typeAbort:
+		if a.cur == nil {
+			return nil, errors.New("journal: abort record outside any window")
+		}
+		ab, err := decodeAbort(payload)
+		if err != nil {
+			return nil, err
+		}
+		wl := a.cur
+		wl.Abort = &ab
+		a.cur = nil
+		return wl, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", ErrCorruptFrame, typ)
+	}
+}

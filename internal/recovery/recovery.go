@@ -91,6 +91,9 @@ type Result struct {
 	Recomputed         bool
 	// Recovered marks results produced by Recover.
 	Recovered bool
+	// Replayed marks results produced by Replay (a shipped window applied on
+	// a replica).
+	Replayed bool
 }
 
 // isCrash classifies an attempt failure as a simulated process crash: the
@@ -305,6 +308,111 @@ func recomputeAll(w *core.Warehouse, inj *faults.Injector) (int64, error) {
 		return work, err
 	}
 	return work, nil
+}
+
+// Replay re-executes one committed journaled window against w — the
+// follower's half of journal shipping. Where Recover finishes a window whose
+// log is torn, Replay applies a window whose log is complete: the leader
+// already committed it, so every step record is present and the replica's
+// re-execution is pure verification. The pre-window state digest proves the
+// replica is at the same epoch the leader was, the batch digest proves the
+// shipped change batch survived transit, and every replayed step must match
+// its journaled key, work, skip flag, and installed-delta digest. Nothing is
+// journaled here — the shipped bytes are the replica's journal. The completed
+// clone comes back in Result.Core for the caller to adopt.
+func Replay(w *core.Warehouse, wl *journal.WindowLog, opts Options) (*Result, error) {
+	if wl == nil || !wl.Committed() {
+		return nil, errors.New("recovery: replay requires a committed window")
+	}
+	b := wl.Begin
+	if got := journal.StateDigest(w); b.StateDigest != 0 && got != b.StateDigest {
+		return nil, fmt.Errorf("recovery: replica state digest %016x does not match window %d's pre-state %016x — replica diverged or skipped a window",
+			got, b.Seq, b.StateDigest)
+	}
+	if got := journal.BatchDigest(b.Batch); got != b.BatchDigest {
+		return nil, fmt.Errorf("recovery: window %d's shipped change batch digests to %016x, journaled %016x — corrupt in transit",
+			b.Seq, got, b.BatchDigest)
+	}
+	clone := w.Clone()
+	co := clone.Options()
+	co.SkipEmptyDeltas = b.SkipEmptyDeltas
+	co.UseIndexes = b.UseIndexes
+	clone.SetOptions(co)
+	if err := journal.RestoreBatch(clone, b.Batch); err != nil {
+		return nil, fmt.Errorf("recovery: re-staging window %d's shipped batch: %w", b.Seq, err)
+	}
+
+	res := &Result{Replayed: true, Attempts: 1}
+	t0 := time.Now()
+
+	if exec.Mode(b.Mode) == exec.ModeRecompute {
+		work, err := recomputeAll(clone, opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: replaying recompute window %d: %w", b.Seq, err)
+		}
+		if work != wl.Commit.TotalWork {
+			return nil, fmt.Errorf("recovery: recompute window %d replayed %d work, leader committed %d",
+				b.Seq, work, wl.Commit.TotalWork)
+		}
+		res.Core = clone
+		res.Mode = exec.ModeRecompute
+		res.Recomputed = true
+		res.Report = parallel.Report{Mode: exec.ModeRecompute, Workers: 1, TotalWork: work, Elapsed: time.Since(t0)}
+		return res, nil
+	}
+
+	mode, err := exec.ParseMode(b.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: window %d: %w", b.Seq, err)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = b.Workers
+	}
+	done := make(map[int]journal.StepRecord, len(wl.Steps))
+	for _, sr := range wl.Steps {
+		done[sr.Index] = sr
+	}
+	if len(done) != len(b.Strategy) {
+		return nil, fmt.Errorf("recovery: committed window %d ships %d distinct step records for a %d-step strategy",
+			b.Seq, len(done), len(b.Strategy))
+	}
+	popts := parallel.Options{
+		Workers: workers,
+		Context: opts.Context,
+		Faults:  opts.Faults,
+		OnStep: func(idx int, step exec.StepReport) error {
+			sr, ok := done[idx]
+			if !ok {
+				return fmt.Errorf("recovery: window %d shipped no record for step %d (%s)", b.Seq, idx, step.Expr.Key())
+			}
+			if sr.Key != step.Expr.Key() {
+				return fmt.Errorf("recovery: window %d step %d is %s on the leader, %s on the replica",
+					b.Seq, idx, sr.Key, step.Expr.Key())
+			}
+			if sr.Skipped != step.Skipped || sr.Work != step.Work {
+				return fmt.Errorf("recovery: replica diverged at window %d step %d (%s): leader work=%d skipped=%v, replica work=%d skipped=%v",
+					b.Seq, idx, sr.Key, sr.Work, sr.Skipped, step.Work, step.Skipped)
+			}
+			if sr.Digest != 0 && step.Digest != 0 && sr.Digest != step.Digest {
+				return fmt.Errorf("recovery: replica diverged at window %d step %d (%s): leader delta digest %016x, replica %016x",
+					b.Seq, idx, sr.Key, sr.Digest, step.Digest)
+			}
+			return nil
+		},
+	}
+	rep, err := parallel.Run(clone, b.Strategy, clone.Children, mode, popts)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: replaying window %d: %w", b.Seq, err)
+	}
+	if rep.TotalWork != wl.Commit.TotalWork {
+		return nil, fmt.Errorf("recovery: window %d replayed %d total work, leader committed %d",
+			b.Seq, rep.TotalWork, wl.Commit.TotalWork)
+	}
+	res.Core = clone
+	res.Report = rep
+	res.Mode = mode
+	return res, nil
 }
 
 // NeedsRecovery reports whether the journal ends in an in-flight window —

@@ -1,0 +1,25 @@
+package replicate
+
+import "errors"
+
+// Elect picks the failover winner from the surviving followers of a dead
+// leader: the one with the highest high-water mark. Followers of the same
+// leader hold byte-identical log prefixes, so the longest prefix strictly
+// contains every other — promoting it loses no window any follower has
+// applied, and every other follower can Redirect to it and catch up. Dead
+// followers are not electable.
+func Elect(fs ...*Follower) (*Follower, error) {
+	var best *Follower
+	for _, f := range fs {
+		if f == nil || f.dead() != nil {
+			continue
+		}
+		if best == nil || f.HWM() > best.HWM() {
+			best = f
+		}
+	}
+	if best == nil {
+		return nil, errors.New("replicate: no live follower to elect")
+	}
+	return best, nil
+}

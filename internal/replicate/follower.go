@@ -1,0 +1,433 @@
+package replicate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/faults"
+	"repro/internal/journal"
+)
+
+// ErrFollowerDead is wrapped by errors a dead follower returns: a replayed
+// window diverged from the leader's digests, or a crash-class injected fault
+// killed the replica. A dead follower refuses further polls; the operator
+// (or test) rebuilds it from the sources and lets it catch up from zero.
+var ErrFollowerDead = errors.New("replicate: follower is dead")
+
+// FollowerConfig configures a follower.
+type FollowerConfig struct {
+	// Leader is the leader's base URL (e.g. "http://10.0.0.1:8080").
+	Leader string
+	// Client issues the fetches; http.DefaultClient when nil.
+	Client *http.Client
+	// ChunkBytes bounds each log fetch; DefaultChunkBytes when 0.
+	ChunkBytes int64
+	// Interval is Run's idle poll period once caught up; 50ms when 0.
+	Interval time.Duration
+	// Backoff is the first reconnect delay, doubling up to MaxBackoff
+	// (defaults 10ms and 1s).
+	Backoff, MaxBackoff time.Duration
+	// Faults injects failures for testing: point "fetch" before each log
+	// fetch (transient = disconnect, crash = process death), point "apply"
+	// before each window replay.
+	Faults *faults.Injector
+	// OnApply, when set, is called after each successfully replayed window —
+	// the differential harness's observation hook.
+	OnApply func(warehouse.WindowReport)
+	// Sleep replaces time.Sleep in CatchUp and Run (tests); nil sleeps.
+	Sleep func(time.Duration)
+}
+
+// Follower replicates a leader's journal onto its own warehouse. It fetches
+// stable journal bytes from its high-water mark, verifies each chunk
+// end-to-end (offset echo, length, CRC64) and each frame individually, and
+// replays every committed window through warehouse.ApplyWindow — so its
+// epoch flips only after the window re-executes with the leader's exact
+// per-step digests. The applied bytes are retained verbatim in the
+// follower's own Log, which makes high-water marks byte-comparable across
+// followers and promotion a pointer swap.
+//
+// Poll, CatchUp, and Run must not be called concurrently with each other;
+// Stats, Lag, Handler, and queries on Warehouse() are safe at any time.
+type Follower struct {
+	w   *warehouse.Warehouse
+	cfg FollowerConfig
+	log *Log
+
+	// Owned by the polling goroutine: the fetched-but-unapplied tail. pend
+	// always starts on a window boundary; parse marks how much of it has
+	// been fed to asm.
+	pend  []byte
+	parse int
+	asm   journal.Assembler
+
+	mu           sync.Mutex // guards the fields below (Stats readers)
+	leaderEpoch  uint64
+	leaderStable int64
+	lastContact  time.Time
+	replayed     int64
+	shipped      int64
+	reconnects   int64
+	fatal        error
+}
+
+// NewFollower starts replicating onto w, which must be built from the same
+// sources as the leader's initial state (same seed warehouse). The follower
+// does no I/O until Poll/CatchUp/Run.
+func NewFollower(w *warehouse.Warehouse, cfg FollowerConfig) *Follower {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = DefaultChunkBytes
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	return &Follower{w: w, cfg: cfg, log: NewLog()}
+}
+
+// Warehouse returns the follower's warehouse — serve reads from it at its
+// own, possibly stale, epoch.
+func (f *Follower) Warehouse() *warehouse.Warehouse { return f.w }
+
+// Log returns the follower's verbatim copy of the applied journal prefix.
+func (f *Follower) Log() *Log { return f.log }
+
+// HWM is the follower's high-water mark: the byte offset of replicated,
+// fully applied journal. It is directly comparable across followers of the
+// same leader (the log bytes are identical), which is what failover election
+// compares.
+func (f *Follower) HWM() int64 { return f.log.Len() }
+
+// Redirect re-points the follower at a new leader after failover, keeping
+// its applied state and high-water mark. Any unapplied fetched tail is
+// dropped and re-fetched from the new leader.
+func (f *Follower) Redirect(leaderURL string) {
+	f.rewind()
+	f.mu.Lock()
+	f.cfg.Leader = leaderURL
+	f.mu.Unlock()
+}
+
+// Promote turns the follower into a leader over its applied log. Only fully
+// applied windows are in the log (unapplied tail bytes are discarded), so
+// the new leader's journal, state, and epoch agree by construction. The
+// follower must not be polled afterwards.
+func (f *Follower) Promote() *Leader {
+	f.rewind()
+	return NewLeaderFrom(f.w, f.log)
+}
+
+// rewind drops the unapplied tail; the next poll re-fetches from the HWM.
+func (f *Follower) rewind() {
+	f.pend = nil
+	f.parse = 0
+	f.asm.Reset()
+}
+
+// leaderURL resolves the configured leader under f.mu (Redirect may race a
+// Stats reader, never the poller itself).
+func (f *Follower) leaderURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return strings.TrimSuffix(f.cfg.Leader, "/")
+}
+
+// LeaderAddr reports the leader currently being followed.
+func (f *Follower) LeaderAddr() string { return f.leaderURL() }
+
+// Poll runs one fetch-verify-apply round and returns how many windows it
+// applied. Transport failures, torn or corrupt chunks, and transient
+// injected faults return an error with the follower's state intact — the
+// unapplied tail is rewound so the next Poll re-fetches from the high-water
+// mark. Divergence and crash-class faults kill the follower (ErrFollowerDead).
+func (f *Follower) Poll(ctx context.Context) (applied int, err error) {
+	if err := f.dead(); err != nil {
+		return 0, err
+	}
+	if err := f.cfg.Faults.Hit("fetch"); err != nil {
+		if faults.IsCrash(err) {
+			return 0, f.kill(err)
+		}
+		return 0, f.disconnect(fmt.Errorf("replicate: fetch: %w", err))
+	}
+	from := f.HWM() + int64(len(f.pend))
+	url := fmt.Sprintf("%s/replicate/log?from=%d&max=%d", f.leaderURL(), from, f.cfg.ChunkBytes)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, f.disconnect(err)
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, f.disconnect(err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxChunkBytes+1))
+	resp.Body.Close()
+	if err != nil {
+		return 0, f.disconnect(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, f.disconnect(fmt.Errorf("replicate: leader returned %s: %s", resp.Status, strings.TrimSpace(string(body))))
+	}
+	if err := f.verifyChunk(resp.Header, from, body); err != nil {
+		return 0, f.disconnect(err)
+	}
+
+	stable, _ := strconv.ParseInt(resp.Header.Get(HeaderStable), 10, 64)
+	epoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	f.mu.Lock()
+	f.leaderStable = stable
+	f.leaderEpoch = epoch
+	f.lastContact = time.Now()
+	f.mu.Unlock()
+
+	f.pend = append(f.pend, body...)
+	return f.drain()
+}
+
+// verifyChunk checks a fetched chunk end-to-end before a byte of it is
+// parsed: the leader must echo the requested offset (a duplicated or
+// misrouted chunk fails here), the advertised next offset must match the
+// body length (a truncated body fails here), and the body must carry the
+// advertised CRC64 (a bit-flip fails here).
+func (f *Follower) verifyChunk(h http.Header, from int64, body []byte) error {
+	gotFrom, err := strconv.ParseInt(h.Get(HeaderFrom), 10, 64)
+	if err != nil || gotFrom != from {
+		return fmt.Errorf("replicate: requested offset %d, leader served %q — misaligned chunk", from, h.Get(HeaderFrom))
+	}
+	next, err := strconv.ParseInt(h.Get(HeaderNext), 10, 64)
+	if err != nil || next != from+int64(len(body)) {
+		return fmt.Errorf("replicate: chunk advertises [%d,%s) but carries %d bytes — torn transfer", from, h.Get(HeaderNext), len(body))
+	}
+	want, err := strconv.ParseUint(h.Get(HeaderCRC), 16, 64)
+	if err != nil {
+		return fmt.Errorf("replicate: unparseable chunk CRC %q", h.Get(HeaderCRC))
+	}
+	if got := journal.ChunkCRC(body); got != want {
+		return fmt.Errorf("replicate: chunk CRC mismatch: got %016x, header %016x — corrupt transfer", got, want)
+	}
+	return nil
+}
+
+// drain parses the pending tail frame-by-frame and applies every window it
+// closes. A corrupt frame or grammar violation rewinds the tail (state
+// intact, re-fetch next poll); a replay divergence kills the follower.
+func (f *Follower) drain() (applied int, err error) {
+	for {
+		typ, payload, n, derr := journal.DecodeRecord(f.pend[f.parse:])
+		if derr != nil {
+			f.rewind()
+			return applied, f.disconnect(fmt.Errorf("replicate: shipped chunk: %w", derr))
+		}
+		if n == 0 {
+			return applied, nil
+		}
+		wl, aerr := f.asm.Feed(typ, payload)
+		if aerr != nil {
+			f.rewind()
+			return applied, f.disconnect(aerr)
+		}
+		f.parse += n
+		f.mu.Lock()
+		f.shipped++
+		f.mu.Unlock()
+		if wl == nil {
+			continue
+		}
+		// A window closed at offset f.parse within pend.
+		if wl.Committed() {
+			if ferr := f.cfg.Faults.Hit("apply"); ferr != nil {
+				f.rewind()
+				if faults.IsCrash(ferr) {
+					return applied, f.kill(ferr)
+				}
+				return applied, f.disconnect(fmt.Errorf("replicate: apply: %w", ferr))
+			}
+			rep, aerr := f.w.ApplyWindow(wl)
+			if aerr != nil {
+				f.rewind()
+				return applied, f.kill(aerr)
+			}
+			applied++
+			f.mu.Lock()
+			f.replayed++
+			cb := f.cfg.OnApply
+			f.mu.Unlock()
+			if cb != nil {
+				cb(rep)
+			}
+		}
+		// Closed either way: the window's bytes are durable replica state.
+		if _, werr := f.log.Write(f.pend[:f.parse]); werr != nil {
+			return applied, f.kill(werr)
+		}
+		f.pend = f.pend[f.parse:]
+		f.parse = 0
+	}
+}
+
+// CatchUp polls until the follower has applied everything the leader has
+// committed, retrying transient failures with backoff. It returns once the
+// high-water mark reaches the leader's stable watermark (as of the last
+// successful poll) — or with the follower's fatal error, or ctx's.
+func (f *Follower) CatchUp(ctx context.Context) error {
+	backoff := f.cfg.Backoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, err := f.Poll(ctx)
+		if err != nil {
+			if errors.Is(err, ErrFollowerDead) {
+				return err
+			}
+			f.sleep(backoff)
+			if backoff *= 2; backoff > f.cfg.MaxBackoff {
+				backoff = f.cfg.MaxBackoff
+			}
+			continue
+		}
+		backoff = f.cfg.Backoff
+		if f.Lag().Bytes == 0 {
+			return nil
+		}
+	}
+}
+
+// Run polls until ctx is done: continuously while behind, every Interval
+// once caught up, backing off across reconnects. It returns ctx.Err() on
+// shutdown or the fatal error if the follower dies.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.cfg.Backoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		applied, err := f.Poll(ctx)
+		switch {
+		case errors.Is(err, ErrFollowerDead):
+			return err
+		case err != nil:
+			f.sleep(backoff)
+			if backoff *= 2; backoff > f.cfg.MaxBackoff {
+				backoff = f.cfg.MaxBackoff
+			}
+		case applied == 0 && f.Lag().Bytes == 0:
+			backoff = f.cfg.Backoff
+			f.sleep(f.cfg.Interval)
+		default:
+			backoff = f.cfg.Backoff
+		}
+	}
+}
+
+func (f *Follower) sleep(d time.Duration) {
+	if f.cfg.Sleep != nil {
+		f.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// disconnect counts a reconnect-worthy failure and passes the error through.
+func (f *Follower) disconnect(err error) error {
+	f.mu.Lock()
+	f.reconnects++
+	f.mu.Unlock()
+	return err
+}
+
+// kill marks the follower dead and returns the wrapped fatal error.
+func (f *Follower) kill(err error) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fatal == nil {
+		f.fatal = fmt.Errorf("%w: %w", ErrFollowerDead, err)
+	}
+	return f.fatal
+}
+
+func (f *Follower) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fatal
+}
+
+// Lag is the follower's staleness relative to its last contact with the
+// leader: how many epochs and stable log bytes it has yet to apply. Epoch
+// lag saturates at zero — the leader's stable watermark can momentarily lead
+// its epoch flip, so a caught-up follower never reports negative lag.
+type Lag struct {
+	Epochs uint64 `json:"lag_epochs"`
+	Bytes  int64  `json:"lag_bytes"`
+	Epoch  uint64 `json:"epoch"`
+	Leader uint64 `json:"leader_epoch"`
+}
+
+// Lag snapshots the follower's staleness.
+func (f *Follower) Lag() Lag {
+	f.mu.Lock()
+	leaderEpoch, leaderStable := f.leaderEpoch, f.leaderStable
+	f.mu.Unlock()
+	lag := Lag{Epoch: f.w.Epoch(), Leader: leaderEpoch}
+	if leaderEpoch > lag.Epoch {
+		lag.Epochs = leaderEpoch - lag.Epoch
+	}
+	if hwm := f.HWM(); leaderStable > hwm {
+		lag.Bytes = leaderStable - hwm
+	}
+	return lag
+}
+
+// FollowerStats is the follower's replication counter snapshot.
+type FollowerStats struct {
+	Epoch           uint64    `json:"epoch"`
+	LeaderEpoch     uint64    `json:"leader_epoch"`
+	LagEpochs       uint64    `json:"lag_epochs"`
+	LagBytes        int64     `json:"lag_bytes"`
+	HWM             int64     `json:"hwm"`
+	LeaderStable    int64     `json:"leader_stable"`
+	ReplayedWindows int64     `json:"replayed_windows"`
+	ShippedRecords  int64     `json:"shipped_records"`
+	ReconnectCount  int64     `json:"reconnect_count"`
+	LastContact     time.Time `json:"last_contact"`
+	Dead            string    `json:"dead,omitempty"`
+}
+
+// Stats snapshots the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	lag := f.Lag()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FollowerStats{
+		Epoch:           lag.Epoch,
+		LeaderEpoch:     lag.Leader,
+		LagEpochs:       lag.Epochs,
+		LagBytes:        lag.Bytes,
+		HWM:             f.log.Len(),
+		LeaderStable:    f.leaderStable,
+		ReplayedWindows: f.replayed,
+		ShippedRecords:  f.shipped,
+		ReconnectCount:  f.reconnects,
+		LastContact:     f.lastContact,
+	}
+	if f.fatal != nil {
+		s.Dead = f.fatal.Error()
+	}
+	return s
+}

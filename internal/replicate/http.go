@@ -1,0 +1,26 @@
+package replicate
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the follower's replication observability:
+//
+//	GET /lag             — Lag as JSON (epoch, leader epoch, epoch/byte lag)
+//	GET /replicate/stats — FollowerStats as JSON
+//
+// Queries are served by the embedding server (internal/serve) against
+// Warehouse(); this handler only adds the replication endpoints.
+func (f *Follower) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lag", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(f.Lag())
+	})
+	mux.HandleFunc("/replicate/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(f.Stats())
+	})
+	return mux
+}

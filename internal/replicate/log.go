@@ -1,0 +1,128 @@
+// Package replicate ships a warehouse's update-window journal from a leader
+// to followers over HTTP, in the ordered-update-log style of Bayou: every
+// replica applies the same log in the same order and therefore converges to
+// the same state. The journal is already a deterministic, digest-verified
+// replay log (internal/journal, internal/recovery), so replication reduces
+// to moving its bytes: the leader appends each window's CRC64-framed records
+// to an in-memory Log, followers fetch chunks from a high-water mark,
+// re-verify every frame, and replay each committed window through
+// warehouse.ApplyWindow — which re-executes it step-by-step and flips the
+// follower's epoch only after the leader's per-step digests all match.
+// Followers serve reads at their own (possibly stale) epoch with reported
+// lag; on leader death the follower with the highest high-water mark is
+// promoted and resumes the same log.
+package replicate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// Log is an append-only, in-memory journal byte log with a stability
+// watermark. It implements io.Writer so a journal.Writer can append straight
+// into it; every write is scanned for complete frames, and the watermark
+// advances each time a commit or abort record closes a window. Followers are
+// only ever served bytes below the watermark, so a window that is still
+// being written — or that dies in-flight with a crashed leader — never
+// ships. Safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	buf       []byte
+	scan      int // bytes scanned into complete frames
+	stable    int // bytes through the last closed (committed or aborted) window
+	closed    int // windows closed
+	committed int // windows committed
+	err       error
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Write appends journal bytes. The journal.Writer upstream emits exactly one
+// complete frame per call, but Write does not rely on that: frames are
+// reassembled across writes. A corrupt complete frame is a local writer bug,
+// not line noise — it poisons the log (sticky error) rather than shipping
+// garbage.
+func (l *Log) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	l.buf = append(l.buf, p...)
+	for {
+		typ, _, n, err := journal.DecodeRecord(l.buf[l.scan:])
+		if err != nil {
+			l.err = fmt.Errorf("replicate: scanning appended journal bytes: %w", err)
+			return 0, l.err
+		}
+		if n == 0 {
+			break
+		}
+		l.scan += n
+		if typ == journal.TypeCommit || typ == journal.TypeAbort {
+			l.stable = l.scan
+			l.closed++
+			if typ == journal.TypeCommit {
+				l.committed++
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// Len is the total byte length appended, including any unstable tail.
+func (l *Log) Len() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(len(l.buf))
+}
+
+// StableLen is the byte length through the last closed window — the furthest
+// offset a follower may fetch.
+func (l *Log) StableLen() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.stable)
+}
+
+// CommittedWindows counts committed windows fully contained in the log.
+func (l *Log) CommittedWindows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
+}
+
+// ClosedWindows counts closed windows (committed plus aborted).
+func (l *Log) ClosedWindows() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// Err returns the sticky scan error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Chunk copies out up to max stable bytes starting at offset from. It
+// returns the chunk and the stable length at the time of the read; the
+// caller's next offset is from+len(data). An offset beyond the stable
+// watermark is an error — a follower asking for bytes this log does not have
+// (e.g. after a failover onto a shorter log) must find out loudly.
+func (l *Log) Chunk(from, max int64) (data []byte, stable int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 || from > int64(l.stable) {
+		return nil, int64(l.stable), fmt.Errorf("replicate: chunk offset %d outside stable log [0,%d]", from, l.stable)
+	}
+	end := from + max
+	if max <= 0 || end > int64(l.stable) {
+		end = int64(l.stable)
+	}
+	return append([]byte(nil), l.buf[from:end]...), int64(l.stable), nil
+}

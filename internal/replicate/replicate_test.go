@@ -1,0 +1,234 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/journal"
+)
+
+// newPair builds a leader and one follower over identical seed warehouses,
+// with the leader served by httptest.
+func newPair(t *testing.T, seed int64) (*Leader, *Follower, *httptest.Server) {
+	t.Helper()
+	leader := NewLeader(buildRep(t, seed))
+	srv := httptest.NewServer(leader.Handler())
+	t.Cleanup(srv.Close)
+	f := NewFollower(buildRep(t, seed), FollowerConfig{
+		Leader: srv.URL,
+		Client: srv.Client(),
+		Sleep:  func(time.Duration) {},
+	})
+	return leader, f, srv
+}
+
+// TestShipAndReplay: windows run on the leader arrive on the follower in
+// order, every view is bag-identical at every committed epoch, and the
+// installed-delta digests match step for step.
+func TestShipAndReplay(t *testing.T) {
+	const seed = 7100
+	leader, f, _ := newPair(t, seed)
+	rng := rand.New(rand.NewSource(seed * 3))
+	ctx := context.Background()
+
+	var followerReps []warehouse.WindowReport
+	f.cfg.OnApply = func(rep warehouse.WindowReport) { followerReps = append(followerReps, rep) }
+
+	modes := []warehouse.Mode{warehouse.ModeSequential, warehouse.ModeStaged, warehouse.ModeDAG}
+	var leaderReps []warehouse.WindowReport
+	for i := 0; i < 6; i++ {
+		stageRep(t, leader.Warehouse(), rng)
+		rep, err := leader.RunWindow(warehouse.WindowOptions{Mode: modes[i%len(modes)]})
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		leaderReps = append(leaderReps, rep)
+
+		if err := f.CatchUp(ctx); err != nil {
+			t.Fatalf("window %d catch-up: %v", i, err)
+		}
+		if got, want := f.Warehouse().Epoch(), leader.Warehouse().Epoch(); got != want {
+			t.Fatalf("window %d: follower epoch %d, leader %d", i, got, want)
+		}
+		if !bagsEqual(captureBags(t, f.Warehouse()), captureBags(t, leader.Warehouse())) {
+			t.Fatalf("window %d: follower state diverged from leader", i)
+		}
+		if got, want := f.Warehouse().StateDigest(), leader.Warehouse().StateDigest(); got != want {
+			t.Fatalf("window %d: state digests %016x vs %016x", i, got, want)
+		}
+	}
+
+	if len(followerReps) != len(leaderReps) {
+		t.Fatalf("follower replayed %d windows, leader ran %d", len(followerReps), len(leaderReps))
+	}
+	for i := range leaderReps {
+		if !followerReps[i].Replicated {
+			t.Errorf("window %d: follower report not marked Replicated", i)
+		}
+		if !digestsEqual(stepDigests(leaderReps[i]), stepDigests(followerReps[i])) {
+			t.Errorf("window %d: step digest sets differ leader vs follower", i)
+		}
+	}
+
+	st := f.Stats()
+	if st.ReplayedWindows != 6 || st.LagEpochs != 0 || st.LagBytes != 0 {
+		t.Errorf("follower stats: %+v", st)
+	}
+	if st.HWM != leader.Log().StableLen() {
+		t.Errorf("HWM %d != leader stable %d", st.HWM, leader.Log().StableLen())
+	}
+	ls := leader.Stats()
+	if ls.CommittedWindows != 6 || ls.ShippedBytes < st.HWM {
+		t.Errorf("leader stats: %+v", ls)
+	}
+	if f.Log().CommittedWindows() != 6 {
+		t.Errorf("follower log holds %d committed windows", f.Log().CommittedWindows())
+	}
+}
+
+// TestAbortedWindowShipsHarmlessly: a deadline-aborted window on the leader
+// ships an abort record; the follower consumes it without flipping its epoch.
+func TestAbortedWindowShipsHarmlessly(t *testing.T) {
+	const seed = 7200
+	leader, f, _ := newPair(t, seed)
+	rng := rand.New(rand.NewSource(seed * 3))
+	ctx := context.Background()
+
+	stageRep(t, leader.Warehouse(), rng)
+	if _, err := leader.RunWindow(warehouse.WindowOptions{Mode: warehouse.ModeDAG, Timeout: time.Nanosecond}); !errors.Is(err, warehouse.ErrWindowAborted) {
+		t.Fatalf("want abort, got %v", err)
+	}
+	if _, err := leader.RunWindow(warehouse.WindowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CatchUp(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Warehouse().Epoch(), leader.Warehouse().Epoch(); got != want {
+		t.Fatalf("follower epoch %d, leader %d", got, want)
+	}
+	if st := f.Stats(); st.ReplayedWindows != 1 {
+		t.Fatalf("replayed %d windows across one abort + one commit", st.ReplayedWindows)
+	}
+	if !bagsEqual(captureBags(t, f.Warehouse()), captureBags(t, leader.Warehouse())) {
+		t.Fatal("follower diverged")
+	}
+}
+
+// TestChunkedFetch: a tiny chunk size forces many fetches per window,
+// splitting frames across chunks; the follower reassembles them correctly.
+func TestChunkedFetch(t *testing.T) {
+	const seed = 7300
+	leader, f, _ := newPair(t, seed)
+	f.cfg.ChunkBytes = 7 // absurdly small: every frame spans several chunks
+	rng := rand.New(rand.NewSource(seed * 3))
+
+	for i := 0; i < 3; i++ {
+		stageRep(t, leader.Warehouse(), rng)
+		if _, err := leader.RunWindow(warehouse.WindowOptions{Mode: warehouse.ModeDAG}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !bagsEqual(captureBags(t, f.Warehouse()), captureBags(t, leader.Warehouse())) {
+		t.Fatal("follower diverged under tiny chunks")
+	}
+	if st := f.Stats(); st.ReplayedWindows != 3 {
+		t.Fatalf("replayed %d windows", st.ReplayedWindows)
+	}
+}
+
+// TestUnstableTailNeverShips: mid-window journal bytes stay above the stable
+// watermark; only closed windows are fetchable.
+func TestUnstableTailNeverShips(t *testing.T) {
+	l := NewLog()
+	jw := journal.NewWriter(l)
+	if err := jw.Begin(journal.BeginRecord{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Step(journal.StepRecord{Index: 0, Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.StableLen() != 0 {
+		t.Fatalf("open window became stable: %d bytes", l.StableLen())
+	}
+	if l.Len() == 0 {
+		t.Fatal("journal bytes not appended")
+	}
+	data, stable, err := l.Chunk(0, 1<<20)
+	if err != nil || len(data) != 0 || stable != 0 {
+		t.Fatalf("chunk of unstable log: %d bytes, stable %d, err %v", len(data), stable, err)
+	}
+	if err := jw.Commit(journal.CommitRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if l.StableLen() != l.Len() {
+		t.Fatalf("commit did not stabilize: stable %d, len %d", l.StableLen(), l.Len())
+	}
+	if l.CommittedWindows() != 1 || l.ClosedWindows() != 1 {
+		t.Fatalf("windows: committed %d closed %d", l.CommittedWindows(), l.ClosedWindows())
+	}
+}
+
+// TestHTTPEndpoints: /lag and both /replicate/stats endpoints serve JSON
+// that reflects replication progress.
+func TestHTTPEndpoints(t *testing.T) {
+	const seed = 7400
+	leader, f, srv := newPair(t, seed)
+	rng := rand.New(rand.NewSource(seed * 3))
+	stageRep(t, leader.Warehouse(), rng)
+	if _, err := leader.RunWindow(warehouse.WindowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv := httptest.NewServer(f.Handler())
+	defer fsrv.Close()
+
+	var lag Lag
+	getJSON(t, fsrv.Client(), fsrv.URL+"/lag", &lag)
+	if lag.Epochs != 0 || lag.Bytes != 0 || lag.Epoch != 2 || lag.Leader != 2 {
+		t.Errorf("lag = %+v", lag)
+	}
+	var fs FollowerStats
+	getJSON(t, fsrv.Client(), fsrv.URL+"/replicate/stats", &fs)
+	if fs.ReplayedWindows != 1 || fs.ShippedRecords == 0 {
+		t.Errorf("follower stats = %+v", fs)
+	}
+	var ls LeaderStats
+	getJSON(t, srv.Client(), srv.URL+"/replicate/stats", &ls)
+	if ls.CommittedWindows != 1 || ls.ChunksServed == 0 {
+		t.Errorf("leader stats = %+v", ls)
+	}
+}
+
+func getJSON(t *testing.T, c *http.Client, url string, into any) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, buf.String())
+	}
+	if err := json.Unmarshal(buf.Bytes(), into); err != nil {
+		t.Fatalf("GET %s: %v in %q", url, err, buf.String())
+	}
+}

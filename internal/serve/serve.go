@@ -48,6 +48,11 @@ type Config struct {
 	// WindowBudget is the default wall-clock budget for update windows run
 	// through RunWindow (overridable per call). 0 means no budget.
 	WindowBudget time.Duration
+	// WindowJournal, when set, journals every window run through the server
+	// that does not bring its own journal — the hook replication uses so
+	// that windows from any path (the driver loop, POST /window) are
+	// shipped to followers.
+	WindowJournal *warehouse.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +239,9 @@ func (s *Server) serveOne(req *request) {
 func (s *Server) RunWindow(ctx context.Context, opts warehouse.WindowOptions) (warehouse.WindowReport, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = s.cfg.WindowBudget
+	}
+	if opts.Journal == nil {
+		opts.Journal = s.cfg.WindowJournal
 	}
 	if ctx != nil {
 		if opts.Context == nil {

@@ -1,0 +1,88 @@
+package warehouse
+
+// Replication support on the facade. A replica set is leader plus followers:
+// the leader runs journaled update windows and ships the journal bytes; each
+// follower feeds the shipped windows into ApplyWindow, which re-executes them
+// against its own state with internal/recovery's digest checks, then flips
+// its epoch exactly as a local commit would. internal/replicate builds the
+// transport on top of these hooks; they are exported so tests and embedders
+// can replicate over any byte channel.
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/recovery"
+)
+
+// WindowLog is one parsed journal window — the unit journal shipping
+// delivers to ApplyWindow.
+type WindowLog = journal.WindowLog
+
+// ApplyWindow replays one committed, shipped update window against the
+// warehouse — the follower's half of replication. The window is re-executed
+// step by step on a clone under the journaled engine options; the begin
+// record's state digest proves this replica is at the epoch the leader ran
+// the window from, and every step's work, skip flag, and installed-delta
+// digest must match the leader's records. Only after full verification does
+// the epoch flip (atomically, as in RunWindowOpts), so readers pinned to the
+// previous epoch are never exposed to a half-applied or divergent window. On
+// any error the warehouse is unchanged.
+func (w *Warehouse) ApplyWindow(wl *WindowLog) (WindowReport, error) {
+	if wl == nil || !wl.Committed() {
+		return WindowReport{}, errors.New("warehouse: ApplyWindow requires a committed window")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	started := time.Now()
+	res, err := recovery.Replay(w.core, wl, recovery.Options{})
+	if err != nil {
+		return WindowReport{}, err
+	}
+	w.adopt(res.Core)
+	window := WindowReport{
+		Seq:        len(w.history) + 1,
+		Planner:    PlannerName(wl.Begin.Planner),
+		Plan:       Plan{Strategy: wl.Begin.Strategy, EstimatedWork: -1},
+		Mode:       res.Mode,
+		Parallel:   &res.Report,
+		Report:     sequentialView(wl.Begin.Strategy, res.Report),
+		Started:    started,
+		StaleAfter: w.StaleViews(),
+		Attempts:   res.Attempts,
+		Recomputed: res.Recomputed,
+		Replicated: true,
+	}
+	w.history = append(w.history, window)
+	return window, nil
+}
+
+// StateDigest fingerprints the current serving epoch's materialized state
+// (every view's rows, order-independent). Two replicas serving the same
+// epoch must report the same digest; it is the cheap cross-replica
+// convergence check, and the same digest each journal window's begin record
+// pins as its required pre-state.
+func (w *Warehouse) StateDigest() uint64 {
+	p := w.PinEpoch()
+	defer p.Close()
+	return journal.StateDigest(p.pin.Warehouse())
+}
+
+// ResumeJournal wraps out as a window journal whose next window is numbered
+// committed+1 — for a promoted follower that continues appending to the
+// journal it replicated, rather than starting a new one (NewJournal) or
+// re-reading a file (OpenJournal).
+func ResumeJournal(out io.Writer, committed int) *Journal {
+	j := &Journal{w: journal.NewWriter(out), seq: committed + 1}
+	for i := 0; i < committed; i++ {
+		// Synthetic entries stand in for the replicated windows so
+		// Committed() reports them; only the count matters.
+		j.log.Windows = append(j.log.Windows, journal.WindowLog{
+			Begin:  journal.BeginRecord{Seq: i + 1},
+			Commit: &journal.CommitRecord{},
+		})
+	}
+	return j
+}

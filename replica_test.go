@@ -1,0 +1,129 @@
+package warehouse
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+// shipRetailWindows journals n windows on a fresh retail warehouse and
+// returns the leader plus the parsed shipped log.
+func shipRetailWindows(t *testing.T, n int) (*Warehouse, journal.Log) {
+	t.Helper()
+	leader := newRetail(t)
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i := 0; i < n; i++ {
+		stageEastSale(t, leader, int64(700+i))
+		if _, err := leader.RunWindowOpts(WindowOptions{Mode: ModeDAG, Journal: j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg, err := journal.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leader, lg
+}
+
+// TestApplyWindowOrdering: shipped windows must apply in order — skipping
+// one fails the pre-state digest check and leaves the follower untouched;
+// re-applying an already-applied window fails the same way.
+func TestApplyWindowOrdering(t *testing.T) {
+	leader, lg := shipRetailWindows(t, 3)
+	follower := newRetail(t)
+
+	// Out of order: window 2 against a follower still at epoch 1.
+	if _, err := follower.ApplyWindow(&lg.Windows[1]); err == nil {
+		t.Fatal("skipped-ahead window applied")
+	}
+	if follower.Epoch() != 1 {
+		t.Fatalf("failed apply flipped epoch to %d", follower.Epoch())
+	}
+
+	for i := range lg.Windows {
+		if _, err := follower.ApplyWindow(&lg.Windows[i]); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+	// Duplicate: the last window again.
+	if _, err := follower.ApplyWindow(&lg.Windows[2]); err == nil {
+		t.Fatal("duplicate window applied")
+	}
+	if got, want := follower.Epoch(), leader.Epoch(); got != want {
+		t.Fatalf("epochs: follower %d, leader %d", got, want)
+	}
+	if got, want := follower.StateDigest(), leader.StateDigest(); got != want {
+		t.Fatalf("digests: follower %016x, leader %016x", got, want)
+	}
+}
+
+// TestApplyWindowPinnedReaders: a pin taken before a replicated flip keeps
+// serving the old epoch; the flip is atomic for new readers.
+func TestApplyWindowPinnedReaders(t *testing.T) {
+	_, lg := shipRetailWindows(t, 1)
+	follower := newRetail(t)
+	p := follower.PinEpoch()
+	defer p.Close()
+
+	if _, err := follower.ApplyWindow(&lg.Windows[0]); err != nil {
+		t.Fatal(err)
+	}
+	old, err := p.Rows("SALES_BY_STORE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 3 {
+		t.Fatalf("pinned reader sees %d rows post-replay, want pre-window 3", len(old))
+	}
+	cur, err := follower.Rows("SALES_BY_STORE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) != 4 {
+		t.Fatalf("current epoch has %d rows, want 4", len(cur))
+	}
+	if follower.LiveEpochs() != 2 {
+		t.Fatalf("live epochs = %d", follower.LiveEpochs())
+	}
+}
+
+// TestResumeJournal: a promoted follower's journal continues the committed
+// count and sequence numbering of the log it replicated.
+func TestResumeJournal(t *testing.T) {
+	leader, lg := shipRetailWindows(t, 2)
+	follower := newRetail(t)
+	for i := range lg.Windows {
+		if _, err := follower.ApplyWindow(&lg.Windows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	j := ResumeJournal(&out, len(lg.Windows))
+	if j.Committed() != 2 || j.NeedsRecovery() {
+		t.Fatalf("resumed journal: committed=%d needsRecovery=%v", j.Committed(), j.NeedsRecovery())
+	}
+	stageEastSale(t, follower, 800)
+	if _, err := follower.RunWindowOpts(WindowOptions{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Committed() != 3 {
+		t.Fatalf("committed after resumed window = %d", j.Committed())
+	}
+	newLog, err := journal.ReadLog(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newLog.Windows) != 1 || newLog.Windows[0].Begin.Seq != 3 {
+		t.Fatalf("resumed journal numbered the window %d, want 3", newLog.Windows[0].Begin.Seq)
+	}
+	if follower.Epoch() != leader.Epoch()+1 {
+		t.Fatalf("promoted follower epoch %d", follower.Epoch())
+	}
+	hist := follower.History()
+	if n := len(hist); n != 3 || !hist[0].Replicated || hist[n-1].Replicated {
+		t.Fatalf("history shape wrong: %+v", hist)
+	}
+}

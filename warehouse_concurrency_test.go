@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // These tests pin down the facade's thread-safety contract (see the
@@ -184,6 +186,93 @@ func TestCloneRacesWindows(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestFollowerQueriesDuringReplay: the replication leg. A leader runs
+// windows journaled into a buffer; a follower replays the shipped windows
+// through ApplyWindow (the same path internal/replicate's follower drives)
+// while readers hammer its /query surface. Every read on the follower sees
+// exactly a state the leader committed — never a blend — and epochs are
+// monotonic per reader (read-your-epoch holds across replicated flips).
+func TestFollowerQueriesDuringReplay(t *testing.T) {
+	const windows = 9
+	leader := newRetail(t)
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i := 0; i < windows; i++ {
+		stageEastSale(t, leader, int64(600+i))
+		if _, err := leader.RunWindowOpts(WindowOptions{Mode: ModeDAG, Journal: j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg, err := journal.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lg.CommittedCount(); got != windows {
+		t.Fatalf("leader journal holds %d committed windows", got)
+	}
+
+	valid := map[string]bool{"(east, 5, 1)": true}
+	for i := 1; i <= windows; i++ {
+		valid[fmt.Sprintf("(east, %d, %d)", 5+50*i, 1+i)] = true
+	}
+
+	follower := newRetail(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, epoch, err := follower.QueryEpoch(
+					"SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM SALES_BY_STORE GROUP BY region ORDER BY region LIMIT 1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if epoch < last {
+					t.Errorf("follower epoch went backwards: %d after %d", epoch, last)
+					return
+				}
+				last = epoch
+				if got := rows[0].String(); !valid[got] {
+					t.Errorf("blended east total %s at follower epoch %d", got, epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := range lg.Windows {
+		rep, err := follower.ApplyWindow(&lg.Windows[i])
+		if err != nil {
+			t.Errorf("replaying window %d: %v", i, err)
+			break
+		}
+		if !rep.Replicated {
+			t.Errorf("window %d: replayed report not marked Replicated", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got, want := follower.Epoch(), leader.Epoch(); got != want {
+		t.Errorf("follower epoch %d, leader %d", got, want)
+	}
+	if got, want := follower.StateDigest(), leader.StateDigest(); got != want {
+		t.Errorf("follower state digest %016x, leader %016x", got, want)
+	}
+	if err := follower.Verify(); err != nil {
+		t.Error(err)
+	}
 }
 
 // TestWindowAbortLeavesEpochUnchanged: a deadline abort keeps the serving

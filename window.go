@@ -56,6 +56,9 @@ type WindowReport struct {
 	Recomputed bool
 	// Recovered reports the window was completed by Recover after a crash.
 	Recovered bool
+	// Replicated reports the window was not run locally but replayed from a
+	// leader's shipped journal (ApplyWindow).
+	Replicated bool
 }
 
 // String summarizes the window.
