@@ -52,10 +52,12 @@ fuzz:
 
 # Short fuzz pass over the durability surfaces — the journal reader and the
 # snapshot reader both consume arbitrary on-disk bytes and must reject
-# corruption without panicking or mutating state. Cheap enough for CI.
+# corruption without panicking or mutating state — plus the SQL front end's
+# old-vs-new differential oracle. Cheap enough for CI.
 fuzz-smoke:
 	$(GO) test ./internal/journal/ -run '^$$' -fuzz FuzzJournal -fuzztime 10s
 	$(GO) test ./internal/snapshot/ -run '^$$' -fuzz FuzzSnapshotRead -fuzztime 10s
+	$(GO) test ./internal/sqlparse/ -run '^$$' -fuzz FuzzParseDifferential -fuzztime 10s
 
 bench:
 	$(GO) test . -run '^$$' -bench . -benchtime 1x
@@ -65,21 +67,28 @@ bench:
 bench-smoke:
 	$(GO) test . -run '^$$' -bench 'BenchmarkCompute' -benchtime 1x -benchmem
 
-# The key performance benchmarks — the window-level schedulers and the two
-# sharing layers (intra-Compute build cache, window-wide cross-view
-# registry) — as a machine-readable baseline. bench-json refreshes the
-# committed BENCH_5.json; bench-check reruns the same benchmarks and fails
-# only on a >2x ns/op slowdown against it (sub-millisecond baselines are
-# ignored: one-iteration timings that small are noise).
-BENCH_JSON    ?= BENCH_5.json
-BENCH_PATTERN ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+# The key performance benchmarks as a machine-readable baseline: the
+# window-level schedulers and the two sharing layers (intra-Compute build
+# cache, window-wide cross-view registry) at one iteration, plus the SQL
+# front end and prepared-plan cache microbenchmarks (BenchmarkTokenize,
+# BenchmarkParseQuery, BenchmarkQueryCold/Cached/EndToEnd) at 1000
+# iterations with allocation stats. bench-json refreshes the committed
+# BENCH_7.json; bench-check reruns the same benchmarks and fails on a >2x
+# ns/op slowdown (sub-millisecond baselines are ignored as noise — except
+# allocs/op, which is deterministic and gates unconditionally, so the
+# 0-alloc tokenizer baseline fails on any allocation at all).
+BENCH_JSON          ?= BENCH_7.json
+BENCH_PATTERN       ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+BENCH_PARSE_PATTERN ?= BenchmarkTokenize|BenchmarkParseQuery|BenchmarkQueryCold|BenchmarkQueryCached|BenchmarkQueryEndToEnd
 
 bench-json:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt
 
 bench-check:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt

@@ -170,7 +170,10 @@ func parse(r io.Reader) (Summary, error) {
 }
 
 // compare prints one line per baseline benchmark and returns the number of
-// regressions beyond factor.
+// regressions beyond factor. Timings gate only above the minNs noise floor;
+// allocs/op (when both runs report it) gates unconditionally — allocation
+// counts are deterministic, so even sub-threshold benchmarks catch a
+// regression, and a 0-alloc baseline fails on any allocation at all.
 func compare(w io.Writer, base, cur Summary, factor, minNs float64) int {
 	current := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
@@ -179,20 +182,27 @@ func compare(w io.Writer, base, cur Summary, factor, minNs float64) int {
 	failures := 0
 	for _, b := range base.Benchmarks {
 		got, ok := current[b.Name]
-		switch {
-		case !ok:
+		if !ok {
 			fmt.Fprintf(w, "  %-50s missing from this run (skipped)\n", b.Name)
-		case b.NsPerOp < minNs:
-			fmt.Fprintf(w, "  %-50s baseline %.0fns below gate threshold (skipped)\n", b.Name, b.NsPerOp)
-		default:
-			ratio := got.NsPerOp / b.NsPerOp
-			verdict := "ok"
-			if ratio > factor {
-				verdict = "REGRESSION"
+			continue
+		}
+		if baseAllocs, ok := b.Metrics["allocs/op"]; ok {
+			if gotAllocs, ok := got.Metrics["allocs/op"]; ok && gotAllocs > baseAllocs*factor {
+				fmt.Fprintf(w, "  %-50s allocs %.0f -> %.0f REGRESSION\n", b.Name, baseAllocs, gotAllocs)
 				failures++
 			}
-			fmt.Fprintf(w, "  %-50s %.2fx (%.0fns -> %.0fns) %s\n", b.Name, ratio, b.NsPerOp, got.NsPerOp, verdict)
 		}
+		if b.NsPerOp < minNs {
+			fmt.Fprintf(w, "  %-50s baseline %.0fns below gate threshold (skipped)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		ratio := got.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > factor {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "  %-50s %.2fx (%.0fns -> %.0fns) %s\n", b.Name, ratio, b.NsPerOp, got.NsPerOp, verdict)
 	}
 	for _, b := range cur.Benchmarks {
 		found := false

@@ -72,6 +72,7 @@ func main() {
 	mode := flag.String("mode", "dag", "window scheduling: sequential | staged | dag")
 	plannerName := flag.String("planner", "minwork", "window planner: minwork | prune | dualstage")
 	share := flag.Bool("share", false, "enable window-wide shared computation for update windows")
+	planCacheSize := flag.Int("plan-cache-size", 256, "prepared-plan cache capacity for the query path (0 disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (separate mux; empty = off)")
 	stores := flag.Int("stores", 8, "demo warehouse: number of stores")
 	sales := flag.Int("sales", 2000, "demo warehouse: initial sales rows")
@@ -87,7 +88,7 @@ func main() {
 		addr: *addr, queue: *queue, workers: *workers,
 		queryTimeout: *queryTimeout, windowBudget: *windowBudget,
 		windowEvery: *windowEvery, mode: *mode, planner: *plannerName,
-		share: *share, pprofAddr: *pprofAddr,
+		share: *share, planCacheSize: *planCacheSize, pprofAddr: *pprofAddr,
 		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
 		follow: *follow, fetchInterval: *fetchInterval,
 	}); err != nil {
@@ -103,6 +104,7 @@ type config struct {
 	windowEvery, drainTimeout  time.Duration
 	mode, planner              string
 	share                      bool
+	planCacheSize              int
 	pprofAddr                  string
 	stores, sales              int
 	seed                       int64
@@ -127,6 +129,7 @@ func run(ctx context.Context, cfg config) error {
 	if cfg.share {
 		w.SetSharing(true, 0)
 	}
+	w.SetPlanCache(cfg.planCacheSize)
 	svCfg := serve.Config{
 		QueueDepth:   cfg.queue,
 		Workers:      cfg.workers,
@@ -171,8 +174,12 @@ func run(ctx context.Context, cfg config) error {
 	if follower != nil {
 		role = "following " + follower.LeaderAddr()
 	}
-	fmt.Printf("whserverd: serving %d views on %s (queue=%d, epoch=%d, %s)\n",
-		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch(), role)
+	planCache := "plan-cache=off"
+	if cfg.planCacheSize > 0 {
+		planCache = fmt.Sprintf("plan-cache=%d", cfg.planCacheSize)
+	}
+	fmt.Printf("whserverd: serving %d views on %s (queue=%d, epoch=%d, share=%v, %s, %s)\n",
+		len(w.Views()), ln.Addr(), cfg.queue, s.Epoch(), cfg.share, planCache, role)
 	if cfg.ready != nil {
 		cfg.ready <- ln.Addr().String()
 	}

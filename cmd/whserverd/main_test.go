@@ -174,6 +174,8 @@ func TestReplicaSmoke(t *testing.T) {
 	}
 
 	// Both followers must catch up to an advanced epoch with zero lag.
+	// Epoch 4 = three replayed windows, which the stats check below relies
+	// on; waiting for epoch 3 only guarantees two.
 	type lag struct {
 		Epoch     uint64 `json:"epoch"`
 		Leader    uint64 `json:"leader_epoch"`
@@ -187,7 +189,7 @@ func TestReplicaSmoke(t *testing.T) {
 			if code := getJSON(base+"/lag", &l); code != 200 {
 				t.Fatalf("%s/lag = %d", base, code)
 			}
-			if l.Epoch >= 3 && l.LagEpochs == 0 && l.LagBytes == 0 {
+			if l.Epoch >= 4 && l.LagEpochs == 0 && l.LagBytes == 0 {
 				break
 			}
 			if time.Now().After(deadline) {

@@ -13,8 +13,8 @@
 //	REFRESH;                                    materialize derived views
 //	WINDOW [planner] [STAGED|DAG [workers]];    plan + execute an update window
 //	PARALLEL ON|OFF [workers];                  intra-compute term/morsel parallelism
-//	SELECT ...;                                 ad-hoc query
-//	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
+//	SELECT ...;                                 ad-hoc query (ORDER BY col|ordinal, LIMIT n OFFSET m)
+//	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
 //	DEFER <view> ON|OFF;                        deferred maintenance policy
 //	REFRESH STALE;                              recompute stale views
 //	VERIFY;                                     check every view against recomputation
@@ -274,7 +274,7 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 		return false, nil
 	case "SHOW":
 		if len(words) < 2 {
-			return false, fmt.Errorf("SHOW VIEWS | STRATEGY | SCRIPT | HISTORY | STALE")
+			return false, fmt.Errorf("SHOW VIEWS | STRATEGY | SCRIPT | HISTORY | STALE | GRAPH | CACHE")
 		}
 		return false, sh.show(words[1:])
 	case "DEFER":
@@ -382,8 +382,8 @@ func (sh *shell) help() {
   WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;  DIGEST;
   PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
   SHARE ON|OFF [budget-mb];             window-wide cross-view shared computation
-  SELECT ... [ORDER BY col [DESC]] [LIMIT n];
-  SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH;
+  SELECT ... [ORDER BY col|n [ASC|DESC], ...] [LIMIT n [OFFSET m]];
+  SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
   DEFER <view> ON|OFF;
   SNAPSHOT SAVE '<file>';               SNAPSHOT LOAD '<file>';
   JOURNAL ON '<file>' | OFF | STATUS;   crash-safe (journaled) windows
@@ -531,6 +531,10 @@ func (sh *shell) show(words []string) error {
 			return err
 		}
 		fmt.Fprint(sh.out, g.Dot())
+	case "CACHE":
+		st := sh.w.PlanCacheStats()
+		fmt.Fprintf(sh.out, "plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations\n",
+			st.Entries, st.Cap, st.Hits, st.Misses, st.Evictions, st.Invalidations)
 	default:
 		return fmt.Errorf("SHOW %s not supported", words[0])
 	}

@@ -20,9 +20,12 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/relation"
 )
 
 // buildOnline constructs a random leveled warehouse through the public SQL
@@ -195,6 +198,90 @@ type onlineRead struct {
 	bags  map[string][]string
 }
 
+// checkOrderedQuery runs one random ad-hoc ORDER BY/LIMIT query against a
+// pinned epoch and checks the presentation-clause contract: the full
+// result is sorted per the keys, and the LIMIT n OFFSET m result is
+// exactly the corresponding contiguous slice of the full result (both
+// queries hit the same pin, so they see the same state; the sort is
+// stable over a deterministic input order, so the slice comparison is
+// exact even with ties).
+func checkOrderedQuery(t *testing.T, p *PinnedEpoch, rng *rand.Rand) {
+	views := p.Views()
+	name := views[rng.Intn(len(views))]
+	v := p.pin.Warehouse().View(name)
+	if v == nil {
+		t.Errorf("pinned view %q vanished", name)
+		return
+	}
+	schema := v.Schema()
+	var sel []string
+	for _, c := range schema {
+		sel = append(sel, c.Name)
+	}
+	type key struct {
+		col  int
+		desc bool
+	}
+	var keys []key
+	var obys []string
+	for _, k := range rng.Perm(len(schema))[:1+rng.Intn(len(schema))] {
+		desc := rng.Intn(2) == 0
+		ref := schema[k].Name
+		if rng.Intn(2) == 0 {
+			ref = fmt.Sprintf("%d", k+1) // 1-based ordinal
+		}
+		if desc {
+			ref += " DESC"
+		}
+		keys = append(keys, key{k, desc})
+		obys = append(obys, ref)
+	}
+	base := fmt.Sprintf("SELECT %s FROM %s ORDER BY %s",
+		strings.Join(sel, ", "), name, strings.Join(obys, ", "))
+	full, err := p.Query(base)
+	if err != nil {
+		t.Errorf("%s: %v", base, err)
+		return
+	}
+	for i := 1; i < len(full); i++ {
+		for _, k := range keys {
+			c := relation.Compare(full[i-1][k.col], full[i][k.col])
+			if c == 0 {
+				continue
+			}
+			if (k.desc && c < 0) || (!k.desc && c > 0) {
+				t.Errorf("%s: rows %d,%d out of order: %v then %v", base, i-1, i, full[i-1], full[i])
+			}
+			break
+		}
+	}
+	limit, offset := rng.Intn(len(full)+2), rng.Intn(len(full)+2)
+	limited, err := p.Query(fmt.Sprintf("%s LIMIT %d OFFSET %d", base, limit, offset))
+	if err != nil {
+		t.Errorf("%s LIMIT %d OFFSET %d: %v", base, limit, offset, err)
+		return
+	}
+	want := full
+	if offset >= len(want) {
+		want = nil
+	} else {
+		want = want[offset:]
+	}
+	if len(want) > limit {
+		want = want[:limit]
+	}
+	if len(limited) != len(want) {
+		t.Errorf("%s LIMIT %d OFFSET %d: %d rows, want %d", base, limit, offset, len(limited), len(want))
+		return
+	}
+	for i := range want {
+		if limited[i].String() != want[i].String() {
+			t.Errorf("%s LIMIT %d OFFSET %d: row %d = %v, want %v", base, limit, offset, i, limited[i], want[i])
+			return
+		}
+	}
+}
+
 // TestOnlineSnapshotIsolationDifferential is the harness entry point:
 // 12 trials x 9 windows = 108 seeded windows (27 under -short).
 func TestOnlineSnapshotIsolationDifferential(t *testing.T) {
@@ -230,8 +317,9 @@ func TestOnlineSnapshotIsolationDifferential(t *testing.T) {
 			reads := make([][]onlineRead, 3)
 			for g := range reads {
 				wg.Add(1)
-				go func(out *[]onlineRead) {
+				go func(g int, out *[]onlineRead) {
 					defer wg.Done()
+					qrng := rand.New(rand.NewSource(catalogSeed*1000 + int64(win*10+g)))
 					for len(*out) < 200 {
 						select {
 						case <-stop:
@@ -241,6 +329,11 @@ func TestOnlineSnapshotIsolationDifferential(t *testing.T) {
 						p := w.PinEpoch()
 						bags, err := captureBags(p)
 						epoch := p.Epoch()
+						if len(*out)%8 == 0 {
+							// Ad-hoc ORDER BY/LIMIT queries race the window on
+							// the same pin the bag capture used.
+							checkOrderedQuery(t, p, qrng)
+						}
 						p.Close()
 						if err != nil {
 							t.Error(err)
@@ -249,7 +342,7 @@ func TestOnlineSnapshotIsolationDifferential(t *testing.T) {
 						*out = append(*out, onlineRead{epoch, bags})
 					}
 					<-stop
-				}(&reads[g])
+				}(g, &reads[g])
 			}
 
 			crashed := false

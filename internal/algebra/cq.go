@@ -52,10 +52,22 @@ type CQ struct {
 	// offsets[i] is the index of ref i's first column in the concatenated row.
 	offsets []int
 	joined  relation.Schema
+	// filterRefs[i] is RefsOfExpr(Filters[i]), precomputed at Validate time
+	// so the per-evaluation join planner never re-walks filter expressions
+	// (or allocates column scratch) on the serving hot path.
+	filterRefs []uint64
 }
 
 // IsAggregate reports whether the view is a summary (grouped) view.
 func (q *CQ) IsAggregate() bool { return q.GroupBy != nil }
+
+// Validated reports whether Validate has already succeeded on this CQ.
+// Callers holding a CQ that may be shared across goroutines (the prepared-
+// plan cache hands one plan to many queries at once) must not re-Validate
+// it — Validate rewrites the internal offsets, which would race with
+// concurrent readers — and can use this to skip the call safely: a CQ is
+// never published to concurrent use before its single bind-time Validate.
+func (q *CQ) Validated() bool { return q.offsets != nil }
 
 // Validate checks structural invariants and computes internal offsets. It
 // must be called once after the CQ is assembled and before any other method.
@@ -100,13 +112,15 @@ func (q *CQ) Validate() error {
 		}
 		return nil
 	}
-	for _, f := range q.Filters {
+	q.filterRefs = make([]uint64, len(q.Filters))
+	for fi, f := range q.Filters {
 		if err := check(f, "filter "+f.String()); err != nil {
 			return err
 		}
 		if f.Kind() != relation.KindBool {
 			return fmt.Errorf("algebra: filter %s is not boolean", f)
 		}
+		q.filterRefs[fi] = q.RefsOfExpr(f)
 	}
 	names := make(map[string]bool)
 	addName := func(n string) error {
@@ -165,6 +179,10 @@ func (q *CQ) RefOfColumn(c int) int {
 	}
 	panic(fmt.Sprintf("algebra: column %d before first ref", c))
 }
+
+// FilterRefs returns RefsOfExpr(Filters[i]) from the mask precomputed at
+// Validate time — the allocation-free form the evaluation planner uses.
+func (q *CQ) FilterRefs(i int) uint64 { return q.filterRefs[i] }
 
 // RefsOfExpr returns the set of ref indexes an expression touches, as a
 // bitmask (supports up to 64 refs, far beyond any realistic view).

@@ -169,6 +169,12 @@ type Warehouse struct {
 	// the duration of one update window (AttachSharing/DetachSharing) and
 	// nil otherwise. Clones never inherit it: each window attaches its own.
 	shared *SharedRegistry
+	// version counts catalog changes (view definitions). The prepared-plan
+	// cache records the version a plan was bound against and discards the
+	// plan when it no longer matches, so a plan can never outlive the
+	// catalog shape it was resolved in. Clones inherit the version: a
+	// window commit that defines no views invalidates nothing.
+	version uint64
 }
 
 // New creates an empty warehouse.
@@ -202,6 +208,7 @@ func (w *Warehouse) DefineBase(name string, schema relation.Schema) error {
 	}
 	w.views[name] = &View{name: name, table: storage.NewTable(schema)}
 	w.order = append(w.order, name)
+	w.version++
 	return nil
 }
 
@@ -237,8 +244,15 @@ func (w *Warehouse) DefineDerived(name string, def *algebra.CQ) error {
 	}
 	w.views[name] = v
 	w.order = append(w.order, name)
+	w.version++
 	return nil
 }
+
+// CatalogVersion returns the monotonic count of catalog changes. Two
+// warehouses (e.g. an epoch snapshot and its successor) answer queries
+// with interchangeable plans iff their versions are equal and one descends
+// from the other by cloning.
+func (w *Warehouse) CatalogVersion() uint64 { return w.version }
 
 func (w *Warehouse) checkNewName(name string) error {
 	if name == "" {
@@ -411,6 +425,7 @@ func (w *Warehouse) Install(name string) (int64, error) {
 func (w *Warehouse) Clone() *Warehouse {
 	out := New(w.opts)
 	out.order = append([]string(nil), w.order...)
+	out.version = w.version
 	for name, v := range w.views {
 		nv := &View{name: v.name, def: v.def, deferred: v.deferred, stale: v.stale}
 		if v.table != nil {

@@ -688,7 +688,7 @@ func pendingFilters(cq *algebra.CQ, bound uint64, applied []bool) []algebra.Expr
 		if applied[fi] {
 			continue
 		}
-		if cq.RefsOfExpr(f)&^bound == 0 {
+		if cq.FilterRefs(fi)&^bound == 0 {
 			preds = append(preds, f)
 			applied[fi] = true
 		}

@@ -83,8 +83,13 @@ func (w *Warehouse) Recompute(name string) (*storage.Table, error) {
 // update window (seeing pre- or post-install states per view, exactly the
 // isolation the paper's discussion section describes).
 func (w *Warehouse) Evaluate(cq *algebra.CQ) (*storage.Table, error) {
-	if err := cq.Validate(); err != nil {
-		return nil, err
+	// Cached plans are validated once at bind time and then shared across
+	// queries; re-validating would rewrite the CQ's internal offsets and
+	// race with concurrent evaluations of the same plan.
+	if !cq.Validated() {
+		if err := cq.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	for _, r := range cq.Refs {
 		v := w.views[r.View]

@@ -68,7 +68,7 @@ func TestDecodeRecordCorruption(t *testing.T) {
 	raw := writeSampleLog(t)
 	// Flip a payload bit in the first frame (offset 3 is inside the begin
 	// record's payload for any plausible encoding).
-	for _, off := range []int{3, 10, len(raw)/2 % 20} {
+	for _, off := range []int{3, 10, len(raw) / 2 % 20} {
 		mut := append([]byte(nil), raw...)
 		mut[off] ^= 0x40
 		_, _, _, err := DecodeRecord(mut)

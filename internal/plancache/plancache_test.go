@@ -1,0 +1,125 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMissLifecycle(t *testing.T) {
+	c := New[int](4)
+	if _, ok := c.Get("SELECT a FROM R", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("SELECT a FROM R", 1, 42)
+	v, ok := c.Get("SELECT a FROM R", 1)
+	if !ok || v != 42 {
+		t.Fatalf("Get = %d, %v; want 42, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Cap != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	c := New[int](4)
+	c.Put("SELECT  a\n\tFROM   R", 1, 7)
+	if v, ok := c.Get("SELECT a FROM R", 1); !ok || v != 7 {
+		t.Fatalf("reformatted query missed the cache: %d, %v", v, ok)
+	}
+	if v, ok := c.Get("  SELECT a FROM R  ", 1); !ok || v != 7 {
+		t.Fatalf("padded query missed the cache: %d, %v", v, ok)
+	}
+	// Whitespace inside string literals is significant: these are
+	// different queries and must not share an entry.
+	c.Put("SELECT a FROM R WHERE s = 'x y'", 1, 1)
+	c.Put("SELECT a FROM R WHERE s = 'x  y'", 1, 2)
+	if v, _ := c.Get("SELECT a FROM R WHERE s = 'x y'", 1); v != 1 {
+		t.Fatalf("single-space literal = %d, want 1", v)
+	}
+	if v, _ := c.Get("SELECT a FROM R WHERE s = 'x  y'", 1); v != 2 {
+		t.Fatalf("double-space literal = %d, want 2", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	c.Put("q1", 1, 1)
+	c.Put("q2", 1, 2)
+	c.Get("q1", 1) // q1 now most recent; q2 is LRU
+	c.Put("q3", 1, 3)
+	if _, ok := c.Get("q2", 1); ok {
+		t.Fatal("q2 should have been evicted as LRU")
+	}
+	if _, ok := c.Get("q1", 1); !ok {
+		t.Fatal("q1 should have survived (recently used)")
+	}
+	if _, ok := c.Get("q3", 1); !ok {
+		t.Fatal("q3 should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestVersionInvalidation(t *testing.T) {
+	c := New[int](4)
+	c.Put("q", 1, 10)
+	if _, ok := c.Get("q", 2); ok {
+		t.Fatal("stale-version entry served as a hit")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("stale entry not discarded: entries = %d", st.Entries)
+	}
+	// Rebinding at the new version repopulates.
+	c.Put("q", 2, 20)
+	if v, ok := c.Get("q", 2); !ok || v != 20 {
+		t.Fatalf("rebound entry: %d, %v", v, ok)
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[int](2)
+	c.Put("q", 1, 1)
+	c.Put("q", 2, 2)
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate Put grew the cache: %d entries", st.Entries)
+	}
+	if v, ok := c.Get("q", 2); !ok || v != 2 {
+		t.Fatalf("updated entry: %d, %v", v, ok)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sql := fmt.Sprintf("SELECT %d FROM R", i%16)
+				if _, ok := c.Get(sql, 1); !ok {
+					c.Put(sql, 1, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 8 {
+		t.Fatalf("cache over capacity: %d entries", st.Entries)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("probe accounting off: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}

@@ -200,6 +200,19 @@ func runReplicaTrial(t *testing.T, seed int64) {
 			if got := f.Warehouse().Epoch(); got != epoch {
 				t.Fatalf("win %d follower %d: epoch %d, leader %d", win, i, got, epoch)
 			}
+			// At the same epoch, a random ORDER BY/LIMIT/OFFSET query must
+			// come back row-identical from leader and follower.
+			sql := randPresentationQuery(t, leader.Warehouse(), rng)
+			lrows := queryRows(t, leader.Warehouse(), sql)
+			frows := queryRows(t, f.Warehouse(), sql)
+			if len(lrows) != len(frows) {
+				t.Fatalf("win %d follower %d: %s: %d rows vs leader's %d", win, i, sql, len(frows), len(lrows))
+			}
+			for r := range lrows {
+				if lrows[r] != frows[r] {
+					t.Fatalf("win %d follower %d: %s: row %d = %s, leader %s", win, i, sql, r, frows[r], lrows[r])
+				}
+			}
 		}
 	}
 

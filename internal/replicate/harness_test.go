@@ -8,6 +8,7 @@ package replicate
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	warehouse "repro"
@@ -165,6 +166,54 @@ func bagsEqual(a, b map[string][]string) bool {
 		}
 	}
 	return true
+}
+
+// randPresentationQuery builds a random ad-hoc query over one of w's views
+// with the presentation clauses: ORDER BY (column name or 1-based ordinal,
+// ASC/DESC, one or more keys) and LIMIT n OFFSET m. Replicas at the same
+// epoch must answer it identically — the sort is stable over a
+// deterministic input order, so bag-identical states give row-identical
+// results, including ties.
+func randPresentationQuery(t *testing.T, w *warehouse.Warehouse, rng *rand.Rand) string {
+	t.Helper()
+	views := w.Views()
+	name := views[rng.Intn(len(views))]
+	schema, err := w.ViewSchema(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sel []string
+	for _, c := range schema {
+		sel = append(sel, c.Name)
+	}
+	var obys []string
+	for _, k := range rng.Perm(len(schema))[:1+rng.Intn(len(schema))] {
+		ref := schema[k].Name
+		if rng.Intn(2) == 0 {
+			ref = fmt.Sprintf("%d", k+1)
+		}
+		if rng.Intn(2) == 0 {
+			ref += " DESC"
+		}
+		obys = append(obys, ref)
+	}
+	return fmt.Sprintf("SELECT %s FROM %s ORDER BY %s LIMIT %d OFFSET %d",
+		strings.Join(sel, ", "), name, strings.Join(obys, ", "),
+		rng.Intn(20), rng.Intn(4))
+}
+
+// queryRows renders a query's result for cross-replica comparison.
+func queryRows(t *testing.T, w *warehouse.Warehouse, sql string) []string {
+	t.Helper()
+	rows, err := w.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
 }
 
 // stepDigests extracts the installed-delta digest of every non-skipped step

@@ -96,6 +96,12 @@ type Stats struct {
 	CacheHits, SharedHits               uint64
 	CacheTuplesSaved, SharedTuplesSaved uint64
 	SharedBytesPeak                     int64
+	// PlanCache* mirror the warehouse's prepared-plan cache counters: a
+	// hit served a query's plan straight from SQL bytes with zero parser
+	// work. All zero when caching is disabled (PlanCacheCap == 0).
+	PlanCacheHits, PlanCacheMisses           uint64
+	PlanCacheEvictions, PlanCacheInvalidated uint64
+	PlanCacheEntries, PlanCacheCap           int
 	// Epoch is the current serving epoch, LiveEpochs how many retired
 	// epochs readers still pin (plus the current one).
 	Epoch      uint64
@@ -295,24 +301,31 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	qlen := len(s.queue)
 	s.mu.Unlock()
+	pc := s.w.PlanCacheStats()
 	return Stats{
-		Admitted:          s.admitted.Load(),
-		Shed:              s.shed.Load(),
-		Expired:           s.expired.Load(),
-		Completed:         s.completed.Load(),
-		Failed:            s.failed.Load(),
-		WindowsCommitted:  s.windowsCommitted.Load(),
-		WindowsAborted:    s.windowsAborted.Load(),
-		CacheHits:         s.cacheHits.Load(),
-		CacheTuplesSaved:  s.cacheTuplesSaved.Load(),
-		SharedHits:        s.sharedHits.Load(),
-		SharedTuplesSaved: s.sharedTuplesSaved.Load(),
-		SharedBytesPeak:   s.sharedBytesPeak.Load(),
-		Epoch:             s.w.Epoch(),
-		LiveEpochs:        s.w.LiveEpochs(),
-		QueueLen:          qlen,
-		QueueCap:          s.cfg.QueueDepth,
-		Draining:          draining,
+		PlanCacheHits:        pc.Hits,
+		PlanCacheMisses:      pc.Misses,
+		PlanCacheEvictions:   pc.Evictions,
+		PlanCacheInvalidated: pc.Invalidations,
+		PlanCacheEntries:     pc.Entries,
+		PlanCacheCap:         pc.Cap,
+		Admitted:             s.admitted.Load(),
+		Shed:                 s.shed.Load(),
+		Expired:              s.expired.Load(),
+		Completed:            s.completed.Load(),
+		Failed:               s.failed.Load(),
+		WindowsCommitted:     s.windowsCommitted.Load(),
+		WindowsAborted:       s.windowsAborted.Load(),
+		CacheHits:            s.cacheHits.Load(),
+		CacheTuplesSaved:     s.cacheTuplesSaved.Load(),
+		SharedHits:           s.sharedHits.Load(),
+		SharedTuplesSaved:    s.sharedTuplesSaved.Load(),
+		SharedBytesPeak:      s.sharedBytesPeak.Load(),
+		Epoch:                s.w.Epoch(),
+		LiveEpochs:           s.w.LiveEpochs(),
+		QueueLen:             qlen,
+		QueueCap:             s.cfg.QueueDepth,
+		Draining:             draining,
 	}
 }
 

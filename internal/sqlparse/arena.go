@@ -1,0 +1,71 @@
+package sqlparse
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/relation"
+)
+
+// arena slab-allocates expression nodes for one parse. Nodes of each kind
+// are appended into a typed slab and handed out as pointers to the last
+// element; when a slab fills, a fresh larger one replaces it and the old
+// backing array stays alive exactly as long as the AST that points into it.
+// Compared to node-per-new recursive descent this turns ~one allocation per
+// operator into ~one per slab.
+//
+// Ownership: while a parse is running the arena belongs to the pooled
+// parser. On success the resulting AST (which may be retained indefinitely
+// by the plan cache or the catalog) owns the slabs, so the parser drops
+// them instead of returning them to the pool; only a failed parse reuses
+// its slabs.
+type arena struct {
+	bins   []algebra.Binary
+	cols   []algebra.Col
+	consts []algebra.Const
+	nots   []algebra.Not
+}
+
+// slab returns s if it has room for one more element, or a fresh, larger
+// empty slab. It never copies: pointers into the old slab remain valid.
+func slab[T any](s []T) []T {
+	if len(s) < cap(s) {
+		return s
+	}
+	c := cap(s) * 2
+	if c < 8 {
+		c = 8
+	}
+	return make([]T, 0, c)
+}
+
+func (a *arena) binary(op algebra.BinOp, l, r algebra.Expr) *algebra.Binary {
+	a.bins = slab(a.bins)
+	a.bins = append(a.bins, algebra.Binary{Op: op, L: l, R: r})
+	return &a.bins[len(a.bins)-1]
+}
+
+func (a *arena) col(index int, name string, typ relation.Kind) *algebra.Col {
+	a.cols = slab(a.cols)
+	a.cols = append(a.cols, algebra.Col{Index: index, Name: name, Typ: typ})
+	return &a.cols[len(a.cols)-1]
+}
+
+func (a *arena) constant(v relation.Value) *algebra.Const {
+	a.consts = slab(a.consts)
+	a.consts = append(a.consts, algebra.Const{Value: v})
+	return &a.consts[len(a.consts)-1]
+}
+
+func (a *arena) not(e algebra.Expr) *algebra.Not {
+	a.nots = slab(a.nots)
+	a.nots = append(a.nots, algebra.Not{E: e})
+	return &a.nots[len(a.nots)-1]
+}
+
+// reset truncates the slabs for reuse after a failed parse (whose discarded
+// nodes nothing references). Never call it after a successful parse.
+func (a *arena) reset() {
+	a.bins = a.bins[:0]
+	a.cols = a.cols[:0]
+	a.consts = a.consts[:0]
+	a.nots = a.nots[:0]
+}

@@ -1,0 +1,131 @@
+// Package legacy freezes the pre-PR-7 sqlparse front end (string-token
+// lexer with a map keyword table, node-per-new recursive descent) as a
+// differential oracle: FuzzParseDifferential in the parent package checks
+// that the zero-allocation rewrite accepts/rejects exactly the same inputs
+// and binds them to the same algebra.CQ. It is reference-only — nothing on
+// the serving path imports it — and can be deleted once the differential
+// corpus has aged enough to retire the oracle.
+package legacy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents preserved; symbols literal
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "DISTINCT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"DATE": true, "BETWEEN": true, "CREATE": true, "VIEW": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"<>", "<=", ">=", "!="} {
+				if strings.HasPrefix(input[i:], op) {
+					text := op
+					if op == "!=" {
+						text = "<>"
+					}
+					toks = append(toks, token{kind: tokSymbol, text: text, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		next:
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,644 @@
+package legacy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+// Resolver looks up the output schema of a warehouse view by name.
+type Resolver func(view string) (relation.Schema, error)
+
+// Parse parses and binds one SELECT statement into an algebra.CQ using the
+// resolver for the FROM-clause view schemas.
+//
+// Supported grammar (the paper's view-definition class):
+//
+//	SELECT [DISTINCT] item (, item)*
+//	FROM view [alias] (, view [alias])*
+//	[WHERE conjunctive boolean expression]
+//	[GROUP BY expr (, expr)*]
+//
+// where item is an expression with an optional AS name, or an aggregate
+// SUM/AVG/MIN/MAX(expr), COUNT(*).
+func Parse(sql string, resolve Resolver) (*algebra.CQ, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, resolve: resolve}
+	cq, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return cq, nil
+}
+
+// ParseCreateView parses CREATE VIEW name AS SELECT …, returning the view
+// name and its definition.
+func ParseCreateView(sql string, resolve Resolver) (string, *algebra.CQ, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	p := &parser{toks: toks, resolve: resolve}
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return "", nil, err
+	}
+	if err := p.expectKeyword("VIEW"); err != nil {
+		return "", nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return "", nil, fmt.Errorf("sqlparse: expected view name, got %s", name)
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return "", nil, err
+	}
+	cq, err := p.parseSelect()
+	if err != nil {
+		return "", nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return "", nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return name.text, cq, nil
+}
+
+// parser is a recursive-descent parser with single-token lookahead. Select
+// items are parsed as raw syntax first, then bound once the FROM clause has
+// established the reference schemas.
+type parser struct {
+	toks    []token
+	pos     int
+	resolve Resolver
+
+	refs   []algebra.Ref
+	joined relation.Schema
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sqlparse: expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+// rawItem is an unbound select item.
+type rawItem struct {
+	agg     string // "" for plain expressions; SUM/COUNT/AVG/MIN/MAX
+	star    bool   // COUNT(*)
+	start   int    // token range of the inner expression
+	end     int
+	name    string // explicit AS name, if any
+	implied string // fallback name from a bare column reference
+}
+
+func (p *parser) parseSelect() (*algebra.CQ, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	distinct := p.acceptKeyword("DISTINCT")
+
+	// Scan select items as token ranges; bind after FROM is known.
+	var items []rawItem
+	for {
+		it, err := p.scanItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		view := p.next()
+		if view.kind != tokIdent {
+			return nil, fmt.Errorf("sqlparse: expected view name, got %s", view)
+		}
+		alias := view.text
+		if p.peek().kind == tokIdent {
+			alias = p.next().text
+		}
+		schema, err := p.resolve(view.text)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: FROM %s: %w", view.text, err)
+		}
+		p.refs = append(p.refs, algebra.Ref{Alias: alias, View: view.text, Schema: schema.Clone()})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	for _, r := range p.refs {
+		p.joined = append(p.joined, r.Schema.Qualify(r.Alias)...)
+	}
+
+	cq := &algebra.CQ{Refs: p.refs}
+
+	if p.acceptKeyword("WHERE") {
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cq.Filters = algebra.Conjuncts(pred)
+	}
+
+	var groupBy []algebra.NamedExpr
+	hasGroup := false
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		hasGroup = true
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, algebra.NamedExpr{Name: "", E: e})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	// Bind the select items now that refs are known.
+	var selects []algebra.NamedExpr
+	var aggs []algebra.AggExpr
+	autoName := 0
+	nameOf := func(it rawItem, prefix string) string {
+		if it.name != "" {
+			return it.name
+		}
+		if it.implied != "" {
+			return it.implied
+		}
+		autoName++
+		return fmt.Sprintf("%s%d", prefix, autoName)
+	}
+	for _, it := range items {
+		if it.agg != "" {
+			var input algebra.Expr
+			if !it.star {
+				e, err := p.bindRange(it.start, it.end)
+				if err != nil {
+					return nil, err
+				}
+				input = e
+			}
+			kind, err := aggKind(it.agg)
+			if err != nil {
+				return nil, err
+			}
+			vk := relation.KindInt
+			if input != nil {
+				vk = input.Kind()
+			}
+			aggs = append(aggs, algebra.AggExpr{
+				Name:  nameOf(it, strings.ToLower(it.agg)),
+				Spec:  delta.AggSpec{Kind: kind, ValueKind: vk},
+				Input: input,
+			})
+			continue
+		}
+		e, err := p.bindRange(it.start, it.end)
+		if err != nil {
+			return nil, err
+		}
+		selects = append(selects, algebra.NamedExpr{Name: nameOf(it, "col"), E: e})
+	}
+
+	switch {
+	case hasGroup:
+		if len(selects) > 0 {
+			// Non-aggregate select items must match group-by expressions;
+			// they become named grouping outputs.
+			for _, s := range selects {
+				found := false
+				for gi, g := range groupBy {
+					if g.E.String() == s.E.String() {
+						groupBy[gi].Name = s.Name
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("sqlparse: select item %s is neither aggregated nor grouped", s.Name)
+				}
+			}
+		}
+		for gi := range groupBy {
+			if groupBy[gi].Name == "" {
+				groupBy[gi].Name = impliedName(groupBy[gi].E)
+			}
+		}
+		cq.GroupBy = groupBy
+		cq.Aggs = aggs
+	case len(aggs) > 0:
+		if len(selects) > 0 {
+			return nil, fmt.Errorf("sqlparse: mixing aggregates and plain columns requires GROUP BY")
+		}
+		cq.GroupBy = []algebra.NamedExpr{} // global aggregate
+		cq.Aggs = aggs
+	default:
+		cq.Select = selects
+		if distinct {
+			cq.GroupBy = cq.Select
+			cq.Select = nil
+		}
+	}
+	if distinct && (hasGroup || len(aggs) > 0) {
+		return nil, fmt.Errorf("sqlparse: DISTINCT with GROUP BY or aggregates is not supported")
+	}
+	if err := cq.Validate(); err != nil {
+		return nil, err
+	}
+	return cq, nil
+}
+
+func impliedName(e algebra.Expr) string {
+	if c, ok := e.(*algebra.Col); ok {
+		if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+			return c.Name[i+1:]
+		}
+		return c.Name
+	}
+	return strings.ReplaceAll(e.String(), " ", "")
+}
+
+func aggKind(name string) (delta.AggKind, error) {
+	switch name {
+	case "SUM":
+		return delta.AggSum, nil
+	case "COUNT":
+		return delta.AggCount, nil
+	case "AVG":
+		return delta.AggAvg, nil
+	case "MIN":
+		return delta.AggMin, nil
+	case "MAX":
+		return delta.AggMax, nil
+	default:
+		return 0, fmt.Errorf("sqlparse: unknown aggregate %q", name)
+	}
+}
+
+// scanItem records one select item's token span without binding it.
+func (p *parser) scanItem() (rawItem, error) {
+	var it rawItem
+	t := p.peek()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "SUM", "COUNT", "AVG", "MIN", "MAX":
+			it.agg = t.text
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return it, err
+			}
+			if p.acceptSymbol("*") {
+				if it.agg != "COUNT" {
+					return it, fmt.Errorf("sqlparse: %s(*) is not supported", it.agg)
+				}
+				it.star = true
+			} else {
+				it.start = p.pos
+				depth := 0
+				for {
+					tok := p.peek()
+					if tok.kind == tokEOF {
+						return it, fmt.Errorf("sqlparse: unterminated aggregate")
+					}
+					if tok.kind == tokSymbol {
+						if tok.text == "(" {
+							depth++
+						}
+						if tok.text == ")" {
+							if depth == 0 {
+								break
+							}
+							depth--
+						}
+					}
+					p.next()
+				}
+				it.end = p.pos
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return it, err
+			}
+		}
+	}
+	if it.agg == "" {
+		it.start = p.pos
+		depth := 0
+	scan:
+		for {
+			tok := p.peek()
+			switch {
+			case tok.kind == tokEOF:
+				break scan
+			case tok.kind == tokKeyword && (tok.text == "FROM" || tok.text == "AS") && depth == 0:
+				break scan
+			case tok.kind == tokSymbol && tok.text == "," && depth == 0:
+				break scan
+			case tok.kind == tokSymbol && tok.text == "(":
+				depth++
+			case tok.kind == tokSymbol && tok.text == ")":
+				depth--
+			}
+			p.next()
+		}
+		it.end = p.pos
+		if it.end == it.start {
+			return it, fmt.Errorf("sqlparse: empty select item at %s", p.peek())
+		}
+		// A bare (possibly qualified) column gives the implied output name.
+		span := p.toks[it.start:it.end]
+		if len(span) == 1 && span[0].kind == tokIdent {
+			it.implied = span[0].text
+		}
+		if len(span) == 3 && span[0].kind == tokIdent && span[1].text == "." && span[2].kind == tokIdent {
+			it.implied = span[2].text
+		}
+	}
+	if p.acceptKeyword("AS") {
+		name := p.next()
+		if name.kind != tokIdent {
+			return it, fmt.Errorf("sqlparse: expected output name after AS, got %s", name)
+		}
+		it.name = name.text
+	}
+	return it, nil
+}
+
+// bindRange parses the token subrange [start, end) as an expression.
+func (p *parser) bindRange(start, end int) (algebra.Expr, error) {
+	sub := &parser{
+		toks:    append(append([]token(nil), p.toks[start:end]...), token{kind: tokEOF}),
+		resolve: p.resolve,
+		refs:    p.refs,
+		joined:  p.joined,
+	}
+	e, err := sub.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if sub.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing tokens in expression at %s", sub.peek())
+	}
+	return e, nil
+}
+
+// parseExpr parses OR-expressions (lowest precedence).
+func (p *parser) parseExpr() (algebra.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.Binary{Op: algebra.OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (algebra.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.Binary{Op: algebra.OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (algebra.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]algebra.BinOp{
+	"=": algebra.OpEq, "<>": algebra.OpNe, "<": algebra.OpLt,
+	"<=": algebra.OpLe, ">": algebra.OpGt, ">=": algebra.OpGe,
+}
+
+func (p *parser) parseComparison() (algebra.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Binary{
+			Op: algebra.OpAnd,
+			L:  &algebra.Binary{Op: algebra.OpGe, L: left, R: lo},
+			R:  &algebra.Binary{Op: algebra.OpLe, L: left, R: hi},
+		}, nil
+	}
+	if p.peek().kind == tokSymbol {
+		if op, ok := cmpOps[p.peek().text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (algebra.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "+" || p.peek().text == "-") {
+		op := algebra.OpAdd
+		if p.next().text == "-" {
+			op = algebra.OpSub
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (algebra.Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "*" || p.peek().text == "/") {
+		op := algebra.OpMul
+		if p.next().text == "/" {
+			op = algebra.OpDiv
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &algebra.Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (algebra.Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+			}
+			return &algebra.Const{Value: relation.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+		}
+		return &algebra.Const{Value: relation.NewInt(i)}, nil
+	case t.kind == tokString:
+		return &algebra.Const{Value: relation.NewString(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		lit := p.next()
+		if lit.kind != tokString {
+			return nil, fmt.Errorf("sqlparse: expected date string after DATE, got %s", lit)
+		}
+		v, err := relation.DateFromString(lit.text)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Const{Value: v}, nil
+	case t.kind == tokSymbol && t.text == "-":
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Binary{Op: algebra.OpSub, L: &algebra.Const{Value: relation.NewInt(0)}, R: e}, nil
+	case t.kind == tokIdent:
+		name := t.text
+		if p.acceptSymbol(".") {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, fmt.Errorf("sqlparse: expected column after %q., got %s", name, col)
+			}
+			return p.bindColumn(name + "." + col.text)
+		}
+		return p.bindUnqualified(name)
+	default:
+		return nil, fmt.Errorf("sqlparse: unexpected token %s", t)
+	}
+}
+
+// bindColumn resolves a qualified alias.column reference.
+func (p *parser) bindColumn(qualified string) (algebra.Expr, error) {
+	idx := p.joined.ColumnIndex(qualified)
+	if idx < 0 {
+		return nil, fmt.Errorf("sqlparse: unknown column %q", qualified)
+	}
+	return &algebra.Col{Index: idx, Name: qualified, Typ: p.joined[idx].Kind}, nil
+}
+
+// bindUnqualified resolves a bare column name, requiring it to be
+// unambiguous across the FROM-clause references.
+func (p *parser) bindUnqualified(name string) (algebra.Expr, error) {
+	found := -1
+	qname := ""
+	for _, r := range p.refs {
+		if i := r.Schema.ColumnIndex(name); i >= 0 {
+			q := r.Alias + "." + name
+			j := p.joined.ColumnIndex(q)
+			if found >= 0 {
+				return nil, fmt.Errorf("sqlparse: column %q is ambiguous (%s and %s)", name, qname, q)
+			}
+			found = j
+			qname = q
+		}
+	}
+	if found < 0 {
+		return nil, fmt.Errorf("sqlparse: unknown column %q", name)
+	}
+	return &algebra.Col{Index: found, Name: qname, Typ: p.joined[found].Kind}, nil
+}

@@ -1,0 +1,87 @@
+package legacy
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/algebra"
+)
+
+// OrderKey is one ORDER BY key of an ad-hoc query: an output column index
+// and a direction.
+type OrderKey struct {
+	Column int
+	Desc   bool
+}
+
+// Query is a parsed ad-hoc (OLAP) query: a view-definition-shaped body plus
+// presentation clauses. ORDER BY and LIMIT are presentation only — they are
+// meaningful for queries, not for materialized view definitions, which is
+// why Parse (the view-definition entry point) rejects them.
+type Query struct {
+	CQ      *algebra.CQ
+	OrderBy []OrderKey
+	// Limit caps the returned rows; < 0 means no limit.
+	Limit int
+}
+
+// ParseQuery parses a SELECT with optional trailing ORDER BY and LIMIT
+// clauses, binding against the resolver. ORDER BY keys are output column
+// names (optionally followed by ASC or DESC).
+func ParseQuery(sql string, resolve Resolver) (*Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, resolve: resolve}
+	cq, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{CQ: cq, Limit: -1}
+	out := cq.OutputSchema()
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, fmt.Errorf("sqlparse: expected output column in ORDER BY, got %s", col)
+			}
+			idx := out.ColumnIndex(col.text)
+			if idx < 0 {
+				return nil, fmt.Errorf("sqlparse: ORDER BY %q is not an output column (have %v)", col.text, out.Names())
+			}
+			key := OrderKey{Column: idx}
+			switch {
+			case p.acceptKeyword("ASC"):
+			case p.acceptKeyword("DESC"):
+				key.Desc = true
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n := p.next()
+		if n.kind != tokNumber {
+			return nil, fmt.Errorf("sqlparse: expected number after LIMIT, got %s", n)
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", n.text)
+		}
+		q.Limit = limit
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
+	}
+	return q, nil
+}

@@ -1,14 +1,26 @@
-// Package sqlparse provides a SQL front end for view definitions: a lexer,
-// a recursive-descent parser, and a binder that resolves a
-// SELECT-FROM-WHERE-GROUPBY statement against a catalog into a bound
-// algebra.CQ. This is the definition language class of the paper's
+// Package sqlparse provides the SQL front end for view definitions and
+// ad-hoc queries: a zero-allocation byte-scan lexer, a Pratt-style
+// expression parser that emits into a per-parse arena, and a binder that
+// resolves a SELECT-FROM-WHERE-GROUPBY statement against a catalog into a
+// bound algebra.CQ. This is the definition language class of the paper's
 // warehouse model (projection, selection, join, aggregation — the shape of
-// the TPC-D summary tables).
+// the TPC-D summary tables), plus the presentation clauses (ORDER BY,
+// LIMIT, OFFSET) that only ad-hoc queries use.
+//
+// The lexer produces tokens as (kind, start, end) views into the source
+// bytes — no per-token string is materialized — and classifies keywords
+// through a length-bucketed table with an ASCII case-fold fast path.
+// Identifier classification is byte-wise Latin-1 (matching the historical
+// lexer in the legacy subpackage exactly, as enforced by
+// FuzzParseDifferential): ASCII bytes take the table fast path and bytes
+// ≥ 0x80 fall back to the unicode tables for their Latin-1 codepoint.
+// Steady-state tokenization performs zero heap allocations; the scratch
+// buffers live in the pooled parser.
 package sqlparse
 
 import (
 	"fmt"
-	"strings"
+	"math"
 	"unicode"
 )
 
@@ -24,107 +36,302 @@ const (
 	tokSymbol // punctuation and operators
 )
 
+// kwID identifies a recognized keyword; kwNone marks non-keyword tokens.
+type kwID uint8
+
+const (
+	kwNone kwID = iota
+	kwSelect
+	kwFrom
+	kwWhere
+	kwGroup
+	kwBy
+	kwAnd
+	kwOr
+	kwNot
+	kwAs
+	kwDistinct
+	kwSum
+	kwCount
+	kwAvg
+	kwMin
+	kwMax
+	kwDate
+	kwBetween
+	kwCreate
+	kwView
+	kwOrder
+	kwLimit
+	kwAsc
+	kwDesc
+)
+
+var kwNames = [...]string{
+	kwSelect: "SELECT", kwFrom: "FROM", kwWhere: "WHERE", kwGroup: "GROUP",
+	kwBy: "BY", kwAnd: "AND", kwOr: "OR", kwNot: "NOT", kwAs: "AS",
+	kwDistinct: "DISTINCT", kwSum: "SUM", kwCount: "COUNT", kwAvg: "AVG",
+	kwMin: "MIN", kwMax: "MAX", kwDate: "DATE", kwBetween: "BETWEEN",
+	kwCreate: "CREATE", kwView: "VIEW", kwOrder: "ORDER", kwLimit: "LIMIT",
+	kwAsc: "ASC", kwDesc: "DESC",
+}
+
+// symID identifies a punctuation or operator token.
+type symID uint8
+
+const (
+	symNone symID = iota
+	symLParen
+	symRParen
+	symComma
+	symSemi
+	symDot
+	symEq
+	symNe
+	symLt
+	symLe
+	symGt
+	symGe
+	symPlus
+	symMinus
+	symStar
+	symSlash
+)
+
+var symStr = [...]string{
+	symLParen: "(", symRParen: ")", symComma: ",", symSemi: ";", symDot: ".",
+	symEq: "=", symNe: "<>", symLt: "<", symLe: "<=", symGt: ">", symGe: ">=",
+	symPlus: "+", symMinus: "-", symStar: "*", symSlash: "/",
+}
+
+// token is a view into the lexer's source buffer: [start, end) bytes of
+// lx.src. Keywords and symbols additionally carry their resolved ID so the
+// parser never re-examines the text.
 type token struct {
-	kind tokenKind
-	text string // keywords upper-cased; idents preserved; symbols literal
-	pos  int
+	kind       tokenKind
+	kw         kwID
+	sym        symID
+	start, end int32
 }
 
-func (t token) String() string {
-	if t.kind == tokEOF {
-		return "end of input"
+// kwBuckets indexes the keyword table by word length: a candidate word is
+// compared (ASCII case-folded) only against the handful of keywords of its
+// exact length, replacing the old map[string]bool + strings.ToUpper lookup
+// that allocated the upper-cased copy.
+var kwBuckets [16][]kwID
+
+// identStartTab / identPartTab classify single bytes for identifier
+// scanning with the byte-as-Latin-1-rune semantics of the original lexer:
+// '_' plus unicode.IsLetter (and IsDigit for parts) of rune(b). ASCII and
+// high bytes share one 256-entry table, so the fast path is a single load.
+var identStartTab, identPartTab [256]bool
+
+func init() {
+	for id, name := range kwNames {
+		if name != "" {
+			kwBuckets[len(name)] = append(kwBuckets[len(name)], kwID(id))
+		}
 	}
-	return fmt.Sprintf("%q", t.text)
+	for i := 0; i < 256; i++ {
+		r := rune(i)
+		identStartTab[i] = r == '_' || unicode.IsLetter(r)
+		identPartTab[i] = r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	}
 }
 
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
-	"AND": true, "OR": true, "NOT": true, "AS": true, "DISTINCT": true,
-	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
-	"DATE": true, "BETWEEN": true, "CREATE": true, "VIEW": true,
-	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+// lookupKeyword resolves word against the length bucket for len(word),
+// folding ASCII lowercase on the fly. Non-ASCII bytes never fold, which
+// matches the old ToUpper-based lookup: no byte-wise-scanned identifier
+// containing a non-ASCII byte can upper-case into an ASCII keyword.
+func lookupKeyword(word []byte) kwID {
+	if len(word) >= len(kwBuckets) {
+		return kwNone
+	}
+bucket:
+	for _, id := range kwBuckets[len(word)] {
+		name := kwNames[id]
+		for i := 0; i < len(name); i++ {
+			c := word[i]
+			if 'a' <= c && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			if c != name[i] {
+				continue bucket
+			}
+		}
+		return id
+	}
+	return kwNone
 }
 
-// lex splits the input into tokens.
-func lex(input string) ([]token, error) {
-	var toks []token
-	i := 0
-	n := len(input)
+// lookupSymbol matches the operator starting at src[i], longest first.
+func lookupSymbol(src []byte, i int) (symID, int) {
+	c := src[i]
+	if i+1 < len(src) {
+		d := src[i+1]
+		switch {
+		case c == '<' && d == '>':
+			return symNe, 2
+		case c == '<' && d == '=':
+			return symLe, 2
+		case c == '>' && d == '=':
+			return symGe, 2
+		case c == '!' && d == '=':
+			return symNe, 2 // != normalizes to <>
+		}
+	}
+	switch c {
+	case '(':
+		return symLParen, 1
+	case ')':
+		return symRParen, 1
+	case ',':
+		return symComma, 1
+	case ';':
+		return symSemi, 1
+	case '.':
+		return symDot, 1
+	case '=':
+		return symEq, 1
+	case '<':
+		return symLt, 1
+	case '>':
+		return symGt, 1
+	case '+':
+		return symPlus, 1
+	case '-':
+		return symMinus, 1
+	case '*':
+		return symStar, 1
+	case '/':
+		return symSlash, 1
+	}
+	return symNone, 0
+}
+
+// lexer scans SQL bytes into tokens. Both buffers are owned by the pooled
+// parser and reused across parses; a steady-state lex allocates nothing.
+type lexer struct {
+	src  []byte
+	toks []token
+}
+
+// lineCol converts a byte offset into a 1-based line:column position.
+// Only the error paths pay for the scan.
+func (lx *lexer) lineCol(off int32) (line, col int) {
+	line, col = 1, 1
+	for i := int32(0); i < off && i < int32(len(lx.src)); i++ {
+		if lx.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// errorf builds a position-carrying error: "sqlparse: line L:C: ...".
+func (lx *lexer) errorf(off int32, format string, args ...any) error {
+	line, col := lx.lineCol(off)
+	return fmt.Errorf("sqlparse: line %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// view returns the source bytes of a token. The slice aliases the pooled
+// buffer: copy (string(...)) anything that outlives the parse.
+func (lx *lexer) view(t token) []byte { return lx.src[t.start:t.end] }
+
+// unquote decodes a string token's contents, collapsing doubled quotes.
+// The common no-escape case is a single copy.
+func (lx *lexer) unquote(t token) string {
+	raw := lx.view(t)
+	esc := false
+	for _, c := range raw {
+		if c == '\'' {
+			esc = true
+			break
+		}
+	}
+	if !esc {
+		return string(raw)
+	}
+	out := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); i++ {
+		out = append(out, raw[i])
+		if raw[i] == '\'' { // lexer guarantees quotes only appear doubled
+			i++
+		}
+	}
+	return string(out)
+}
+
+func (lx *lexer) push(kind tokenKind, kw kwID, sym symID, start, end int) {
+	lx.toks = append(lx.toks, token{kind: kind, kw: kw, sym: sym, start: int32(start), end: int32(end)})
+}
+
+// lex scans input into lx.toks, reusing both scratch buffers. String
+// tokens span the raw quoted contents (doubled quotes included) so no
+// unescaped copy is built unless the parser consumes the literal.
+func (lx *lexer) lex(input string) error {
+	if len(input) > math.MaxInt32 {
+		return fmt.Errorf("sqlparse: input too large (%d bytes)", len(input))
+	}
+	lx.src = append(lx.src[:0], input...)
+	lx.toks = lx.toks[:0]
+	src := lx.src
+	i, n := 0, len(src)
 	for i < n {
-		c := input[i]
+		c := src[i]
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == '\'':
 			j := i + 1
-			var sb strings.Builder
 			for {
 				if j >= n {
-					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+					return lx.errorf(int32(i), "unterminated string")
 				}
-				if input[j] == '\'' {
-					if j+1 < n && input[j+1] == '\'' { // escaped quote
-						sb.WriteByte('\'')
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' { // escaped quote
 						j += 2
 						continue
 					}
 					break
 				}
-				sb.WriteByte(input[j])
 				j++
 			}
-			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			lx.push(tokString, kwNone, symNone, i+1, j)
 			i = j + 1
-		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
 			j := i
 			seenDot := false
-			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
-				if input[j] == '.' {
+			for j < n && (src[j] >= '0' && src[j] <= '9' || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
 					seenDot = true
 				}
 				j++
 			}
-			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			lx.push(tokNumber, kwNone, symNone, i, j)
 			i = j
-		case isIdentStart(rune(c)):
-			j := i
-			for j < n && isIdentPart(rune(input[j])) {
+		case identStartTab[c]:
+			j := i + 1
+			for j < n && identPartTab[src[j]] {
 				j++
 			}
-			word := input[i:j]
-			up := strings.ToUpper(word)
-			if keywords[up] {
-				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			if kw := lookupKeyword(src[i:j]); kw != kwNone {
+				lx.push(tokKeyword, kw, symNone, i, j)
 			} else {
-				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+				lx.push(tokIdent, kwNone, symNone, i, j)
 			}
 			i = j
 		default:
-			// Multi-character operators first.
-			for _, op := range []string{"<>", "<=", ">=", "!="} {
-				if strings.HasPrefix(input[i:], op) {
-					text := op
-					if op == "!=" {
-						text = "<>"
-					}
-					toks = append(toks, token{kind: tokSymbol, text: text, pos: i})
-					i += len(op)
-					goto next
-				}
+			sym, w := lookupSymbol(src, i)
+			if sym == symNone {
+				return lx.errorf(int32(i), "unexpected character %q", c)
 			}
-			switch c {
-			case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';':
-				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
-				i++
-			default:
-				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
-			}
-		next:
+			lx.push(tokSymbol, kwNone, sym, i, i+w)
+			i += w
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, pos: n})
-	return toks, nil
+	lx.push(tokEOF, kwNone, symNone, n, n)
+	return nil
 }
-
-func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
-func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

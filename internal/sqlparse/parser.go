@@ -2,8 +2,11 @@ package sqlparse
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/delta"
@@ -12,6 +15,21 @@ import (
 
 // Resolver looks up the output schema of a warehouse view by name.
 type Resolver func(view string) (relation.Schema, error)
+
+// parseCalls counts front-end invocations (Parse, ParseCreateView,
+// ParseQuery). The serve-level plan-cache tests use it to prove a cache
+// hit performs zero parser work.
+var parseCalls atomic.Uint64
+
+// ParseCalls returns the process-wide number of parser entry-point calls.
+func ParseCalls() uint64 { return parseCalls.Load() }
+
+// parserPool recycles parsers — and with them the lexer's source/token
+// buffers and the select-item scratch — across parses. The expression
+// arena and the ref slice are only recycled after failed parses: a
+// successful parse hands their backing arrays to the returned AST, which
+// the plan cache or the catalog may retain indefinitely.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
 
 // Parse parses and binds one SELECT statement into an algebra.CQ using the
 // resolver for the FROM-clause view schemas.
@@ -26,160 +44,245 @@ type Resolver func(view string) (relation.Schema, error)
 // where item is an expression with an optional AS name, or an aggregate
 // SUM/AVG/MIN/MAX(expr), COUNT(*).
 func Parse(sql string, resolve Resolver) (*algebra.CQ, error) {
-	toks, err := lex(sql)
+	parseCalls.Add(1)
+	p, err := newParser(sql, resolve)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, resolve: resolve}
+	defer p.release()
 	cq, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
-	// Allow a trailing semicolon.
-	if p.peek().kind == tokSymbol && p.peek().text == ";" {
-		p.next()
+	if err := p.finish(); err != nil {
+		return nil, err
 	}
-	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
-	}
+	p.keepAST = true
 	return cq, nil
 }
 
 // ParseCreateView parses CREATE VIEW name AS SELECT …, returning the view
 // name and its definition.
 func ParseCreateView(sql string, resolve Resolver) (string, *algebra.CQ, error) {
-	toks, err := lex(sql)
+	parseCalls.Add(1)
+	p, err := newParser(sql, resolve)
 	if err != nil {
 		return "", nil, err
 	}
-	p := &parser{toks: toks, resolve: resolve}
-	if err := p.expectKeyword("CREATE"); err != nil {
+	defer p.release()
+	if err := p.expectKeyword(kwCreate); err != nil {
 		return "", nil, err
 	}
-	if err := p.expectKeyword("VIEW"); err != nil {
+	if err := p.expectKeyword(kwView); err != nil {
 		return "", nil, err
 	}
 	name := p.next()
 	if name.kind != tokIdent {
-		return "", nil, fmt.Errorf("sqlparse: expected view name, got %s", name)
+		return "", nil, p.errAt(name, "expected view name, got %s", p.describe(name))
 	}
-	if err := p.expectKeyword("AS"); err != nil {
+	if err := p.expectKeyword(kwAs); err != nil {
 		return "", nil, err
 	}
 	cq, err := p.parseSelect()
 	if err != nil {
 		return "", nil, err
 	}
-	if p.peek().kind == tokSymbol && p.peek().text == ";" {
-		p.next()
+	if err := p.finish(); err != nil {
+		return "", nil, err
 	}
-	if p.peek().kind != tokEOF {
-		return "", nil, fmt.Errorf("sqlparse: trailing input at %s", p.peek())
-	}
-	return name.text, cq, nil
+	p.keepAST = true
+	return p.text(name), cq, nil
 }
 
-// parser is a recursive-descent parser with single-token lookahead. Select
-// items are parsed as raw syntax first, then bound once the FROM clause has
-// established the reference schemas.
+// parser owns one parse: the lexer's buffers, a cursor with an expression
+// bound (bindRange re-scans select-item token spans in place instead of
+// copying them into a sub-parser), the FROM-clause bindings, and the node
+// arena. Select items are scanned as raw token spans first and bound once
+// the FROM clause has established the reference schemas.
 type parser struct {
-	toks    []token
+	lx      lexer
 	pos     int
+	limit   int // expression sub-parse bound; len(lx.toks) at top level
 	resolve Resolver
 
-	refs   []algebra.Ref
-	joined relation.Schema
+	refs    []algebra.Ref
+	items   []rawItem
+	a       arena
+	keepAST bool // successful parse: arena and refs escaped into the result
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func newParser(sql string, resolve Resolver) (*parser, error) {
+	p := parserPool.Get().(*parser)
+	p.resolve = resolve
+	p.pos = 0
+	p.keepAST = false
+	if err := p.lx.lex(sql); err != nil {
+		p.release()
+		return nil, err
+	}
+	p.limit = len(p.lx.toks)
+	return p, nil
+}
 
-func (p *parser) acceptKeyword(kw string) bool {
-	if p.peek().kind == tokKeyword && p.peek().text == kw {
+// release returns the parser to the pool, dropping (success) or truncating
+// (failure) the buffers that may or may not have escaped into the result.
+func (p *parser) release() {
+	if p.keepAST {
+		p.a = arena{}
+		p.refs = nil
+	} else {
+		p.a.reset()
+		p.refs = p.refs[:0]
+	}
+	p.items = p.items[:0]
+	p.resolve = nil
+	parserPool.Put(p)
+}
+
+// finish consumes an optional trailing semicolon and requires end of input.
+func (p *parser) finish() error {
+	p.acceptSymbol(symSemi)
+	if t := p.peek(); t.kind != tokEOF {
+		return p.errAt(t, "trailing input at %s", p.describe(t))
+	}
+	return nil
+}
+
+// peek returns the current token, clamped to an EOF at the expression
+// bound so sub-range parses terminate exactly like a top-level parse.
+func (p *parser) peek() token {
+	if p.pos < p.limit {
+		return p.lx.toks[p.pos]
+	}
+	off := int32(len(p.lx.src))
+	if p.limit < len(p.lx.toks) {
+		off = p.lx.toks[p.limit].start
+	}
+	return token{kind: tokEOF, start: off, end: off}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < p.limit {
+		p.pos++
+	}
+	return t
+}
+
+// text materializes a token's source bytes as a string (a copy — the
+// pooled source buffer must not escape the parse).
+func (p *parser) text(t token) string { return string(p.lx.view(t)) }
+
+// describe renders a token for error messages: canonical spelling for
+// keywords and operators, %q-quoted source text otherwise.
+func (p *parser) describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokKeyword:
+		return fmt.Sprintf("%q", kwNames[t.kw])
+	case tokSymbol:
+		return fmt.Sprintf("%q", symStr[t.sym])
+	default:
+		return fmt.Sprintf("%q", p.lx.view(t))
+	}
+}
+
+// errAt builds an error carrying t's line:column position.
+func (p *parser) errAt(t token, format string, args ...any) error {
+	return p.lx.errorf(t.start, format, args...)
+}
+
+func (p *parser) acceptKeyword(kw kwID) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.kw == kw {
 		p.pos++
 		return true
 	}
 	return false
 }
 
-func (p *parser) expectKeyword(kw string) error {
+func (p *parser) expectKeyword(kw kwID) error {
 	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("sqlparse: expected %s, got %s", kw, p.peek())
+		t := p.peek()
+		return p.errAt(t, "expected %s, got %s", kwNames[kw], p.describe(t))
 	}
 	return nil
 }
 
-func (p *parser) acceptSymbol(sym string) bool {
-	if p.peek().kind == tokSymbol && p.peek().text == sym {
+func (p *parser) acceptSymbol(sym symID) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.sym == sym {
 		p.pos++
 		return true
 	}
 	return false
 }
 
-func (p *parser) expectSymbol(sym string) error {
+func (p *parser) expectSymbol(sym symID) error {
 	if !p.acceptSymbol(sym) {
-		return fmt.Errorf("sqlparse: expected %q, got %s", sym, p.peek())
+		t := p.peek()
+		return p.errAt(t, "expected %q, got %s", symStr[sym], p.describe(t))
 	}
 	return nil
 }
 
-// rawItem is an unbound select item.
+// rawItem is an unbound select item: token spans into the parser's token
+// buffer instead of materialized strings.
 type rawItem struct {
-	agg     string // "" for plain expressions; SUM/COUNT/AVG/MIN/MAX
-	star    bool   // COUNT(*)
-	start   int    // token range of the inner expression
-	end     int
-	name    string // explicit AS name, if any
-	implied string // fallback name from a bare column reference
+	agg        kwID // kwNone for plain expressions; SUM/COUNT/AVG/MIN/MAX
+	star       bool // COUNT(*)
+	start, end int  // token range of the inner expression
+	nameTok    int  // explicit AS name token, or -1
+	impliedTok int  // bare column token supplying a fallback name, or -1
+}
+
+var aggLower = map[kwID]string{
+	kwSum: "sum", kwCount: "count", kwAvg: "avg", kwMin: "min", kwMax: "max",
 }
 
 func (p *parser) parseSelect() (*algebra.CQ, error) {
-	if err := p.expectKeyword("SELECT"); err != nil {
+	if err := p.expectKeyword(kwSelect); err != nil {
 		return nil, err
 	}
-	distinct := p.acceptKeyword("DISTINCT")
+	distinct := p.acceptKeyword(kwDistinct)
 
 	// Scan select items as token ranges; bind after FROM is known.
-	var items []rawItem
+	p.items = p.items[:0]
 	for {
 		it, err := p.scanItem()
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, it)
-		if !p.acceptSymbol(",") {
+		p.items = append(p.items, it)
+		if !p.acceptSymbol(symComma) {
 			break
 		}
 	}
-	if err := p.expectKeyword("FROM"); err != nil {
+	if err := p.expectKeyword(kwFrom); err != nil {
 		return nil, err
 	}
 	for {
 		view := p.next()
 		if view.kind != tokIdent {
-			return nil, fmt.Errorf("sqlparse: expected view name, got %s", view)
+			return nil, p.errAt(view, "expected view name, got %s", p.describe(view))
 		}
-		alias := view.text
+		viewName := p.text(view)
+		alias := viewName
 		if p.peek().kind == tokIdent {
-			alias = p.next().text
+			alias = p.text(p.next())
 		}
-		schema, err := p.resolve(view.text)
+		schema, err := p.resolve(viewName)
 		if err != nil {
-			return nil, fmt.Errorf("sqlparse: FROM %s: %w", view.text, err)
+			return nil, fmt.Errorf("sqlparse: FROM %s: %w", viewName, err)
 		}
-		p.refs = append(p.refs, algebra.Ref{Alias: alias, View: view.text, Schema: schema.Clone()})
-		if !p.acceptSymbol(",") {
+		p.refs = append(p.refs, algebra.Ref{Alias: alias, View: viewName, Schema: schema.Clone()})
+		if !p.acceptSymbol(symComma) {
 			break
 		}
-	}
-	for _, r := range p.refs {
-		p.joined = append(p.joined, r.Schema.Qualify(r.Alias)...)
 	}
 
 	cq := &algebra.CQ{Refs: p.refs}
 
-	if p.acceptKeyword("WHERE") {
+	if p.acceptKeyword(kwWhere) {
 		pred, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -189,8 +292,8 @@ func (p *parser) parseSelect() (*algebra.CQ, error) {
 
 	var groupBy []algebra.NamedExpr
 	hasGroup := false
-	if p.acceptKeyword("GROUP") {
-		if err := p.expectKeyword("BY"); err != nil {
+	if p.acceptKeyword(kwGroup) {
+		if err := p.expectKeyword(kwBy); err != nil {
 			return nil, err
 		}
 		hasGroup = true
@@ -200,7 +303,7 @@ func (p *parser) parseSelect() (*algebra.CQ, error) {
 				return nil, err
 			}
 			groupBy = append(groupBy, algebra.NamedExpr{Name: "", E: e})
-			if !p.acceptSymbol(",") {
+			if !p.acceptSymbol(symComma) {
 				break
 			}
 		}
@@ -211,17 +314,17 @@ func (p *parser) parseSelect() (*algebra.CQ, error) {
 	var aggs []algebra.AggExpr
 	autoName := 0
 	nameOf := func(it rawItem, prefix string) string {
-		if it.name != "" {
-			return it.name
+		if it.nameTok >= 0 {
+			return p.text(p.lx.toks[it.nameTok])
 		}
-		if it.implied != "" {
-			return it.implied
+		if it.impliedTok >= 0 {
+			return p.text(p.lx.toks[it.impliedTok])
 		}
 		autoName++
 		return fmt.Sprintf("%s%d", prefix, autoName)
 	}
-	for _, it := range items {
-		if it.agg != "" {
+	for _, it := range p.items {
+		if it.agg != kwNone {
 			var input algebra.Expr
 			if !it.star {
 				e, err := p.bindRange(it.start, it.end)
@@ -239,7 +342,7 @@ func (p *parser) parseSelect() (*algebra.CQ, error) {
 				vk = input.Kind()
 			}
 			aggs = append(aggs, algebra.AggExpr{
-				Name:  nameOf(it, strings.ToLower(it.agg)),
+				Name:  nameOf(it, aggLower[it.agg]),
 				Spec:  delta.AggSpec{Kind: kind, ValueKind: vk},
 				Input: input,
 			})
@@ -310,38 +413,38 @@ func impliedName(e algebra.Expr) string {
 	return strings.ReplaceAll(e.String(), " ", "")
 }
 
-func aggKind(name string) (delta.AggKind, error) {
-	switch name {
-	case "SUM":
+func aggKind(kw kwID) (delta.AggKind, error) {
+	switch kw {
+	case kwSum:
 		return delta.AggSum, nil
-	case "COUNT":
+	case kwCount:
 		return delta.AggCount, nil
-	case "AVG":
+	case kwAvg:
 		return delta.AggAvg, nil
-	case "MIN":
+	case kwMin:
 		return delta.AggMin, nil
-	case "MAX":
+	case kwMax:
 		return delta.AggMax, nil
 	default:
-		return 0, fmt.Errorf("sqlparse: unknown aggregate %q", name)
+		return 0, fmt.Errorf("sqlparse: unknown aggregate %q", kwNames[kw])
 	}
 }
 
 // scanItem records one select item's token span without binding it.
 func (p *parser) scanItem() (rawItem, error) {
-	var it rawItem
+	it := rawItem{nameTok: -1, impliedTok: -1}
 	t := p.peek()
 	if t.kind == tokKeyword {
-		switch t.text {
-		case "SUM", "COUNT", "AVG", "MIN", "MAX":
-			it.agg = t.text
+		switch t.kw {
+		case kwSum, kwCount, kwAvg, kwMin, kwMax:
+			it.agg = t.kw
 			p.next()
-			if err := p.expectSymbol("("); err != nil {
+			if err := p.expectSymbol(symLParen); err != nil {
 				return it, err
 			}
-			if p.acceptSymbol("*") {
-				if it.agg != "COUNT" {
-					return it, fmt.Errorf("sqlparse: %s(*) is not supported", it.agg)
+			if p.acceptSymbol(symStar) {
+				if it.agg != kwCount {
+					return it, fmt.Errorf("sqlparse: %s(*) is not supported", kwNames[it.agg])
 				}
 				it.star = true
 			} else {
@@ -353,10 +456,10 @@ func (p *parser) scanItem() (rawItem, error) {
 						return it, fmt.Errorf("sqlparse: unterminated aggregate")
 					}
 					if tok.kind == tokSymbol {
-						if tok.text == "(" {
+						if tok.sym == symLParen {
 							depth++
 						}
-						if tok.text == ")" {
+						if tok.sym == symRParen {
 							if depth == 0 {
 								break
 							}
@@ -367,12 +470,12 @@ func (p *parser) scanItem() (rawItem, error) {
 				}
 				it.end = p.pos
 			}
-			if err := p.expectSymbol(")"); err != nil {
+			if err := p.expectSymbol(symRParen); err != nil {
 				return it, err
 			}
 		}
 	}
-	if it.agg == "" {
+	if it.agg == kwNone {
 		it.start = p.pos
 		depth := 0
 	scan:
@@ -381,264 +484,309 @@ func (p *parser) scanItem() (rawItem, error) {
 			switch {
 			case tok.kind == tokEOF:
 				break scan
-			case tok.kind == tokKeyword && (tok.text == "FROM" || tok.text == "AS") && depth == 0:
+			case tok.kind == tokKeyword && (tok.kw == kwFrom || tok.kw == kwAs) && depth == 0:
 				break scan
-			case tok.kind == tokSymbol && tok.text == "," && depth == 0:
+			case tok.kind == tokSymbol && tok.sym == symComma && depth == 0:
 				break scan
-			case tok.kind == tokSymbol && tok.text == "(":
+			case tok.kind == tokSymbol && tok.sym == symLParen:
 				depth++
-			case tok.kind == tokSymbol && tok.text == ")":
+			case tok.kind == tokSymbol && tok.sym == symRParen:
 				depth--
 			}
 			p.next()
 		}
 		it.end = p.pos
 		if it.end == it.start {
-			return it, fmt.Errorf("sqlparse: empty select item at %s", p.peek())
+			return it, p.errAt(p.peek(), "empty select item at %s", p.describe(p.peek()))
 		}
 		// A bare (possibly qualified) column gives the implied output name.
-		span := p.toks[it.start:it.end]
+		span := p.lx.toks[it.start:it.end]
 		if len(span) == 1 && span[0].kind == tokIdent {
-			it.implied = span[0].text
+			it.impliedTok = it.start
 		}
-		if len(span) == 3 && span[0].kind == tokIdent && span[1].text == "." && span[2].kind == tokIdent {
-			it.implied = span[2].text
+		if len(span) == 3 && span[0].kind == tokIdent &&
+			span[1].kind == tokSymbol && span[1].sym == symDot && span[2].kind == tokIdent {
+			it.impliedTok = it.start + 2
 		}
 	}
-	if p.acceptKeyword("AS") {
+	if p.acceptKeyword(kwAs) {
 		name := p.next()
 		if name.kind != tokIdent {
-			return it, fmt.Errorf("sqlparse: expected output name after AS, got %s", name)
+			return it, p.errAt(name, "expected output name after AS, got %s", p.describe(name))
 		}
-		it.name = name.text
+		it.nameTok = p.pos - 1
 	}
 	return it, nil
 }
 
-// bindRange parses the token subrange [start, end) as an expression.
+// bindRange parses the token subrange [start, end) as an expression by
+// re-aiming the cursor at it — no token copying, no sub-parser.
 func (p *parser) bindRange(start, end int) (algebra.Expr, error) {
-	sub := &parser{
-		toks:    append(append([]token(nil), p.toks[start:end]...), token{kind: tokEOF}),
-		resolve: p.resolve,
-		refs:    p.refs,
-		joined:  p.joined,
+	savedPos, savedLimit := p.pos, p.limit
+	p.pos, p.limit = start, end
+	e, err := p.parseExpr()
+	if err == nil && p.pos < p.limit {
+		t := p.peek()
+		err = p.errAt(t, "trailing tokens in expression at %s", p.describe(t))
 	}
-	e, err := sub.parseExpr()
+	p.pos, p.limit = savedPos, savedLimit
 	if err != nil {
 		return nil, err
-	}
-	if sub.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sqlparse: trailing tokens in expression at %s", sub.peek())
 	}
 	return e, nil
 }
 
-// parseExpr parses OR-expressions (lowest precedence).
-func (p *parser) parseExpr() (algebra.Expr, error) {
-	left, err := p.parseAnd()
-	if err != nil {
-		return nil, err
-	}
-	for p.acceptKeyword("OR") {
-		right, err := p.parseAnd()
-		if err != nil {
-			return nil, err
+// Expression grammar, lowest binding power first. Comparisons (and
+// BETWEEN) are non-associative; everything else is left-associative.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+	precAdd
+	precMul
+)
+
+// binOpOf classifies t as an infix operator: its precedence (0 = not an
+// operator), the algebra op, and whether it is BETWEEN (which consumes a
+// lo AND hi pair instead of a single right operand).
+func binOpOf(t token) (prec int, op algebra.BinOp, between bool) {
+	switch t.kind {
+	case tokKeyword:
+		switch t.kw {
+		case kwOr:
+			return precOr, algebra.OpOr, false
+		case kwAnd:
+			return precAnd, algebra.OpAnd, false
+		case kwBetween:
+			return precCmp, 0, true
 		}
-		left = &algebra.Binary{Op: algebra.OpOr, L: left, R: right}
+	case tokSymbol:
+		switch t.sym {
+		case symEq:
+			return precCmp, algebra.OpEq, false
+		case symNe:
+			return precCmp, algebra.OpNe, false
+		case symLt:
+			return precCmp, algebra.OpLt, false
+		case symLe:
+			return precCmp, algebra.OpLe, false
+		case symGt:
+			return precCmp, algebra.OpGt, false
+		case symGe:
+			return precCmp, algebra.OpGe, false
+		case symPlus:
+			return precAdd, algebra.OpAdd, false
+		case symMinus:
+			return precAdd, algebra.OpSub, false
+		case symStar:
+			return precMul, algebra.OpMul, false
+		case symSlash:
+			return precMul, algebra.OpDiv, false
+		}
 	}
-	return left, nil
+	return 0, 0, false
 }
 
-func (p *parser) parseAnd() (algebra.Expr, error) {
-	left, err := p.parseNot()
-	if err != nil {
-		return nil, err
-	}
-	for p.acceptKeyword("AND") {
-		right, err := p.parseNot()
-		if err != nil {
-			return nil, err
-		}
-		left = &algebra.Binary{Op: algebra.OpAnd, L: left, R: right}
-	}
-	return left, nil
-}
+func (p *parser) parseExpr() (algebra.Expr, error) { return p.parseExprPrec(precOr) }
 
-func (p *parser) parseNot() (algebra.Expr, error) {
-	if p.acceptKeyword("NOT") {
-		e, err := p.parseNot()
+// parseExprPrec is the Pratt loop: parse a prefix (NOT or a primary), then
+// fold in infix operators whose precedence is at least min, each right
+// operand parsed one level tighter.
+func (p *parser) parseExprPrec(min int) (algebra.Expr, error) {
+	var left algebra.Expr
+	var err error
+	if t := p.peek(); t.kind == tokKeyword && t.kw == kwNot && min <= precNot {
+		p.pos++
+		operand, err := p.parseExprPrec(precNot)
 		if err != nil {
 			return nil, err
 		}
-		return &algebra.Not{E: e}, nil
-	}
-	return p.parseComparison()
-}
-
-var cmpOps = map[string]algebra.BinOp{
-	"=": algebra.OpEq, "<>": algebra.OpNe, "<": algebra.OpLt,
-	"<=": algebra.OpLe, ">": algebra.OpGt, ">=": algebra.OpGe,
-}
-
-func (p *parser) parseComparison() (algebra.Expr, error) {
-	left, err := p.parseAdditive()
-	if err != nil {
-		return nil, err
-	}
-	if p.acceptKeyword("BETWEEN") {
-		lo, err := p.parseAdditive()
+		left = p.a.not(operand)
+	} else {
+		left, err = p.parsePrimary()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("AND"); err != nil {
-			return nil, err
-		}
-		hi, err := p.parseAdditive()
-		if err != nil {
-			return nil, err
-		}
-		return &algebra.Binary{
-			Op: algebra.OpAnd,
-			L:  &algebra.Binary{Op: algebra.OpGe, L: left, R: lo},
-			R:  &algebra.Binary{Op: algebra.OpLe, L: left, R: hi},
-		}, nil
 	}
-	if p.peek().kind == tokSymbol {
-		if op, ok := cmpOps[p.peek().text]; ok {
-			p.next()
-			right, err := p.parseAdditive()
+	sawCmp := false
+	for {
+		t := p.peek()
+		prec, op, between := binOpOf(t)
+		if prec == 0 || prec < min {
+			return left, nil
+		}
+		if prec == precCmp {
+			if sawCmp {
+				// Comparisons don't chain: leave the operator for the
+				// caller, which reports it as trailing input.
+				return left, nil
+			}
+			sawCmp = true
+		}
+		p.pos++
+		if between {
+			lo, err := p.parseExprPrec(precAdd)
 			if err != nil {
 				return nil, err
 			}
-			return &algebra.Binary{Op: op, L: left, R: right}, nil
+			if err := p.expectKeyword(kwAnd); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseExprPrec(precAdd)
+			if err != nil {
+				return nil, err
+			}
+			left = p.a.binary(algebra.OpAnd,
+				p.a.binary(algebra.OpGe, left, lo),
+				p.a.binary(algebra.OpLe, left, hi))
+			continue
 		}
-	}
-	return left, nil
-}
-
-func (p *parser) parseAdditive() (algebra.Expr, error) {
-	left, err := p.parseMultiplicative()
-	if err != nil {
-		return nil, err
-	}
-	for p.peek().kind == tokSymbol && (p.peek().text == "+" || p.peek().text == "-") {
-		op := algebra.OpAdd
-		if p.next().text == "-" {
-			op = algebra.OpSub
-		}
-		right, err := p.parseMultiplicative()
+		right, err := p.parseExprPrec(prec + 1)
 		if err != nil {
 			return nil, err
 		}
-		left = &algebra.Binary{Op: op, L: left, R: right}
+		left = p.a.binary(op, left, right)
 	}
-	return left, nil
 }
 
-func (p *parser) parseMultiplicative() (algebra.Expr, error) {
-	left, err := p.parsePrimary()
-	if err != nil {
-		return nil, err
-	}
-	for p.peek().kind == tokSymbol && (p.peek().text == "*" || p.peek().text == "/") {
-		op := algebra.OpMul
-		if p.next().text == "/" {
-			op = algebra.OpDiv
+// parseIntBytes parses a base-10 integer from raw digits, reporting
+// overflow. The token is all digits by construction.
+func parseIntBytes(b []byte) (int64, bool) {
+	var v int64
+	for _, c := range b {
+		d := int64(c - '0')
+		if v > (math.MaxInt64-d)/10 {
+			return 0, false
 		}
-		right, err := p.parsePrimary()
-		if err != nil {
-			return nil, err
-		}
-		left = &algebra.Binary{Op: op, L: left, R: right}
+		v = v*10 + d
 	}
-	return left, nil
+	return v, true
+}
+
+func hasDot(b []byte) bool {
+	for _, c := range b {
+		if c == '.' {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *parser) parsePrimary() (algebra.Expr, error) {
 	t := p.next()
 	switch {
-	case t.kind == tokSymbol && t.text == "(":
+	case t.kind == tokSymbol && t.sym == symLParen:
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectSymbol(")"); err != nil {
+		if err := p.expectSymbol(symRParen); err != nil {
 			return nil, err
 		}
 		return e, nil
 	case t.kind == tokNumber:
-		if strings.ContainsRune(t.text, '.') {
-			f, err := strconv.ParseFloat(t.text, 64)
+		view := p.lx.view(t)
+		if hasDot(view) {
+			f, err := strconv.ParseFloat(string(view), 64)
 			if err != nil {
-				return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+				return nil, p.errAt(t, "bad number %q: %v", view, err)
 			}
-			return &algebra.Const{Value: relation.NewFloat(f)}, nil
+			return p.a.constant(relation.NewFloat(f)), nil
 		}
-		i, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("sqlparse: bad number %q: %w", t.text, err)
+		i, ok := parseIntBytes(view)
+		if !ok {
+			return nil, p.errAt(t, "bad number %q: integer overflow", view)
 		}
-		return &algebra.Const{Value: relation.NewInt(i)}, nil
+		return p.a.constant(relation.NewInt(i)), nil
 	case t.kind == tokString:
-		return &algebra.Const{Value: relation.NewString(t.text)}, nil
-	case t.kind == tokKeyword && t.text == "DATE":
+		return p.a.constant(relation.NewString(p.lx.unquote(t))), nil
+	case t.kind == tokKeyword && t.kw == kwDate:
 		lit := p.next()
 		if lit.kind != tokString {
-			return nil, fmt.Errorf("sqlparse: expected date string after DATE, got %s", lit)
+			return nil, p.errAt(lit, "expected date string after DATE, got %s", p.describe(lit))
 		}
-		v, err := relation.DateFromString(lit.text)
+		v, err := relation.DateFromString(p.lx.unquote(lit))
 		if err != nil {
 			return nil, err
 		}
-		return &algebra.Const{Value: v}, nil
-	case t.kind == tokSymbol && t.text == "-":
+		return p.a.constant(v), nil
+	case t.kind == tokSymbol && t.sym == symMinus:
 		e, err := p.parsePrimary()
 		if err != nil {
 			return nil, err
 		}
-		return &algebra.Binary{Op: algebra.OpSub, L: &algebra.Const{Value: relation.NewInt(0)}, R: e}, nil
+		return p.a.binary(algebra.OpSub, p.a.constant(relation.NewInt(0)), e), nil
 	case t.kind == tokIdent:
-		name := t.text
-		if p.acceptSymbol(".") {
+		if p.acceptSymbol(symDot) {
 			col := p.next()
 			if col.kind != tokIdent {
-				return nil, fmt.Errorf("sqlparse: expected column after %q., got %s", name, col)
+				return nil, p.errAt(col, "expected column after %q., got %s", p.lx.view(t), p.describe(col))
 			}
-			return p.bindColumn(name + "." + col.text)
+			return p.bindQualified(t, col)
 		}
-		return p.bindUnqualified(name)
+		return p.bindUnqualified(t)
 	default:
-		return nil, fmt.Errorf("sqlparse: unexpected token %s", t)
+		return nil, p.errAt(t, "unexpected token %s", p.describe(t))
 	}
 }
 
-// bindColumn resolves a qualified alias.column reference.
-func (p *parser) bindColumn(qualified string) (algebra.Expr, error) {
-	idx := p.joined.ColumnIndex(qualified)
-	if idx < 0 {
-		return nil, fmt.Errorf("sqlparse: unknown column %q", qualified)
+// qualifiedIndex returns the index in the flattened join schema of the
+// first column matching alias.col across the FROM references, plus its
+// kind; -1 if absent. Structural comparison against (Ref.Alias, column
+// name) is exactly string equality on the old qualified names, since
+// aliases and query-side column references never contain dots.
+func (p *parser) qualifiedIndex(alias, col []byte) (int, relation.Kind) {
+	off := 0
+	for _, r := range p.refs {
+		if string(alias) == r.Alias { // comparison only; no allocation
+			for ci := range r.Schema {
+				if string(col) == r.Schema[ci].Name {
+					return off + ci, r.Schema[ci].Kind
+				}
+			}
+		}
+		off += len(r.Schema)
 	}
-	return &algebra.Col{Index: idx, Name: qualified, Typ: p.joined[idx].Kind}, nil
+	return -1, 0
+}
+
+// bindQualified resolves a qualified alias.column reference.
+func (p *parser) bindQualified(aliasTok, colTok token) (algebra.Expr, error) {
+	alias, col := p.lx.view(aliasTok), p.lx.view(colTok)
+	idx, kind := p.qualifiedIndex(alias, col)
+	if idx < 0 {
+		return nil, fmt.Errorf("sqlparse: unknown column %q", string(alias)+"."+string(col))
+	}
+	return p.a.col(idx, string(alias)+"."+string(col), kind), nil
 }
 
 // bindUnqualified resolves a bare column name, requiring it to be
 // unambiguous across the FROM-clause references.
-func (p *parser) bindUnqualified(name string) (algebra.Expr, error) {
-	found := -1
-	qname := ""
+func (p *parser) bindUnqualified(nameTok token) (algebra.Expr, error) {
+	name := p.lx.view(nameTok)
+	matched := false
+	var matchAlias string
 	for _, r := range p.refs {
-		if i := r.Schema.ColumnIndex(name); i >= 0 {
-			q := r.Alias + "." + name
-			j := p.joined.ColumnIndex(q)
-			if found >= 0 {
-				return nil, fmt.Errorf("sqlparse: column %q is ambiguous (%s and %s)", name, qname, q)
+		has := false
+		for ci := range r.Schema {
+			if string(name) == r.Schema[ci].Name { // comparison only; no allocation
+				has = true
+				break
 			}
-			found = j
-			qname = q
+		}
+		if has {
+			if matched {
+				return nil, fmt.Errorf("sqlparse: column %q is ambiguous (%s.%s and %s.%s)",
+					name, matchAlias, name, r.Alias, name)
+			}
+			matched = true
+			matchAlias = r.Alias
 		}
 	}
-	if found < 0 {
+	if !matched {
 		return nil, fmt.Errorf("sqlparse: unknown column %q", name)
 	}
-	return &algebra.Col{Index: found, Name: qname, Typ: p.joined[found].Kind}, nil
+	idx, kind := p.qualifiedIndex([]byte(matchAlias), name)
+	return p.a.col(idx, matchAlias+"."+string(name), kind), nil
 }

@@ -10,10 +10,14 @@ import (
 )
 
 // Query runs an ad-hoc OLAP query against the warehouse's current serving
-// epoch: the same SELECT-FROM-WHERE-GROUPBY class as view definitions, plus
-// presentation clauses ORDER BY <output column> [ASC|DESC] and LIMIT n.
-// Duplicates (for non-aggregate queries over bag data) are expanded in the
-// result, SQL-style.
+// epoch: the same SELECT-FROM-WHERE-GROUPBY class as view definitions,
+// plus presentation clauses ORDER BY <output column or 1-based ordinal>
+// [ASC|DESC] and LIMIT n [OFFSET m]. Duplicates (for non-aggregate queries
+// over bag data) are expanded in the result, SQL-style.
+//
+// Repeated query shapes are served from the prepared-plan cache: a hit
+// skips lexing, parsing and binding entirely and goes straight from the
+// SQL bytes to the bound plan (see SetPlanCache / PlanCacheStats).
 //
 // Queries stay answerable during an update window and are snapshot-
 // isolated: each query pins one published epoch, so it sees exactly the
@@ -40,7 +44,7 @@ func (w *Warehouse) QueryEpoch(sql string) ([]Tuple, uint64, error) {
 func (w *Warehouse) QuerySchema(sql string) (Schema, error) {
 	p := w.PinEpoch()
 	defer p.Close()
-	q, err := sqlparse.ParseQuery(sql, coreResolver(p.pin.Warehouse()))
+	q, err := w.prepareQuery(p.pin.Warehouse(), sql)
 	if err != nil {
 		return nil, err
 	}
@@ -54,13 +58,14 @@ func (w *Warehouse) QuerySchema(sql string) (Schema, error) {
 // agree). Close the pin when done: a retired epoch is garbage-collected
 // when its last reader unpins.
 func (w *Warehouse) PinEpoch() *PinnedEpoch {
-	return &PinnedEpoch{pin: w.epochs.Pin()}
+	return &PinnedEpoch{w: w, pin: w.epochs.Pin()}
 }
 
 // PinnedEpoch is a consistent read view over one published epoch. It is
 // cheap to create and must be Closed. A PinnedEpoch is not safe for
 // concurrent use by multiple goroutines; each reader pins its own.
 type PinnedEpoch struct {
+	w   *Warehouse // for the prepared-plan cache
 	pin *core.Pin
 }
 
@@ -72,7 +77,12 @@ func (p *PinnedEpoch) Close() { p.pin.Unpin() }
 
 // Query evaluates an ad-hoc query against the pinned state.
 func (p *PinnedEpoch) Query(sql string) ([]Tuple, error) {
-	return queryCore(p.pin.Warehouse(), sql)
+	c := p.pin.Warehouse()
+	q, err := p.w.prepareQuery(c, sql)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateQuery(c, q)
 }
 
 // Rows returns a view's rows (with multiplicities) in sorted order, as of
@@ -112,12 +122,32 @@ func coreResolver(c *core.Warehouse) func(view string) (Schema, error) {
 	}
 }
 
-// queryCore parses and evaluates an ad-hoc query against one core snapshot.
-func queryCore(c *core.Warehouse, sql string) ([]Tuple, error) {
+// prepareQuery resolves sql to a bound plan, consulting the prepared-plan
+// cache first. The cache key is the normalized SQL plus the snapshot's
+// catalog version, so a plan is reused across epochs (window commits don't
+// change the catalog) but never across a view definition or snapshot
+// restore. Parse errors are not cached.
+func (w *Warehouse) prepareQuery(c *core.Warehouse, sql string) (*sqlparse.Query, error) {
+	cache := w.plans.Load()
+	if cache == nil {
+		return sqlparse.ParseQuery(sql, coreResolver(c))
+	}
+	version := c.CatalogVersion()
+	if q, ok := cache.Get(sql, version); ok {
+		return q, nil
+	}
 	q, err := sqlparse.ParseQuery(sql, coreResolver(c))
 	if err != nil {
 		return nil, err
 	}
+	cache.Put(sql, version, q)
+	return q, nil
+}
+
+// evaluateQuery runs a bound plan against one core snapshot and applies
+// the presentation clauses. The plan may be shared with concurrent queries
+// (it comes from the cache) and is never mutated.
+func evaluateQuery(c *core.Warehouse, q *sqlparse.Query) ([]Tuple, error) {
 	tbl, err := c.Evaluate(q.CQ)
 	if err != nil {
 		return nil, err
@@ -143,6 +173,13 @@ func queryCore(c *core.Warehouse, sql string) ([]Tuple, error) {
 			}
 			return false
 		})
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = out[:0]
+		} else {
+			out = out[q.Offset:]
+		}
 	}
 	if q.Limit >= 0 && len(out) > q.Limit {
 		out = out[:q.Limit]

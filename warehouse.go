@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/exec"
 	"repro/internal/parallel"
+	"repro/internal/plancache"
 	"repro/internal/planner"
 	"repro/internal/relation"
 	"repro/internal/snapshot"
@@ -213,6 +215,12 @@ type Warehouse struct {
 	epochs  *core.Epochs
 	model   CostModel
 	history []WindowReport
+	// plans is the prepared-plan cache consulted by every query path
+	// (Query, QueryEpoch, PinnedEpoch.Query, QuerySchema — and through
+	// them the query server and follower reads). Held through an atomic
+	// pointer so SetPlanCache can swap or disable it while queries are in
+	// flight; nil means caching is off.
+	plans atomic.Pointer[plancache.Cache[*sqlparse.Query]]
 }
 
 // New creates an empty warehouse.
@@ -233,8 +241,38 @@ func New(opts ...Options) *Warehouse {
 		ShareComputation:  o.ShareComputation,
 		SharedBudgetBytes: o.SharedBudgetBytes,
 	})
-	return &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
+	w := &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
+	w.plans.Store(plancache.New[*sqlparse.Query](DefaultPlanCacheSize))
+	return w
 }
+
+// DefaultPlanCacheSize is the prepared-plan cache capacity a new Warehouse
+// starts with; SetPlanCache adjusts or disables it.
+const DefaultPlanCacheSize = 256
+
+// SetPlanCache replaces the prepared-plan cache with a fresh one holding
+// at most size plans; size <= 0 disables caching. Existing cached plans
+// (and counters) are discarded. Safe to call concurrently with queries:
+// in-flight queries finish against the cache they started with.
+func (w *Warehouse) SetPlanCache(size int) {
+	if size <= 0 {
+		w.plans.Store(nil)
+		return
+	}
+	w.plans.Store(plancache.New[*sqlparse.Query](size))
+}
+
+// PlanCacheStats snapshots the prepared-plan cache counters; the zero
+// Stats when caching is disabled.
+func (w *Warehouse) PlanCacheStats() PlanCacheStats {
+	if c := w.plans.Load(); c != nil {
+		return c.Stats()
+	}
+	return PlanCacheStats{}
+}
+
+// PlanCacheStats is the prepared-plan cache's counter snapshot.
+type PlanCacheStats = plancache.Stats
 
 // adopt publishes next as the new serving epoch: the head pointer moves and
 // the epoch registry flips atomically, so readers pinned to the predecessor
@@ -634,12 +672,19 @@ func (w *Warehouse) Clone() *Warehouse {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	c := w.core.Clone()
-	return &Warehouse{
+	out := &Warehouse{
 		core:    c,
 		epochs:  core.NewEpochs(c),
 		model:   w.model,
 		history: append([]WindowReport(nil), w.history...),
 	}
+	// The clone gets its own (empty) plan cache with the same capacity:
+	// plans are immutable and could be shared, but per-clone counters keep
+	// the stats meaningful.
+	if pc := w.plans.Load(); pc != nil {
+		out.plans.Store(plancache.New[*sqlparse.Query](pc.Cap()))
+	}
+	return out
 }
 
 // Pending returns the views with staged or computed-but-uninstalled changes.
