@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke replica-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke replica-smoke spill-smoke
 
 all: build test
 
@@ -33,6 +33,17 @@ serve-smoke:
 replica-smoke:
 	$(GO) test ./cmd/whserverd/ -run 'TestReplicaSmoke' -count=1
 	$(GO) test ./internal/replicate/ -count=1
+
+# End-to-end smoke of bounded-memory execution: the budget's accounting, the
+# CRC-framed spill file format (corruption, truncation, injected I/O and
+# ENOSPC faults), the core spill + partition-odometer path, the recovery
+# ladder under persistent spill faults, and the facade's window counters,
+# stale-spill-dir sweep, and bounded-vs-unbounded differential legs.
+spill-smoke:
+	$(GO) test ./internal/memory/ ./internal/storage/ -count=1
+	$(GO) test ./internal/core/ -run 'TestSpilled|TestBounded|TestSharedEntrySpills|TestSpillENOSPC|TestCrashMidSpill|TestAttachMemory' -count=1
+	$(GO) test ./internal/recovery/ -run 'TestSpillFault' -count=1
+	$(GO) test . -run 'TestWindowCountersReportSpilling|TestCrashMidSpillSweptOnReopen|TestBoundedMemoryDifferential' -count=1
 
 # The concurrency tier: the full suite under the race detector. The
 # parallel, exec and core packages are the ones exercising goroutines
@@ -72,23 +83,28 @@ bench-smoke:
 # cache, window-wide cross-view registry) at one iteration, plus the SQL
 # front end and prepared-plan cache microbenchmarks (BenchmarkTokenize,
 # BenchmarkParseQuery, BenchmarkQueryCold/Cached/EndToEnd) at 1000
-# iterations with allocation stats. bench-json refreshes the committed
-# BENCH_7.json; bench-check reruns the same benchmarks and fails on a >2x
-# ns/op slowdown (sub-millisecond baselines are ignored as noise — except
-# allocs/op, which is deterministic and gates unconditionally, so the
-# 0-alloc tokenizer baseline fails on any allocation at all).
-BENCH_JSON          ?= BENCH_7.json
+# iterations with allocation stats, plus the spill-path benchmarks
+# (BenchmarkSpillBuild, BenchmarkBoundedWindow) in internal/core.
+# bench-json refreshes the committed BENCH_8.json; bench-check reruns the
+# same benchmarks and fails on a >2x ns/op slowdown (sub-millisecond
+# baselines are ignored as noise — except allocs/op, which is deterministic
+# and gates unconditionally, so the 0-alloc tokenizer baseline fails on any
+# allocation at all).
+BENCH_JSON          ?= BENCH_8.json
 BENCH_PATTERN       ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+BENCH_CORE_PATTERN  ?= BenchmarkSpillBuild|BenchmarkBoundedWindow
 BENCH_PARSE_PATTERN ?= BenchmarkTokenize|BenchmarkParseQuery|BenchmarkQueryCold|BenchmarkQueryCached|BenchmarkQueryEndToEnd
 
 bench-json:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) test ./internal/core -run '^$$' -bench '$(BENCH_CORE_PATTERN)' -benchtime 1x >> bench-out.txt
 	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt
 
 bench-check:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
+	$(GO) test ./internal/core -run '^$$' -bench '$(BENCH_CORE_PATTERN)' -benchtime 1x >> bench-out.txt
 	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt

@@ -43,8 +43,9 @@ func main() {
 		"faulttolerance": experiments.FaultTolerance,
 		"onlinewindow":   experiments.OnlineWindow,
 		"replication":    experiments.Replication,
+		"spill":          experiments.Spill,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication", "spill"}
 
 	var ids []string
 	if *only != "" {

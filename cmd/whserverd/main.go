@@ -8,8 +8,8 @@
 //
 //	whserverd [-addr :8080] [-queue 64] [-workers N] [-query-timeout 5s]
 //	          [-window-budget 0] [-window-every 0] [-mode dag] [-planner minwork]
-//	          [-share] [-pprof addr] [-stores 8] [-sales 2000] [-seed 7]
-//	          [-follow leader-addr] [-fetch-interval 100ms]
+//	          [-share] [-mem-budget-mb 0] [-pprof addr] [-stores 8] [-sales 2000]
+//	          [-seed 7] [-follow leader-addr] [-fetch-interval 100ms]
 //
 // The served warehouse is the retail demo VDAG (SALES/STORES bases, a join
 // view, an aggregate summary), populated from -seed. With -window-every set,
@@ -72,6 +72,7 @@ func main() {
 	mode := flag.String("mode", "dag", "window scheduling: sequential | staged | dag")
 	plannerName := flag.String("planner", "minwork", "window planner: minwork | prune | dualstage")
 	share := flag.Bool("share", false, "enable window-wide shared computation for update windows")
+	memBudgetMB := flag.Int64("mem-budget-mb", 0, "window memory budget in MiB; oversized builds spill to disk (0 = unbounded)")
 	planCacheSize := flag.Int("plan-cache-size", 256, "prepared-plan cache capacity for the query path (0 disables)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (separate mux; empty = off)")
 	stores := flag.Int("stores", 8, "demo warehouse: number of stores")
@@ -88,7 +89,8 @@ func main() {
 		addr: *addr, queue: *queue, workers: *workers,
 		queryTimeout: *queryTimeout, windowBudget: *windowBudget,
 		windowEvery: *windowEvery, mode: *mode, planner: *plannerName,
-		share: *share, planCacheSize: *planCacheSize, pprofAddr: *pprofAddr,
+		share: *share, memBudgetMB: *memBudgetMB,
+		planCacheSize: *planCacheSize, pprofAddr: *pprofAddr,
 		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
 		follow: *follow, fetchInterval: *fetchInterval,
 	}); err != nil {
@@ -104,6 +106,7 @@ type config struct {
 	windowEvery, drainTimeout  time.Duration
 	mode, planner              string
 	share                      bool
+	memBudgetMB                int64
 	planCacheSize              int
 	pprofAddr                  string
 	stores, sales              int
@@ -128,6 +131,10 @@ func run(ctx context.Context, cfg config) error {
 	}
 	if cfg.share {
 		w.SetSharing(true, 0)
+	}
+	if cfg.memBudgetMB > 0 {
+		w.SetMemoryBudget(cfg.memBudgetMB << 20)
+		fmt.Printf("whserverd: window memory budget %dMiB (oversized builds spill to disk)\n", cfg.memBudgetMB)
 	}
 	w.SetPlanCache(cfg.planCacheSize)
 	svCfg := serve.Config{

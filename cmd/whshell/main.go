@@ -13,6 +13,8 @@
 //	REFRESH;                                    materialize derived views
 //	WINDOW [planner] [STAGED|DAG [workers]];    plan + execute an update window
 //	PARALLEL ON|OFF [workers];                  intra-compute term/morsel parallelism
+//	SHARE ON|OFF [budget-mb];                   window-wide cross-view shared computation
+//	MEMORY <budget-mb>|OFF;                     window memory budget (spill-to-disk builds)
 //	SELECT ...;                                 ad-hoc query (ORDER BY col|ordinal, LIMIT n OFFSET m)
 //	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
 //	DEFER <view> ON|OFF;                        deferred maintenance policy
@@ -344,6 +346,26 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 			fmt.Fprintln(sh.out, "ok: window-wide shared computation off")
 		}
 		return false, nil
+	case "MEMORY":
+		// MEMORY <budget-mb>|OFF: bound the window's transient build-state
+		// memory. Oversized builds spill to disk Grace-style and are probed
+		// partition-wise; results and measured work are identical at any
+		// budget. WINDOW reports spills/bytes/peak when spilling engages.
+		if len(words) != 2 {
+			return false, fmt.Errorf("usage: MEMORY <budget-mb>|OFF")
+		}
+		if words[1] == "OFF" {
+			sh.w.SetMemoryBudget(0)
+			fmt.Fprintln(sh.out, "ok: window memory budget off")
+			return false, nil
+		}
+		n, err := strconv.ParseInt(words[1], 10, 64)
+		if err != nil || n <= 0 {
+			return false, fmt.Errorf("MEMORY: bad budget %q (MiB, or OFF)", words[1])
+		}
+		sh.w.SetMemoryBudget(n << 20)
+		fmt.Fprintf(sh.out, "ok: window memory budget %dMiB (oversized builds spill to disk)\n", n)
+		return false, nil
 	case "VERIFY":
 		if err := sh.w.Verify(); err != nil {
 			return false, err
@@ -382,6 +404,7 @@ func (sh *shell) help() {
   WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;  DIGEST;
   PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
   SHARE ON|OFF [budget-mb];             window-wide cross-view shared computation
+  MEMORY <budget-mb>|OFF;               window memory budget (spill-to-disk builds)
   SELECT ... [ORDER BY col|n [ASC|DESC], ...] [LIMIT n [OFFSET m]];
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
   DEFER <view> ON|OFF;

@@ -44,6 +44,22 @@ func appendWriter(path string) (*journal.Writer, *os.File, error) {
 	return journal.NewWriter(f), f, nil
 }
 
+// spillDirFor names the per-window spill directory next to the journal, so
+// a crashed window's spill leftovers are attributable and sweepable.
+func spillDirFor(journalPath string, seq int) string {
+	if journalPath == "" {
+		return ""
+	}
+	return filepath.Join(journalPath+".spill", fmt.Sprintf("w%d", seq))
+}
+
+// sweepSpill removes the spill leftovers of crashed runs before a new or
+// resumed window executes; committed and aborted windows clean up after
+// themselves, so anything under the root is stale.
+func sweepSpill(journalPath string) {
+	os.RemoveAll(journalPath + ".spill")
+}
+
 // checkpointPath names the pre-window checkpoint written next to the
 // journal. Resume restores it instead of trusting a rebuild to be
 // bit-identical: regeneration from -sf/-seed reproduces every row, but
@@ -87,6 +103,7 @@ func journaledRun(ctx context.Context, tw *tpcd.Warehouse, s strategy.Strategy, 
 		Retries:  o.retries,
 	}
 	if o.journal != "" {
+		sweepSpill(o.journal)
 		jw, f, err := appendWriter(o.journal)
 		if err != nil {
 			return err
@@ -94,6 +111,7 @@ func journaledRun(ctx context.Context, tw *tpcd.Warehouse, s strategy.Strategy, 
 		defer f.Close()
 		ropts.Journal = jw
 		ropts.Seq = lg.CommittedCount() + 1
+		ropts.SpillDir = spillDirFor(o.journal, ropts.Seq)
 	}
 	res, err := recovery.Run(tw.W, s, ropts)
 	if err != nil {
@@ -129,6 +147,7 @@ func resumeWindow(ctx context.Context, tw *tpcd.Warehouse, lg *journal.Log, o op
 		return recoveryErr(fmt.Errorf("restoring checkpoint %s: %w", checkpointPath(o.journal), err))
 	}
 	fmt.Printf("restored pre-window checkpoint %s\n", checkpointPath(o.journal))
+	sweepSpill(o.journal)
 	jw, f, err := appendWriter(o.journal)
 	if err != nil {
 		return err
@@ -138,6 +157,7 @@ func resumeWindow(ctx context.Context, tw *tpcd.Warehouse, lg *journal.Log, o op
 		Journal:  jw,
 		Context:  ctx,
 		Validate: true,
+		SpillDir: spillDirFor(o.journal, lg.InFlight().Begin.Seq),
 	})
 	if err != nil {
 		return recoveryErr(fmt.Errorf("resuming journal %s: %w", o.journal, err))
@@ -175,4 +195,9 @@ func printWindow(res *recovery.Result, o options) {
 	fmt.Printf("update window (%s%s): %s, total work %d, span work %d, critical path %d, speedup %.2f\n",
 		res.Mode, note, rep.Elapsed.Round(time.Microsecond),
 		rep.TotalWork, rep.SpanWork, rep.CriticalPathWork, rep.Speedup())
+	var flat []exec.StepReport
+	for _, stage := range rep.Steps {
+		flat = append(flat, stage...)
+	}
+	printSpillSummary(flat, rep.PeakReservedBytes)
 }

@@ -8,7 +8,7 @@
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
 //	         [-planner minwork|prune|dualstage|reverse]
 //	         [-par sequential|staged|dag] [-workers N] [-par-terms]
-//	         [-share] [-share-budget-mb N]
+//	         [-share] [-share-budget-mb N] [-mem-budget-mb N]
 //	         [-skip-empty] [-timeout d] [-journal f [-resume]] [-retries N]
 //	         [-v] [-cpuprofile f] [-memprofile f]
 //
@@ -21,7 +21,11 @@
 // budget. -share enables window-wide shared computation: operands several
 // views' compute expressions read are hashed once and reused across them,
 // bounded by -share-budget-mb of transient materialization (0 = 64 MiB
-// default). -cpuprofile/-memprofile write pprof profiles of the run so
+// default). -mem-budget-mb bounds the window's total transient build-state
+// memory: every build-side hash table draws on one budget and builds that do
+// not fit spill to disk Grace-style, probed partition-wise — results and
+// measured work are identical at any budget, only bytes moved change (0 =
+// unbounded). -cpuprofile/-memprofile write pprof profiles of the run so
 // term-evaluation hot spots are measurable in the field.
 //
 // -timeout bounds the window's wall-clock time; cancellation propagates
@@ -99,6 +103,7 @@ func main() {
 	parTerms := flag.Bool("par-terms", false, "parallelize inside each compute expression (terms + morsels, shared builds)")
 	share := flag.Bool("share", false, "share computed operands across views within the window (cross-view CSE)")
 	shareBudgetMB := flag.Int64("share-budget-mb", 0, "transient materialization budget for -share, in MiB (0 = 64 MiB default)")
+	memBudgetMB := flag.Int64("mem-budget-mb", 0, "window memory budget for build-side state, in MiB; oversized builds spill to disk (0 = unbounded)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
 	timeout := flag.Duration("timeout", 0, "bound the window's wall-clock time (0 = no limit)")
 	journalPath := flag.String("journal", "", "journal the window to this file (crash-safe execution)")
@@ -134,7 +139,7 @@ func main() {
 		ctx: ctx,
 		sf:  *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
 		par: parName, workers: *workers, parTerms: *parTerms,
-		share: *share, shareBudgetMB: *shareBudgetMB,
+		share: *share, shareBudgetMB: *shareBudgetMB, memBudgetMB: *memBudgetMB,
 		skipEmpty: *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
 		timeout: *timeout, journal: *journalPath, resume: *resume, retries: *retries,
@@ -173,6 +178,7 @@ type options struct {
 	parTerms             bool
 	share                bool
 	shareBudgetMB        int64
+	memBudgetMB          int64
 	skipEmpty            bool
 	verbose, dot, script bool
 	timeout              time.Duration
@@ -230,6 +236,7 @@ func run(o options) error {
 		ParallelTerms: o.parTerms, Workers: o.workers,
 		ShareComputation:  o.share,
 		SharedBudgetBytes: o.shareBudgetMB << 20,
+		MemoryBudgetBytes: o.memBudgetMB << 20,
 	})
 	if err != nil {
 		return err
@@ -239,6 +246,9 @@ func run(o options) error {
 	}
 	if o.share {
 		fmt.Printf("window-wide shared computation on (budget=%s)\n", budgetLabel(o.shareBudgetMB))
+	}
+	if o.memBudgetMB > 0 {
+		fmt.Printf("window memory budget %dMiB (oversized builds spill to disk)\n", o.memBudgetMB)
 	}
 	fmt.Printf("built TPC-D warehouse (SF=%g) in %s\n", sf, time.Since(start).Round(time.Millisecond))
 	for _, v := range tw.W.ViewNames() {
@@ -364,6 +374,7 @@ func run(o options) error {
 			flat = append(flat, stage...)
 		}
 		printSharedSummary(flat, rep.SharedBytesPeak)
+		printSpillSummary(flat, rep.PeakReservedBytes)
 	} else {
 		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true, Context: ctx})
 		if err != nil {
@@ -378,6 +389,7 @@ func run(o options) error {
 		}
 		fmt.Printf("update window: %s\n", rep)
 		printSharedSummary(rep.Steps, rep.SharedBytesPeak)
+		printSpillSummary(rep.Steps, rep.PeakReservedBytes)
 	}
 
 	return verify(tw.W)
@@ -394,6 +406,9 @@ func cacheSuffix(step exec.StepReport) string {
 	if step.SharedHits+step.SharedMisses > 0 {
 		s += fmt.Sprintf(" shared=%d/%d saved=%d",
 			step.SharedHits, step.SharedHits+step.SharedMisses, step.SharedTuplesSaved)
+	}
+	if step.SpillCount > 0 {
+		s += fmt.Sprintf(" spills=%d", step.SpillCount)
 	}
 	return s
 }
@@ -413,6 +428,23 @@ func printSharedSummary(steps []exec.StepReport, peak int64) {
 	}
 	fmt.Printf("shared computation: %d/%d builds reused, %d operand tuples saved, peak %d bytes\n",
 		hits, hits+misses, saved, peak)
+}
+
+// printSpillSummary totals the window's memory-budget spill counters; silent
+// when nothing spilled.
+func printSpillSummary(steps []exec.StepReport, peak int64) {
+	var spills int
+	var out, reread int64
+	for _, st := range steps {
+		spills += st.SpillCount
+		out += st.SpilledBytes
+		reread += st.SpillReReadBytes
+	}
+	if spills == 0 {
+		return
+	}
+	fmt.Printf("memory budget: %d builds spilled, %d bytes out, %d bytes re-read, peak %d bytes resident\n",
+		spills, out, reread, peak)
 }
 
 // budgetLabel renders the -share-budget-mb value for logging.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -111,4 +112,79 @@ func BenchmarkRecomputeVsIncremental(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSpillBuild measures the raw spill machinery: partition a build's
+// rows to CRC-framed spill files, then load every partition back as a hash
+// table — one full Grace-style write + probe-load round trip.
+func BenchmarkSpillBuild(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		rows := make([]prow, n)
+		for i := range rows {
+			rows[i] = prow{row: intRow(int64(i), int64(i)), count: 1}
+		}
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			w := New(Options{MemoryBudgetBytes: 64 << 10})
+			if ok, err := w.AttachMemory(b.TempDir(), nil); !ok || err != nil {
+				b.Fatalf("AttachMemory = (%v, %v)", ok, err)
+			}
+			defer w.DetachMemory()
+			mu := newMemUse(w.mem)
+			est := estimateRowsBytes(rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb, err := w.mem.spill(context.Background(), mu, rows, []int{1}, est)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := range sb.parts {
+					bt, g, err := sb.loadPart(context.Background(), mu, k)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = bt
+					g.Release()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBoundedWindow contrasts the same update window run fully
+// resident and under a budget that forces its builds through the spill
+// path — the wall-clock price of bounded memory.
+func BenchmarkBoundedWindow(b *testing.B) {
+	const n = 10000
+	for _, budget := range []int64{0, 1 << 20} {
+		label := "unbounded"
+		if budget > 0 {
+			label = fmt.Sprintf("budget=%dKiB", budget>>10)
+		}
+		b.Run(label, func(b *testing.B) {
+			w := benchWarehouse(b, n)
+			w.opts.MemoryBudgetBytes = budget
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run := w.Clone()
+				if budget > 0 {
+					if ok, err := run.AttachMemory("", nil); !ok || err != nil {
+						b.Fatalf("AttachMemory = (%v, %v)", ok, err)
+					}
+				}
+				if _, err := run.Compute("J", []string{"R"}); err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range []string{"R", "J"} {
+					if _, err := run.Install(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if budget > 0 {
+					if ms := run.DetachMemory(); ms.SpillCount == 0 {
+						b.Fatal("bounded window never spilled")
+					}
+				}
+			}
+		})
+	}
 }

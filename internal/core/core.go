@@ -68,8 +68,19 @@ type Options struct {
 	ShareComputation bool
 	// SharedBudgetBytes bounds the transiently materialized shared results
 	// (0 = a 64 MiB default). Entries that would exceed the budget are
-	// computed for their requester but not retained.
+	// computed for their requester but not retained — or, with a window
+	// memory budget attached, degraded per-entry to spill files and only
+	// then to recompute.
 	SharedBudgetBytes int64
+	// MemoryBudgetBytes bounds the window's bulk build state (0 = off,
+	// i.e. unbounded). With a budget attached for a window (AttachMemory),
+	// every build-side hash table — term-local, per-Compute cached, and
+	// shared-registry retained — reserves against it, and builds that do
+	// not fit spill to CRC-framed temp files probed partition-wise
+	// (Grace-style). Results, digests and the linear work metric are
+	// identical at any budget; only wall-clock, bytes moved and the spill
+	// counters differ. Ignored under UseIndexes (see AttachMemory).
+	MemoryBudgetBytes int64
 }
 
 // View is one materialized warehouse view.
@@ -169,6 +180,9 @@ type Warehouse struct {
 	// the duration of one update window (AttachSharing/DetachSharing) and
 	// nil otherwise. Clones never inherit it: each window attaches its own.
 	shared *SharedRegistry
+	// mem is the window-wide memory manager (AttachMemory/DetachMemory),
+	// nil outside a budgeted window. Like shared, clones never inherit it.
+	mem *memManager
 	// version counts catalog changes (view definitions). The prepared-plan
 	// cache records the version a plan was bound against and discards the
 	// plan when it no longer matches, so a plan can never outlive the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/delta"
 	"repro/internal/maintain"
+	"repro/internal/memory"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -55,6 +56,16 @@ type CompReport struct {
 	// shared registry elided for this Compute. Like BuildTuplesSaved, it
 	// never changes OperandTuples.
 	SharedTuplesSaved int64
+	// SpillCount is the number of build tables this Compute spilled to disk
+	// because they did not fit the window memory budget (0 without an
+	// attached budget). Like the caches, spilling changes physical work
+	// only — OperandTuples never sees it.
+	SpillCount int
+	// SpilledBytes is the bytes this Compute wrote to spill files.
+	SpilledBytes int64
+	// SpillReReadBytes is the bytes this Compute re-read from spill files
+	// during partition-wise probing.
+	SpillReReadBytes int64
 }
 
 // source abstracts the two operand kinds a term reads: a view's current
@@ -147,13 +158,13 @@ func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) 
 		return w.computeParallel(ctx, rep, v, terms, deltas, su)
 	}
 
-	// The sequential engine consults the registry per term through a
-	// minimal env (no pool, no caches): execution order and semantics are
-	// untouched, only build tables of shared operands come from (and go
-	// to) the registry.
+	// The sequential engine consults the registry (and the memory budget)
+	// per term through a minimal env (no pool, no caches): execution order
+	// and semantics are untouched, only build tables of shared operands
+	// come from (and go to) the registry, and oversized builds spill.
 	var env *evalEnv
-	if su != nil {
-		env = &evalEnv{shared: su}
+	if su != nil || w.mem != nil {
+		env = &evalEnv{shared: su, mem: newMemUse(w.mem), ctx: ctx}
 	}
 	sink, flush := w.makeSink(v)
 	sinks := seqSinks(sink)
@@ -170,6 +181,7 @@ func (w *Warehouse) ComputeCtx(ctx context.Context, name string, over []string) 
 	}
 	rep.OutputTuples = flush()
 	su.fill(&rep)
+	env.memUse().fill(&rep)
 	return rep, nil
 }
 
@@ -237,6 +249,9 @@ type evalEnv struct {
 	// shared is this Compute's handle on the window-wide registry (nil
 	// when no registry is attached).
 	shared *sharedUse
+	// mem is this Compute's handle on the window memory budget (nil when
+	// no budget is attached).
+	mem *memUse
 }
 
 // ctxErr reports the env's cancellation state; nil env or ctx never cancels.
@@ -269,6 +284,21 @@ func (e *evalEnv) buildCache() *buildCache {
 		return nil
 	}
 	return e.cache
+}
+
+func (e *evalEnv) memUse() *memUse {
+	if e == nil {
+		return nil
+	}
+	return e.mem
+}
+
+// evalCtx returns the env's context for spill I/O (nil cancels nothing).
+func (e *evalEnv) evalCtx() context.Context {
+	if e == nil {
+		return nil
+	}
+	return e.ctx
 }
 
 // evalTerm evaluates one maintenance term of cq: references listed in
@@ -320,10 +350,27 @@ type buildReq struct {
 
 // runTerm executes a planned term: materialize the driver, resolve the
 // build sides (through env's caches when present), and run the pipeline.
+// Term-local builds (no per-Compute cache) release their budget grants when
+// the term finishes; cached and registry-served builds are released by their
+// owner at Compute (resp. window) end.
 func runTerm(plan *termPlan, sinks sinkFactory, env *evalEnv) (int64, error) {
 	rows := scanSource(env, plan.driverSrc)
+	var owned []*memory.Grant
+	defer func() {
+		for _, g := range owned {
+			g.Release()
+		}
+	}()
 	for _, br := range plan.builds {
-		plan.pl.steps[br.step].build = buildFor(env, br)
+		res, err := buildFor(env, br)
+		if err != nil {
+			return 0, err
+		}
+		if res.owned != nil {
+			owned = append(owned, res.owned)
+		}
+		plan.pl.steps[br.step].build = res.bt
+		plan.pl.steps[br.step].spilled = res.sp
 	}
 	probed, err := plan.pl.run(rows, sinks, env)
 	if err != nil {
@@ -475,7 +522,8 @@ type joinStep struct {
 	keys    []equiKey
 	roff    int
 	preds   []algebra.Expr
-	build   *buildTable    // default path (nil when indexed)
+	build   *buildTable    // default path (nil when indexed or spilled)
+	spilled *spilledBuild  // spilled default path: probed partition-wise
 	index   *storage.Table // indexed path
 	idxCols []int
 }
@@ -498,8 +546,23 @@ type pipeline struct {
 // run pushes the driver rows through the pipeline, splitting them into
 // parallel morsels when env carries a worker pool. It returns the number of
 // index probes performed (0 on the default path — build-side scans are
-// accounted at planning time).
+// accounted at planning time). Steps whose build spilled to disk execute
+// pass-wise (see runSpilled); the resident path is runResident.
 func (p *pipeline) run(rows []prow, sinks sinkFactory, env *evalEnv) (int64, error) {
+	var spilled []int
+	for i := range p.steps {
+		if p.steps[i].spilled != nil {
+			spilled = append(spilled, i)
+		}
+	}
+	if len(spilled) > 0 {
+		return p.runSpilled(rows, sinks, env, spilled)
+	}
+	return p.runResident(rows, sinks, env)
+}
+
+// runResident runs the pipeline with every build side resident in memory.
+func (p *pipeline) runResident(rows []prow, sinks sinkFactory, env *evalEnv) (int64, error) {
 	pool := env.workerPool()
 	ms := env.morselSize()
 	if pool == nil || len(rows) <= ms {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/memory"
+)
+
+// This file attaches the window-wide memory budget (internal/memory) to the
+// warehouse. Like the shared registry, a memManager lives for one update
+// window: AttachMemory installs it before the first step, every build-side
+// materialization draws on its budget (see buildLocal and the registry's
+// admission in shared.go), and DetachMemory reports the window's spill
+// accounting and removes the spill directory.
+//
+// The budget governs hash-table state — term-local builds, per-Compute
+// cached builds, and the shared registry's retained entries. Driver-row
+// materializations are not charged: they are consumed streaming, morsel by
+// morsel, and never held beyond the term that scans them.
+//
+// The memory layer is disabled under Options.UseIndexes: the indexed path
+// counts probes as Work, and pass-wise probing would multiply those probes,
+// perturbing the linear work metric that recovery and replication verify.
+
+// residentFraction is the share of the budget available to resident builds;
+// the remainder is headroom for the forced reservations of spill-partition
+// loads, keeping the window's true peak under the configured budget.
+const residentFraction = 0.75
+
+// memManager is the per-window memory state: the budget, the spill
+// directory, the fault injector for spill I/O, and window-wide totals.
+type memManager struct {
+	budget   *memory.Budget
+	resLimit int64 // admission cap for resident builds (headroom below limit)
+	dir      string
+	inj      *faults.Injector
+	nextID   atomic.Int64 // spill file naming
+
+	spills       atomic.Int64
+	spilledBytes atomic.Int64
+	reReadBytes  atomic.Int64
+}
+
+// MemStats summarizes a detached memory manager for reporting.
+type MemStats struct {
+	// SpillCount is the number of build tables spilled to disk.
+	SpillCount int
+	// SpilledBytes is the total bytes written to spill files.
+	SpilledBytes int64
+	// SpillReReadBytes is the total bytes re-read from spill files during
+	// partition-wise probing.
+	SpillReReadBytes int64
+	// PeakReservedBytes is the high-water mark of reserved build-state
+	// bytes, including resident spill partitions during probing passes.
+	PeakReservedBytes int64
+}
+
+// AttachMemory installs a memory budget on the warehouse for the coming
+// window, spilling oversized builds under dir (created if needed; a per-run
+// temp dir when dir is empty). It reports false — attaching nothing — when
+// no budget is configured, indexes are enabled (see the file comment), or a
+// manager is already attached. Not safe to call while expressions execute.
+func (w *Warehouse) AttachMemory(dir string, inj *faults.Injector) (bool, error) {
+	if w.opts.MemoryBudgetBytes <= 0 || w.opts.UseIndexes || w.mem != nil {
+		return false, nil
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "whspill-")
+		if err != nil {
+			return false, fmt.Errorf("core: creating spill dir: %w", err)
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("core: creating spill dir: %w", err)
+	}
+	limit := w.opts.MemoryBudgetBytes
+	resLimit := int64(float64(limit) * residentFraction)
+	if resLimit < 1 {
+		resLimit = 1
+	}
+	w.mem = &memManager{
+		budget:   memory.NewBudget(limit),
+		resLimit: resLimit,
+		dir:      dir,
+		inj:      inj,
+	}
+	return true, nil
+}
+
+// DetachMemory removes the manager, deletes the spill directory, and returns
+// the window's memory stats. After a crash-class fault the directory is left
+// in place — a killed process removes nothing — so the stale-dir sweep on
+// warehouse open (see OpenJournal) is exercised by the same machinery a real
+// crash would leave behind. Safe to call when nothing is attached.
+func (w *Warehouse) DetachMemory() MemStats {
+	mm := w.mem
+	w.mem = nil
+	if mm == nil {
+		return MemStats{}
+	}
+	if !mm.inj.Crashed() {
+		os.RemoveAll(mm.dir)
+	}
+	return MemStats{
+		SpillCount:        int(mm.spills.Load()),
+		SpilledBytes:      mm.spilledBytes.Load(),
+		SpillReReadBytes:  mm.reReadBytes.Load(),
+		PeakReservedBytes: mm.budget.Peak(),
+	}
+}
+
+// partTarget is the on-disk partition size spilling aims for: small enough
+// that the one-resident-partition-per-spilled-step working set of a probing
+// pass fits comfortably in the budget's headroom, large enough to bound the
+// file count.
+func (mm *memManager) partTarget() int64 {
+	t := mm.budget.Limit() / 8
+	if t < 64<<10 {
+		t = 64 << 10
+	}
+	return t
+}
+
+// memUse is one Compute's handle on the window memory manager: per-Compute
+// spill counters feeding CompReport, mirroring sharedUse. A nil memUse (no
+// budget attached) is inert.
+type memUse struct {
+	mm           *memManager
+	spills       atomic.Int64
+	spilledBytes atomic.Int64
+	reRead       atomic.Int64
+}
+
+func newMemUse(mm *memManager) *memUse {
+	if mm == nil {
+		return nil
+	}
+	return &memUse{mm: mm}
+}
+
+// fill copies the counters into a CompReport; a nil receiver leaves the
+// report untouched.
+func (mu *memUse) fill(rep *CompReport) {
+	if mu == nil {
+		return
+	}
+	rep.SpillCount = int(mu.spills.Load())
+	rep.SpilledBytes = mu.spilledBytes.Load()
+	rep.SpillReReadBytes = mu.reRead.Load()
+}
+
+// estimateRowsBytes estimates the resident hash-table footprint of a
+// materialized row set, using the same constant the shared registry charges
+// with so one budget sees consistent units.
+func estimateRowsBytes(rows []prow) int64 {
+	width := 1
+	if len(rows) > 0 {
+		width = len(rows[0].row)
+	}
+	return cost.EstimateMaterializedBytes(int64(len(rows)), width)
+}

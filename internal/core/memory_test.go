@@ -1,0 +1,475 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/faults"
+	"repro/internal/relation"
+)
+
+// newOneToOneWarehouse builds base R(a,b), S(b,c) with n rows each, joined
+// 1:1 on b (row i of R matches exactly row i of S), and V = R ⋈ S. The 1:1
+// shape keeps join fanout linear so large n stays fast — what the peak test
+// needs to push a build table past a realistic budget.
+func newOneToOneWarehouse(t *testing.T, n int, opts Options) *Warehouse {
+	t.Helper()
+	w := New(opts)
+	if err := w.DefineBase("R", schemaR); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineBase("S", schemaS); err != nil {
+		t.Fatal(err)
+	}
+	b := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+	b.Join("r.b", "s.b").SelectCol("r.a").SelectCol("s.c")
+	cq, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DefineDerived("V", cq); err != nil {
+		t.Fatal(err)
+	}
+	var rRows, sRows []relation.Tuple
+	for i := int64(0); i < int64(n); i++ {
+		rRows = append(rRows, intRow(i, i))
+		sRows = append(sRows, intRow(i, i))
+	}
+	if err := w.LoadBase("R", rRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadBase("S", sRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{"R", "S"} {
+		d := delta.New(w.MustView(base).Schema())
+		d.Add(intRow(1_000_000, 3), 1)
+		d.Add(intRow(3, 55), 1)
+		if err := w.StageDelta(base, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// runJoinWindow computes and installs V over {R, S}, returning the CompReport
+// — one full update window for the single-view warehouses in this file.
+func runJoinWindow(t *testing.T, w *Warehouse) CompReport {
+	t.Helper()
+	rep, err := w.Compute("V", []string{"R", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"R", "S", "V"} {
+		if _, err := w.Install(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// bagOf renders a view's sorted bag for exact comparison.
+func bagOf(t *testing.T, w *Warehouse, view string) []string {
+	t.Helper()
+	var out []string
+	for _, r := range w.MustView(view).SortedRows() {
+		out = append(out, fmt.Sprintf("%v x%d", r.Tuple, r.Count))
+	}
+	return out
+}
+
+func requireSameBag(t *testing.T, name string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s row %d: %s, want %s", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpilledBuildMatchesUnbounded: a tiny budget forces every state build to
+// spill; the window's results, work metric, and verification must be
+// indistinguishable from the unbounded run — only the spill counters move.
+// Runs the sequential and term-parallel engines.
+func TestSpilledBuildMatchesUnbounded(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := Options{ParallelTerms: par, Workers: 2}
+			plain := newOneToOneWarehouse(t, 120, opts)
+			plainRep := runJoinWindow(t, plain)
+
+			opts.MemoryBudgetBytes = 4096
+			bounded := newOneToOneWarehouse(t, 120, opts)
+			ok, err := bounded.AttachMemory("", nil)
+			if err != nil || !ok {
+				t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+			}
+			rep := runJoinWindow(t, bounded)
+			ms := bounded.DetachMemory()
+
+			if rep.SpillCount == 0 || rep.SpilledBytes == 0 || rep.SpillReReadBytes == 0 {
+				t.Fatalf("4 KiB budget never spilled: %+v", rep)
+			}
+			if plainRep.SpillCount != 0 || plainRep.SpilledBytes != 0 {
+				t.Fatalf("unbounded run reports spills: %+v", plainRep)
+			}
+			if rep.OperandTuples != plainRep.OperandTuples {
+				t.Errorf("work moved under spilling: %d vs %d", rep.OperandTuples, plainRep.OperandTuples)
+			}
+			if ms.SpillCount == 0 || ms.PeakReservedBytes == 0 {
+				t.Errorf("window MemStats empty: %+v", ms)
+			}
+			requireSameBag(t, "V", bagOf(t, bounded, "V"), bagOf(t, plain, "V"))
+			if err := bounded.VerifyAll(); err != nil {
+				t.Fatalf("spilled run corrupted state: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpilledCrossProduct: a term with no equi-join keys routes spill rows
+// round-robin (hashing a keyless row would put every row in one partition);
+// results still match the unbounded run exactly.
+func TestSpilledCrossProduct(t *testing.T) {
+	build := func(opts Options) *Warehouse {
+		w := New(opts)
+		if err := w.DefineBase("R", schemaR); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineBase("S", schemaS); err != nil {
+			t.Fatal(err)
+		}
+		b := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS)
+		b.Where(&algebra.Binary{Op: algebra.OpGt, L: b.Col("r.a"), R: b.Col("s.c")}).
+			SelectCol("r.a").SelectCol("s.c")
+		cq, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDerived("V", cq); err != nil {
+			t.Fatal(err)
+		}
+		var rRows, sRows []relation.Tuple
+		for i := int64(0); i < 120; i++ {
+			rRows = append(rRows, intRow(i, i%10))
+			sRows = append(sRows, intRow(i%10, i))
+		}
+		if err := w.LoadBase("R", rRows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.LoadBase("S", sRows); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.RefreshAll(); err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []string{"R", "S"} {
+			d := delta.New(w.MustView(base).Schema())
+			d.Add(intRow(60, 2), 1)
+			if err := w.StageDelta(base, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	plain := build(Options{})
+	runJoinWindow(t, plain)
+
+	bounded := build(Options{MemoryBudgetBytes: 4096})
+	if ok, err := bounded.AttachMemory("", nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	rep := runJoinWindow(t, bounded)
+	bounded.DetachMemory()
+	if rep.SpillCount == 0 {
+		t.Fatal("cross-product build never spilled")
+	}
+	requireSameBag(t, "V", bagOf(t, bounded, "V"), bagOf(t, plain, "V"))
+}
+
+// TestSpilledMultiStepOdometer: a three-way join where several build sides
+// spill at once exercises the pass odometer over the cross product of each
+// spilled step's partitions.
+func TestSpilledMultiStepOdometer(t *testing.T) {
+	schemaT := relation.Schema{{Name: "c", Kind: relation.KindInt}, {Name: "d", Kind: relation.KindInt}}
+	build := func(opts Options) *Warehouse {
+		w := New(opts)
+		for _, def := range []struct {
+			name   string
+			schema relation.Schema
+		}{{"R", schemaR}, {"S", schemaS}, {"T", schemaT}} {
+			if err := w.DefineBase(def.name, def.schema); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := algebra.NewBuilder().From("r", "R", schemaR).From("s", "S", schemaS).From("t", "T", schemaT)
+		b.Join("r.b", "s.b").Join("s.c", "t.c").SelectCol("r.a").SelectCol("t.d")
+		cq, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDerived("V", cq); err != nil {
+			t.Fatal(err)
+		}
+		var rRows, sRows, tRows []relation.Tuple
+		for i := int64(0); i < 150; i++ {
+			rRows = append(rRows, intRow(i, i))
+			sRows = append(sRows, intRow(i, i))
+			tRows = append(tRows, intRow(i, i*2))
+		}
+		for view, rows := range map[string][]relation.Tuple{"R": rRows, "S": sRows, "T": tRows} {
+			if err := w.LoadBase(view, rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.RefreshAll(); err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []string{"R", "S", "T"} {
+			d := delta.New(w.MustView(base).Schema())
+			d.Add(intRow(7, 7), 1)
+			d.Add(intRow(1_000_000+3, 3), 1)
+			if err := w.StageDelta(base, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+	window := func(w *Warehouse) CompReport {
+		rep, err := w.Compute("V", []string{"R", "S", "T"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"R", "S", "T", "V"} {
+			if _, err := w.Install(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rep
+	}
+
+	plain := build(Options{})
+	plainRep := window(plain)
+
+	bounded := build(Options{MemoryBudgetBytes: 4096})
+	if ok, err := bounded.AttachMemory("", nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	rep := window(bounded)
+	bounded.DetachMemory()
+	// The δR ⋈ S ⋈ T term alone must spill both state builds, so the window
+	// spills more tables than it has terms with a single state operand.
+	if rep.SpillCount < 2 {
+		t.Fatalf("expected at least two spilled builds, got %d", rep.SpillCount)
+	}
+	if rep.OperandTuples != plainRep.OperandTuples {
+		t.Errorf("work moved under spilling: %d vs %d", rep.OperandTuples, plainRep.OperandTuples)
+	}
+	requireSameBag(t, "V", bagOf(t, bounded, "V"), bagOf(t, plain, "V"))
+	if err := bounded.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundedPeakStaysUnderBudget: at a realistic budget the resident
+// head-room scheme keeps the window's true peak (including loaded spill
+// partitions) under the configured budget, while the same window unbounded
+// provably needs more.
+func TestBoundedPeakStaysUnderBudget(t *testing.T) {
+	const n = 20000
+	const budget = 1 << 20
+
+	// Accounting-only leg: a huge budget admits everything resident, so its
+	// peak is the window's unbounded footprint.
+	unbounded := newOneToOneWarehouse(t, n, Options{MemoryBudgetBytes: 1 << 40})
+	if ok, err := unbounded.AttachMemory("", nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	uRep := runJoinWindow(t, unbounded)
+	uStats := unbounded.DetachMemory()
+	if uRep.SpillCount != 0 {
+		t.Fatalf("unbounded leg spilled %d builds", uRep.SpillCount)
+	}
+	if uStats.PeakReservedBytes <= budget {
+		t.Fatalf("workload too small to prove anything: unbounded peak %d <= budget %d",
+			uStats.PeakReservedBytes, budget)
+	}
+
+	bounded := newOneToOneWarehouse(t, n, Options{MemoryBudgetBytes: budget})
+	if ok, err := bounded.AttachMemory("", nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	bRep := runJoinWindow(t, bounded)
+	bStats := bounded.DetachMemory()
+	if bRep.SpillCount == 0 {
+		t.Fatal("bounded leg never spilled")
+	}
+	if bStats.PeakReservedBytes > budget {
+		t.Fatalf("bounded peak %d exceeds budget %d", bStats.PeakReservedBytes, budget)
+	}
+	requireSameBag(t, "V", bagOf(t, bounded, "V"), bagOf(t, unbounded, "V"))
+}
+
+// TestSharedEntrySpillsBeforeRecompute: with the unified budget attached, an
+// over-budget shared entry degrades to shared spill files that later
+// consumers still probe (EvictedToSpill, hits intact) — it is NOT dropped to
+// per-consumer recompute. Only when spilling itself fails does the entry
+// degrade the rest of the way (Evicted), and the window still completes with
+// correct results. This pins the spill-before-recompute ordering that fixes
+// the -share-budget-mb cliff.
+func TestSharedEntrySpillsBeforeRecompute(t *testing.T) {
+	const nViews = 3
+
+	// Healthy spill path: entries degrade to spill, consumers still hit.
+	w := newSiblingWarehouse(t, nViews, Options{ShareComputation: true, MemoryBudgetBytes: 4096})
+	loadSiblingData(t, w)
+	if ok, err := w.AttachMemory("", nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	if !w.AttachSharing(siblingHints(nViews)) {
+		t.Fatal("AttachSharing refused")
+	}
+	reps := runSiblingWindow(t, w, nViews)
+	stats := w.DetachSharing()
+	w.DetachMemory()
+	if stats.EvictedToSpill == 0 {
+		t.Fatalf("over-budget entries never spilled: %+v", stats)
+	}
+	if stats.Evicted != 0 {
+		t.Fatalf("healthy spill path still evicted to recompute: %+v", stats)
+	}
+	var hits int
+	for _, rep := range reps {
+		hits += rep.SharedHits
+	}
+	if hits == 0 {
+		t.Fatal("no consumer hit a spilled shared entry")
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spill failure: the first registry build's spill dies; that entry (and
+	// only that path) degrades to recompute, later builds spill fine, and the
+	// final state still verifies.
+	inj := faults.New(42)
+	inj.FailAt("spill-write", 1)
+	w2 := newSiblingWarehouse(t, nViews, Options{ShareComputation: true, MemoryBudgetBytes: 4096})
+	loadSiblingData(t, w2)
+	if ok, err := w2.AttachMemory("", inj); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	if !w2.AttachSharing(siblingHints(nViews)) {
+		t.Fatal("AttachSharing refused")
+	}
+	runSiblingWindow(t, w2, nViews)
+	stats2 := w2.DetachSharing()
+	w2.DetachMemory()
+	if stats2.Evicted == 0 {
+		t.Fatalf("failed spill did not degrade to recompute: %+v", stats2)
+	}
+	if err := w2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameBag(t, "V1", bagOf(t, w2, "V1"), bagOf(t, w, "V1"))
+}
+
+// TestSpillENOSPCSurfacesWithStateIntact: a full disk during spilling fails
+// the Compute with an error satisfying errors.Is(err, ENOSPC), and the
+// installed state is untouched — the degradation ladder above can rerun.
+func TestSpillENOSPCSurfacesWithStateIntact(t *testing.T) {
+	w := newOneToOneWarehouse(t, 120, Options{MemoryBudgetBytes: 4096})
+	inj := faults.New(7)
+	inj.FailAt("spill-enospc", 1)
+	if ok, err := w.AttachMemory("", inj); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	defer w.DetachMemory()
+	before := bagOf(t, w, "V")
+	_, err := w.Compute("V", []string{"R", "S"})
+	if err == nil {
+		t.Fatal("ENOSPC fault did not fail the compute")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error does not report ENOSPC: %v", err)
+	}
+	requireSameBag(t, "V (installed)", bagOf(t, w, "V"), before)
+	if err := w.VerifyAll(); err != nil {
+		t.Fatalf("failed spill corrupted installed state: %v", err)
+	}
+}
+
+// TestCrashMidSpillLeavesDirectory: a crash-class fault during spill I/O must
+// leave the spill directory behind (a killed process removes nothing) so the
+// stale-dir sweep on the next open is exercised by authentic debris; a clean
+// detach removes it.
+func TestCrashMidSpillLeavesDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w1")
+	w := newOneToOneWarehouse(t, 120, Options{MemoryBudgetBytes: 4096})
+	inj := faults.New(9)
+	inj.CrashAt("spill-write", 1)
+	if ok, err := w.AttachMemory(dir, inj); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	if _, err := w.Compute("V", []string{"R", "S"}); err == nil {
+		t.Fatal("crash fault did not fire")
+	}
+	w.DetachMemory()
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("crashed window left no spill debris (err=%v, %d entries)", err, len(ents))
+	}
+
+	dir2 := filepath.Join(t.TempDir(), "w2")
+	w2 := newOneToOneWarehouse(t, 120, Options{MemoryBudgetBytes: 4096})
+	if ok, err := w2.AttachMemory(dir2, nil); err != nil || !ok {
+		t.Fatalf("AttachMemory = (%v, %v)", ok, err)
+	}
+	runJoinWindow(t, w2)
+	w2.DetachMemory()
+	if _, err := os.Stat(dir2); !os.IsNotExist(err) {
+		t.Fatalf("clean detach left the spill dir: %v", err)
+	}
+}
+
+// TestAttachMemoryRefusals: no budget, indexes enabled, or double attach all
+// refuse; DetachMemory with nothing attached is a safe no-op.
+func TestAttachMemoryRefusals(t *testing.T) {
+	w := newOneToOneWarehouse(t, 10, Options{})
+	if ok, err := w.AttachMemory("", nil); ok || err != nil {
+		t.Fatalf("attach with no budget = (%v, %v)", ok, err)
+	}
+	if ms := w.DetachMemory(); ms != (MemStats{}) {
+		t.Fatalf("detach with nothing attached: %+v", ms)
+	}
+
+	wi := newOneToOneWarehouse(t, 10, Options{MemoryBudgetBytes: 1 << 20, UseIndexes: true})
+	if ok, err := wi.AttachMemory("", nil); ok || err != nil {
+		t.Fatalf("attach under UseIndexes = (%v, %v)", ok, err)
+	}
+
+	wb := newOneToOneWarehouse(t, 10, Options{MemoryBudgetBytes: 1 << 20})
+	if ok, err := wb.AttachMemory("", nil); !ok || err != nil {
+		t.Fatalf("first attach = (%v, %v)", ok, err)
+	}
+	if ok, err := wb.AttachMemory("", nil); ok || err != nil {
+		t.Fatalf("second attach = (%v, %v)", ok, err)
+	}
+	wb.DetachMemory()
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/delta"
 	"repro/internal/maintain"
+	"repro/internal/memory"
 	"repro/internal/relation"
 )
 
@@ -143,27 +144,65 @@ func newBuildTable(rows []prow, cols []int) *buildTable {
 	return bt
 }
 
-// buildFor returns a build table for one request, through the per-Compute
-// cache when the parallel engine supplies one.
-func buildFor(env *evalEnv, br buildReq) *buildTable {
+// buildRes is a resolved build side: a resident table or a spilled one,
+// plus the budget grant the receiver must release (nil when the build is
+// unbudgeted or owned by a cache/registry with its own release schedule).
+type buildRes struct {
+	bt    *buildTable
+	sp    *spilledBuild
+	owned *memory.Grant
+}
+
+// buildFor returns a build side for one request, through the per-Compute
+// cache when the parallel engine supplies one. Cached results stay owned by
+// the cache (released at Compute end); only term-local results carry an
+// owned grant back to the caller.
+func buildFor(env *evalEnv, br buildReq) (buildRes, error) {
 	cache := env.buildCache()
 	if cache == nil {
 		return resolveBuild(env, br)
 	}
-	return cache.get(env, br)
+	res, err := cache.get(env, br)
+	res.owned = nil // the cache releases its slots' grants
+	return res, err
 }
 
 // resolveBuild materializes one build request, serving it from the
 // window-wide shared registry when one is attached and the operand is worth
 // sharing. With the per-Compute cache in front (parallel engine), the
 // registry sees each distinct (operand, columns) pair once per Compute.
-func resolveBuild(env *evalEnv, br buildReq) *buildTable {
+func resolveBuild(env *evalEnv, br buildReq) (buildRes, error) {
 	if env != nil && env.shared != nil {
-		if bt := env.shared.reg.acquire(env, env.shared, br); bt != nil {
-			return bt
+		res, ok, err := env.shared.reg.acquire(env, env.shared, br)
+		if err != nil {
+			return buildRes{}, err
+		}
+		if ok {
+			return res, nil // registry-owned; no grant to release here
 		}
 	}
-	return newBuildTable(scanSource(env, br.src), br.cols)
+	return buildLocal(env, br)
+}
+
+// buildLocal materializes one build side under the window memory budget:
+// resident when the reservation fits (the grant travels with the result),
+// spilled to disk otherwise. Without an attached budget it is the classic
+// unbudgeted build.
+func buildLocal(env *evalEnv, br buildReq) (buildRes, error) {
+	rows := scanSource(env, br.src)
+	mu := env.memUse()
+	if mu == nil {
+		return buildRes{bt: newBuildTable(rows, br.cols)}, nil
+	}
+	est := estimateRowsBytes(rows)
+	if g, ok := mu.mm.budget.TryReserveUnder(est, mu.mm.resLimit); ok {
+		return buildRes{bt: newBuildTable(rows, br.cols), owned: g}, nil
+	}
+	sp, err := mu.mm.spill(env.evalCtx(), mu, rows, br.cols, est)
+	if err != nil {
+		return buildRes{}, err
+	}
+	return buildRes{sp: sp}, nil
 }
 
 // scanCache memoizes materialized operand scans for one Compute: the 2^r−1
@@ -248,7 +287,8 @@ type buildCache struct {
 
 type buildSlot struct {
 	once    sync.Once
-	bt      *buildTable
+	res     buildRes
+	err     error
 	counted atomic.Bool // set by the first term-level requester, which pays the miss
 }
 
@@ -262,13 +302,15 @@ func newBuildCache() *buildCache {
 // the reported hits/misses/saved are identical with and without
 // pre-warming. Resolution goes through resolveBuild, so the warm phase is
 // also where a shared registry serves (or admits) the table — exactly one
-// registry interaction per distinct build of the Compute.
+// registry interaction per distinct build of the Compute. A warm-phase
+// resolution error is remembered by the slot and surfaces, deterministically
+// in term order, from the first get.
 func (c *buildCache) warm(env *evalEnv, br buildReq) {
 	slot := c.slot(buildKey{src: br.src, cols: colsKey(br.cols)})
-	slot.once.Do(func() { slot.bt = resolveBuild(env, br) })
+	slot.once.Do(func() { slot.res, slot.err = resolveBuild(env, br) })
 }
 
-func (c *buildCache) get(env *evalEnv, br buildReq) *buildTable {
+func (c *buildCache) get(env *evalEnv, br buildReq) (buildRes, error) {
 	slot := c.slot(buildKey{src: br.src, cols: colsKey(br.cols)})
 	if slot.counted.CompareAndSwap(false, true) {
 		c.misses.Add(1)
@@ -276,8 +318,8 @@ func (c *buildCache) get(env *evalEnv, br buildReq) *buildTable {
 		c.hits.Add(1)
 		c.saved.Add(br.src.Cardinality())
 	}
-	slot.once.Do(func() { slot.bt = resolveBuild(env, br) })
-	return slot.bt
+	slot.once.Do(func() { slot.res, slot.err = resolveBuild(env, br) })
+	return slot.res, slot.err
 }
 
 func (c *buildCache) slot(key buildKey) *buildSlot {
@@ -291,6 +333,17 @@ func (c *buildCache) slot(key buildKey) *buildSlot {
 	return slot
 }
 
+// releaseAll returns every cache-owned budget grant. Called once when the
+// owning Compute finishes (any exit path); slots still mid-build cannot
+// exist then — computeParallel joins all workers first.
+func (c *buildCache) releaseAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, slot := range c.tables {
+		slot.res.owned.Release()
+	}
+}
+
 // computeParallel is Compute's ParallelTerms path. It runs in four phases:
 // plan every term (cheap, data-independent), pre-warm the distinct operand
 // scans concurrently, pre-warm the distinct build tables concurrently, then
@@ -302,7 +355,8 @@ func (c *buildCache) slot(key buildKey) *buildSlot {
 // other worker parks. Errors surface deterministically in term order.
 func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View, terms []maintain.Term, deltas map[string]*delta.Delta, su *sharedUse) (CompReport, error) {
 	cache := newBuildCache()
-	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize, ctx: ctx, shared: su}
+	defer cache.releaseAll()
+	env := &evalEnv{cache: cache, scans: newScanCache(), pool: w.pool, morsel: w.opts.MorselSize, ctx: ctx, shared: su, mem: newMemUse(w.mem)}
 
 	plans := make([]*termPlan, len(terms))
 	for ti, term := range terms {
@@ -395,6 +449,7 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 	rep.BuildCacheMisses = int(cache.misses.Load())
 	rep.BuildTuplesSaved = cache.saved.Load()
 	su.fill(&rep)
+	env.memUse().fill(&rep)
 	return rep, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cost"
+	"repro/internal/memory"
 )
 
 // This file is the window-wide shared-computation layer: a registry of
@@ -71,12 +72,19 @@ type sharedKey struct {
 	cols string
 }
 
-// sharedEntry is one transiently materialized build table. bt is published
-// through once; the bookkeeping fields (rows, bytes set inside once;
-// charged under the registry mutex) feed budget accounting.
+// sharedEntry is one transiently materialized build table: resident (bt,
+// with a budget grant when a window memory budget is attached), spilled to
+// disk (sp — the evict-to-spill fallback, probed partition-wise by every
+// consumer), or failed (err — the evict-to-recompute fallback; consumers
+// build locally). The fields are published through once; the bookkeeping
+// fields (rows, bytes set inside once; charged under the registry mutex)
+// feed budget accounting.
 type sharedEntry struct {
 	once    sync.Once
 	bt      *buildTable
+	sp      *spilledBuild
+	err     error
+	grant   *memory.Grant
 	rows    int64
 	bytes   int64
 	charged bool
@@ -95,10 +103,11 @@ type SharedRegistry struct {
 	versions  map[string]int        // installs executed per view
 	remaining map[SharedOperand]int // hinted consumers not yet released
 	entries   map[sharedKey]*sharedEntry
-	used      int64 // bytes of retained entries
-	bytesPeak int64
-	created   int
-	evicted   int
+	used           int64 // bytes of retained resident entries
+	bytesPeak      int64
+	created        int
+	evicted        int
+	evictedToSpill int
 }
 
 // SharedStats summarizes a detached registry for reporting.
@@ -109,8 +118,14 @@ type SharedStats struct {
 	// Entries is the number of shared tables materialized.
 	Entries int
 	// Evicted counts tables dropped by the budget gate rather than by
-	// normal end-of-life release.
+	// normal end-of-life release — the evict-to-recompute fallback: every
+	// later consumer rebuilds locally.
 	Evicted int
+	// EvictedToSpill counts over-budget tables that degraded to shared
+	// spill files instead of being dropped (only with a window memory
+	// budget attached). Spilling is tried before recompute: consumers
+	// re-read partitions, which is cheaper than rebuilding per consumer.
+	EvictedToSpill int
 }
 
 // AttachSharing installs a shared-computation registry on the warehouse for
@@ -150,7 +165,10 @@ func (w *Warehouse) DetachSharing() SharedStats {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return SharedStats{BytesPeak: r.bytesPeak, Entries: r.created, Evicted: r.evicted}
+	for _, e := range r.entries {
+		e.grant.Release()
+	}
+	return SharedStats{BytesPeak: r.bytesPeak, Entries: r.created, Evicted: r.evicted, EvictedToSpill: r.evictedToSpill}
 }
 
 // sharedUse is one Compute's handle on the registry: the Comp's canonical
@@ -175,13 +193,20 @@ func (su *sharedUse) fill(rep *CompReport) {
 	rep.SharedTuplesSaved = su.saved.Load()
 }
 
-// acquire serves a build request from the registry: nil when the operand is
-// not worth sharing (fewer than two outstanding consumers and no existing
-// entry), otherwise the shared table — built here by the first requester
-// (who records the miss), reused by everyone else (who record the hit and
-// the operand scan saved). The requester always gets a table; the budget
-// gates only whether it is *retained* for later consumers.
-func (r *SharedRegistry) acquire(env *evalEnv, su *sharedUse, br buildReq) *buildTable {
+// acquire serves a build request from the registry. The bool reports
+// whether the registry served it: false when the operand is not worth
+// sharing (fewer than two outstanding consumers and no existing entry) or
+// when the entry degraded to recompute — the caller then builds locally.
+// The first requester builds (recording the miss); everyone else reuses
+// (recording the hit and the operand scan saved).
+//
+// Admission is budget-aware when a window memory budget is attached
+// (satellite of the -share-budget-mb cliff): an over-budget entry degrades
+// per-entry — first to shared spill files every consumer probes
+// partition-wise, and only if spilling itself fails to recompute — instead
+// of being refused outright. Without a memory budget the legacy gate
+// applies: the table is built resident and retention alone is gated.
+func (r *SharedRegistry) acquire(env *evalEnv, su *sharedUse, br buildReq) (buildRes, bool, error) {
 	r.mu.Lock()
 	op := SharedOperand{View: br.view, Delta: br.isDelta, Version: r.versions[br.view]}
 	consumers := r.remaining[op]
@@ -190,7 +215,7 @@ func (r *SharedRegistry) acquire(env *evalEnv, su *sharedUse, br buildReq) *buil
 	if e == nil {
 		if consumers < 2 {
 			r.mu.Unlock()
-			return nil
+			return buildRes{}, false, nil
 		}
 		e = &sharedEntry{}
 		r.entries[key] = e
@@ -200,39 +225,82 @@ func (r *SharedRegistry) acquire(env *evalEnv, su *sharedUse, br buildReq) *buil
 
 	built := false
 	e.once.Do(func() {
+		built = true
 		rows := scanSource(env, br.src)
-		e.bt = newBuildTable(rows, br.cols)
 		e.rows = br.src.Cardinality()
 		width := 1
 		if len(rows) > 0 {
 			width = len(rows[0].row)
 		}
 		e.bytes = cost.EstimateMaterializedBytes(e.rows, width)
-		built = true
+		mu := env.memUse()
+		if mu == nil {
+			e.bt = newBuildTable(rows, br.cols)
+			return
+		}
+		// Unified-budget admission: resident only when both the share gate
+		// and the window budget admit it; spill otherwise.
+		if cost.ShouldShare(consumers, e.bytes, r.budget, r.sharedUsed()) {
+			if g, ok := mu.mm.budget.TryReserveUnder(e.bytes, mu.mm.resLimit); ok {
+				e.bt = newBuildTable(rows, br.cols)
+				e.grant = g
+				return
+			}
+		}
+		e.sp, e.err = mu.mm.spill(env.evalCtx(), mu, rows, br.cols, e.bytes)
 	})
 	if built {
 		su.misses.Add(1)
-		r.retain(key, e, consumers)
+		r.settle(key, e, consumers)
 	} else {
 		su.hits.Add(1)
 		su.saved.Add(e.rows)
 	}
-	return e.bt
+	switch {
+	case e.err != nil:
+		return buildRes{}, false, nil // degraded to recompute: build locally
+	case e.sp != nil:
+		return buildRes{sp: e.sp}, true, nil
+	default:
+		return buildRes{bt: e.bt}, true, nil
+	}
 }
 
-// retain applies the reuse-vs-recompute gate to a freshly built entry: the
-// peak footprint records the build either way; the entry stays in the map
-// only if materializing it for its remaining consumers fits the budget.
-func (r *SharedRegistry) retain(key sharedKey, e *sharedEntry, consumers int) {
+// sharedUsed returns the retained-entry footprint under the registry lock.
+func (r *SharedRegistry) sharedUsed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// settle records a freshly built entry's fate. For legacy (no memory
+// budget) entries it applies the reuse-vs-recompute retention gate; for
+// budget-admitted entries it charges the share budget; for spilled or
+// failed entries it counts the degradation, dropping failed ones so later
+// consumers fall back to local builds.
+func (r *SharedRegistry) settle(key sharedKey, e *sharedEntry, consumers int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.entries[key] != e {
-		return // released or superseded while building
+		// Released or superseded while building. The requester still uses
+		// the result this term; the grant (if any) is returned now, the
+		// brief accounting optimism ending with the term.
+		e.grant.Release()
+		return
+	}
+	switch {
+	case e.err != nil:
+		delete(r.entries, key)
+		r.evicted++
+		return
+	case e.sp != nil:
+		r.evictedToSpill++
+		return
 	}
 	if peak := r.used + e.bytes; peak > r.bytesPeak {
 		r.bytesPeak = peak
 	}
-	if !cost.ShouldShare(consumers, e.bytes, r.budget, r.used) {
+	if e.grant == nil && !cost.ShouldShare(consumers, e.bytes, r.budget, r.used) {
 		delete(r.entries, key)
 		r.evicted++
 		return
@@ -272,6 +340,7 @@ func (r *SharedRegistry) bumpVersion(name string) {
 			if e.charged {
 				r.used -= e.bytes
 			}
+			e.grant.Release()
 			delete(r.entries, key)
 		}
 	}
@@ -285,6 +354,7 @@ func (r *SharedRegistry) dropOp(op SharedOperand) {
 			if e.charged {
 				r.used -= e.bytes
 			}
+			e.grant.Release()
 			delete(r.entries, key)
 		}
 	}

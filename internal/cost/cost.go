@@ -44,10 +44,51 @@ type Model struct {
 	CompCoeff float64
 	// InstCoeff is the per-tuple constant i of installs.
 	InstCoeff float64
+	// SpillCoeff is the per-tuple constant of spill I/O: what writing one
+	// build-side tuple to disk and reading it back costs relative to
+	// scanning it. Charged only when MemoryBudgetBytes forces a build to
+	// spill; 0 means DefaultSpillCoeff.
+	SpillCoeff float64
+	// MemoryBudgetBytes is the window memory budget the estimates assume
+	// (see the engine's Options.MemoryBudgetBytes). When positive, a Comp
+	// whose build-side operand would not fit is charged the spill penalty,
+	// so Prune and EstimateWork prefer strategies that keep builds small
+	// under pressure. 0 assumes unbounded memory: no penalty. MinWork is
+	// statistics-only and ignores the model either way.
+	MemoryBudgetBytes int64
 }
 
 // DefaultModel weights compute and install tuples equally.
 var DefaultModel = Model{CompCoeff: 1, InstCoeff: 1}
+
+// DefaultSpillCoeff is the per-tuple spill I/O constant assumed when the
+// model does not set one: writing a tuple out plus re-reading it is taken to
+// cost as much as scanning it once.
+const DefaultSpillCoeff = 1
+
+// SpillPenalty estimates the extra work a bounded window pays to hash-build
+// an operand of the given size (tuples): zero when no budget is configured
+// or the estimated footprint fits, otherwise SpillCoeff times the tuples
+// written out and re-read (one pass each way). Footprint uses a nominal
+// tuple width — planning statistics carry cardinalities, not schemas — and
+// only needs to rank strategies consistently, not predict bytes exactly.
+func (m Model) SpillPenalty(size int64) float64 {
+	if m.MemoryBudgetBytes <= 0 || size <= 0 {
+		return 0
+	}
+	if EstimateMaterializedBytes(size, nominalBuildWidth) <= m.MemoryBudgetBytes {
+		return 0
+	}
+	coeff := m.SpillCoeff
+	if coeff == 0 {
+		coeff = DefaultSpillCoeff
+	}
+	return coeff * float64(2*size)
+}
+
+// nominalBuildWidth is the tuple width SpillPenalty assumes when estimating
+// a build's footprint from a cardinality alone.
+const nominalBuildWidth = 4
 
 // RefCounts describes, for each derived view, how many FROM-clause
 // references its definition has of each child view (almost always 1; >1 for
@@ -133,7 +174,7 @@ func (s *Simulator) CompWork(comp strategy.Comp) (float64, error) {
 	deltaTerms := float64(int64(1) << uint(r-1))
 	stateTerms := deltaTerms - 1
 
-	var work float64
+	var work, spill float64
 	for child, n := range refs {
 		size, err := s.currentSize(child)
 		if err != nil {
@@ -145,8 +186,13 @@ func (s *Simulator) CompWork(comp strategy.Comp) (float64, error) {
 		} else {
 			work += float64(n) * terms * float64(size)
 		}
+		// Bounded-memory penalty: a state operand too large for the window
+		// budget is built as a spilled hash table — written out once and
+		// re-read during partition-wise probing. Builds are cached across a
+		// Comp's terms, so the penalty is charged once per reference.
+		spill += float64(n) * s.model.SpillPenalty(size)
 	}
-	return s.model.CompCoeff * work, nil
+	return s.model.CompCoeff*work + spill, nil
 }
 
 // InstWork returns the work of Inst(view): i·|δV|.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/strategy"
 	"repro/internal/vdag"
@@ -85,6 +86,13 @@ type StepReport struct {
 	// cross-view shared tables elided. Like CacheTuplesSaved, Work still
 	// counts them.
 	SharedTuplesSaved int64
+	// SpillCount counts build sides this step partitioned to disk because
+	// they did not fit the window memory budget (0 with no budget attached).
+	SpillCount int
+	// SpilledBytes and SpillReReadBytes total the bytes the step wrote to
+	// spill files and re-read from them during partition-wise probing. Work
+	// is untouched: spilling changes bytes moved, never the linear metric.
+	SpilledBytes, SpillReReadBytes int64
 	// Digest fingerprints the delta an Inst step installed (see
 	// delta.Digest); 0 for Comp steps and for views whose float-valued
 	// columns make bit-exact digests unsound across evaluation orders. The
@@ -102,6 +110,9 @@ type Report struct {
 	// SharedBytesPeak is the high-water transient footprint of the
 	// window's shared-computation registry (0 when sharing is off).
 	SharedBytesPeak int64
+	// PeakReservedBytes is the high-water mark of the window memory
+	// budget's reserved bytes (0 when no budget is attached).
+	PeakReservedBytes int64
 	// Elapsed is the total update window.
 	Elapsed time.Duration
 }
@@ -124,6 +135,12 @@ type Options struct {
 	// Context cancels execution between steps and propagates into term
 	// evaluation and the morsel pool; nil means no cancellation.
 	Context context.Context
+	// SpillDir is where over-budget builds spill when the warehouse
+	// configures a memory budget; empty means a per-run temp directory.
+	SpillDir string
+	// Faults optionally injects spill I/O faults (see internal/storage's
+	// spill fault points); nil injects nothing.
+	Faults *faults.Injector
 }
 
 // Graph derives the VDAG of a warehouse.
@@ -176,6 +193,8 @@ func RunStep(ctx context.Context, w *core.Warehouse, e strategy.Expr) (step Step
 		step.CacheTuplesSaved = cr.BuildTuplesSaved
 		step.SharedHits, step.SharedMisses = cr.SharedHits, cr.SharedMisses
 		step.SharedTuplesSaved = cr.SharedTuplesSaved
+		step.SpillCount = cr.SpillCount
+		step.SpilledBytes, step.SpillReReadBytes = cr.SpilledBytes, cr.SpillReReadBytes
 	case strategy.Inst:
 		step.Digest = instDigest(w, x.View)
 		n, ierr := w.Install(x.View)
@@ -225,6 +244,14 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (rep Report, 
 	ctx := opts.Context
 	detach := AttachSharing(w, s)
 	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
+	detachMem, err := AttachMemory(w, opts.SpillDir, opts.Faults)
+	if err != nil {
+		return rep, err
+	}
+	defer func() {
+		ms := detachMem()
+		rep.PeakReservedBytes = ms.PeakReservedBytes
+	}()
 	start := time.Now()
 	for _, e := range s {
 		if ctx != nil && ctx.Err() != nil {
@@ -341,6 +368,8 @@ func Prepare(w *core.Warehouse) (*Prepared, error) {
 					CacheTuplesSaved: cr.BuildTuplesSaved,
 					SharedHits:       cr.SharedHits, SharedMisses: cr.SharedMisses,
 					SharedTuplesSaved: cr.SharedTuplesSaved,
+					SpillCount:        cr.SpillCount,
+					SpilledBytes:      cr.SpilledBytes, SpillReReadBytes: cr.SpillReReadBytes,
 				}, err
 			}
 		}

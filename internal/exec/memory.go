@@ -1,0 +1,24 @@
+package exec
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// AttachMemory attaches a window memory budget to the warehouse when its
+// options configure one, spilling oversized builds under dir (a per-run temp
+// directory when empty). It returns the detach function the caller must
+// invoke once the window completes; when no budget is configured (or a
+// manager is already attached) the returned function is a harmless no-op, so
+// callers can attach/detach unconditionally — mirroring AttachSharing. The
+// error is non-nil only when the spill directory cannot be created.
+func AttachMemory(w *core.Warehouse, dir string, inj *faults.Injector) (func() core.MemStats, error) {
+	ok, err := w.AttachMemory(dir, inj)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return func() core.MemStats { return core.MemStats{} }, nil
+	}
+	return w.DetachMemory, nil
+}

@@ -343,7 +343,7 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {
@@ -433,6 +433,52 @@ func TestReplicationShape(t *testing.T) {
 		}
 		if i > 0 && !strings.Contains(row.Marker, "p99 lag=") {
 			t.Errorf("%s: marker lacks lag stats: %s", row.Label, row.Marker)
+		}
+	}
+}
+
+// TestSpillShape certifies the bounded-memory claims at this scale: the
+// budget lands below the unbounded leg's true footprint, the bounded leg
+// spills yet keeps its peak within budget, and the linear work metric is
+// identical across legs.
+func TestSpillShape(t *testing.T) {
+	res, err := Spill(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	unbounded, bounded := res.Rows[0], res.Rows[1]
+	if unbounded.Work != bounded.Work {
+		t.Errorf("work moved under spilling: %d vs %d", bounded.Work, unbounded.Work)
+	}
+	var truePeak int64
+	if _, err := fmt.Sscanf(unbounded.Marker, "peakB=%d", &truePeak); err != nil {
+		t.Fatalf("bad unbounded marker %q", unbounded.Marker)
+	}
+	var budgetKiB, peak, spilled, reread int64
+	var spills int
+	if _, err := fmt.Sscanf(bounded.Label, "budget=%dKiB", &budgetKiB); err != nil {
+		t.Fatalf("bad bounded label %q", bounded.Label)
+	}
+	if _, err := fmt.Sscanf(bounded.Marker, "peakB=%d spills=%d spilledB=%d rereadB=%d",
+		&peak, &spills, &spilled, &reread); err != nil {
+		t.Fatalf("bad bounded marker %q", bounded.Marker)
+	}
+	budget := budgetKiB << 10
+	if budget >= truePeak {
+		t.Fatalf("budget %d not below the true footprint %d — the experiment proved nothing", budget, truePeak)
+	}
+	if spills == 0 || spilled == 0 || reread == 0 {
+		t.Errorf("bounded leg never spilled: %s", bounded.Marker)
+	}
+	if peak > budget {
+		t.Errorf("bounded peak %d exceeds budget %d", peak, budget)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "UNEXPECTED") {
+			t.Errorf("experiment self-check failed: %s", n)
 		}
 	}
 }

@@ -147,6 +147,9 @@ type Report struct {
 	// SharedBytesPeak is the high-water transient footprint of the window's
 	// shared-computation registry (0 when sharing is off).
 	SharedBytesPeak int64
+	// PeakReservedBytes is the high-water mark of the window memory budget's
+	// reserved build-state bytes (0 when no budget is attached).
+	PeakReservedBytes int64
 	// Elapsed is the measured wall-clock update window.
 	Elapsed time.Duration
 	// Steps holds the per-expression reports, per stage (per DAG level for
@@ -177,6 +180,11 @@ func Execute(w *core.Warehouse, plan Plan) (rep Report, err error) {
 	}
 	detach := exec.AttachSharing(w, flat)
 	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
+	detachMem, merr := exec.AttachMemory(w, "", nil)
+	if merr != nil {
+		return rep, fmt.Errorf("parallel: %w", merr)
+	}
+	defer func() { rep.PeakReservedBytes = detachMem().PeakReservedBytes }()
 	start := time.Now()
 	for _, stage := range plan {
 		results := make([]exec.StepReport, len(stage))

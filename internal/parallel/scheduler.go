@@ -198,9 +198,13 @@ type Options struct {
 	// call it from concurrent workers: it must be safe for concurrent use.
 	OnStep func(idx int, step exec.StepReport) error
 	// Faults, when non-nil, is consulted at every step boundary (point
-	// "step") before the expression runs. Injected failures, panics and
-	// crashes surface exactly as real ones would.
+	// "step") before the expression runs, and at the spill I/O points when
+	// a memory budget is attached. Injected failures, panics and crashes
+	// surface exactly as real ones would.
 	Faults *faults.Injector
+	// SpillDir is where over-budget builds spill when the warehouse
+	// configures a memory budget; empty means a per-run temp directory.
+	SpillDir string
 }
 
 // notify invokes OnStep if set.
@@ -223,6 +227,11 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 	changed := exec.ChangedViews(w)
 	d := BuildDAG(s, children)
 	detach := exec.AttachSharing(w, s)
+	detachMem, merr := exec.AttachMemory(w, opts.SpillDir, opts.Faults)
+	if merr != nil {
+		detach()
+		return Report{}, fmt.Errorf("parallel: %w", merr)
+	}
 	var (
 		rep Report
 		err error
@@ -237,10 +246,12 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 		rep, err = ExecuteDAG(w, d, opts)
 	default:
 		detach()
+		detachMem()
 		return Report{}, fmt.Errorf("parallel: unknown execution mode %q", mode)
 	}
 	rep.Mode = mode
 	rep.SharedBytesPeak = detach().BytesPeak
+	rep.PeakReservedBytes = detachMem().PeakReservedBytes
 	if err != nil {
 		return rep, err
 	}

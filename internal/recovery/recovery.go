@@ -56,9 +56,15 @@ type Options struct {
 	// Validate checks the strategy against the correctness conditions
 	// before each attempt.
 	Validate bool
-	// Faults, when non-nil, is consulted at step boundaries and at the
-	// recompute fallback (points "step" and "recompute").
+	// Faults, when non-nil, is consulted at step boundaries, at the
+	// recompute fallback (points "step" and "recompute"), and at the spill
+	// I/O points when a memory budget is attached.
 	Faults *faults.Injector
+	// SpillDir is where over-budget builds spill when the warehouse
+	// configures a memory budget; empty means a per-run temp directory.
+	// Journaled windows should derive it from the journal path and Seq so
+	// a crashed window's spill files are sweepable on the next open.
+	SpillDir string
 	// Retries is how many times a transiently failed attempt is re-run
 	// (beyond the first attempt). Only errors marked transient
 	// (faults.IsTransient) retry; deterministic failures don't.
@@ -231,6 +237,7 @@ func runAttempt(w *core.Warehouse, s strategy.Strategy, mode exec.Mode, opts Opt
 		Context:  opts.Context,
 		Validate: opts.Validate,
 		Faults:   opts.Faults,
+		SpillDir: opts.SpillDir,
 	}
 	if jw != nil {
 		popts.OnStep = func(idx int, step exec.StepReport) error {
@@ -378,9 +385,10 @@ func Replay(w *core.Warehouse, wl *journal.WindowLog, opts Options) (*Result, er
 			b.Seq, len(done), len(b.Strategy))
 	}
 	popts := parallel.Options{
-		Workers: workers,
-		Context: opts.Context,
-		Faults:  opts.Faults,
+		Workers:  workers,
+		Context:  opts.Context,
+		Faults:   opts.Faults,
+		SpillDir: opts.SpillDir,
 		OnStep: func(idx int, step exec.StepReport) error {
 			sr, ok := done[idx]
 			if !ok {
@@ -486,9 +494,10 @@ func Recover(w *core.Warehouse, lg *journal.Log, opts Options) (*Result, error) 
 		done[sr.Index] = sr
 	}
 	popts := parallel.Options{
-		Workers: workers,
-		Context: opts.Context,
-		Faults:  opts.Faults,
+		Workers:  workers,
+		Context:  opts.Context,
+		Faults:   opts.Faults,
+		SpillDir: opts.SpillDir,
 		OnStep: func(idx int, step exec.StepReport) error {
 			if sr, ok := done[idx]; ok {
 				// The crashed run completed this step — verify the replay

@@ -123,6 +123,11 @@ func runReplicaTrial(t *testing.T, seed int64) {
 	if nf > 1 {
 		slow = nf - 1
 	}
+	// Follower 0 replays every window under a starved memory budget: its
+	// replays spill while the leader's windows may not have, and the OnApply
+	// digest checks prove bounded replay reproduces the leader's installed
+	// deltas bit for bit.
+	followers[0].Warehouse().SetMemoryBudget(1)
 
 	// One crash trial in three: a follower dies mid-replay and is rebuilt.
 	crashWin := -1
@@ -132,8 +137,14 @@ func runReplicaTrial(t *testing.T, seed int64) {
 		crashIdx = rng.Intn(nf)
 	}
 
+	// The leader's own budget cycles unbounded / 1 MiB / starved across the
+	// stream: shipped journals must replay identically whatever memory regime
+	// produced them.
+	leaderBudgets := []int64{0, 1 << 20, 1}
+
 	for win := 0; win < windows; win++ {
 		stageRep(t, leader.Warehouse(), rng)
+		leader.Warehouse().SetMemoryBudget(leaderBudgets[win%len(leaderBudgets)])
 
 		// Execution shape: sequential, DAG, or term-parallel (the morsel
 		// engine under sequential or DAG scheduling). Occasionally a window
@@ -192,6 +203,9 @@ func runReplicaTrial(t *testing.T, seed int64) {
 					t.Fatalf("win %d: dead follower's stats hide the cause", win)
 				}
 				followers[i] = newVerified(fmt.Sprintf("follower%d-rebuilt", i), nil)
+				if i == 0 {
+					followers[i].Warehouse().SetMemoryBudget(1)
+				}
 				f = followers[i]
 			}
 			if err := f.CatchUp(ctx); err != nil {

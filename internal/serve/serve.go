@@ -96,6 +96,13 @@ type Stats struct {
 	CacheHits, SharedHits               uint64
 	CacheTuplesSaved, SharedTuplesSaved uint64
 	SharedBytesPeak                     int64
+	// Spills, SpilledBytes and SpillReReadBytes accumulate the memory-budget
+	// spill counters over every committed window; MemPeakBytes is the
+	// largest reserved-build-state peak any window reached (all zero with no
+	// memory budget configured).
+	Spills                         uint64
+	SpilledBytes, SpillReReadBytes uint64
+	MemPeakBytes                   int64
 	// PlanCache* mirror the warehouse's prepared-plan cache counters: a
 	// hit served a query's plan straight from SQL bytes with zero parser
 	// work. All zero when caching is disabled (PlanCacheCap == 0).
@@ -141,6 +148,8 @@ type Server struct {
 	cacheHits, sharedHits                      atomic.Uint64
 	cacheTuplesSaved, sharedTuplesSaved        atomic.Uint64
 	sharedBytesPeak                            atomic.Int64
+	spills, spilledBytes, spillReReadBytes     atomic.Uint64
+	memPeakBytes                               atomic.Int64
 
 	// gate, when set (tests), runs in the worker before each query executes
 	// — a hook to hold workers busy and fill the queue deterministically.
@@ -275,6 +284,15 @@ func (s *Server) RunWindow(ctx context.Context, opts warehouse.WindowOptions) (w
 			break
 		}
 	}
+	s.spills.Add(uint64(c.SpillCount))
+	s.spilledBytes.Add(uint64(c.SpilledBytes))
+	s.spillReReadBytes.Add(uint64(c.SpillReReadBytes))
+	for {
+		peak := s.memPeakBytes.Load()
+		if c.PeakReservedBytes <= peak || s.memPeakBytes.CompareAndSwap(peak, c.PeakReservedBytes) {
+			break
+		}
+	}
 	return rep, nil
 }
 
@@ -321,6 +339,10 @@ func (s *Server) Stats() Stats {
 		SharedHits:           s.sharedHits.Load(),
 		SharedTuplesSaved:    s.sharedTuplesSaved.Load(),
 		SharedBytesPeak:      s.sharedBytesPeak.Load(),
+		Spills:               s.spills.Load(),
+		SpilledBytes:         s.spilledBytes.Load(),
+		SpillReReadBytes:     s.spillReReadBytes.Load(),
+		MemPeakBytes:         s.memPeakBytes.Load(),
 		Epoch:                s.w.Epoch(),
 		LiveEpochs:           s.w.LiveEpochs(),
 		QueueLen:             qlen,

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/relation"
+)
+
+// spillRow builds a deterministic counted tuple for spill-format tests.
+func spillRow(i int64) (relation.Tuple, int64) {
+	return relation.Tuple{
+		relation.NewInt(i),
+		relation.NewString(fmt.Sprintf("row-%06d", i)),
+		relation.NewFloat(float64(i) / 4),
+	}, 1 + i%3
+}
+
+// writeSpillFile writes n deterministic rows and returns the path.
+func writeSpillFile(t *testing.T, n int64, inj *faults.Injector) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "part.spill")
+	w, err := CreateSpill(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		tup, c := spillRow(i)
+		if err := w.Append(nil, tup, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != n {
+		t.Fatalf("Rows() = %d, want %d", w.Rows(), n)
+	}
+	return path
+}
+
+// TestSpillRoundTrip: enough rows to span several frames must read back
+// bit-identically, in order, with counts intact.
+func TestSpillRoundTrip(t *testing.T) {
+	const n = 5000 // ~150 KiB encoded: multiple 32 KiB frames
+	path := writeSpillFile(t, n, nil)
+	var i int64
+	read, err := ReadSpill(nil, path, nil, func(tup relation.Tuple, c int64) error {
+		want, wc := spillRow(i)
+		if len(tup) != len(want) || c != wc {
+			return fmt.Errorf("row %d: got %v x%d, want %v x%d", i, tup, c, want, wc)
+		}
+		for k := range want {
+			if relation.Compare(tup[k], want[k]) != 0 {
+				return fmt.Errorf("row %d col %d: got %v, want %v", i, k, tup[k], want[k])
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("read %d rows, want %d", i, n)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != fi.Size() {
+		t.Fatalf("ReadSpill reported %d bytes, file is %d", read, fi.Size())
+	}
+}
+
+// TestSpillCorruptionDetected: any single flipped byte in any frame must
+// surface as ErrCorruptSpill, never as silently wrong rows.
+func TestSpillCorruptionDetected(t *testing.T) {
+	path := writeSpillFile(t, 5000, nil)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 1, len(orig) / 2, len(orig) - 1} {
+		buf := append([]byte(nil), orig...)
+		buf[off] ^= 0x40
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := ReadSpill(nil, path, nil, func(relation.Tuple, int64) error { return nil })
+		if !errors.Is(rerr, ErrCorruptSpill) {
+			t.Errorf("bit flip at offset %d: got %v, want ErrCorruptSpill", off, rerr)
+		}
+	}
+}
+
+// TestSpillTruncationDetected: a torn final frame (crash mid-write) must be
+// detected, and rows of intact earlier frames are still delivered.
+func TestSpillTruncationDetected(t *testing.T) {
+	path := writeSpillFile(t, 5000, nil)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, orig[:len(orig)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int64
+	_, rerr := ReadSpill(nil, path, nil, func(relation.Tuple, int64) error {
+		delivered++
+		return nil
+	})
+	if !errors.Is(rerr, ErrCorruptSpill) {
+		t.Fatalf("truncated file: got %v, want ErrCorruptSpill", rerr)
+	}
+	if delivered == 0 || delivered >= 5000 {
+		t.Fatalf("delivered %d rows from a file torn mid-final-frame", delivered)
+	}
+}
+
+// TestSpillWriteFaults: the spill-write point fails a frame flush, and the
+// spill-enospc point reports a full disk through errors.Is(…, ENOSPC) while
+// keeping the injected fault's identity for transient classification.
+func TestSpillWriteFaults(t *testing.T) {
+	inj := faults.New(1)
+	inj.FailAt(SpillWritePoint, 1)
+	path := filepath.Join(t.TempDir(), "w.spill")
+	w, err := CreateSpill(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, c := spillRow(0)
+	if err := w.Append(nil, tup, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("spill-write fault did not fire at flush")
+	} else if _, ok := faults.AsFault(err); !ok {
+		t.Fatalf("spill-write error lost the fault identity: %v", err)
+	}
+
+	inj2 := faults.New(2)
+	inj2.FailAt(SpillENOSPCPoint, 1)
+	w2, err := CreateSpill(filepath.Join(t.TempDir(), "e.spill"), inj2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(nil, tup, c); err != nil {
+		t.Fatal(err)
+	}
+	err = w2.Close()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("spill-enospc error is not ENOSPC: %v", err)
+	}
+	if _, ok := faults.AsFault(err); !ok {
+		t.Fatalf("spill-enospc error lost the fault identity: %v", err)
+	}
+}
+
+// TestSpillReadFault: the spill-read point fails the partition read before
+// any row is delivered.
+func TestSpillReadFault(t *testing.T) {
+	path := writeSpillFile(t, 10, nil)
+	inj := faults.New(3)
+	inj.FailAt(SpillReadPoint, 1)
+	_, err := ReadSpill(nil, path, inj, func(relation.Tuple, int64) error {
+		t.Fatal("row delivered despite spill-read fault")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("spill-read fault did not fire")
+	}
+	// The second read (fault exhausted) succeeds.
+	if _, err := ReadSpill(nil, path, inj, func(relation.Tuple, int64) error { return nil }); err != nil {
+		t.Fatalf("second read after exhausted fault: %v", err)
+	}
+}
+
+// TestSpillContextCancel: a cancelled context stops both writing and reading.
+func TestSpillContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, err := CreateSpill(filepath.Join(t.TempDir(), "c.spill"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, c := spillRow(0)
+	if err := w.Append(ctx, tup, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled append: %v", err)
+	}
+	w.f.Close()
+
+	path := writeSpillFile(t, 10, nil)
+	if _, err := ReadSpill(ctx, path, nil, func(relation.Tuple, int64) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read: %v", err)
+	}
+}

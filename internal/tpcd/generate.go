@@ -30,6 +30,10 @@ type Config struct {
 	// transiently materialized operands and bound its footprint.
 	ShareComputation  bool
 	SharedBudgetBytes int64
+	// MemoryBudgetBytes is passed through to the warehouse options: it
+	// bounds the window's transient build-state memory, spilling oversized
+	// builds to disk. 0 disables budgeting.
+	MemoryBudgetBytes int64
 	// Queries selects which summary views to define; nil means all of
 	// Q3, Q5 and Q10. Experiment 1, for instance, uses a Q3-only warehouse.
 	Queries []string

@@ -193,6 +193,7 @@ func NewWarehouse(cfg Config) (*Warehouse, error) {
 		Workers:           cfg.Workers,
 		ShareComputation:  cfg.ShareComputation,
 		SharedBudgetBytes: cfg.SharedBudgetBytes,
+		MemoryBudgetBytes: cfg.MemoryBudgetBytes,
 	})
 	schemas := Schemas()
 	for _, name := range BaseViews {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/exec"
@@ -55,6 +56,10 @@ type Journal struct {
 	// handle predates that window, so recovery must go through a fresh
 	// OpenJournal, which reads the in-flight record back.
 	crashed bool
+	// spillSwept counts the stale per-window spill directories OpenJournal
+	// removed — the leftovers of crashed windows, whose processes never
+	// reached the commit-time cleanup.
+	spillSwept int
 }
 
 // OpenJournal opens (creating if absent) a file-backed journal in append
@@ -77,8 +82,44 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{w: journal.NewWriter(f), f: f, path: path, log: lg, seq: lg.CommittedCount() + 1}, nil
+	j := &Journal{w: journal.NewWriter(f), f: f, path: path, log: lg, seq: lg.CommittedCount() + 1}
+	j.spillSwept = sweepSpillDirs(path)
+	return j, nil
 }
+
+// sweepSpillDirs removes every per-window spill directory under the
+// journal's spill root and reports how many it removed. Committed and
+// aborted windows clean up after themselves; anything found here was left
+// by a crashed process. Recovery never reuses a crashed run's spill files —
+// it re-executes from the journal — so sweeping on open is always safe.
+func sweepSpillDirs(path string) int {
+	root := path + ".spill"
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if os.RemoveAll(filepath.Join(root, e.Name())) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// spillDir returns the per-window spill directory for the window with the
+// given journal sequence number, named so a post-crash sweep can attribute
+// leftovers; empty for journals not backed by a file path.
+func (j *Journal) spillDir(seq int) string {
+	if j.path == "" {
+		return ""
+	}
+	return filepath.Join(j.path+".spill", fmt.Sprintf("w%d", seq))
+}
+
+// SpillDirsSwept reports how many stale spill directories OpenJournal
+// removed when this handle was opened.
+func (j *Journal) SpillDirsSwept() int { return j.spillSwept }
 
 // NewJournal wraps any writer as a window journal (no recovery state is
 // read; the journal starts empty). Useful for buffers in tests.
@@ -193,6 +234,7 @@ func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
 	if o.Journal != nil {
 		ropts.Journal = o.Journal.w
 		ropts.Seq = o.Journal.seq
+		ropts.SpillDir = o.Journal.spillDir(o.Journal.seq)
 	}
 	started := time.Now()
 	res, err := recovery.Run(w.core, plan.Strategy, ropts)
@@ -244,7 +286,11 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 	}
 	started := time.Now()
 	inflight := j.log.InFlight()
-	res, err := recovery.Recover(w.core, &j.log, recovery.Options{Journal: j.w, Validate: true})
+	ropts := recovery.Options{Journal: j.w, Validate: true}
+	if inflight != nil {
+		ropts.SpillDir = j.spillDir(inflight.Begin.Seq)
+	}
+	res, err := recovery.Recover(w.core, &j.log, ropts)
 	if err != nil {
 		return WindowReport{}, err
 	}
@@ -263,9 +309,10 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 		Report:     sequentialView(begin.Strategy, res.Report),
 		Started:    started,
 		StaleAfter: w.StaleViews(),
-		Attempts:   res.Attempts,
-		Recovered:  true,
-		Recomputed: res.Recomputed,
+		Attempts:       res.Attempts,
+		Recovered:      true,
+		Recomputed:     res.Recomputed,
+		SpillDirsSwept: j.spillSwept,
 	}
 	w.history = append(w.history, window)
 	return window, nil

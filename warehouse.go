@@ -176,6 +176,13 @@ type Options struct {
 	// to their first consumer and recomputed by later ones. 0 means the
 	// 64 MiB default.
 	SharedBudgetBytes int64
+	// MemoryBudgetBytes bounds the window-wide transient memory of update
+	// execution: every build-side hash table — term-local, per-Compute
+	// cached, or shared across views — draws on one budget, and builds that
+	// do not fit are spilled to disk Grace-style and probed partition-wise.
+	// Results, digests and reported work are identical at any budget; only
+	// bytes moved change. 0 disables budgeting; ignored under UseIndexes.
+	MemoryBudgetBytes int64
 	// Model overrides the cost model used by the planners; zero value means
 	// DefaultCostModel.
 	Model CostModel
@@ -233,6 +240,7 @@ func New(opts ...Options) *Warehouse {
 	if model.CompCoeff == 0 && model.InstCoeff == 0 {
 		model = DefaultCostModel
 	}
+	model.MemoryBudgetBytes = o.MemoryBudgetBytes
 	c := core.New(core.Options{
 		SkipEmptyDeltas:   o.SkipEmptyDeltas,
 		UseIndexes:        o.UseIndexes,
@@ -240,6 +248,7 @@ func New(opts ...Options) *Warehouse {
 		Workers:           o.Workers,
 		ShareComputation:  o.ShareComputation,
 		SharedBudgetBytes: o.SharedBudgetBytes,
+		MemoryBudgetBytes: o.MemoryBudgetBytes,
 	})
 	w := &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
 	w.plans.Store(plancache.New[*sqlparse.Query](DefaultPlanCacheSize))
@@ -315,6 +324,29 @@ func (w *Warehouse) SetSharing(on bool, budgetBytes int64) {
 	opts := w.core.Options()
 	opts.ShareComputation, opts.SharedBudgetBytes = on, budgetBytes
 	w.core.SetOptions(opts)
+}
+
+// SetMemoryBudget reconfigures the window-wide memory budget at runtime:
+// bytes bounds the transient build-state footprint of update execution, with
+// over-budget builds spilling to disk (see Options.MemoryBudgetBytes); 0
+// disables budgeting. The planners' cost model is updated too, so estimates
+// charge the spill I/O a bounded window would pay. Not safe to call while a
+// window executes.
+func (w *Warehouse) SetMemoryBudget(bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	opts := w.core.Options()
+	opts.MemoryBudgetBytes = bytes
+	w.core.SetOptions(opts)
+	w.model.MemoryBudgetBytes = bytes
+}
+
+// MemoryBudget returns the configured window memory budget in bytes (0 when
+// budgeting is off).
+func (w *Warehouse) MemoryBudget() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.core.Options().MemoryBudgetBytes
 }
 
 // SharingAnalysis summarizes a strategy's cross-view sharing potential (see

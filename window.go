@@ -59,6 +59,10 @@ type WindowReport struct {
 	// Replicated reports the window was not run locally but replayed from a
 	// leader's shipped journal (ApplyWindow).
 	Replicated bool
+	// SpillDirsSwept counts stale spill directories — left behind by crashed
+	// windows — that opening the journal removed before this window ran.
+	// Only Recover-produced reports set it.
+	SpillDirsSwept int
 }
 
 // String summarizes the window.
@@ -71,9 +75,14 @@ func (r WindowReport) String() string {
 	} else {
 		s = fmt.Sprintf("window %d [%s]: %s", r.Seq, r.Planner, r.Report)
 	}
-	if c := r.Counters(); c.SharedHits+c.SharedMisses > 0 {
+	c := r.Counters()
+	if c.SharedHits+c.SharedMisses > 0 {
 		s += fmt.Sprintf(" shared=%d/%d saved=%d peakB=%d",
 			c.SharedHits, c.SharedHits+c.SharedMisses, c.SharedTuplesSaved, c.SharedBytesPeak)
+	}
+	if c.SpillCount > 0 {
+		s += fmt.Sprintf(" spills=%d spilledB=%d rereadB=%d memPeakB=%d",
+			c.SpillCount, c.SpilledBytes, c.SpillReReadBytes, c.PeakReservedBytes)
 	}
 	return s
 }
@@ -96,6 +105,16 @@ type WindowCounters struct {
 	SharedTuplesSaved int64
 	// SharedBytesPeak is the registry's high-water transient footprint.
 	SharedBytesPeak int64
+	// SpillCount counts build tables the window spilled to disk under its
+	// memory budget (0 when no budget is configured).
+	SpillCount int
+	// SpilledBytes and SpillReReadBytes total the bytes written to and
+	// re-read from spill files. Work is unaffected: spilling changes bytes
+	// moved, never the linear metric.
+	SpilledBytes, SpillReReadBytes int64
+	// PeakReservedBytes is the high-water mark of the window memory
+	// budget's reserved build-state bytes.
+	PeakReservedBytes int64
 }
 
 // Counters sums the per-step engine counters of the window.
@@ -108,8 +127,12 @@ func (r WindowReport) Counters() WindowCounters {
 		c.SharedHits += step.SharedHits
 		c.SharedMisses += step.SharedMisses
 		c.SharedTuplesSaved += step.SharedTuplesSaved
+		c.SpillCount += step.SpillCount
+		c.SpilledBytes += step.SpilledBytes
+		c.SpillReReadBytes += step.SpillReReadBytes
 	}
 	c.SharedBytesPeak = r.Report.SharedBytesPeak
+	c.PeakReservedBytes = r.Report.PeakReservedBytes
 	return c
 }
 
@@ -188,7 +211,11 @@ func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (
 // window history stores, so TotalWindowWork and friends see concurrent
 // windows too.
 func sequentialView(s Strategy, pr ParallelReport) Report {
-	rep := Report{Strategy: s, Elapsed: pr.Elapsed, SharedBytesPeak: pr.SharedBytesPeak}
+	rep := Report{
+		Strategy: s, Elapsed: pr.Elapsed,
+		SharedBytesPeak:   pr.SharedBytesPeak,
+		PeakReservedBytes: pr.PeakReservedBytes,
+	}
 	for _, stage := range pr.Steps {
 		for _, step := range stage {
 			rep.Steps = append(rep.Steps, step)
