@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke replica-smoke spill-smoke
+.PHONY: all build test race fuzz fuzz-smoke bench bench-smoke bench-json bench-check staticcheck serve-smoke replica-smoke spill-smoke soak-smoke
 
 all: build test
 
@@ -45,6 +45,15 @@ spill-smoke:
 	$(GO) test ./internal/recovery/ -run 'TestSpillFault' -count=1
 	$(GO) test . -run 'TestWindowCountersReportSpilling|TestCrashMidSpillSweptOnReopen|TestBoundedMemoryDifferential' -count=1
 
+# Fault-injected soak of the continuous-ingestion path, under the race
+# detector: a paced producer drives micro-batch windows while probabilistic
+# crash and transient faults fire at every journaled point; each crash is
+# recovered in place and the final state must match a sequential oracle,
+# with no goroutine leaks and no staleness runaway. The -soak flag sets the
+# wall-clock duration (the package default is 1.5s for plain `make test`).
+soak-smoke:
+	$(GO) test -race ./internal/ingest/ -run 'TestSoakIngest' -count=1 -soak 25s
+
 # The concurrency tier: the full suite under the race detector. The
 # parallel, exec and core packages are the ones exercising goroutines
 # (barrier-staged and DAG-scheduled executors against shared warehouse
@@ -84,21 +93,25 @@ bench-smoke:
 # front end and prepared-plan cache microbenchmarks (BenchmarkTokenize,
 # BenchmarkParseQuery, BenchmarkQueryCold/Cached/EndToEnd) at 1000
 # iterations with allocation stats, plus the spill-path benchmarks
-# (BenchmarkSpillBuild, BenchmarkBoundedWindow) in internal/core.
-# bench-json refreshes the committed BENCH_8.json; bench-check reruns the
+# (BenchmarkSpillBuild, BenchmarkBoundedWindow) in internal/core, plus the
+# continuous-ingestion steady-state bench (BenchmarkIngestSteadyState:
+# Submit + micro-batch drain, reported per change) at 1000 iterations.
+# bench-json refreshes the committed BENCH_9.json; bench-check reruns the
 # same benchmarks and fails on a >2x ns/op slowdown (sub-millisecond
 # baselines are ignored as noise — except allocs/op, which is deterministic
 # and gates unconditionally, so the 0-alloc tokenizer baseline fails on any
 # allocation at all).
-BENCH_JSON          ?= BENCH_8.json
-BENCH_PATTERN       ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
-BENCH_CORE_PATTERN  ?= BenchmarkSpillBuild|BenchmarkBoundedWindow
-BENCH_PARSE_PATTERN ?= BenchmarkTokenize|BenchmarkParseQuery|BenchmarkQueryCold|BenchmarkQueryCached|BenchmarkQueryEndToEnd
+BENCH_JSON           ?= BENCH_9.json
+BENCH_PATTERN        ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+BENCH_CORE_PATTERN   ?= BenchmarkSpillBuild|BenchmarkBoundedWindow
+BENCH_PARSE_PATTERN  ?= BenchmarkTokenize|BenchmarkParseQuery|BenchmarkQueryCold|BenchmarkQueryCached|BenchmarkQueryEndToEnd
+BENCH_INGEST_PATTERN ?= BenchmarkIngestSteadyState
 
 bench-json:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
 	$(GO) test ./internal/core -run '^$$' -bench '$(BENCH_CORE_PATTERN)' -benchtime 1x >> bench-out.txt
 	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
+	$(GO) test ./internal/ingest -run '^$$' -bench '$(BENCH_INGEST_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt
 
@@ -106,5 +119,6 @@ bench-check:
 	$(GO) test . -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x > bench-out.txt
 	$(GO) test ./internal/core -run '^$$' -bench '$(BENCH_CORE_PATTERN)' -benchtime 1x >> bench-out.txt
 	$(GO) test . ./internal/sqlparse -run '^$$' -bench '$(BENCH_PARSE_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
+	$(GO) test ./internal/ingest -run '^$$' -bench '$(BENCH_INGEST_PATTERN)' -benchtime 1000x -benchmem >> bench-out.txt
 	$(GO) run ./cmd/benchjson -baseline $(BENCH_JSON) bench-out.txt
 	@rm -f bench-out.txt

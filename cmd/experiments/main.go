@@ -43,9 +43,10 @@ func main() {
 		"faulttolerance": experiments.FaultTolerance,
 		"onlinewindow":   experiments.OnlineWindow,
 		"replication":    experiments.Replication,
+		"streaming":      experiments.Streaming,
 		"spill":          experiments.Spill,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication", "spill"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication", "streaming", "spill"}
 
 	var ids []string
 	if *only != "" {

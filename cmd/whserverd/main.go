@@ -10,6 +10,8 @@
 //	          [-window-budget 0] [-window-every 0] [-mode dag] [-planner minwork]
 //	          [-share] [-mem-budget-mb 0] [-pprof addr] [-stores 8] [-sales 2000]
 //	          [-seed 7] [-follow leader-addr] [-fetch-interval 100ms]
+//	          [-ingest] [-ingest-rate 500] [-ingest-slo 200ms]
+//	          [-ingest-queue 4096] [-ingest-journal path]
 //
 // The served warehouse is the retail demo VDAG (SALES/STORES bases, a join
 // view, an aggregate summary), populated from -seed. With -window-every set,
@@ -17,6 +19,19 @@
 // that period — windows whose wall-clock exceeds -window-budget abort
 // cleanly and leave the serving epoch unchanged. Windows can also be
 // triggered externally with POST /window.
+//
+// With -ingest the daemon runs the continuous-ingestion regime instead of
+// the periodic driver: a synthetic producer streams sales changes at
+// -ingest-rate row-changes per second into a bounded staging queue
+// (-ingest-queue), and adaptive micro-batch windows keep the views fresh
+// against the -ingest-slo p99 staleness target. With -ingest-journal set,
+// accepted changes are journaled so a crash resumes without dropping or
+// double-applying any of them. The ingester owns the window schedule, so
+// -ingest excludes -window-every and -follow, and POST /window answers 409;
+// GET /ingest reports the freshness snapshot. On shutdown the ingester is
+// quiesced first — its queue drains through final windows — before the HTTP
+// listener and query server close, so a drain never strands accepted
+// changes.
 //
 // Without -follow the daemon is a replication leader: every update window is
 // journaled and the journal is published under /replicate/ for followers.
@@ -58,6 +73,7 @@ import (
 	"time"
 
 	warehouse "repro"
+	"repro/internal/ingest"
 	"repro/internal/replicate"
 	"repro/internal/serve"
 )
@@ -81,6 +97,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight work on shutdown")
 	follow := flag.String("follow", "", "run as a follower of this leader (host:port or URL); serve reads at a possibly-stale epoch")
 	fetchInterval := flag.Duration("fetch-interval", 100*time.Millisecond, "follower: idle poll period against the leader's journal")
+	ingestOn := flag.Bool("ingest", false, "continuous ingestion: synthetic producer + adaptive micro-batch windows (excludes -window-every and -follow)")
+	ingestRate := flag.Int("ingest-rate", 500, "continuous ingestion: producer rate in row-changes per second")
+	ingestSLO := flag.Duration("ingest-slo", 200*time.Millisecond, "continuous ingestion: p99 staleness target steering the batch sizer")
+	ingestQueue := flag.Int("ingest-queue", 4096, "continuous ingestion: staging queue bound in row-changes (backpressure past this)")
+	ingestJournal := flag.String("ingest-journal", "", "continuous ingestion: crash-safe ingest journal path (empty = in-memory only)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +114,8 @@ func main() {
 		planCacheSize: *planCacheSize, pprofAddr: *pprofAddr,
 		stores: *stores, sales: *sales, seed: *seed, drainTimeout: *drainTimeout,
 		follow: *follow, fetchInterval: *fetchInterval,
+		ingest: *ingestOn, ingestRate: *ingestRate, ingestSLO: *ingestSLO,
+		ingestQueue: *ingestQueue, ingestJournal: *ingestJournal,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "whserverd:", err)
 		os.Exit(1)
@@ -113,7 +136,22 @@ type config struct {
 	seed                       int64
 	follow                     string // leader address; empty = lead
 	fetchInterval              time.Duration
-	ready                      chan<- string // receives the bound address (tests); may be nil
+	ingest                     bool // continuous ingestion replaces the periodic driver
+	ingestRate                 int  // producer row-changes per second
+	ingestSLO                  time.Duration
+	ingestQueue                int
+	ingestJournal              string
+	ready                      chan<- string      // receives the bound address (tests); may be nil
+	drained                    chan<- drainReport // receives the post-drain journal state (tests); may be nil
+}
+
+// drainReport is what a finished drain leaves behind, surfaced to tests: the
+// window journal's final committed count and recovery flag, plus the
+// ingester's last stats snapshot.
+type drainReport struct {
+	committed     int
+	needsRecovery bool
+	ingest        ingest.Stats
 }
 
 // run builds the demo warehouse, serves it until ctx is cancelled, then
@@ -124,6 +162,17 @@ type config struct {
 func run(ctx context.Context, cfg config) error {
 	if cfg.follow != "" && cfg.windowEvery > 0 {
 		return fmt.Errorf("-window-every cannot be combined with -follow: a follower replays the leader's windows")
+	}
+	if cfg.ingest {
+		if cfg.follow != "" {
+			return fmt.Errorf("-ingest cannot be combined with -follow: a follower replays the leader's windows")
+		}
+		if cfg.windowEvery > 0 {
+			return fmt.Errorf("-ingest replaces -window-every: the ingester owns the window schedule")
+		}
+		if cfg.ingestRate <= 0 {
+			return fmt.Errorf("-ingest-rate must be positive (got %d)", cfg.ingestRate)
+		}
 	}
 	w, gen, err := buildDemo(cfg.stores, cfg.sales, cfg.seed)
 	if err != nil {
@@ -153,8 +202,35 @@ func run(ctx context.Context, cfg config) error {
 	}
 	s := serve.New(w, svCfg)
 
+	var ing *ingest.Ingester
+	if cfg.ingest {
+		// The ingester commits through the leader's shipped journal, so its
+		// micro-batch windows replicate to followers like any other window.
+		ing, err = ingest.New(ingest.Config{
+			Warehouse:   w,
+			Journal:     leader.Journal(),
+			JournalPath: cfg.ingestJournal,
+			SLO:         cfg.ingestSLO,
+			QueueLimit:  cfg.ingestQueue,
+			Planner:     warehouse.PlannerName(cfg.planner),
+			Mode:        warehouse.Mode(cfg.mode),
+			Workers:     cfg.workers,
+		})
+		if err != nil {
+			return fmt.Errorf("ingester: %w", err)
+		}
+		s.AttachIngest(ing)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
+	if ing != nil {
+		// The ingester owns the window schedule; an operator-triggered window
+		// would race its journal sequencing.
+		mux.HandleFunc("/window", func(rw http.ResponseWriter, r *http.Request) {
+			http.Error(rw, "windows are driven by the continuous ingester; see GET /ingest", http.StatusConflict)
+		})
+	}
 	if leader != nil {
 		mux.Handle("/replicate/", leader.Handler())
 	} else {
@@ -180,6 +256,8 @@ func run(ctx context.Context, cfg config) error {
 	role := "leading"
 	if follower != nil {
 		role = "following " + follower.LeaderAddr()
+	} else if ing != nil {
+		role = fmt.Sprintf("leading, ingesting %d changes/s (slo=%s)", cfg.ingestRate, cfg.ingestSLO)
 	}
 	planCache := "plan-cache=off"
 	if cfg.planCacheSize > 0 {
@@ -206,6 +284,16 @@ func run(ctx context.Context, cfg config) error {
 	if cfg.windowEvery > 0 {
 		go windowDriver(ctx, s, gen, cfg, windows)
 	}
+	if ing != nil {
+		// The window loop outlives ctx on purpose: a signal stops the
+		// producer, then Close drains the queue through final windows.
+		go func() {
+			if err := ing.Run(context.Background()); err != nil && ctx.Err() == nil {
+				windows <- fmt.Errorf("ingest window loop: %w", err)
+			}
+		}()
+		go ingestProducer(ctx, ing, w, gen, cfg.ingestRate, windows)
+	}
 	if follower != nil {
 		go func() {
 			err := follower.Run(ctx)
@@ -223,9 +311,17 @@ func run(ctx context.Context, cfg config) error {
 	case runErr = <-windows:
 	}
 
-	// Drain: readiness flips red (Draining), in-flight requests finish.
+	// Drain: the ingester quiesces first — its queue flushes through final
+	// windows while queries still answer, so accepted changes are never
+	// stranded and the drained epoch includes them. Then readiness flips red
+	// (Draining) and in-flight requests finish.
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if ing != nil {
+		if err := ing.Close(shutCtx); err != nil && runErr == nil {
+			runErr = fmt.Errorf("ingest drain: %w", err)
+		}
+	}
 	if err := hs.Shutdown(shutCtx); err != nil && runErr == nil {
 		runErr = fmt.Errorf("http shutdown: %w", err)
 	}
@@ -241,7 +337,58 @@ func run(ctx context.Context, cfg config) error {
 	st := s.Stats()
 	fmt.Printf("whserverd: drained (epoch=%d, served=%d, shed=%d, windows=%d committed / %d aborted)\n",
 		st.Epoch, st.Completed, st.Shed, st.WindowsCommitted, st.WindowsAborted)
+	if ing != nil {
+		ist := ing.Stats()
+		fmt.Printf("whserverd: ingest drained (accepted=%d, shed=%d, windows=%d, p99 staleness %.1fms)\n",
+			ist.Accepted, ist.Shed, ist.Windows, ist.StalenessP99MS)
+		if cfg.drained != nil {
+			cfg.drained <- drainReport{
+				committed:     leader.Journal().Committed(),
+				needsRecovery: leader.Journal().NeedsRecovery(),
+				ingest:        ist,
+			}
+		}
+	}
 	return runErr
+}
+
+// ingestProducer streams synthetic sales changes into the ingester at
+// roughly rate row-changes per second until ctx is cancelled. Shed changes
+// (backpressure) are dropped and counted by the ingester; pacing does not
+// stop. Anything harder than shedding kills the daemon via out.
+func ingestProducer(ctx context.Context, ing *ingest.Ingester, w *warehouse.Warehouse, gen *demoGen, rate int, out chan<- error) {
+	const per = 8 // row-changes per submission
+	interval := time.Duration(float64(time.Second) * per / float64(rate))
+	if interval < 100*time.Microsecond {
+		interval = 100 * time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		d, err := w.NewDelta("SALES")
+		if err != nil {
+			out <- fmt.Errorf("ingest producer: %w", err)
+			return
+		}
+		for i := 0; i < per; i++ {
+			d.Add(gen.sale(), 1)
+		}
+		switch err := ing.Submit("SALES", d); {
+		case err == nil:
+		case errors.Is(err, ingest.ErrIngestOverloaded):
+			// Shed under backpressure: drop this batch and keep pacing.
+		case errors.Is(err, ingest.ErrIngestClosed) || ctx.Err() != nil:
+			return
+		default:
+			out <- fmt.Errorf("ingest producer: %w", err)
+			return
+		}
+	}
 }
 
 // leaderURL normalizes a -follow operand: a bare host:port gets an http://

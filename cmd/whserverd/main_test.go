@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/ingest"
 )
 
 // TestServerLifecycle boots the daemon on an ephemeral port with a fast
@@ -251,6 +254,120 @@ func TestReplicaSmoke(t *testing.T) {
 		case <-time.After(60 * time.Second):
 			t.Fatal("daemon did not drain")
 		}
+	}
+}
+
+// TestIngestDrainUnderLoad boots the daemon in continuous-ingestion mode,
+// waits for micro-batch windows to commit while queries keep answering, then
+// drains it mid-stream — the producer is still pushing when the signal
+// lands. The drain must quiesce the ingester first: the window journal ends
+// with no recovery needed and the ingest journal reconciles with every
+// accepted change installed (nothing stranded, nothing torn).
+func TestIngestDrainUnderLoad(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ijPath := filepath.Join(t.TempDir(), "ingest.journal")
+	ready := make(chan string, 1)
+	drained := make(chan drainReport, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr: "127.0.0.1:0", queue: 64, workers: 2,
+			queryTimeout: 2 * time.Second,
+			mode: "dag", planner: "minwork",
+			stores: 4, sales: 200, seed: 7,
+			drainTimeout: 30 * time.Second,
+			ingest: true, ingestRate: 4000,
+			ingestSLO: 100 * time.Millisecond, ingestQueue: 1024,
+			ingestJournal: ijPath,
+			ready:         ready, drained: drained,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited during startup: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// The ingester owns the window schedule; operator windows are refused.
+	resp, err := http.Post(base+"/window", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /window while ingesting = %d, want 409", resp.StatusCode)
+	}
+
+	// Queries answer while ingested windows commit; wait for a few windows.
+	var st ingest.Stats
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/ingest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("/ingest = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		qr, err := http.Get(base + "/query?q=SELECT+region,+SUM(amount)+AS+total+FROM+SALES_BY_STORE+GROUP+BY+region")
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr.Body.Close()
+		if qr.StatusCode != 200 {
+			t.Fatalf("query during ingestion = %d", qr.StatusCode)
+		}
+		if st.Windows >= 3 && st.Accepted > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingester never committed 3 windows: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drain mid-stream, as a signal would.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	rep := <-drained
+	if rep.needsRecovery {
+		t.Fatal("window journal needs recovery after a graceful drain")
+	}
+	if rep.ingest.Err != "" {
+		t.Fatalf("ingester died during the run: %s", rep.ingest.Err)
+	}
+	if rep.ingest.Accepted < st.Accepted {
+		t.Fatalf("accepted count went backwards across the drain (%d < %d)",
+			rep.ingest.Accepted, st.Accepted)
+	}
+	sum, err := ingest.InspectJournal(ijPath, rep.committed)
+	if err != nil {
+		t.Fatalf("ingest journal did not parse: %v", err)
+	}
+	if sum.Torn {
+		t.Fatalf("ingest journal ends torn after a graceful drain: %+v", sum)
+	}
+	if sum.Requeued != 0 {
+		t.Fatalf("drain stranded %d accepted entr(ies): %+v", sum.Requeued, sum)
+	}
+	if sum.Accepts != int(rep.ingest.AcceptedBatches) {
+		t.Fatalf("journal holds %d accepts, ingester accepted %d batches", sum.Accepts, rep.ingest.AcceptedBatches)
 	}
 }
 

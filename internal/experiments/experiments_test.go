@@ -437,6 +437,70 @@ func TestReplicationShape(t *testing.T) {
 	}
 }
 
+// TestStreamingShape asserts the continuous-ingestion experiment's claims:
+// five rows (four window modes plus the adversarial tight-SLO leg), at
+// least one mode holding the p99 staleness SLO, bounded shedding under the
+// paced stream, and graceful degradation on the tight leg — deadline aborts
+// observed and the batch target walked down to its floor, with windows still
+// committing.
+func TestStreamingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming trial sweep in -short mode")
+	}
+	res, err := Streaming(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	type ingestStats struct {
+		p50, p99                      float64
+		windows, target, shed, aborts int64
+	}
+	parse := func(row Row) ingestStats {
+		t.Helper()
+		var st ingestStats
+		if _, err := fmt.Sscanf(row.Marker, "stale p50=%fms p99=%fms windows=%d target=%d shed=%d aborts=%d",
+			&st.p50, &st.p99, &st.windows, &st.target, &st.shed, &st.aborts); err != nil {
+			t.Fatalf("%s: bad marker %q: %v", row.Label, row.Marker, err)
+		}
+		return st
+	}
+	const sloMS = 200.0
+	held := 0
+	for _, row := range res.Rows[:4] {
+		st := parse(row)
+		if st.windows == 0 {
+			t.Errorf("%s: no windows committed", row.Label)
+		}
+		if st.p99 > 0 && st.p99 <= sloMS {
+			held++
+		}
+		// The paced stream fits the queue with room to spare; shedding, if
+		// any, must stay a sliver of the 100×16-change stream.
+		if st.shed > 160 {
+			t.Errorf("%s: shed %d changes of a paced stream", row.Label, st.shed)
+		}
+		if row.Work <= 0 || row.Elapsed <= 0 {
+			t.Errorf("%s: no work/time recorded: %+v", row.Label, row)
+		}
+	}
+	if held == 0 {
+		t.Error("no window mode held the 50ms p99 staleness SLO")
+	}
+	tight := parse(res.Rows[4])
+	if tight.aborts == 0 {
+		t.Errorf("tight-slo leg saw no deadline aborts: %+v", tight)
+	}
+	if tight.target != 8 {
+		t.Errorf("tight-slo batch target = %d, want degraded to the floor 8", tight.target)
+	}
+	if tight.windows == 0 {
+		t.Error("tight-slo leg committed no windows — degradation collapsed instead of degrading")
+	}
+}
+
 // TestSpillShape certifies the bounded-memory claims at this scale: the
 // budget lands below the unbounded leg's true footprint, the bounded leg
 // spills yet keeps its peak within budget, and the linear work metric is

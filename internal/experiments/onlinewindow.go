@@ -135,6 +135,15 @@ func OnlineWindow(cfg Config) (Result, error) {
 // hammer runs `clients` goroutines querying s while body executes, and
 // returns the successful queries' latencies.
 func hammer(s *serve.Server, queries []string, clients int, body func() error) ([]time.Duration, error) {
+	return hammerThink(s, queries, clients, 0, body)
+}
+
+// hammerThink is hammer with a per-query think time. A zero think is an
+// unpaced closed loop (clients re-issue the instant a query returns); a
+// positive think models clients that leave the CPU to the server between
+// queries — essential on small hosts where an unpaced loop would starve
+// the very window workers whose latency is being measured.
+func hammerThink(s *serve.Server, queries []string, clients int, think time.Duration, body func() error) ([]time.Duration, error) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -157,6 +166,9 @@ func hammer(s *serve.Server, queries []string, clients int, body func() error) (
 				_, err := s.Query(context.Background(), queries[(c+i)%len(queries)])
 				if err == nil {
 					local = append(local, time.Since(t0))
+					if think > 0 {
+						time.Sleep(think)
+					}
 				} else if errors.Is(err, serve.ErrOverloaded) {
 					// A real client backs off before retrying a shed query.
 					time.Sleep(2 * time.Millisecond)

@@ -1,0 +1,380 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/faults"
+)
+
+const (
+	fixSeed   = int64(42)
+	fixStores = 16
+	fixSales  = 400
+)
+
+func journalPaths(t *testing.T) (wjPath, ijPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	return filepath.Join(dir, "window.journal"), filepath.Join(dir, "ingest.journal")
+}
+
+// startRun launches Run and returns a func that waits for its result.
+func startRun(ing *Ingester) (wait func() error) {
+	done := make(chan error, 1)
+	go func() { done <- ing.Run(context.Background()) }()
+	return func() error { return <-done }
+}
+
+// TestIngestSteadyState drives a journaled ingester through a steady stream,
+// closes it, and checks every accepted change was installed exactly once:
+// the warehouse digest matches the sequential oracle over the same stream,
+// and the ingest journal reconciles with nothing left to requeue.
+func TestIngestSteadyState(t *testing.T) {
+	wjPath, ijPath := journalPaths(t)
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	wj, err := warehouse.OpenJournal(wjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wj.Close()
+	ing, err := New(Config{
+		Warehouse:   w,
+		Journal:     wj,
+		JournalPath: ijPath,
+		SLO:         100 * time.Millisecond,
+		Tick:        time.Millisecond,
+		MinBatch:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startRun(ing)
+
+	sets := genSets(fixSeed, fixStores, fixSales, 30, 12)
+	for _, s := range sets {
+		if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w.StateDigest(); got != want {
+		t.Fatalf("digest mismatch after steady ingestion: got %x want %x", got, want)
+	}
+	st := ing.Stats()
+	if st.Windows == 0 || st.Batches == 0 {
+		t.Fatalf("no windows ran: %+v", st)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("unexpected shedding on an unloaded queue: %+v", st)
+	}
+	if st.StalenessP99MS <= 0 {
+		t.Fatalf("staleness percentiles not tracked: %+v", st)
+	}
+	if !ing.calib.Calibrated() {
+		t.Fatal("calibrator observed no windows")
+	}
+	sum, err := InspectJournal(ijPath, wj.Committed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Accepts != len(sets) || sum.Requeued != 0 || sum.Torn {
+		t.Fatalf("journal did not reconcile clean: %+v", sum)
+	}
+	if wj.NeedsRecovery() {
+		t.Fatal("window journal left in-flight after clean drain")
+	}
+}
+
+// TestIngestBackpressureSheds fills the bounded queue with no window loop
+// running: Submit must shed with ErrIngestOverloaded instead of growing the
+// queue, and a change set larger than the whole queue is refused outright.
+func TestIngestBackpressureSheds(t *testing.T) {
+	w := buildFixture(t, fixSeed, fixStores, 64)
+	ing, err := New(Config{Warehouse: w, QueueLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := genSets(fixSeed, fixStores, 64, 6, 16)
+	accepted := 0
+	shedErrs := 0
+	for _, s := range sets {
+		err := ing.Submit("SALES", s.delta(t, w))
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrIngestOverloaded):
+			shedErrs++
+		default:
+			t.Fatalf("unexpected Submit error: %v", err)
+		}
+	}
+	if accepted != 4 || shedErrs != 2 {
+		t.Fatalf("accepted %d shed %d, want 4 accepted and 2 shed at limit 64", accepted, shedErrs)
+	}
+	st := ing.Stats()
+	if st.QueueDepth > st.QueueLimit {
+		t.Fatalf("queue exceeded its bound: %+v", st)
+	}
+	if st.Shed != 32 {
+		t.Fatalf("shed counter = %d, want 32 row-changes", st.Shed)
+	}
+	// A single set bigger than the queue can never be accepted.
+	big := genSets(fixSeed+1, fixStores, 1000, 1, 80)[0]
+	if err := ing.Submit("SALES", big.delta(t, w)); !errors.Is(err, ErrIngestOverloaded) {
+		t.Fatalf("oversized set: got %v, want ErrIngestOverloaded", err)
+	}
+}
+
+// TestIngestBackpressureBlocksThenDrains checks the middle rung of the
+// pressure ladder: with the window loop running and a generous BlockTimeout,
+// a producer hammering a tiny queue blocks rather than sheds, and every
+// change lands.
+func TestIngestBackpressureBlocksThenDrains(t *testing.T) {
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	ing, err := New(Config{
+		Warehouse:    w,
+		QueueLimit:   32,
+		BlockTimeout: 5 * time.Second,
+		Tick:         time.Millisecond,
+		MinBatch:     8,
+		InitialBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startRun(ing)
+	sets := genSets(fixSeed, fixStores, fixSales, 20, 16)
+	for _, s := range sets {
+		if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+			t.Fatalf("Submit under backpressure: %v", err)
+		}
+	}
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ing.Stats(); st.Shed != 0 {
+		t.Fatalf("blocked producer was shed: %+v", st)
+	}
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w.StateDigest(); got != want {
+		t.Fatalf("digest mismatch: got %x want %x", got, want)
+	}
+}
+
+// TestIngestCloseFlushes submits without a running window loop and relies on
+// Close alone to drain the queue through final windows.
+func TestIngestCloseFlushes(t *testing.T) {
+	wjPath, ijPath := journalPaths(t)
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	wj, err := warehouse.OpenJournal(wjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wj.Close()
+	ing, err := New(Config{Warehouse: w, Journal: wj, JournalPath: ijPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := genSets(fixSeed, fixStores, fixSales, 5, 20)
+	for _, s := range sets {
+		if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Submit("SALES", sets[0].delta(t, w)); !errors.Is(err, ErrIngestClosed) {
+		t.Fatalf("Submit after Close: got %v, want ErrIngestClosed", err)
+	}
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w.StateDigest(); got != want {
+		t.Fatalf("digest mismatch after Close flush: got %x want %x", got, want)
+	}
+	sum, err := InspectJournal(ijPath, wj.Committed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requeued != 0 {
+		t.Fatalf("Close left uninstalled entries: %+v", sum)
+	}
+}
+
+// TestIngestResumeAfterCrash kills the ingester with a crash-class fault
+// before any batch is installed, then simulates a process restart — rebuild
+// the fixture, restore from the window journal, resume the ingest journal —
+// and checks the new incarnation requeues and installs every accepted
+// change exactly once.
+func TestIngestResumeAfterCrash(t *testing.T) {
+	wjPath, ijPath := journalPaths(t)
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	wj, err := warehouse.OpenJournal(wjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(7)
+	inj.CrashAt(pointStage, 1)
+	ing, err := New(Config{Warehouse: w, Journal: wj, JournalPath: ijPath, Faults: inj, Tick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := genSets(fixSeed, fixStores, fixSales, 6, 15)
+	for _, s := range sets {
+		if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runErr := ing.Run(context.Background())
+	if runErr == nil || !faults.IsCrash(runErr) {
+		t.Fatalf("Run survived an injected crash: %v", runErr)
+	}
+	ing.Close(context.Background()) // release the journal file, like process death would
+	wj.Close()
+
+	// "Restart": deterministic fixture, window-journal restore, ingest resume.
+	w2 := buildFixture(t, fixSeed, fixStores, fixSales)
+	wj2, err := warehouse.OpenJournal(wjPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wj2.Close()
+	if _, err := w2.Restore(wj2); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	ing2, err := New(Config{Warehouse: w2, Journal: wj2, JournalPath: ijPath, Tick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ing2.Stats()
+	if st.Requeued != len(sets) {
+		t.Fatalf("resume requeued %d entries, want all %d accepted", st.Requeued, len(sets))
+	}
+	if err := ing2.Close(context.Background()); err != nil {
+		t.Fatalf("drain after resume: %v", err)
+	}
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w2.StateDigest(); got != want {
+		t.Fatalf("digest mismatch after crash+resume: got %x want %x", got, want)
+	}
+	sum, err := InspectJournal(ijPath, wj2.Committed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resets != 1 || sum.Requeued != 0 {
+		t.Fatalf("resumed journal did not reconcile clean: %+v", sum)
+	}
+}
+
+// TestIngestTransientFaultsRetried checks the two transient-fault paths that
+// must not lose changes: a failed accept is reported to the producer (who
+// retries), and a failed cut restores the queue for the next tick.
+func TestIngestTransientFaultsRetried(t *testing.T) {
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	inj := faults.New(3)
+	inj.FailAt(pointAccept, 1)
+	inj.FailAt(pointCut, 1)
+	ing, err := New(Config{Warehouse: w, Faults: inj, Tick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startRun(ing)
+	sets := genSets(fixSeed, fixStores, fixSales, 4, 10)
+	for _, s := range sets {
+		err := ing.Submit("SALES", s.delta(t, w))
+		if err != nil {
+			if !faults.IsTransient(err) {
+				t.Fatalf("Submit: %v", err)
+			}
+			if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+				t.Fatalf("Submit retry: %v", err)
+			}
+		}
+	}
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w.StateDigest(); got != want {
+		t.Fatalf("digest mismatch after transient faults: got %x want %x", got, want)
+	}
+}
+
+// TestIngestTightSLODegradesTarget runs with an unachievably tight SLO: the
+// first window blows its deadline (halving the target), the deadline doubles
+// until a window commits, and the calibrated batch sizer then pins the
+// target at MinBatch. This is the graceful-degradation ladder's first rung.
+func TestIngestTightSLODegradesTarget(t *testing.T) {
+	w := buildFixture(t, fixSeed, fixStores, fixSales)
+	// A 500ns window budget has always expired by the time the DAG scheduler
+	// reaches its first node check, so the first attempts abort
+	// deterministically; the doubled deadline eventually lets one commit.
+	ing, err := New(Config{
+		Warehouse:    w,
+		SLO:          time.Microsecond,
+		Mode:         warehouse.ModeDAG, // deadlines cancel between DAG node dispatches
+		Workers:      2,
+		MinBatch:     8,
+		InitialBatch: 256,
+		Tick:         time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := startRun(ing)
+	sets := genSets(fixSeed, fixStores, fixSales, 4, 64)
+	for _, s := range sets {
+		if err := ing.Submit("SALES", s.delta(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := ing.Stats()
+	if st.DeadlineAborts == 0 {
+		t.Fatalf("a 10µs window deadline never aborted: %+v", st)
+	}
+	if st.BatchTarget != 8 {
+		t.Fatalf("tight SLO did not degrade the batch target to MinBatch: target=%d %+v", st.BatchTarget, st)
+	}
+	if len(st.BatchTrajectory) == 0 {
+		t.Fatalf("batch trajectory not recorded: %+v", st)
+	}
+	want := oracleDigest(t, fixSeed, fixStores, fixSales, sets)
+	if got := w.StateDigest(); got != want {
+		t.Fatalf("digest mismatch under deadline pressure: got %x want %x", got, want)
+	}
+}
+
+// TestInspectJournalMissing checks a nonexistent journal reads as empty —
+// the first boot of a fresh deployment.
+func TestInspectJournalMissing(t *testing.T) {
+	sum, err := InspectJournal(filepath.Join(t.TempDir(), "nope.journal"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != (JournalSummary{}) {
+		t.Fatalf("missing journal not empty: %+v", sum)
+	}
+}

@@ -1,0 +1,348 @@
+package ingest
+
+// The ingest journal is the crash-safe half of the exactly-once handoff
+// between the continuous change stream and the window journal. It reuses
+// internal/journal's frame format ([type][uvarint len][payload][CRC64],
+// torn-tail tolerant) with its own record vocabulary:
+//
+//   - accept (0x10): one Submit's changes — sequence number, accept time,
+//     view, and the encoded row changes. Written before the change enters
+//     the queue, so an accepted change survives a crash.
+//   - cut (0x11): a batch boundary — which accept sequences the batch
+//     covers and, crucially, the window-journal sequence number the batch
+//     will run as. No separate "installed" record is needed: the window
+//     journal assigns sequence numbers only to committed windows (an
+//     aborted window re-uses its number), so a batch cut for window s is
+//     durably installed if and only if the window journal's committed
+//     count ever reaches s.
+//   - reset (0x12): written when a restarted ingester resumes over an
+//     existing journal. It voids all earlier cut records and pins the
+//     installed floor, because the new incarnation re-cuts the surviving
+//     entries with fresh window sequence numbers — without the reset, a
+//     stale cut whose window number a *different* batch later commits
+//     could claim changes that were never installed.
+//
+// Reconciliation on restart: take the installed floor (the max of every
+// reset's floor and every live cut's high sequence whose window number the
+// window journal has committed); every accepted entry above the floor is
+// requeued. Combined with Warehouse.Restore — replay committed windows,
+// recover the in-flight one — a crash at any point neither drops nor
+// double-applies a change.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+
+	warehouse "repro"
+	"repro/internal/journal"
+)
+
+// Ingest-journal record types, disjoint from the window journal's 1..4.
+const (
+	typeAccept byte = 0x10
+	typeCut    byte = 0x11
+	typeReset  byte = 0x12
+)
+
+// rowChange is one encoded row delta, mirroring the window journal's
+// per-row shape.
+type rowChange struct {
+	key   string
+	count int64
+}
+
+// entry is one accepted Submit: the unit of queueing and journaling.
+type entry struct {
+	seq  uint64
+	at   int64 // accept time, UnixNano
+	view string
+	rows []rowChange
+	n    int // row-changes (delta size: insertions plus deletions)
+}
+
+// cutRecord marks a batch boundary as read back from the journal.
+type cutRecord struct {
+	batch     int
+	lo, hi    uint64
+	windowSeq int
+	changes   int
+}
+
+// resetRecord voids earlier cuts and pins the installed floor.
+type resetRecord struct {
+	installedHi uint64
+	committed   int
+}
+
+func encodeRows(d *warehouse.Delta) ([]rowChange, int) {
+	var rows []rowChange
+	var n int64
+	d.ScanEncoded(func(key string, count int64) bool {
+		rows = append(rows, rowChange{key: key, count: count})
+		if count < 0 {
+			n -= count
+		} else {
+			n += count
+		}
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	return rows, int(n)
+}
+
+func encodeAccept(e entry) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, e.seq)
+	putVarint(&buf, e.at)
+	putString(&buf, e.view)
+	putUvarint(&buf, uint64(len(e.rows)))
+	for _, rc := range e.rows {
+		putString(&buf, rc.key)
+		putVarint(&buf, rc.count)
+	}
+	return buf.Bytes()
+}
+
+func decodeAccept(p []byte) (entry, error) {
+	r := bytes.NewReader(p)
+	var e entry
+	var err error
+	if e.seq, err = binary.ReadUvarint(r); err != nil {
+		return e, fmt.Errorf("ingest: accept seq: %w", err)
+	}
+	if e.at, err = binary.ReadVarint(r); err != nil {
+		return e, fmt.Errorf("ingest: accept time: %w", err)
+	}
+	if e.view, err = getString(r); err != nil {
+		return e, fmt.Errorf("ingest: accept view: %w", err)
+	}
+	nrows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return e, fmt.Errorf("ingest: accept row count: %w", err)
+	}
+	for i := uint64(0); i < nrows; i++ {
+		var rc rowChange
+		if rc.key, err = getString(r); err != nil {
+			return e, fmt.Errorf("ingest: accept row: %w", err)
+		}
+		if rc.count, err = binary.ReadVarint(r); err != nil {
+			return e, fmt.Errorf("ingest: accept row count: %w", err)
+		}
+		if rc.count < 0 {
+			e.n -= int(rc.count)
+		} else {
+			e.n += int(rc.count)
+		}
+		e.rows = append(e.rows, rc)
+	}
+	if r.Len() != 0 {
+		return e, fmt.Errorf("ingest: accept record has %d trailing bytes", r.Len())
+	}
+	return e, nil
+}
+
+func encodeCut(c cutRecord) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(c.batch))
+	putUvarint(&buf, c.lo)
+	putUvarint(&buf, c.hi)
+	putUvarint(&buf, uint64(c.windowSeq))
+	putUvarint(&buf, uint64(c.changes))
+	return buf.Bytes()
+}
+
+func decodeCut(p []byte) (cutRecord, error) {
+	r := bytes.NewReader(p)
+	var c cutRecord
+	fields := []*uint64{}
+	var batch, ws, changes uint64
+	fields = append(fields, &batch, &c.lo, &c.hi, &ws, &changes)
+	for i, f := range fields {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return c, fmt.Errorf("ingest: cut field %d: %w", i, err)
+		}
+		*f = v
+	}
+	c.batch, c.windowSeq, c.changes = int(batch), int(ws), int(changes)
+	if r.Len() != 0 {
+		return c, fmt.Errorf("ingest: cut record has %d trailing bytes", r.Len())
+	}
+	return c, nil
+}
+
+func encodeReset(rr resetRecord) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, rr.installedHi)
+	putUvarint(&buf, uint64(rr.committed))
+	return buf.Bytes()
+}
+
+func decodeReset(p []byte) (resetRecord, error) {
+	r := bytes.NewReader(p)
+	var rr resetRecord
+	var err error
+	if rr.installedHi, err = binary.ReadUvarint(r); err != nil {
+		return rr, fmt.Errorf("ingest: reset floor: %w", err)
+	}
+	committed, err := binary.ReadUvarint(r)
+	if err != nil {
+		return rr, fmt.Errorf("ingest: reset committed: %w", err)
+	}
+	rr.committed = int(committed)
+	if r.Len() != 0 {
+		return rr, fmt.Errorf("ingest: reset record has %d trailing bytes", r.Len())
+	}
+	return rr, nil
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := r.Read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// journalView is an ingest journal parsed back from disk.
+type journalView struct {
+	entries []entry     // every accepted entry, in sequence order
+	cuts    []cutRecord // cut records after the last reset ("live" cuts)
+	floor   uint64      // installed floor pinned by resets
+	resets  int
+	torn    bool // the file ended in a torn or corrupt frame (crash artifact)
+}
+
+// readJournal parses an ingest journal file. A missing file is an empty
+// journal. Like the window journal's file reader, a torn or corrupt tail is
+// tolerated and treated as not written — the expected artifact of a crash
+// mid-append.
+func readJournal(path string) (journalView, error) {
+	var v journalView
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return v, nil
+	}
+	if err != nil {
+		return v, err
+	}
+	for len(buf) > 0 {
+		typ, payload, n, derr := journal.DecodeFrame(buf)
+		if derr != nil || n == 0 {
+			v.torn = true
+			break
+		}
+		switch typ {
+		case typeAccept:
+			e, err := decodeAccept(payload)
+			if err != nil {
+				return v, err
+			}
+			v.entries = append(v.entries, e)
+		case typeCut:
+			c, err := decodeCut(payload)
+			if err != nil {
+				return v, err
+			}
+			v.cuts = append(v.cuts, c)
+		case typeReset:
+			rr, err := decodeReset(payload)
+			if err != nil {
+				return v, err
+			}
+			if rr.installedHi > v.floor {
+				v.floor = rr.installedHi
+			}
+			v.cuts = nil // a reset voids every earlier cut
+			v.resets++
+		default:
+			return v, fmt.Errorf("ingest: unknown journal record type %#x", typ)
+		}
+		buf = buf[n:]
+	}
+	return v, nil
+}
+
+// reconcile computes the exactly-once resume state against the window
+// journal's committed count: the installed floor (everything at or below it
+// reached a committed window) and the accepted entries above it, which the
+// restarted ingester requeues.
+func (v journalView) reconcile(committed int) (requeue []entry, floor uint64) {
+	floor = v.floor
+	for _, c := range v.cuts {
+		if c.windowSeq <= committed && c.hi > floor {
+			floor = c.hi
+		}
+	}
+	for _, e := range v.entries {
+		if e.seq > floor {
+			requeue = append(requeue, e)
+		}
+	}
+	return requeue, floor
+}
+
+// JournalSummary is InspectJournal's report: enough to assert a journal is
+// parseable and to sanity-check drain and recovery tests.
+type JournalSummary struct {
+	// Accepts counts accept records; AcceptedChanges their total row-changes.
+	Accepts         int
+	AcceptedChanges int
+	// Cuts counts live cut records (after the last reset); Resets the resets.
+	Cuts   int
+	Resets int
+	// InstalledFloor is the accept sequence at or below which every change
+	// reached a committed window, given the window journal's committed count.
+	InstalledFloor uint64
+	// Requeued counts entries above the floor — what a restart would replay.
+	Requeued int
+	// Torn reports the file ended in a torn or corrupt frame.
+	Torn bool
+}
+
+// InspectJournal parses an ingest journal and reconciles it against a window
+// journal's committed count, without constructing an ingester.
+func InspectJournal(path string, committed int) (JournalSummary, error) {
+	v, err := readJournal(path)
+	if err != nil {
+		return JournalSummary{}, err
+	}
+	requeue, floor := v.reconcile(committed)
+	s := JournalSummary{
+		Accepts:        len(v.entries),
+		Cuts:           len(v.cuts),
+		Resets:         v.resets,
+		InstalledFloor: floor,
+		Requeued:       len(requeue),
+		Torn:           v.torn,
+	}
+	for _, e := range v.entries {
+		s.AcceptedChanges += e.n
+	}
+	return s, nil
+}

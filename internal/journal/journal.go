@@ -124,6 +124,13 @@ type CommitRecord struct {
 	TotalWork int64
 	// ElapsedNS is the window's wall-clock duration in nanoseconds.
 	ElapsedNS int64
+	// UnixNano is the commit's wall-clock time (0 when unrecorded — journals
+	// written before commit times existed decode with zeros).
+	UnixNano int64
+	// AcceptUnixNano is when the window's change batch was accepted from the
+	// stream (0 for operator-invoked windows). Commit minus accept is the
+	// freshness a replica can report against the leader.
+	AcceptUnixNano int64
 }
 
 // AbortRecord closes a window that failed in-process (the failure was
@@ -266,6 +273,8 @@ func (w *Writer) Commit(c CommitRecord) error {
 	var buf bytes.Buffer
 	writeVarint(&buf, c.TotalWork)
 	writeVarint(&buf, c.ElapsedNS)
+	writeVarint(&buf, c.UnixNano)
+	writeVarint(&buf, c.AcceptUnixNano)
 	return w.append(typeCommit, buf.Bytes())
 }
 
@@ -545,6 +554,11 @@ func decodeStep(p []byte) (StepRecord, error) {
 	return s, nil
 }
 
+// DecodeCommitRecord decodes a commit-record payload. Replication reads the
+// stable tip's wall-clock timestamps straight off the byte log with it, so
+// the leader's HTTP handlers never touch the (unsynchronized) parsed journal.
+func DecodeCommitRecord(p []byte) (CommitRecord, error) { return decodeCommit(p) }
+
 func decodeCommit(p []byte) (CommitRecord, error) {
 	r := bytes.NewReader(p)
 	var c CommitRecord
@@ -554,6 +568,16 @@ func decodeCommit(p []byte) (CommitRecord, error) {
 	}
 	if c.ElapsedNS, err = binary.ReadVarint(r); err != nil {
 		return c, fmt.Errorf("journal: commit elapsed: %w", err)
+	}
+	if r.Len() == 0 {
+		// Pre-timestamp commit record: times stay zero.
+		return c, nil
+	}
+	if c.UnixNano, err = binary.ReadVarint(r); err != nil {
+		return c, fmt.Errorf("journal: commit time: %w", err)
+	}
+	if c.AcceptUnixNano, err = binary.ReadVarint(r); err != nil {
+		return c, fmt.Errorf("journal: commit accept time: %w", err)
 	}
 	if r.Len() != 0 {
 		return c, fmt.Errorf("journal: commit record has %d trailing bytes", r.Len())

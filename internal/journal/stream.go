@@ -45,6 +45,35 @@ func ChunkCRC(p []byte) uint64 { return crc64.Checksum(p, crcTable) }
 // that can never become valid — CRC failure, unknown type, oversized length
 // — returns an error wrapping ErrCorruptFrame.
 func DecodeRecord(buf []byte) (typ byte, payload []byte, n int, err error) {
+	typ, payload, n, err = DecodeFrame(buf)
+	if err != nil || n == 0 {
+		return typ, payload, n, err
+	}
+	if typ < typeBegin || typ > typeAbort {
+		return 0, nil, 0, fmt.Errorf("%w: unknown record type %d", ErrCorruptFrame, typ)
+	}
+	return typ, payload, n, nil
+}
+
+// EncodeFrame wraps a payload in the journal's frame format —
+// [type][uvarint len][payload][CRC64] — without appending it anywhere.
+// Sibling journals (the ingest journal's accept/cut records) reuse the
+// window journal's framing and torn-tail semantics by encoding their own
+// record types with this and parsing them back with DecodeFrame.
+func EncodeFrame(typ byte, payload []byte) []byte {
+	frame := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload)+8)
+	frame = append(frame, typ)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	sum := crc64.Checksum(frame, crcTable)
+	return binary.BigEndian.AppendUint64(frame, sum)
+}
+
+// DecodeFrame is DecodeRecord without the window-record type check: any type
+// byte whose frame passes the length and CRC checks is returned. Journals
+// with their own record vocabulary decode with this and route on typ
+// themselves.
+func DecodeFrame(buf []byte) (typ byte, payload []byte, n int, err error) {
 	if len(buf) == 0 {
 		return 0, nil, 0, nil
 	}
@@ -64,9 +93,6 @@ func DecodeRecord(buf []byte) (typ byte, payload []byte, n int, err error) {
 	sum := crc64.Checksum(buf[:head+int(plen)], crcTable)
 	if binary.BigEndian.Uint64(buf[head+int(plen):total]) != sum {
 		return 0, nil, 0, fmt.Errorf("%w: CRC mismatch on type-%d record", ErrCorruptFrame, typ)
-	}
-	if typ < typeBegin || typ > typeAbort {
-		return 0, nil, 0, fmt.Errorf("%w: unknown record type %d", ErrCorruptFrame, typ)
 	}
 	return typ, buf[head : head+int(plen)], total, nil
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/journal"
 	"repro/internal/parallel"
+	"repro/internal/retry"
 	"repro/internal/strategy"
 )
 
@@ -65,6 +66,11 @@ type Options struct {
 	// Journaled windows should derive it from the journal path and Seq so
 	// a crashed window's spill files are sweepable on the next open.
 	SpillDir string
+	// AcceptUnixNano, when nonzero, stamps the commit record with the time
+	// the window's change batch was accepted from the stream, so downstream
+	// readers (replicas, the ingest SLO tracker) can measure freshness
+	// against acceptance rather than commit.
+	AcceptUnixNano int64
 	// Retries is how many times a transiently failed attempt is re-run
 	// (beyond the first attempt). Only errors marked transient
 	// (faults.IsTransient) retry; deterministic failures don't.
@@ -102,6 +108,17 @@ type Result struct {
 	Replayed bool
 }
 
+// commitRecord builds a window's commit record, stamping wall-clock commit
+// time and the batch's stream-accept time (when the caller supplied one).
+func commitRecord(opts Options, totalWork, elapsedNS int64) journal.CommitRecord {
+	return journal.CommitRecord{
+		TotalWork:      totalWork,
+		ElapsedNS:      elapsedNS,
+		UnixNano:       time.Now().UnixNano(),
+		AcceptUnixNano: opts.AcceptUnixNano,
+	}
+}
+
 // isCrash classifies an attempt failure as a simulated process crash: the
 // error chain carries a crash-flavoured fault, or the injector fired one
 // anywhere (under DAG concurrency the first-in-strategy-order error the
@@ -120,13 +137,13 @@ func Run(w *core.Warehouse, s strategy.Strategy, opts Options) (*Result, error) 
 	if mode == "" {
 		mode = exec.ModeSequential
 	}
-	sleep := opts.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
-	backoff := opts.Backoff
-	if backoff <= 0 {
-		backoff = time.Millisecond
+	backoff := retry.Backoff{Policy: retry.Policy{Base: opts.Backoff}}
+	sleep := func(d time.Duration) {
+		if opts.Sleep != nil {
+			opts.Sleep(d)
+			return
+		}
+		time.Sleep(d)
 	}
 	if opts.Journal != nil && opts.Context != nil {
 		// Gate journal begin/step appends on the window's context: a
@@ -155,8 +172,7 @@ func Run(w *core.Warehouse, s strategy.Strategy, opts Options) (*Result, error) 
 		}
 		if faults.IsTransient(err) && retriesLeft > 0 {
 			retriesLeft--
-			sleep(backoff)
-			backoff *= 2
+			sleep(backoff.Next())
 			continue
 		}
 		if opts.FallbackSequential && mode != exec.ModeSequential && !triedSequential {
@@ -253,7 +269,7 @@ func runAttempt(w *core.Warehouse, s strategy.Strategy, mode exec.Mode, opts Opt
 		return rep, nil, err
 	}
 	if jw != nil {
-		if cerr := jw.Commit(journal.CommitRecord{TotalWork: rep.TotalWork, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+		if cerr := jw.Commit(commitRecord(opts, rep.TotalWork, time.Since(t0).Nanoseconds())); cerr != nil {
 			return rep, nil, cerr
 		}
 	}
@@ -286,7 +302,7 @@ func runRecompute(w *core.Warehouse, s strategy.Strategy, opts Options) (paralle
 	}
 	rep := parallel.Report{Mode: exec.ModeRecompute, Workers: 1, TotalWork: work, Elapsed: time.Since(t0)}
 	if jw != nil {
-		if cerr := jw.Commit(journal.CommitRecord{TotalWork: work, ElapsedNS: rep.Elapsed.Nanoseconds()}); cerr != nil {
+		if cerr := jw.Commit(commitRecord(opts, work, rep.Elapsed.Nanoseconds())); cerr != nil {
 			return rep, nil, cerr
 		}
 	}
@@ -470,7 +486,7 @@ func Recover(w *core.Warehouse, lg *journal.Log, opts Options) (*Result, error) 
 			return nil, fmt.Errorf("recovery: redoing recompute window %d: %w", b.Seq, err)
 		}
 		if jw != nil {
-			if cerr := jw.Commit(journal.CommitRecord{TotalWork: work, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+			if cerr := jw.Commit(commitRecord(opts, work, time.Since(t0).Nanoseconds())); cerr != nil {
 				return nil, cerr
 			}
 		}
@@ -530,7 +546,7 @@ func Recover(w *core.Warehouse, lg *journal.Log, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("recovery: replaying window %d: %w", b.Seq, err)
 	}
 	if jw != nil {
-		if cerr := jw.Commit(journal.CommitRecord{TotalWork: rep.TotalWork, ElapsedNS: time.Since(t0).Nanoseconds()}); cerr != nil {
+		if cerr := jw.Commit(commitRecord(opts, rep.TotalWork, time.Since(t0).Nanoseconds())); cerr != nil {
 			return nil, cerr
 		}
 	}

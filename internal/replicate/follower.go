@@ -14,6 +14,7 @@ import (
 	warehouse "repro"
 	"repro/internal/faults"
 	"repro/internal/journal"
+	"repro/internal/retry"
 )
 
 // ErrFollowerDead is wrapped by errors a dead follower returns: a replayed
@@ -69,14 +70,16 @@ type Follower struct {
 	parse int
 	asm   journal.Assembler
 
-	mu           sync.Mutex // guards the fields below (Stats readers)
-	leaderEpoch  uint64
-	leaderStable int64
-	lastContact  time.Time
-	replayed     int64
-	shipped      int64
-	reconnects   int64
-	fatal        error
+	mu             sync.Mutex // guards the fields below (Stats readers)
+	leaderEpoch    uint64
+	leaderStable   int64
+	leaderCommitNS int64 // leader's stable-tip commit time (last contact)
+	leaderAcceptNS int64 // and its batch-accept time
+	lastContact    time.Time
+	replayed       int64
+	shipped        int64
+	reconnects     int64
+	fatal          error
 }
 
 // NewFollower starts replicating onto w, which must be built from the same
@@ -190,9 +193,13 @@ func (f *Follower) Poll(ctx context.Context) (applied int, err error) {
 
 	stable, _ := strconv.ParseInt(resp.Header.Get(HeaderStable), 10, 64)
 	epoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	commitNS, _ := strconv.ParseInt(resp.Header.Get(HeaderCommitNS), 10, 64)
+	acceptNS, _ := strconv.ParseInt(resp.Header.Get(HeaderAcceptNS), 10, 64)
 	f.mu.Lock()
 	f.leaderStable = stable
 	f.leaderEpoch = epoch
+	f.leaderCommitNS = commitNS
+	f.leaderAcceptNS = acceptNS
 	f.lastContact = time.Now()
 	f.mu.Unlock()
 
@@ -286,7 +293,7 @@ func (f *Follower) drain() (applied int, err error) {
 // high-water mark reaches the leader's stable watermark (as of the last
 // successful poll) — or with the follower's fatal error, or ctx's.
 func (f *Follower) CatchUp(ctx context.Context) error {
-	backoff := f.cfg.Backoff
+	backoff := f.backoff()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -296,13 +303,10 @@ func (f *Follower) CatchUp(ctx context.Context) error {
 			if errors.Is(err, ErrFollowerDead) {
 				return err
 			}
-			f.sleep(backoff)
-			if backoff *= 2; backoff > f.cfg.MaxBackoff {
-				backoff = f.cfg.MaxBackoff
-			}
+			f.sleep(backoff.Next())
 			continue
 		}
-		backoff = f.cfg.Backoff
+		backoff.Reset()
 		if f.Lag().Bytes == 0 {
 			return nil
 		}
@@ -313,7 +317,7 @@ func (f *Follower) CatchUp(ctx context.Context) error {
 // once caught up, backing off across reconnects. It returns ctx.Err() on
 // shutdown or the fatal error if the follower dies.
 func (f *Follower) Run(ctx context.Context) error {
-	backoff := f.cfg.Backoff
+	backoff := f.backoff()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -323,17 +327,21 @@ func (f *Follower) Run(ctx context.Context) error {
 		case errors.Is(err, ErrFollowerDead):
 			return err
 		case err != nil:
-			f.sleep(backoff)
-			if backoff *= 2; backoff > f.cfg.MaxBackoff {
-				backoff = f.cfg.MaxBackoff
-			}
+			f.sleep(backoff.Next())
 		case applied == 0 && f.Lag().Bytes == 0:
-			backoff = f.cfg.Backoff
+			backoff.Reset()
 			f.sleep(f.cfg.Interval)
 		default:
-			backoff = f.cfg.Backoff
+			backoff.Reset()
 		}
 	}
+}
+
+// backoff builds the reconnect schedule from the follower's config: the
+// shared retry helper's exponential curve from cfg.Backoff capped at
+// cfg.MaxBackoff, reset to the base after every successful poll.
+func (f *Follower) backoff() retry.Backoff {
+	return retry.Backoff{Policy: retry.Policy{Base: f.cfg.Backoff, Max: f.cfg.MaxBackoff}}
 }
 
 func (f *Follower) sleep(d time.Duration) {
@@ -369,20 +377,34 @@ func (f *Follower) dead() error {
 }
 
 // Lag is the follower's staleness relative to its last contact with the
-// leader: how many epochs and stable log bytes it has yet to apply. Epoch
-// lag saturates at zero — the leader's stable watermark can momentarily lead
-// its epoch flip, so a caught-up follower never reports negative lag.
+// leader: how many epochs and stable log bytes it has yet to apply, and the
+// wall-clock gap between the leader's stable tip and the follower's applied
+// tip. Epoch lag saturates at zero — the leader's stable watermark can
+// momentarily lead its epoch flip, so a caught-up follower never reports
+// negative lag — and so do the wall-clock gaps.
 type Lag struct {
 	Epochs uint64 `json:"lag_epochs"`
 	Bytes  int64  `json:"lag_bytes"`
 	Epoch  uint64 `json:"epoch"`
 	Leader uint64 `json:"leader_epoch"`
+	// WallMS is how far, in wall-clock milliseconds, the follower's applied
+	// tip trails the leader's stable tip (commit time minus commit time); 0
+	// when caught up or when either side has no committed window yet.
+	WallMS float64 `json:"lag_wall_ms"`
+	// AcceptWallMS is the end-to-end freshness of the follower's served
+	// state: from when its applied tip's change batch was accepted from the
+	// stream to the leader's stable-tip commit (the freshest wall-clock the
+	// follower has heard). A caught-up follower reports the tip's own
+	// accept-to-commit span; a lagging one adds the replication gap. 0 when
+	// the applied tip did not come from the ingest path (no accept time).
+	AcceptWallMS float64 `json:"accept_wall_ms"`
 }
 
 // Lag snapshots the follower's staleness.
 func (f *Follower) Lag() Lag {
 	f.mu.Lock()
 	leaderEpoch, leaderStable := f.leaderEpoch, f.leaderStable
+	leaderCommitNS := f.leaderCommitNS
 	f.mu.Unlock()
 	lag := Lag{Epoch: f.w.Epoch(), Leader: leaderEpoch}
 	if leaderEpoch > lag.Epoch {
@@ -390,6 +412,13 @@ func (f *Follower) Lag() Lag {
 	}
 	if hwm := f.HWM(); leaderStable > hwm {
 		lag.Bytes = leaderStable - hwm
+	}
+	appliedCommitNS, appliedAcceptNS := f.log.StableTip()
+	if leaderCommitNS > 0 && appliedCommitNS > 0 && leaderCommitNS > appliedCommitNS {
+		lag.WallMS = float64(leaderCommitNS-appliedCommitNS) / 1e6
+	}
+	if leaderCommitNS > 0 && appliedAcceptNS > 0 && leaderCommitNS > appliedAcceptNS {
+		lag.AcceptWallMS = float64(leaderCommitNS-appliedAcceptNS) / 1e6
 	}
 	return lag
 }
@@ -406,7 +435,13 @@ type FollowerStats struct {
 	ShippedRecords  int64     `json:"shipped_records"`
 	ReconnectCount  int64     `json:"reconnect_count"`
 	LastContact     time.Time `json:"last_contact"`
-	Dead            string    `json:"dead,omitempty"`
+	// LagWallMS / AcceptWallMS mirror Lag's wall-clock staleness; the
+	// Leader*NS fields are the raw stable-tip timestamps they derive from.
+	LagWallMS      float64 `json:"lag_wall_ms"`
+	AcceptWallMS   float64 `json:"accept_wall_ms"`
+	LeaderCommitNS int64   `json:"leader_commit_unix_ns"`
+	LeaderAcceptNS int64   `json:"leader_accept_unix_ns"`
+	Dead           string  `json:"dead,omitempty"`
 }
 
 // Stats snapshots the follower's counters.
@@ -425,6 +460,10 @@ func (f *Follower) Stats() FollowerStats {
 		ShippedRecords:  f.shipped,
 		ReconnectCount:  f.reconnects,
 		LastContact:     f.lastContact,
+		LagWallMS:       lag.WallMS,
+		AcceptWallMS:    lag.AcceptWallMS,
+		LeaderCommitNS:  f.leaderCommitNS,
+		LeaderAcceptNS:  f.leaderAcceptNS,
 	}
 	if f.fatal != nil {
 		s.Dead = f.fatal.Error()

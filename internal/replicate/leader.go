@@ -20,6 +20,13 @@ const (
 	HeaderStable = "X-Log-Stable" // leader's stable watermark at serve time
 	HeaderCRC    = "X-Chunk-CRC"  // CRC64-ECMA of the body, hex
 	HeaderEpoch  = "X-Leader-Epoch"
+	// HeaderCommitNS / HeaderAcceptNS advertise the leader's stable tip in
+	// wall-clock terms: the UnixNano commit time of its latest committed
+	// window and that window's batch-accept time (0 when the window did not
+	// come from the ingest path). Followers subtract their applied tip to
+	// report wall-clock staleness, not just epoch lag.
+	HeaderCommitNS = "X-Leader-Commit-NS"
+	HeaderAcceptNS = "X-Leader-Accept-NS"
 )
 
 // DefaultChunkBytes bounds a log fetch when the client does not say.
@@ -88,10 +95,16 @@ type LeaderStats struct {
 	ChunksServed     int64  `json:"chunks_served"`
 	ShippedRecords   int64  `json:"shipped_records"`
 	ShippedBytes     int64  `json:"shipped_bytes"`
+	// LastCommitNS / LastAcceptNS are the stable tip's wall-clock commit and
+	// batch-accept times (UnixNano, 0 when unrecorded) — what the shipping
+	// headers advertise to followers.
+	LastCommitNS int64 `json:"last_commit_unix_ns"`
+	LastAcceptNS int64 `json:"last_accept_unix_ns"`
 }
 
 // Stats snapshots the leader's counters.
 func (l *Leader) Stats() LeaderStats {
+	commitNS, acceptNS := l.log.StableTip()
 	return LeaderStats{
 		Epoch:            l.w.Epoch(),
 		StateDigest:      l.w.StateDigest(),
@@ -101,6 +114,8 @@ func (l *Leader) Stats() LeaderStats {
 		ChunksServed:     l.chunksServed.Load(),
 		ShippedRecords:   l.shippedRecords.Load(),
 		ShippedBytes:     l.shippedBytes.Load(),
+		LastCommitNS:     commitNS,
+		LastAcceptNS:     acceptNS,
 	}
 }
 
@@ -154,6 +169,9 @@ func (l *Leader) handleLog(w http.ResponseWriter, r *http.Request) {
 	h.Set(HeaderStable, strconv.FormatInt(stable, 10))
 	h.Set(HeaderCRC, fmt.Sprintf("%016x", journal.ChunkCRC(data)))
 	h.Set(HeaderEpoch, strconv.FormatUint(l.w.Epoch(), 10))
+	commitNS, acceptNS := l.log.StableTip()
+	h.Set(HeaderCommitNS, strconv.FormatInt(commitNS, 10))
+	h.Set(HeaderAcceptNS, strconv.FormatInt(acceptNS, 10))
 	_, _ = w.Write(data)
 
 	l.chunksServed.Add(1)

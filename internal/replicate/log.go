@@ -34,6 +34,8 @@ type Log struct {
 	stable    int // bytes through the last closed (committed or aborted) window
 	closed    int // windows closed
 	committed int // windows committed
+	commitNS  int64 // wall-clock commit time of the last committed window (UnixNano)
+	acceptNS  int64 // its batch-accept time (0 unless it came from the ingest path)
 	err       error
 }
 
@@ -53,7 +55,7 @@ func (l *Log) Write(p []byte) (int, error) {
 	}
 	l.buf = append(l.buf, p...)
 	for {
-		typ, _, n, err := journal.DecodeRecord(l.buf[l.scan:])
+		typ, payload, n, err := journal.DecodeRecord(l.buf[l.scan:])
 		if err != nil {
 			l.err = fmt.Errorf("replicate: scanning appended journal bytes: %w", err)
 			return 0, l.err
@@ -67,10 +69,23 @@ func (l *Log) Write(p []byte) (int, error) {
 			l.closed++
 			if typ == journal.TypeCommit {
 				l.committed++
+				if c, err := journal.DecodeCommitRecord(payload); err == nil {
+					l.commitNS, l.acceptNS = c.UnixNano, c.AcceptUnixNano
+				}
 			}
 		}
 	}
 	return len(p), nil
+}
+
+// StableTip reports the wall-clock commit time of the last committed window
+// in the log and that window's batch-accept time (both UnixNano; 0 when
+// unrecorded). This is what the leader advertises so followers can report
+// staleness in wall-clock terms, not just epochs.
+func (l *Log) StableTip() (commitNS, acceptNS int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commitNS, l.acceptNS
 }
 
 // Len is the total byte length appended, including any unstable tail.

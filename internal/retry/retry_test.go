@@ -1,0 +1,147 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayJitterBounds checks every jittered delay stays inside
+// [d(1-j), d(1+j)] of the deterministic schedule, across the whole schedule
+// and many draws.
+func TestDelayJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := Policy{Base: 10 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: 0.3,
+		Rand: rng.Float64}
+	bare := Policy{Base: p.Base, Factor: p.Factor, Max: p.Max}
+	for retry := 0; retry < 10; retry++ {
+		want := bare.Delay(retry)
+		lo := time.Duration(float64(want) * (1 - p.Jitter))
+		hi := time.Duration(float64(want) * (1 + p.Jitter))
+		for draw := 0; draw < 200; draw++ {
+			got := p.Delay(retry)
+			if got < lo || got > hi {
+				t.Fatalf("retry %d: jittered delay %v outside [%v, %v]", retry, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDelaySchedule checks the deterministic schedule doubles and caps.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Factor: 2, Max: 45 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 45, 45}
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestDoRetriesTransient checks Do retries up to Attempts and sleeps the
+// schedule between tries.
+func TestDoRetriesTransient(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Attempts: 4, Base: time.Millisecond, Factor: 2,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := Do(context.Background(), p, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, nil)
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on 3rd", err, calls)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("slept %v, want [1ms 2ms]", slept)
+	}
+}
+
+// TestDoStopsOnNonRetryable checks the retryable classifier short-circuits.
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, Sleep: func(time.Duration) {}},
+		func(int) error { calls++; return fatal },
+		func(err error) bool { return !errors.Is(err, fatal) })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want fatal after 1", err, calls)
+	}
+}
+
+// TestDoExhaustsAttempts checks the last error surfaces when attempts run out.
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), Policy{Attempts: 3, Sleep: func(time.Duration) {}},
+		func(int) error { calls++; return boom }, nil)
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want boom after 3", err, calls)
+	}
+}
+
+// TestDoCtxAbort checks a cancelled context aborts the schedule: mid-sleep
+// (real sleep path) and before the next attempt (hook path).
+func TestDoCtxAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, Policy{Attempts: 3, Base: 10 * time.Second},
+		func(int) error { calls++; return errors.New("transient") }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("made %d attempts, want 1 (cancelled mid-backoff)", calls)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not interrupt the 10s backoff (took %v)", elapsed)
+	}
+
+	// Hook path: cancellation between attempts is seen before the next op.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	err = Do(ctx2, Policy{Attempts: 3, Sleep: func(time.Duration) { cancel2() }},
+		func(int) error { calls++; return errors.New("transient") }, nil)
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want Canceled after 1", err, calls)
+	}
+}
+
+// TestBackoffResets checks the stateful schedule rewinds on Reset.
+func TestBackoffResets(t *testing.T) {
+	b := Backoff{Policy: Policy{Base: time.Millisecond, Factor: 2}}
+	if b.Next() != time.Millisecond || b.Next() != 2*time.Millisecond || b.Next() != 4*time.Millisecond {
+		t.Fatal("schedule did not double")
+	}
+	b.Reset()
+	if got := b.Next(); got != time.Millisecond {
+		t.Fatalf("after Reset, Next = %v, want 1ms", got)
+	}
+}
+
+// TestNilCtx checks Do tolerates a nil context.
+func TestNilCtx(t *testing.T) {
+	err := Do(nil, Policy{Attempts: 2, Sleep: func(time.Duration) {}}, //lint:ignore SA1012 nil ctx is part of the contract
+		func(attempt int) error {
+			if attempt < 2 {
+				return errors.New("once")
+			}
+			return nil
+		}, nil)
+	if err != nil {
+		t.Fatalf("Do(nil ctx) = %v", err)
+	}
+}

@@ -22,6 +22,9 @@ import (
 //	                     runs one update window over the staged changes.
 //	GET      /epoch    — current serving epoch.
 //	GET      /stats    — counters snapshot.
+//	GET      /ingest   — continuous-ingestion snapshot (staleness
+//	                     percentiles, queue depth, shed count, batch
+//	                     trajectory); 404 when no ingester is attached.
 //	GET      /healthz  — 200 while the process lives (liveness).
 //	GET      /readyz   — 200 while accepting queries, 503 once draining
 //	                     (readiness; flips before connections stop).
@@ -34,6 +37,14 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		in := s.Ingester()
+		if in == nil {
+			http.Error(w, "no ingester attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, in.Stats())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

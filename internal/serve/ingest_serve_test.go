@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	warehouse "repro"
+	"repro/internal/ingest"
+)
+
+// TestHTTPIngestEndpoint checks the /ingest surface: 404 while no ingester
+// is attached, a JSON snapshot (mirrored into /stats) once one is, and that
+// queries keep flowing while the ingester drives windows.
+func TestHTTPIngestEndpoint(t *testing.T) {
+	w := newRetail(t)
+	s := New(w, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close(context.Background())
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, _ := get("/ingest"); code != http.StatusNotFound {
+		t.Fatalf("/ingest without an ingester = %d, want 404", code)
+	}
+	if _, body := get("/stats"); strings.Contains(body, "\"Ingest\"") {
+		t.Fatalf("/stats carries an Ingest block with no ingester: %s", body)
+	}
+
+	ing, err := ingest.New(ingest.Config{Warehouse: w, Tick: time.Millisecond, SLO: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachIngest(ing)
+	done := make(chan error, 1)
+	go func() { done <- ing.Run(context.Background()) }()
+
+	d, err := w.NewDelta("SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(warehouse.Tuple{warehouse.Int(990), warehouse.Int(2), warehouse.Float(25)}, 1)
+	if err := ing.Submit("SALES", d); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ing.Stats().Windows == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ingested change never reached a window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The served epoch advanced via the ingester's window, and queries flow.
+	if _, err := s.Query(context.Background(), totalsQuery); err != nil {
+		t.Fatalf("query during ingestion: %v", err)
+	}
+	code, body := get("/ingest")
+	if code != http.StatusOK {
+		t.Fatalf("/ingest = %d %s", code, body)
+	}
+	var st ingest.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad /ingest JSON: %v\n%s", err, body)
+	}
+	if st.Windows == 0 || st.Accepted == 0 {
+		t.Fatalf("/ingest snapshot empty: %+v", st)
+	}
+	if _, body := get("/stats"); !strings.Contains(body, "\"Ingest\"") {
+		t.Fatalf("/stats does not mirror the ingest snapshot: %s", body)
+	}
+
+	if err := ing.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	warehouse "repro"
+	"repro/internal/ingest"
 )
 
 // ErrOverloaded is returned when the admission queue is full: the query was
@@ -117,6 +118,9 @@ type Stats struct {
 	QueueLen, QueueCap int
 	// Draining reports the server is closing and refusing new work.
 	Draining bool
+	// Ingest is the attached continuous ingester's snapshot (nil when the
+	// server runs without one); the /ingest endpoint serves it alone.
+	Ingest *ingest.Stats `json:",omitempty"`
 }
 
 type response struct {
@@ -142,6 +146,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
+	ing      *ingest.Ingester
 
 	admitted, shed, expired, completed, failed atomic.Uint64
 	windowsCommitted, windowsAborted           atomic.Uint64
@@ -172,6 +177,24 @@ func New(w *warehouse.Warehouse, cfg Config) *Server {
 
 // Warehouse returns the served warehouse.
 func (s *Server) Warehouse() *warehouse.Warehouse { return s.w }
+
+// AttachIngest associates a continuous ingester with the server for
+// observability: its snapshot rides /stats and the /ingest endpoint. The
+// server does not own the ingester's lifecycle — the operator quiesces it
+// before closing the server (ingester first, so its final windows still
+// publish epochs the drained queries can read).
+func (s *Server) AttachIngest(in *ingest.Ingester) {
+	s.mu.Lock()
+	s.ing = in
+	s.mu.Unlock()
+}
+
+// Ingester returns the attached continuous ingester, nil when none.
+func (s *Server) Ingester() *ingest.Ingester {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ing
+}
 
 // Query submits one ad-hoc query. It returns ErrOverloaded without blocking
 // if the admission queue is full, ErrClosed if the server is draining, the
@@ -318,9 +341,16 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	draining := s.draining
 	qlen := len(s.queue)
+	ing := s.ing
 	s.mu.Unlock()
+	var ingStats *ingest.Stats
+	if ing != nil {
+		st := ing.Stats()
+		ingStats = &st
+	}
 	pc := s.w.PlanCacheStats()
 	return Stats{
+		Ingest:               ingStats,
 		PlanCacheHits:        pc.Hits,
 		PlanCacheMisses:      pc.Misses,
 		PlanCacheEvictions:   pc.Evictions,

@@ -12,12 +12,14 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/delta"
 	"repro/internal/faults"
 	"repro/internal/relation"
+	"repro/internal/retry"
 )
 
 // Op is a transaction operation.
@@ -337,27 +339,21 @@ func (x *Extractor) DrainWithRetry(p RetryPolicy) (map[string]*delta.Delta, erro
 	if attempts < 1 {
 		attempts = 1
 	}
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	var out map[string]*delta.Delta
+	var lastAttempt int
+	err := retry.Do(context.Background(), retry.Policy{
+		Attempts: attempts,
+		Base:     p.Backoff,
+		Factor:   p.Factor,
+		Sleep:    p.Sleep,
+	}, func(attempt int) error {
+		lastAttempt = attempt
+		var derr error
+		out, derr = x.Drain()
+		return derr
+	}, faults.IsTransient)
+	if err != nil {
+		return nil, fmt.Errorf("source: drain attempt %d/%d: %w", lastAttempt, attempts, err)
 	}
-	backoff := p.Backoff
-	if backoff <= 0 {
-		backoff = time.Millisecond
-	}
-	factor := p.Factor
-	if factor < 1 {
-		factor = 2
-	}
-	for attempt := 1; ; attempt++ {
-		out, err := x.Drain()
-		if err == nil {
-			return out, nil
-		}
-		if attempt >= attempts || !faults.IsTransient(err) {
-			return nil, fmt.Errorf("source: drain attempt %d/%d: %w", attempt, attempts, err)
-		}
-		sleep(backoff)
-		backoff = time.Duration(float64(backoff) * factor)
-	}
+	return out, nil
 }

@@ -175,6 +175,12 @@ type WindowOptions struct {
 	// Faults injects failures for testing (point "step" at step boundaries,
 	// "recompute" in the recompute fallback).
 	Faults *FaultInjector
+	// BatchAccepted, when set, is the time the window's change batch was
+	// accepted from a continuous stream. It is stamped into the journal's
+	// commit record so freshness (commit minus accept) is measurable from the
+	// journal alone — by the ingest SLO tracker locally and by followers
+	// replicating the journal.
+	BatchAccepted time.Time
 }
 
 // plan runs the named planner (shared by RunWindowMode and RunWindowOpts).
@@ -231,6 +237,9 @@ func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
 		FallbackSequential: o.FallbackSequential,
 		FallbackRecompute:  o.FallbackRecompute,
 	}
+	if !o.BatchAccepted.IsZero() {
+		ropts.AcceptUnixNano = o.BatchAccepted.UnixNano()
+	}
 	if o.Journal != nil {
 		ropts.Journal = o.Journal.w
 		ropts.Seq = o.Journal.seq
@@ -249,7 +258,7 @@ func (w *Warehouse) RunWindowOpts(o WindowOptions) (WindowReport, error) {
 	}
 	w.adopt(res.Core)
 	if o.Journal != nil {
-		o.Journal.noteCommitted(res.Report.TotalWork)
+		o.Journal.noteCommitted(res.Report.TotalWork, ropts.AcceptUnixNano)
 	}
 	window := WindowReport{
 		Seq:                len(w.history) + 1,
@@ -298,7 +307,7 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 	begin := inflight.Begin
 	// The in-flight window is now committed: mirror the appended commit in
 	// the parsed log so NeedsRecovery flips without re-reading the file.
-	inflight.Commit = &journal.CommitRecord{TotalWork: res.Report.TotalWork}
+	inflight.Commit = &journal.CommitRecord{TotalWork: res.Report.TotalWork, UnixNano: time.Now().UnixNano()}
 	j.seq = j.log.CommittedCount() + 1
 	window := WindowReport{
 		Seq:        len(w.history) + 1,
@@ -319,12 +328,69 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 }
 
 // noteCommitted records a window committed through this journal handle, so
-// Committed and the next window's sequence number stay accurate without
-// re-reading the file.
-func (j *Journal) noteCommitted(totalWork int64) {
+// Committed, LastCommitMeta and the next window's sequence number stay
+// accurate without re-reading the file.
+func (j *Journal) noteCommitted(totalWork int64, acceptNS int64) {
 	j.log.Windows = append(j.log.Windows, journal.WindowLog{
-		Begin:  journal.BeginRecord{Seq: j.seq},
-		Commit: &journal.CommitRecord{TotalWork: totalWork},
+		Begin: journal.BeginRecord{Seq: j.seq},
+		Commit: &journal.CommitRecord{
+			TotalWork:      totalWork,
+			UnixNano:       time.Now().UnixNano(),
+			AcceptUnixNano: acceptNS,
+		},
 	})
 	j.seq++
+}
+
+// NextSeq returns the sequence number the next window run through this
+// journal will carry. The exactly-once handoff from the ingest journal keys
+// on it: an ingest batch cut for window s is durably installed iff the
+// window journal's committed count ever reaches s (aborted windows re-use
+// their sequence number, so a staged batch rides into the next commit).
+func (j *Journal) NextSeq() int { return j.seq }
+
+// LastCommitMeta returns the wall-clock commit time and batch-accept time
+// (both UnixNano, 0 when unrecorded) of the journal's most recent committed
+// window — what a replication leader advertises so followers can report
+// wall-clock staleness, not just epoch lag.
+func (j *Journal) LastCommitMeta() (commitNS, acceptNS int64) {
+	for i := len(j.log.Windows) - 1; i >= 0; i-- {
+		if c := j.log.Windows[i].Commit; c != nil {
+			return c.UnixNano, c.AcceptUnixNano
+		}
+	}
+	return 0, 0
+}
+
+// Restore rebuilds warehouse state from this journal after a restart: every
+// committed window is replayed in order (aborted windows are skipped, as
+// their effects never reached the serving epoch), and a trailing in-flight
+// window — the signature of a crash mid-window — is completed via Recover.
+// The warehouse must be at the journal's initial state: the deterministic
+// fixture whose digest the first window's begin record pins. One report per
+// replayed window is returned.
+func (w *Warehouse) Restore(j *Journal) ([]WindowReport, error) {
+	if j == nil {
+		return nil, errors.New("warehouse: Restore requires a journal")
+	}
+	var out []WindowReport
+	for i := range j.log.Windows {
+		wl := &j.log.Windows[i]
+		if !wl.Committed() {
+			continue // aborted, or the in-flight tail Recover handles below
+		}
+		rep, err := w.ApplyWindow(wl)
+		if err != nil {
+			return out, fmt.Errorf("warehouse: restoring window %d: %w", wl.Begin.Seq, err)
+		}
+		out = append(out, rep)
+	}
+	if j.NeedsRecovery() {
+		rep, err := w.Recover(j)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
 }

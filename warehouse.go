@@ -419,6 +419,8 @@ func (w *Warehouse) DefineView(name string, def *ViewDef) error {
 }
 
 func (w *Warehouse) resolveSchema(view string) (Schema, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	v := w.core.View(view)
 	if v == nil {
 		return nil, fmt.Errorf("warehouse: unknown view %q", view)
@@ -474,13 +476,15 @@ func (w *Warehouse) DumpCSV(name string, out io.Writer) error {
 	return csvio.WriteRows(out, v.Schema(), v)
 }
 
-// NewDelta creates an empty change batch for the named view's schema.
+// NewDelta creates an empty change batch for the named view's schema. Safe
+// to call while a window commits — continuous producers build deltas
+// concurrently with the window loop.
 func (w *Warehouse) NewDelta(name string) (*Delta, error) {
-	v := w.core.View(name)
-	if v == nil {
-		return nil, fmt.Errorf("warehouse: unknown view %q", name)
+	schema, err := w.resolveSchema(name)
+	if err != nil {
+		return nil, err
 	}
-	return delta.New(v.Schema()), nil
+	return delta.New(schema), nil
 }
 
 // StageDelta records an arriving change batch for a base view. Safe to call

@@ -63,6 +63,35 @@ type WindowReport struct {
 	// windows — that opening the journal removed before this window ran.
 	// Only Recover-produced reports set it.
 	SpillDirsSwept int
+	// Ingest carries the micro-batch context for windows triggered by the
+	// continuous ingester (internal/ingest); nil for operator-invoked windows.
+	Ingest *IngestInfo
+}
+
+// IngestInfo is the micro-batch context an ingester-triggered window carries:
+// how the batch was cut and what the freshness picture looked like when the
+// window committed.
+type IngestInfo struct {
+	// Batch is the ingest-journal batch id this window installed.
+	Batch int
+	// Changes is the number of row-changes in the batch.
+	Changes int
+	// Accepted is when the batch's oldest change was accepted — the staleness
+	// clock the SLO is measured against.
+	Accepted time.Time
+	// BatchTarget is the ingester's adaptive batch-size target when the
+	// batch was cut.
+	BatchTarget int
+	// QueueDepth is the change-queue depth (row-changes) after the cut.
+	QueueDepth int
+	// Shed is the cumulative count of changes shed with ErrIngestOverloaded.
+	Shed int64
+	// PredictedWork is the calibrated cost model's work prediction for the
+	// batch; -1 when no prediction was available.
+	PredictedWork int64
+	// StalenessNS is the batch's measured staleness at commit: commit time
+	// minus Accepted.
+	StalenessNS int64
 }
 
 // String summarizes the window.
@@ -83,6 +112,10 @@ func (r WindowReport) String() string {
 	if c.SpillCount > 0 {
 		s += fmt.Sprintf(" spills=%d spilledB=%d rereadB=%d memPeakB=%d",
 			c.SpillCount, c.SpilledBytes, c.SpillReReadBytes, c.PeakReservedBytes)
+	}
+	if in := r.Ingest; in != nil {
+		s += fmt.Sprintf(" ingest batch=%d n=%d target=%d queue=%d staleness=%s",
+			in.Batch, in.Changes, in.BatchTarget, in.QueueDepth, time.Duration(in.StalenessNS))
 	}
 	return s
 }
@@ -115,6 +148,17 @@ type WindowCounters struct {
 	// PeakReservedBytes is the high-water mark of the window memory
 	// budget's reserved build-state bytes.
 	PeakReservedBytes int64
+	// IngestChanges, IngestQueueDepth, IngestBatchTarget, IngestShed and
+	// IngestStalenessNS mirror IngestInfo for ingester-triggered windows
+	// (all zero otherwise), so counter consumers see the freshness picture
+	// without a separate path.
+	IngestChanges, IngestQueueDepth, IngestBatchTarget int
+	IngestShed                                         int64
+	IngestStalenessNS                                  int64
+	// WorkPerChange is the window's total work divided by the ingest batch's
+	// row-changes — the amortized per-tuple maintenance cost; 0 for
+	// non-ingest windows.
+	WorkPerChange float64
 }
 
 // Counters sums the per-step engine counters of the window.
@@ -133,6 +177,16 @@ func (r WindowReport) Counters() WindowCounters {
 	}
 	c.SharedBytesPeak = r.Report.SharedBytesPeak
 	c.PeakReservedBytes = r.Report.PeakReservedBytes
+	if in := r.Ingest; in != nil {
+		c.IngestChanges = in.Changes
+		c.IngestQueueDepth = in.QueueDepth
+		c.IngestBatchTarget = in.BatchTarget
+		c.IngestShed = in.Shed
+		c.IngestStalenessNS = in.StalenessNS
+		if in.Changes > 0 {
+			c.WorkPerChange = float64(r.Report.TotalWork()) / float64(in.Changes)
+		}
+	}
 	return c
 }
 
