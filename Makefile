@@ -96,13 +96,13 @@ bench-smoke:
 # (BenchmarkSpillBuild, BenchmarkBoundedWindow) in internal/core, plus the
 # continuous-ingestion steady-state bench (BenchmarkIngestSteadyState:
 # Submit + micro-batch drain, reported per change) at 1000 iterations.
-# bench-json refreshes the committed BENCH_9.json; bench-check reruns the
+# bench-json refreshes the committed BENCH_10.json; bench-check reruns the
 # same benchmarks and fails on a >2x ns/op slowdown (sub-millisecond
 # baselines are ignored as noise — except allocs/op, which is deterministic
 # and gates unconditionally, so the 0-alloc tokenizer baseline fails on any
 # allocation at all).
-BENCH_JSON           ?= BENCH_9.json
-BENCH_PATTERN        ?= BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
+BENCH_JSON           ?= BENCH_10.json
+BENCH_PATTERN        ?= BenchmarkSharedPlan|BenchmarkSharedComp|BenchmarkComputeTermParallel|BenchmarkParallelStaged|BenchmarkParallelDAG
 BENCH_CORE_PATTERN   ?= BenchmarkSpillBuild|BenchmarkBoundedWindow
 BENCH_PARSE_PATTERN  ?= BenchmarkTokenize|BenchmarkParseQuery|BenchmarkQueryCold|BenchmarkQueryCached|BenchmarkQueryEndToEnd
 BENCH_INGEST_PATTERN ?= BenchmarkIngestSteadyState

@@ -37,6 +37,7 @@ func main() {
 		"stagedvsdag":    experiments.StagedVsDAG,
 		"termparallel":   experiments.TermParallel,
 		"sharedcomp":     experiments.SharedComp,
+		"sharedplan":     experiments.SharedPlan,
 		"metric":         experiments.MetricAblation,
 		"estimation":     experiments.Estimation,
 		"deep":           experiments.Deep,
@@ -46,7 +47,7 @@ func main() {
 		"streaming":      experiments.Streaming,
 		"spill":          experiments.Spill,
 	}
-	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication", "streaming", "spill"}
+	order := []string{"table1", "fig12", "fig13", "fig14", "fig15", "parallel", "stagedvsdag", "termparallel", "sharedcomp", "sharedplan", "metric", "estimation", "deep", "faulttolerance", "onlinewindow", "replication", "streaming", "spill"}
 
 	var ids []string
 	if *only != "" {

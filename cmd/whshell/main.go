@@ -14,6 +14,7 @@
 //	WINDOW [planner] [STAGED|DAG [workers]];    plan + execute an update window
 //	PARALLEL ON|OFF [workers];                  intra-compute term/morsel parallelism
 //	SHARE ON|OFF [budget-mb];                   window-wide cross-view shared computation
+//	EXPLAIN SHARING [planner];                  sharing election + observed reuse
 //	MEMORY <budget-mb>|OFF;                     window memory budget (spill-to-disk builds)
 //	SELECT ...;                                 ad-hoc query (ORDER BY col|ordinal, LIMIT n OFFSET m)
 //	SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
@@ -279,6 +280,16 @@ func (sh *shell) execute(stmt string) (quit bool, err error) {
 			return false, fmt.Errorf("SHOW VIEWS | STRATEGY | SCRIPT | HISTORY | STALE | GRAPH | CACHE")
 		}
 		return false, sh.show(words[1:])
+	case "EXPLAIN":
+		// EXPLAIN SHARING [planner]: plan the staged changes (default: the
+		// sharing-aware planner) and print the sharing election — each
+		// candidate's estimated size, savings and admission under the byte
+		// budget — plus, when a window has run with sharing, the observed
+		// per-entry requests/hits/bytes from the latest one.
+		if len(words) < 2 || words[1] != "SHARING" {
+			return false, fmt.Errorf("usage: EXPLAIN SHARING [planner]")
+		}
+		return false, sh.explainSharing(words[2:])
 	case "DEFER":
 		fields := strings.Fields(stmt)
 		if len(fields) != 3 {
@@ -401,9 +412,10 @@ func (sh *shell) help() {
   CREATE VIEW <name> AS SELECT ...;
   LOAD <view> FROM '<file.csv>';        DELTA <view> FROM '<file.csv>';
   REFRESH;                              REFRESH STALE;
-  WINDOW [minwork|prune|dualstage] [STAGED|DAG [workers]];    VERIFY;  DIGEST;
+  WINDOW [minwork|prune|dualstage|shared] [STAGED|DAG [workers]];    VERIFY;  DIGEST;
   PARALLEL ON|OFF [workers];            intra-compute term/morsel parallelism
   SHARE ON|OFF [budget-mb];             window-wide cross-view shared computation
+  EXPLAIN SHARING [planner];            sharing election + last window's observed reuse
   MEMORY <budget-mb>|OFF;               window memory budget (spill-to-disk builds)
   SELECT ... [ORDER BY col|n [ASC|DESC], ...] [LIMIT n [OFFSET m]];
   SHOW VIEWS | STRATEGY [planner] | SCRIPT [planner] | HISTORY | STALE | GRAPH | CACHE;
@@ -413,6 +425,64 @@ func (sh *shell) help() {
   RECOVER;                              complete the journal's in-flight window
   HELP;  EXIT;
 `)
+}
+
+// planWith runs the named facade planner.
+func (sh *shell) planWith(planner warehouse.PlannerName) (warehouse.Plan, error) {
+	switch planner {
+	case warehouse.MinWorkPlanner:
+		return sh.w.PlanMinWork()
+	case warehouse.PrunePlanner:
+		return sh.w.PlanPrune()
+	case warehouse.DualStagePlanner:
+		return sh.w.PlanDualStage()
+	case warehouse.SharedPlanner:
+		return sh.w.PlanShared()
+	default:
+		return warehouse.Plan{}, fmt.Errorf("unknown planner %q", planner)
+	}
+}
+
+// explainSharing plans with the named planner (default: shared) and prints
+// the sharing election, then the latest window's observed per-entry stats.
+func (sh *shell) explainSharing(words []string) error {
+	planner := warehouse.SharedPlanner
+	if len(words) > 0 {
+		planner = warehouse.PlannerName(strings.ToLower(words[0]))
+	}
+	plan, err := sh.planWith(planner)
+	if err != nil {
+		return err
+	}
+	a, err := sh.w.AnalyzeSharing(plan.Strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "sharing election [%s]: %d shared operands, %d intermediates, est saved %d tuples\n",
+		planner, a.SharedOperands, a.SharedIntermediates, a.EstimatedSavedTuples)
+	for _, e := range a.Elected {
+		mark := "-"
+		if e.Admitted {
+			mark = "+"
+		}
+		fmt.Fprintf(sh.out, "  %s %-24s %-12s consumers=%d est_rows=%-8d est_bytes=%-10d est_saved=%d\n",
+			mark, e.Name, e.Kind, e.Consumers, e.EstRows, e.EstBytes, e.EstSavedTuples)
+	}
+	// Observed side: the latest executed window that ran with sharing on.
+	hist := sh.w.History()
+	for i := len(hist) - 1; i >= 0; i-- {
+		detail := hist[i].Report.SharedDetail
+		if len(detail) == 0 {
+			continue
+		}
+		fmt.Fprintf(sh.out, "observed (window %d):\n", hist[i].Seq)
+		for _, d := range detail {
+			fmt.Fprintf(sh.out, "  %-26s %-12s requests=%d hits=%d est_rows=%-8d rows=%-8d bytes=%-10d fate=%s\n",
+				d.Name, d.Kind, d.Requests, d.Hits, d.EstRows, d.Rows, d.Bytes, d.Fate)
+		}
+		break
+	}
+	return nil
 }
 
 var kindNames = map[string]warehouse.Kind{
@@ -522,18 +592,7 @@ func (sh *shell) show(words []string) error {
 		if len(words) > 1 {
 			planner = warehouse.PlannerName(strings.ToLower(words[1]))
 		}
-		var plan warehouse.Plan
-		var err error
-		switch planner {
-		case warehouse.MinWorkPlanner:
-			plan, err = sh.w.PlanMinWork()
-		case warehouse.PrunePlanner:
-			plan, err = sh.w.PlanPrune()
-		case warehouse.DualStagePlanner:
-			plan, err = sh.w.PlanDualStage()
-		default:
-			return fmt.Errorf("unknown planner %q", planner)
-		}
+		plan, err := sh.planWith(planner)
 		if err != nil {
 			return err
 		}

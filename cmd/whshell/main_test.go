@@ -208,6 +208,48 @@ EXIT;
 	}
 }
 
+func TestShellExplainSharing(t *testing.T) {
+	r := writeFile(t, "r.csv", "id,a\n1,10\n2,20\n3,30\n")
+	s := writeFile(t, "s.csv", "id,b\n1,1\n2,2\n3,3\n")
+	dr := writeFile(t, "dr.csv", "id,a,__count\n4,40,1\n")
+	script := `
+CREATE BASE R (id INTEGER, a INTEGER);
+CREATE BASE S (id INTEGER, b INTEGER);
+CREATE VIEW V1 AS SELECT r.a AS a, s.b AS b FROM R r, S s WHERE r.id = s.id;
+CREATE VIEW V2 AS SELECT r.a AS g, SUM(s.b) AS t FROM R r, S s WHERE r.id = s.id GROUP BY r.a;
+LOAD R FROM '` + r + `';
+LOAD S FROM '` + s + `';
+REFRESH;
+DELTA R FROM '` + dr + `';
+SHARE ON;
+EXPLAIN SHARING;
+WINDOW shared;
+EXPLAIN SHARING;
+VERIFY;
+EXIT;
+`
+	out, err := runScript(t, script)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"sharing election [shared]:",
+		"window 1 [shared]",
+		"observed (window 1):",
+		"every view matches recomputation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runScript(t, "EXPLAIN NOTHING;\n"); err == nil {
+		t.Error("bad EXPLAIN argument accepted")
+	}
+	if _, err := runScript(t, "EXPLAIN SHARING bogus;\n"); err == nil {
+		t.Error("unknown planner accepted by EXPLAIN SHARING")
+	}
+}
+
 func TestShellMultilineAndComments(t *testing.T) {
 	out, err := runScript(t, `
 -- a comment line

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	whupdate [-sf 0.002] [-seed 7] [-p 0.10] [-insert 0]
-//	         [-planner minwork|prune|dualstage|reverse]
+//	         [-planner minwork|prune|dualstage|reverse|shared]
 //	         [-par sequential|staged|dag] [-workers N] [-par-terms]
-//	         [-share] [-share-budget-mb N] [-mem-budget-mb N]
+//	         [-share] [-share-budget-mb N] [-explain-sharing] [-mem-budget-mb N]
 //	         [-skip-empty] [-timeout d] [-journal f [-resume]] [-retries N]
 //	         [-v] [-cpuprofile f] [-memprofile f]
 //
@@ -21,7 +21,14 @@
 // budget. -share enables window-wide shared computation: operands several
 // views' compute expressions read are hashed once and reused across them,
 // bounded by -share-budget-mb of transient materialization (0 = 64 MiB
-// default). -mem-budget-mb bounds the window's total transient build-state
+// default). -planner shared runs the sharing-aware Prune search: candidates
+// are costed by sharing-adjusted work (multi-consumer operands and
+// jointly-elected join intermediates charged once, under the byte budget)
+// and the winner's sharing plan seeds the window's registry.
+// -explain-sharing prints the planned election (each candidate's estimated
+// size, savings and admission) before the window and each shared entry's
+// observed requests/hits/bytes after it.
+// -mem-budget-mb bounds the window's total transient build-state
 // memory: every build-side hash table draws on one budget and builds that do
 // not fit spill to disk Grace-style, probed partition-wise — results and
 // measured work are identical at any budget, only bytes moved change (0 =
@@ -60,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/journal"
@@ -96,12 +104,13 @@ func main() {
 	seed := flag.Int64("seed", 7, "generation seed")
 	p := flag.Float64("p", 0.10, "delete fraction for C, O, L, S, N")
 	insert := flag.Float64("insert", 0, "insert fraction for C, O, L, S")
-	plannerName := flag.String("planner", "minwork", "minwork | prune | dualstage | reverse")
+	plannerName := flag.String("planner", "minwork", "minwork | prune | dualstage | reverse | shared")
 	parallelFlag := flag.Bool("parallel", false, "deprecated alias for -par staged")
 	par := flag.String("par", "", "execution mode: sequential | staged | dag")
 	workers := flag.Int("workers", 0, "worker budget for -par dag and -par-terms (0 = GOMAXPROCS)")
 	parTerms := flag.Bool("par-terms", false, "parallelize inside each compute expression (terms + morsels, shared builds)")
 	share := flag.Bool("share", false, "share computed operands across views within the window (cross-view CSE)")
+	explainSharing := flag.Bool("explain-sharing", false, "print the sharing election (planned candidates) and each entry's estimated vs observed bytes and hits")
 	shareBudgetMB := flag.Int64("share-budget-mb", 0, "transient materialization budget for -share, in MiB (0 = 64 MiB default)")
 	memBudgetMB := flag.Int64("mem-budget-mb", 0, "window memory budget for build-side state, in MiB; oversized builds spill to disk (0 = unbounded)")
 	skipEmpty := flag.Bool("skip-empty", false, "elide compute expressions whose deltas are empty (footnote 5)")
@@ -140,7 +149,8 @@ func main() {
 		sf:  *sf, seed: *seed, p: *p, insert: *insert, planner: *plannerName,
 		par: parName, workers: *workers, parTerms: *parTerms,
 		share: *share, shareBudgetMB: *shareBudgetMB, memBudgetMB: *memBudgetMB,
-		skipEmpty: *skipEmpty, verbose: *verbose,
+		explainSharing: *explainSharing,
+		skipEmpty:      *skipEmpty, verbose: *verbose,
 		dot: *dot, script: *script,
 		timeout: *timeout, journal: *journalPath, resume: *resume, retries: *retries,
 	}); err != nil {
@@ -177,6 +187,7 @@ type options struct {
 	workers              int
 	parTerms             bool
 	share                bool
+	explainSharing       bool
 	shareBudgetMB        int64
 	memBudgetMB          int64
 	skipEmpty            bool
@@ -199,7 +210,7 @@ func run(o options) error {
 		return usageErr(errors.New("-resume requires -journal"))
 	}
 	switch plannerName {
-	case "minwork", "prune", "dualstage", "reverse":
+	case "minwork", "prune", "dualstage", "reverse", "shared":
 	default:
 		return usageErr(fmt.Errorf("unknown planner %q", plannerName))
 	}
@@ -314,6 +325,16 @@ func run(o options) error {
 		s = res.Strategy
 	case "dualstage":
 		s = strategy.DualStageVDAG(tw.Graph)
+	case "shared":
+		res, err := planner.PruneShared(tw.Graph, cost.DefaultModel, stats, exec.RefCounts(tw.W),
+			planner.SharedSearchOptions{Refs: exec.RefsOf(tw.W), Sharing: sharingOpts(tw.W, o, stats)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PruneShared examined %d orderings (%d feasible); best adjusted work %.0f (raw %.0f, dualstage=%v)\n",
+			res.Examined, res.Feasible, res.AdjustedWork, res.Work, res.DualStage)
+		tw.W.SetPlannedSharing(exec.HintsFromPlan(res.Plan))
+		s = res.Strategy
 	case "reverse":
 		res, err := planner.MinWork(tw.Graph, stats)
 		if err != nil {
@@ -331,6 +352,9 @@ func run(o options) error {
 		return usageErr(fmt.Errorf("unknown planner %q", plannerName))
 	}
 	fmt.Printf("strategy: %s\n", s)
+	if o.explainSharing {
+		printSharingElection(planner.AnalyzeSharingOpts(s, exec.RefsOf(tw.W), sharingOpts(tw.W, o, stats)))
+	}
 
 	if o.dot {
 		ord, err := planner.DesiredOrdering(tw.Graph.ViewsWithParents(), stats)
@@ -374,6 +398,9 @@ func run(o options) error {
 			flat = append(flat, stage...)
 		}
 		printSharedSummary(flat, rep.SharedBytesPeak)
+		if o.explainSharing {
+			printSharedObserved(rep.SharedDetail)
+		}
 		printSpillSummary(flat, rep.PeakReservedBytes)
 	} else {
 		rep, err := exec.Execute(tw.W, s, exec.Options{Validate: true, Context: ctx})
@@ -389,6 +416,9 @@ func run(o options) error {
 		}
 		fmt.Printf("update window: %s\n", rep)
 		printSharedSummary(rep.Steps, rep.SharedBytesPeak)
+		if o.explainSharing {
+			printSharedObserved(rep.SharedDetail)
+		}
 		printSpillSummary(rep.Steps, rep.PeakReservedBytes)
 	}
 
@@ -453,4 +483,51 @@ func budgetLabel(mb int64) string {
 		return "64MiB default"
 	}
 	return fmt.Sprintf("%dMiB", mb)
+}
+
+// sharingOpts builds the sharing-analysis parameters whupdate uses for both
+// the joint planner and -explain-sharing: the configured byte budget, the
+// warehouse's widths and pair candidates, and the share tuner.
+func sharingOpts(w *core.Warehouse, o options, stats cost.Stats) planner.SharingOptions {
+	budget := o.shareBudgetMB << 20
+	if budget <= 0 {
+		budget = core.DefaultSharedBudgetBytes
+	}
+	return planner.SharingOptions{
+		Stats:       stats,
+		BudgetBytes: budget,
+		Width:       exec.WidthOf(w),
+		Pairs:       exec.PairsOf(w),
+		Tuner:       w.ShareTuner(),
+	}
+}
+
+// printSharingElection renders the planned shared set: every candidate the
+// election considered, its estimated size and savings, and whether the byte
+// budget admitted it.
+func printSharingElection(p planner.SharingPlan) {
+	fmt.Printf("sharing election: %d shared operands, %d intermediates, est saved %d tuples\n",
+		p.SharedOperands, p.SharedIntermediates, p.EstimatedSavedTuples)
+	for _, e := range p.Elected {
+		mark := "-"
+		if e.Admitted {
+			mark = "+"
+		}
+		fmt.Printf("  %s %-24s %-12s consumers=%d est_rows=%-8d est_bytes=%-10d est_saved=%d\n",
+			mark, e.Name, e.Kind, e.Consumers, e.EstRows, e.EstBytes, e.EstSavedTuples)
+	}
+}
+
+// printSharedObserved renders each shared entry's observed life after the
+// window — requests, hits, built rows/bytes against the planner's estimate,
+// and its fate under the byte budget.
+func printSharedObserved(detail []core.SharedEntryStats) {
+	if len(detail) == 0 {
+		return
+	}
+	fmt.Println("shared entries observed:")
+	for _, d := range detail {
+		fmt.Printf("  %-24s %-12s consumers=%d requests=%d hits=%d est_rows=%-8d rows=%-8d bytes=%-10d fate=%s\n",
+			d.Name, d.Kind, d.Consumers, d.Requests, d.Hits, d.EstRows, d.Rows, d.Bytes, d.Fate)
+	}
 }

@@ -107,3 +107,97 @@ func TestBoundedMemoryDifferential(t *testing.T) {
 		t.Fatal("the starved leg never spilled: the harness exercised nothing")
 	}
 }
+
+// TestJointSharingDifferential is the sharing-on leg of the differential
+// harness: for seeded random warehouses, every window is planned by the
+// sharing-aware search (SharedPlanner) at a tiny 1 MiB transient budget and
+// run twice from identical clones — sharing off and sharing on. Both legs
+// execute the same jointly-optimized strategy, so their installed-delta
+// digests and OperandTuples work must be identical and their bags must match
+// the reference warehouse's committed state: sharing elides physical scans,
+// never results or the metric. All four scheduling shapes are exercised —
+// sequential, staged, DAG, and term-parallel — and the sharing leg must
+// actually register hits somewhere across the run.
+func TestJointSharingDifferential(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	cfgs := []struct {
+		name    string
+		mode    Mode
+		workers int
+		terms   bool
+	}{
+		{"sequential", ModeSequential, 0, false},
+		{"staged", ModeStaged, 2, false},
+		{"dag", ModeDAG, 3, false},
+		{"termparallel", ModeSequential, 2, true},
+	}
+	const budget = 1 << 20
+
+	var sharedHits int
+	var tuplesSaved int64
+	for trial := 0; trial < trials; trial++ {
+		catalogSeed := int64(99105 + trial)
+		rng := rand.New(rand.NewSource(catalogSeed * 29))
+		ref := buildOnline(t, catalogSeed)
+
+		for win, cfg := range cfgs {
+			stageOnline(t, ref, rng)
+			opts := WindowOptions{Planner: SharedPlanner, Mode: cfg.mode, Workers: cfg.workers}
+
+			legOff, legOn := ref.Clone(), ref.Clone()
+			legOff.SetSharing(false, budget)
+			legOn.SetSharing(true, budget)
+			if cfg.terms {
+				legOff.SetParallelism(cfg.workers, true)
+				legOn.SetParallelism(cfg.workers, true)
+			}
+			offRep, err := legOff.RunWindowOpts(opts)
+			if err != nil {
+				t.Fatalf("trial %d win %d %s: share-off leg: %v", trial, win, cfg.name, err)
+			}
+			onRep, err := legOn.RunWindowOpts(opts)
+			if err != nil {
+				t.Fatalf("trial %d win %d %s: share-on leg: %v", trial, win, cfg.name, err)
+			}
+
+			// Identical strategy, identical modeled work: OperandTuples counts
+			// an operand once per term whether or not its build was shared.
+			if off, on := offRep.Report.TotalWork(), onRep.Report.TotalWork(); off != on {
+				t.Fatalf("trial %d win %d %s: work moved under sharing: %d vs %d",
+					trial, win, cfg.name, on, off)
+			}
+			if got, want := instDigests(onRep), instDigests(offRep); !digestsMatch(got, want) {
+				t.Fatalf("trial %d win %d %s: installed-delta digests diverge:\n got %v\nwant %v",
+					trial, win, cfg.name, got, want)
+			}
+
+			// The reference commits the same batch through the default planner;
+			// every leg's final state must match it bag for bag.
+			if _, err := ref.RunWindowOpts(WindowOptions{Mode: cfg.mode, Workers: cfg.workers}); err != nil {
+				t.Fatalf("trial %d win %d %s: reference window: %v", trial, win, cfg.name, err)
+			}
+			refBags, _ := snapshotBags(t, ref)
+			for leg, w := range map[string]*Warehouse{"share-off": legOff, "share-on": legOn} {
+				bags, _ := snapshotBags(t, w)
+				if !bagsEqual(bags, refBags) {
+					t.Fatalf("trial %d win %d %s leg %s: bags diverge from reference commit",
+						trial, win, cfg.name, leg)
+				}
+				if err := w.Verify(); err != nil {
+					t.Fatalf("trial %d win %d %s leg %s: %v", trial, win, cfg.name, leg, err)
+				}
+			}
+			for _, step := range onRep.Report.Steps {
+				sharedHits += step.SharedHits
+				tuplesSaved += step.SharedTuplesSaved
+			}
+		}
+	}
+	if sharedHits == 0 || tuplesSaved == 0 {
+		t.Fatalf("the sharing leg never shared (hits=%d saved=%d): the harness exercised nothing",
+			sharedHits, tuplesSaved)
+	}
+}

@@ -3,9 +3,10 @@ package warehouse
 // Online-window differential harness: the snapshot-isolation leg. For ~100
 // seeded update windows over randomized multi-level warehouses, concurrent
 // readers hammer the serving warehouse while each window runs — windows
-// that commit (across execution modes), windows that abort on a nanosecond
-// deadline, and windows that die to an injected crash and are completed by
-// Recover on a snapshot-restored rebuild. Every read pins an epoch and
+// that commit (across execution modes, some planned by the sharing-aware
+// search with shared computation on under a tiny budget), windows that
+// abort on a nanosecond deadline, and windows that die to an injected crash
+// and are completed by Recover on a snapshot-restored rebuild. Every read pins an epoch and
 // captures the full bag of every view; the capture must equal exactly the
 // pre-window or the post-window state — never a blend — and aborted or
 // crashed windows must leave the serving epoch unchanged.
@@ -385,9 +386,24 @@ func TestOnlineSnapshotIsolationDifferential(t *testing.T) {
 				}
 				j.Close()
 			default: // plain commit
-				if _, err := w.RunWindowOpts(WindowOptions{
-					Mode: modes[win%len(modes)], Workers: 1 + rng.Intn(4),
-				}); err != nil {
+				opts := WindowOptions{Mode: modes[win%len(modes)], Workers: 1 + rng.Intn(4)}
+				if variant >= 3 {
+					// Sharing-on commit: the window is planned by the
+					// sharing-aware search at a tiny 1 MiB transient budget
+					// (variant 4 adds term parallelism) while the readers
+					// race it — shared builds must never blend epochs.
+					w.SetSharing(true, 1<<20)
+					opts.Planner = SharedPlanner
+					if variant == 4 {
+						w.SetParallelism(2, true)
+					}
+				}
+				_, err := w.RunWindowOpts(opts)
+				if variant >= 3 {
+					w.SetSharing(false, 0)
+					w.SetParallelism(0, false)
+				}
+				if err != nil {
 					t.Fatalf("trial %d win %d: window failed: %v", trial, win, err)
 				}
 			}

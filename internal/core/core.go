@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/algebra"
+	"repro/internal/cost"
 	"repro/internal/delta"
 	"repro/internal/relation"
 	"repro/internal/storage"
@@ -183,6 +184,16 @@ type Warehouse struct {
 	// mem is the window-wide memory manager (AttachMemory/DetachMemory),
 	// nil outside a budgeted window. Like shared, clones never inherit it.
 	mem *memManager
+	// tuner is the observation-tuned share-vs-recompute gate
+	// (SetShareTuner), nil for the static gate. Clones share the pointer:
+	// windows executed on clones feed observations into one tuner, which is
+	// how repeated windows converge on the right sharing set.
+	tuner *cost.ShareTuner
+	// plannedSharing carries jointly-optimized sharing hints
+	// (SetPlannedSharing) that AttachSharing prefers over analyze-derived
+	// ones. Clones share the pointer; the facade clears it after the
+	// window it was planned for.
+	plannedSharing *SharingHints
 	// version counts catalog changes (view definitions). The prepared-plan
 	// cache records the version a plan was bound against and discards the
 	// plan when it no longer matches, so a plan can never outlive the
@@ -440,6 +451,8 @@ func (w *Warehouse) Clone() *Warehouse {
 	out := New(w.opts)
 	out.order = append([]string(nil), w.order...)
 	out.version = w.version
+	out.tuner = w.tuner
+	out.plannedSharing = w.plannedSharing
 	for name, v := range w.views {
 		nv := &View{name: v.name, def: v.def, deferred: v.deferred, stale: v.stale}
 		if v.table != nil {

@@ -293,6 +293,14 @@ func (e *evalEnv) memUse() *memUse {
 	return e.mem
 }
 
+// sharedUse returns the env's registry handle (nil without a registry).
+func (e *evalEnv) sharedUse() *sharedUse {
+	if e == nil {
+		return nil
+	}
+	return e.shared
+}
+
 // evalCtx returns the env's context for spill I/O (nil cancels nothing).
 func (e *evalEnv) evalCtx() context.Context {
 	if e == nil {
@@ -317,7 +325,7 @@ func (e *evalEnv) evalCtx() context.Context {
 // work metric. With a non-nil env, the driver rows run as parallel morsels
 // and matches stream straight into per-morsel sinks.
 func (w *Warehouse) evalTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta, sinks sinkFactory, env *evalEnv) (int64, error) {
-	plan, err := w.planTerm(cq, term, deltas)
+	plan, err := w.planTerm(cq, term, deltas, env.sharedUse())
 	if err != nil {
 		return 0, err
 	}
@@ -339,13 +347,32 @@ type termPlan struct {
 
 // buildReq defers one default-path build side: pl.steps[step] needs the
 // hash table of src over the key columns cols. view/isDelta carry the
-// operand's logical identity for the window-wide shared registry.
+// operand's logical identity for the window-wide shared registry. A non-nil
+// inter marks a composite build: src is the registry's interEntry (a stable
+// identity for the per-Compute build cache) and the hash table is built over
+// the intermediate's composite rows instead of an operand scan.
 type buildReq struct {
 	step    int
 	src     source
 	cols    []int
 	view    string
 	isDelta bool
+	inter   *interReq
+}
+
+// interReq describes one composite build served by the shared registry's
+// join-intermediate store (see pair.go): the pair's operand sources, the
+// pair-internal equi-key columns (operand-local coordinates), and the
+// operand widths.
+type interReq struct {
+	spec   InterSpec
+	srcA   source
+	srcB   source
+	colsA  []int
+	colsB  []int
+	widthA int
+	widthB int
+	entry  *interEntry
 }
 
 // runTerm executes a planned term: materialize the driver, resolve the
@@ -379,8 +406,53 @@ func runTerm(plan *termPlan, sinks sinkFactory, env *evalEnv) (int64, error) {
 	return plan.scanned + probed, nil
 }
 
-// planTerm resolves a term's operands and plans its join pipeline.
-func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta) (*termPlan, error) {
+// pairPlan is one runtime-applicable join-intermediate pair of a term: the
+// member ref's partner, the composite build request, and the pair-internal
+// equi keys (applied inside the intermediate, not at the probe).
+type pairPlan struct {
+	partner int
+	req     *interReq
+	pks     []pairKey
+}
+
+// planPairs matches the registry's hinted join intermediates against one
+// term: an elected adjacent pair whose references both read quiescent state
+// can be served as a single composite build (see pair.go). The returned map
+// indexes each member reference.
+func (w *Warehouse) planPairs(cq *algebra.CQ, isDelta []bool, ops []operand, su *sharedUse) map[int]*pairPlan {
+	var out map[int]*pairPlan
+	for _, pc := range PairCandidates(cq) {
+		if isDelta[pc.RefA] || isDelta[pc.RefB] {
+			continue
+		}
+		srcA, srcB := ops[pc.RefA].src, ops[pc.RefB].src
+		e, ok := su.reg.interFor(su.comp, pc.ViewA, pc.ViewB, pc.Sig, srcA, srcB)
+		if !ok {
+			continue
+		}
+		pks := pairEquiKeys(cq, pc.RefA, pc.RefB)
+		offA, offB := cq.RefOffset(pc.RefA), cq.RefOffset(pc.RefB)
+		req := &interReq{
+			spec: e.spec, srcA: srcA, srcB: srcB,
+			widthA: len(cq.Refs[pc.RefA].Schema), widthB: len(cq.Refs[pc.RefB].Schema),
+			entry: e,
+		}
+		for _, pk := range pks {
+			req.colsA = append(req.colsA, pk.colA-offA)
+			req.colsB = append(req.colsB, pk.colB-offB)
+		}
+		if out == nil {
+			out = make(map[int]*pairPlan)
+		}
+		out[pc.RefA] = &pairPlan{partner: pc.RefB, req: req, pks: pks}
+		out[pc.RefB] = &pairPlan{partner: pc.RefA, req: req, pks: pks}
+	}
+	return out
+}
+
+// planTerm resolves a term's operands and plans its join pipeline. su (may
+// be nil) supplies the window registry's join-intermediate hints.
+func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[string]*delta.Delta, su *sharedUse) (*termPlan, error) {
 	n := len(cq.Refs)
 	ops := make([]operand, n)
 	isDelta := make([]bool, n)
@@ -407,6 +479,11 @@ func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 			}
 		}
 		ops[i] = operand{refIdx: i, isDelta: isDelta[i], src: src}
+	}
+
+	var pairAt map[int]*pairPlan
+	if su != nil {
+		pairAt = w.planPairs(cq, isDelta, ops, su)
 	}
 
 	// Pick the driver: the smallest delta operand (deterministic tie-break
@@ -465,6 +542,48 @@ func (w *Warehouse) planTerm(cq *algebra.CQ, term maintain.Term, deltas map[stri
 		}
 		i := next
 		remaining = append(remaining[:nextPos], remaining[nextPos+1:]...)
+
+		// Composite path: when the chosen operand belongs to an elected pair
+		// whose partner is also still unbound, serve both with one build over
+		// the shared intermediate's composite rows. The pair-internal equi
+		// keys are already applied inside the intermediate; probe keys link
+		// the bound prefix to either member's columns. The modeled scan work
+		// is the pair's operand cardinalities — exactly what two separate
+		// steps would have counted, keeping OperandTuples invariant.
+		if pp := pairAt[i]; pp != nil {
+			if pos := indexOf(remaining, pp.partner); pos >= 0 {
+				remaining = append(remaining[:pos], remaining[pos+1:]...)
+				a, b := i, pp.partner
+				if b < a {
+					a, b = b, a
+				}
+				for _, pk := range pp.pks {
+					applied[pk.filterIdx] = true
+				}
+				keys := append(equiKeys(cq, bound, a, applied), equiKeys(cq, bound, b, applied)...)
+				for _, k := range keys {
+					applied[k.filterIdx] = true
+				}
+				sortKeysByNewCol(keys)
+				roff := cq.RefOffset(a)
+				bound |= 1<<uint(a) | 1<<uint(b)
+				step := joinStep{
+					keys:  keys,
+					roff:  roff,
+					preds: pendingFilters(cq, bound, applied),
+				}
+				cols := make([]int, len(keys))
+				for ki, k := range keys {
+					cols[ki] = k.newCol - roff
+				}
+				plan.builds = append(plan.builds, buildReq{
+					step: len(plan.pl.steps), src: pp.req.entry, cols: cols, inter: pp.req,
+				})
+				plan.scanned += ops[a].src.Cardinality() + ops[b].src.Cardinality()
+				plan.pl.steps = append(plan.pl.steps, step)
+				continue
+			}
+		}
 
 		keys := equiKeys(cq, bound, i, applied)
 		for _, k := range keys {
@@ -735,6 +854,16 @@ func indexableTable(w *Warehouse, op operand) *storage.Table {
 // canonical order storage indexes and the build cache use.
 func sortKeysByNewCol(keys []equiKey) {
 	sort.Slice(keys, func(a, b int) bool { return keys[a].newCol < keys[b].newCol })
+}
+
+// indexOf returns the position of v in s, or -1.
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
 }
 
 // prow is a partially-joined row with its accumulated multiplicity.

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/delta"
+	"repro/internal/relation"
+)
+
+var (
+	schemaD = relation.Schema{{Name: "k", Kind: relation.KindInt}, {Name: "x", Kind: relation.KindInt}}
+	schemaA = relation.Schema{{Name: "k", Kind: relation.KindInt}, {Name: "y", Kind: relation.KindInt}}
+	schemaB = relation.Schema{{Name: "y", Kind: relation.KindInt}, {Name: "z", Kind: relation.KindInt}}
+)
+
+// newInterWarehouse builds base D(k,x), A(k,y), B(y,z) and two sibling views
+// Vi = D ⋈ A ⋈ B (d.k = a.k, a.y = b.y) with distinct selections — the join-
+// intermediate sharing case: under Comp(Vi, {D}) the adjacent pair A ⋈ B is
+// quiescent in every term, so both views can probe one shared intermediate.
+func newInterWarehouse(t *testing.T, opts Options) *Warehouse {
+	t.Helper()
+	w := New(opts)
+	for name, sch := range map[string]relation.Schema{"D": schemaD, "A": schemaA, "B": schemaB} {
+		if err := w.DefineBase(name, sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		b := algebra.NewBuilder().From("d", "D", schemaD).From("a", "A", schemaA).From("b", "B", schemaB)
+		b.Join("d.k", "a.k").Join("a.y", "b.y").
+			Where(&algebra.Binary{Op: algebra.OpGt, L: b.Col("b.z"), R: &algebra.Const{Value: relation.NewInt(int64(i))}}).
+			SelectCol("d.x").SelectCol("b.z")
+		cq, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.DefineDerived(fmt.Sprintf("V%d", i), cq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func loadInterData(t *testing.T, w *Warehouse) {
+	t.Helper()
+	var dRows, aRows, bRows []relation.Tuple
+	for i := int64(0); i < 50; i++ {
+		dRows = append(dRows, intRow(i, i*3))
+		aRows = append(aRows, intRow(i, i%7))
+	}
+	for j := int64(0); j < 7; j++ {
+		bRows = append(bRows, intRow(j, j*2))
+	}
+	for name, rows := range map[string][]relation.Tuple{"D": dRows, "A": aRows, "B": bRows} {
+		if err := w.LoadBase(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	d := delta.New(schemaD)
+	d.Add(intRow(3, 500), 1)
+	d.Add(intRow(7, -1), 1)
+	if err := w.StageDelta("D", d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// interHints hand-builds the joint-plan hints: both Comps read δD, and their
+// A/B state reads are displaced by the elected A⋈B intermediate (matching
+// what planner.AnalyzeSharingOpts emits for this strategy).
+func interHints(t *testing.T, w *Warehouse) (*SharingHints, InterSpec) {
+	t.Helper()
+	var spec InterSpec
+	found := false
+	for _, pc := range PairCandidates(w.views["V1"].def) {
+		if pc.ViewA == "A" && pc.ViewB == "B" {
+			spec = InterSpec{ViewA: "A", ViewB: "B", Sig: pc.Sig}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no A⋈B pair candidate in V1's definition")
+	}
+	dOp := SharedOperand{View: "D", Delta: true}
+	h := &SharingHints{
+		Consumers:      map[SharedOperand]int{dOp: 2},
+		ByComp:         make(map[string][]SharedOperand),
+		InterConsumers: map[InterSpec]int{spec: 2},
+		InterByComp:    make(map[string][]InterSpec),
+		EstRows:        map[SharedOperand]int64{dOp: 2},
+		InterEstRows:   map[InterSpec]int64{spec: 50},
+	}
+	for i := 1; i <= 2; i++ {
+		key := CompKey(fmt.Sprintf("V%d", i), []string{"D"})
+		h.ByComp[key] = []SharedOperand{dOp}
+		h.InterByComp[key] = []InterSpec{spec}
+	}
+	return h, spec
+}
+
+// TestSharedIntermediate: two sibling views probe one shared A⋈B
+// intermediate. The second Compute hits the registry and reports the |A|+|B|
+// operand scans it elided; the work metric and the final states are
+// identical to an unshared run.
+func TestSharedIntermediate(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		t.Run(fmt.Sprintf("parallel=%v", parallel), func(t *testing.T) {
+			opts := Options{ParallelTerms: parallel}
+			plain := newInterWarehouse(t, opts)
+			loadInterData(t, plain)
+			opts.ShareComputation = true
+			shared := newInterWarehouse(t, opts)
+			loadInterData(t, shared)
+
+			h, _ := interHints(t, shared)
+			if !shared.AttachSharing(h) {
+				t.Fatal("AttachSharing refused")
+			}
+			var plainReps, sharedReps []CompReport
+			for i := 1; i <= 2; i++ {
+				name := fmt.Sprintf("V%d", i)
+				pr, err := plain.Compute(name, []string{"D"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr, err := shared.Compute(name, []string{"D"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				plainReps = append(plainReps, pr)
+				sharedReps = append(sharedReps, sr)
+			}
+			stats := shared.DetachSharing()
+			for i := range plainReps {
+				if sharedReps[i].OperandTuples != plainReps[i].OperandTuples {
+					t.Errorf("V%d: work %d with sharing, %d without — the metric must not move",
+						i+1, sharedReps[i].OperandTuples, plainReps[i].OperandTuples)
+				}
+			}
+			// The second Compute reuses the intermediate: |A|+|B| = 57 scans
+			// elided (plus the shared δD build).
+			if sharedReps[1].SharedHits == 0 || sharedReps[1].SharedTuplesSaved < 57 {
+				t.Errorf("V2 did not reuse the intermediate: %+v", sharedReps[1])
+			}
+			if stats.Inters != 1 {
+				t.Errorf("Inters = %d, want 1 (%+v)", stats.Inters, stats.Detail)
+			}
+			var interDetail *SharedEntryStats
+			for i := range stats.Detail {
+				if stats.Detail[i].Kind == "intermediate" {
+					interDetail = &stats.Detail[i]
+				}
+			}
+			if interDetail == nil {
+				t.Fatalf("no intermediate in detail: %+v", stats.Detail)
+			}
+			if interDetail.Requests != 2 || interDetail.Hits != 1 || interDetail.Rows == 0 {
+				t.Errorf("intermediate detail %+v, want 2 requests / 1 hit", *interDetail)
+			}
+			if interDetail.Name != "A⋈B v0/v0" {
+				t.Errorf("intermediate name %q", interDetail.Name)
+			}
+
+			for _, name := range []string{"D", "V1", "V2"} {
+				if _, err := plain.Install(name); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := shared.Install(name); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := shared.VerifyAll(); err != nil {
+				t.Fatalf("shared run corrupted state: %v", err)
+			}
+		})
+	}
+}
+
+// TestSharedIntermediateStarvedBudget: a 1-byte shared budget forces
+// serve-and-drop — no hits, every build evicted — with correctness intact.
+func TestSharedIntermediateStarvedBudget(t *testing.T) {
+	w := newInterWarehouse(t, Options{ShareComputation: true, SharedBudgetBytes: 1})
+	loadInterData(t, w)
+	h, _ := interHints(t, w)
+	if !w.AttachSharing(h) {
+		t.Fatal("AttachSharing refused")
+	}
+	var hits int
+	for i := 1; i <= 2; i++ {
+		rep, err := w.Compute(fmt.Sprintf("V%d", i), []string{"D"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += rep.SharedHits
+	}
+	stats := w.DetachSharing()
+	if hits != 0 {
+		t.Errorf("1-byte budget still served %d hits", hits)
+	}
+	if stats.Evicted == 0 {
+		t.Errorf("no evictions under a 1-byte budget: %+v", stats)
+	}
+	for _, name := range []string{"D", "V1", "V2"} {
+		if _, err := w.Install(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}

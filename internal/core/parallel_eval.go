@@ -172,6 +172,9 @@ func buildFor(env *evalEnv, br buildReq) (buildRes, error) {
 // sharing. With the per-Compute cache in front (parallel engine), the
 // registry sees each distinct (operand, columns) pair once per Compute.
 func resolveBuild(env *evalEnv, br buildReq) (buildRes, error) {
+	if br.inter != nil {
+		return resolveInterBuild(env, br)
+	}
 	if env != nil && env.shared != nil {
 		res, ok, err := env.shared.reg.acquire(env, env.shared, br)
 		if err != nil {
@@ -184,21 +187,41 @@ func resolveBuild(env *evalEnv, br buildReq) (buildRes, error) {
 	return buildLocal(env, br)
 }
 
-// buildLocal materializes one build side under the window memory budget:
-// resident when the reservation fits (the grant travels with the result),
-// spilled to disk otherwise. Without an attached budget it is the classic
-// unbudgeted build.
+// resolveInterBuild materializes one composite build: the registry serves
+// (or computes) the pair's shared raw equi-join, and the hash table over
+// the probe columns is built per consumer — deduplicated within a Compute
+// by the build cache in front, whose key is the interEntry's stable
+// identity. planTerm only emits inter requests when it matched a registry
+// hint, so env.shared is always present here.
+func resolveInterBuild(env *evalEnv, br buildReq) (buildRes, error) {
+	su := env.sharedUse()
+	rows, err := su.reg.acquireInter(env, su, br.inter)
+	if err != nil {
+		return buildRes{}, err
+	}
+	return buildFromRows(env, rows, br.cols)
+}
+
+// buildLocal materializes one build side from an operand scan; see
+// buildFromRows for the budget handling.
 func buildLocal(env *evalEnv, br buildReq) (buildRes, error) {
-	rows := scanSource(env, br.src)
+	return buildFromRows(env, scanSource(env, br.src), br.cols)
+}
+
+// buildFromRows hashes already-materialized rows under the window memory
+// budget: resident when the reservation fits (the grant travels with the
+// result), spilled to disk otherwise. Without an attached budget it is the
+// classic unbudgeted build.
+func buildFromRows(env *evalEnv, rows []prow, cols []int) (buildRes, error) {
 	mu := env.memUse()
 	if mu == nil {
-		return buildRes{bt: newBuildTable(rows, br.cols)}, nil
+		return buildRes{bt: newBuildTable(rows, cols)}, nil
 	}
 	est := estimateRowsBytes(rows)
 	if g, ok := mu.mm.budget.TryReserveUnder(est, mu.mm.resLimit); ok {
-		return buildRes{bt: newBuildTable(rows, br.cols), owned: g}, nil
+		return buildRes{bt: newBuildTable(rows, cols), owned: g}, nil
 	}
-	sp, err := mu.mm.spill(env.evalCtx(), mu, rows, br.cols, est)
+	sp, err := mu.mm.spill(env.evalCtx(), mu, rows, cols, est)
 	if err != nil {
 		return buildRes{}, err
 	}
@@ -360,7 +383,7 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 
 	plans := make([]*termPlan, len(terms))
 	for ti, term := range terms {
-		plan, err := w.planTerm(v.def, term, deltas)
+		plan, err := w.planTerm(v.def, term, deltas, su)
 		if err != nil {
 			return rep, err
 		}
@@ -376,7 +399,12 @@ func (w *Warehouse) computeParallel(ctx context.Context, rep CompReport, v *View
 	for _, plan := range plans {
 		srcSet[plan.driverSrc] = true
 		for _, br := range plan.builds {
-			srcSet[br.src] = true
+			// Composite builds are warmed as builds only: pre-scanning their
+			// operands would waste two scans whenever the registry serves
+			// the intermediate from another Comp's build.
+			if br.inter == nil {
+				srcSet[br.src] = true
+			}
 			buildSet[buildKey{src: br.src, cols: colsKey(br.cols)}] = br
 		}
 	}

@@ -247,7 +247,7 @@ func TestSharedRegistryDisabled(t *testing.T) {
 	if w.AttachSharing(nil) {
 		t.Fatal("AttachSharing accepted nil hints")
 	}
-	if stats := w.DetachSharing(); stats != (SharedStats{}) {
+	if stats := w.DetachSharing(); stats.Entries != 0 || stats.BytesPeak != 0 || len(stats.Detail) != 0 {
 		t.Errorf("detach with nothing attached: %+v", stats)
 	}
 }

@@ -1,0 +1,175 @@
+package cost
+
+import "sync"
+
+// This file is the observation-tuned side of the share-vs-recompute gate.
+// ShouldShare (estimate.go) decides from static estimates alone; a
+// ShareTuner folds the shared registry's per-window observations — how much
+// of the hinted reuse actually materialized, and how far the built sizes
+// drifted from the planner's estimates — into that decision with the same
+// EWMA machinery the Calibrator uses for the work model. Repeated windows
+// therefore converge on the right sharing set even when the static
+// estimates are off: operands whose hinted consumers never show up stop
+// being retained, and systematically undersized estimates stop slipping
+// past the byte budget.
+
+// DefaultShareAlpha is the EWMA smoothing factor for sharing observations.
+// It matches DefaultCalibrationAlpha: heavier history than sample.
+const DefaultShareAlpha = 0.2
+
+// DefaultMinExpectedReuse is the calibrated gate's retention threshold:
+// an entry is worth keeping when the expected number of reuses —
+// (consumers − 1) scaled by the observed hit ratio — is at least this.
+// Below it, materializing for the first consumer and recomputing for the
+// (unlikely) rest is cheaper than holding the bytes.
+const DefaultMinExpectedReuse = 0.5
+
+// ShareTuner tunes the share-vs-recompute gate from observed registry
+// statistics. The zero value (and a nil pointer) is valid and uncalibrated:
+// every decision falls back to the static ShouldShare gate. Safe for
+// concurrent use.
+type ShareTuner struct {
+	// Alpha is the EWMA smoothing factor (0 = DefaultShareAlpha).
+	Alpha float64
+	// MinExpectedReuse overrides the retention threshold
+	// (0 = DefaultMinExpectedReuse).
+	MinExpectedReuse float64
+
+	mu sync.Mutex
+	// hitRatio is the EWMA of realized reuse: hits / (hinted consumers − 1),
+	// clamped to [0, 1] per sample.
+	hitRatio float64
+	// sizeRatio is the EWMA of built rows / estimated rows — how far the
+	// planner's size estimates drift from what the registry materializes.
+	sizeRatio float64
+	hitN      int
+	sizeN     int
+}
+
+// Observe records one shared entry's end-of-window outcome: how many
+// consumers the planner hinted, how many reuse hits the entry served, and
+// the estimated vs built row counts. Entries hinted for fewer than two
+// consumers carry no reuse signal and only feed the size ratio; non-positive
+// sizes are ignored.
+func (t *ShareTuner) Observe(hintedConsumers int, hits, estRows, builtRows int64) {
+	if t == nil {
+		return
+	}
+	alpha := t.Alpha
+	if alpha <= 0 {
+		alpha = DefaultShareAlpha
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if hintedConsumers >= 2 {
+		sample := float64(hits) / float64(hintedConsumers-1)
+		if sample > 1 {
+			sample = 1
+		}
+		if sample < 0 {
+			sample = 0
+		}
+		t.hitRatio = ewma(t.hitRatio, sample, alpha, t.hitN == 0)
+		t.hitN++
+	}
+	if estRows > 0 && builtRows > 0 {
+		t.sizeRatio = ewma(t.sizeRatio, float64(builtRows)/float64(estRows), alpha, t.sizeN == 0)
+		t.sizeN++
+	}
+}
+
+// Calibrated reports whether any reuse observation has been folded in.
+func (t *ShareTuner) Calibrated() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hitN > 0
+}
+
+// minReuse returns the configured retention threshold.
+func (t *ShareTuner) minReuse() float64 {
+	if t.MinExpectedReuse > 0 {
+		return t.MinExpectedReuse
+	}
+	return DefaultMinExpectedReuse
+}
+
+// ShouldShare is the tuned share-vs-recompute gate: like the static
+// ShouldShare it requires at least two consumers and a budget fit, but once
+// calibrated it additionally requires the *expected* reuse — hinted
+// consumers beyond the first, scaled by the observed hit ratio — to clear
+// the retention threshold. A nil or uncalibrated tuner defers entirely to
+// the static gate, so attaching a fresh tuner changes nothing until
+// observations arrive.
+func (t *ShareTuner) ShouldShare(consumers int, bytes, budget, used int64) bool {
+	if t == nil {
+		return ShouldShare(consumers, bytes, budget, used)
+	}
+	t.mu.Lock()
+	calibrated := t.hitN > 0
+	hitRatio := t.hitRatio
+	t.mu.Unlock()
+	if !calibrated {
+		return ShouldShare(consumers, bytes, budget, used)
+	}
+	if consumers < 2 {
+		return false
+	}
+	if float64(consumers-1)*hitRatio < t.minReuse() {
+		return false
+	}
+	if budget <= 0 {
+		return true
+	}
+	return used+bytes <= budget
+}
+
+// CorrectBytes scales a planner byte estimate by the observed size ratio,
+// so the budget clamp admits entries by what they will actually cost to
+// retain. Uncorrected (or with no size observations) the estimate passes
+// through unchanged.
+func (t *ShareTuner) CorrectBytes(est int64) int64 {
+	if t == nil || est <= 0 {
+		return est
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sizeN == 0 {
+		return est
+	}
+	out := int64(float64(est) * t.sizeRatio)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// ShareTuningStats is a snapshot of a tuner for reporting.
+type ShareTuningStats struct {
+	// HitRatio is the EWMA of realized reuse per hinted consumer beyond
+	// the first (0 when no reuse observation has arrived).
+	HitRatio float64 `json:"hit_ratio"`
+	// SizeRatio is the EWMA of built rows over estimated rows (0 when no
+	// size observation has arrived).
+	SizeRatio float64 `json:"size_ratio"`
+	// HitObservations and SizeObservations count the samples folded in.
+	HitObservations  int `json:"hit_observations"`
+	SizeObservations int `json:"size_observations"`
+}
+
+// Stats snapshots the tuner.
+func (t *ShareTuner) Stats() ShareTuningStats {
+	if t == nil {
+		return ShareTuningStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ShareTuningStats{
+		HitRatio:         t.hitRatio,
+		SizeRatio:        t.sizeRatio,
+		HitObservations:  t.hitN,
+		SizeObservations: t.sizeN,
+	}
+}

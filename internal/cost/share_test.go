@@ -1,0 +1,142 @@
+package cost
+
+import "testing"
+
+// TestShareTunerFallback: a nil or uncalibrated tuner defers to the static
+// gate in every case.
+func TestShareTunerFallback(t *testing.T) {
+	var nilTuner *ShareTuner
+	cases := []struct {
+		consumers           int
+		bytes, budget, used int64
+		want                bool
+	}{
+		{1, 10, 100, 0, false},
+		{2, 10, 100, 0, true},
+		{3, 10, 0, 0, true},     // no budget: always fits
+		{2, 60, 100, 50, false}, // over budget
+	}
+	for _, c := range cases {
+		if got := nilTuner.ShouldShare(c.consumers, c.bytes, c.budget, c.used); got != c.want {
+			t.Errorf("nil tuner ShouldShare(%d,%d,%d,%d) = %v, want %v", c.consumers, c.bytes, c.budget, c.used, got, c.want)
+		}
+		fresh := &ShareTuner{}
+		if got := fresh.ShouldShare(c.consumers, c.bytes, c.budget, c.used); got != c.want {
+			t.Errorf("fresh tuner ShouldShare(%d,%d,%d,%d) = %v, want %v", c.consumers, c.bytes, c.budget, c.used, got, c.want)
+		}
+	}
+	if nilTuner.Calibrated() {
+		t.Error("nil tuner reports calibrated")
+	}
+	nilTuner.Observe(3, 2, 10, 10) // must not panic
+}
+
+// TestShareTunerFlipsToRecompute: when observed windows realize none of the
+// hinted reuse, the EWMA hit ratio decays and the gate flips share →
+// recompute for entries the static gate would retain.
+func TestShareTunerFlipsToRecompute(t *testing.T) {
+	tn := &ShareTuner{}
+	if !tn.ShouldShare(3, 10, 1000, 0) {
+		t.Fatal("uncalibrated gate must admit a 3-consumer entry under budget")
+	}
+	// Windows where hinted consumers never came back: 0 hits of 2 expected.
+	for i := 0; i < 6; i++ {
+		tn.Observe(3, 0, 100, 100)
+	}
+	if !tn.Calibrated() {
+		t.Fatal("tuner not calibrated after observations")
+	}
+	if tn.ShouldShare(3, 10, 1000, 0) {
+		t.Error("gate still shares after hit ratio collapsed to 0")
+	}
+	// A huge fan-out cannot rescue a zero hit ratio.
+	if tn.ShouldShare(100, 10, 1000, 0) {
+		t.Error("gate shares at hitRatio=0 regardless of consumer count")
+	}
+}
+
+// TestShareTunerFlipsBack: after the workload shifts and reuse reappears,
+// the same tuner flips recompute → share again.
+func TestShareTunerFlipsBack(t *testing.T) {
+	tn := &ShareTuner{}
+	for i := 0; i < 6; i++ {
+		tn.Observe(3, 0, 100, 100)
+	}
+	if tn.ShouldShare(3, 10, 1000, 0) {
+		t.Fatal("precondition: gate flipped to recompute")
+	}
+	// Reuse reappears: every hinted consumer hits.
+	for i := 0; i < 20; i++ {
+		tn.Observe(3, 2, 100, 100)
+	}
+	if !tn.ShouldShare(3, 10, 1000, 0) {
+		t.Error("gate did not flip back to share after reuse recovered")
+	}
+	// Single-consumer entries stay refused even at a perfect hit ratio.
+	if tn.ShouldShare(1, 10, 1000, 0) {
+		t.Error("calibrated gate admits a single-consumer entry")
+	}
+}
+
+// TestShareTunerPartialReuse: with a fractional hit ratio the expected-reuse
+// threshold separates wide fan-out (worth sharing) from narrow fan-out (not).
+func TestShareTunerPartialReuse(t *testing.T) {
+	tn := &ShareTuner{}
+	// One hit of three expected, repeatedly: hit ratio converges to 1/3.
+	for i := 0; i < 30; i++ {
+		tn.Observe(4, 1, 100, 100)
+	}
+	// consumers=2: expected reuse = 1·(1/3) ≈ 0.33 < 0.5 → recompute.
+	if tn.ShouldShare(2, 10, 1000, 0) {
+		t.Error("narrow fan-out shared despite expected reuse below threshold")
+	}
+	// consumers=4: expected reuse = 3·(1/3) ≈ 1.0 ≥ 0.5 → share.
+	if !tn.ShouldShare(4, 10, 1000, 0) {
+		t.Error("wide fan-out refused despite expected reuse above threshold")
+	}
+}
+
+// TestShareTunerBudgetInteraction: the calibrated gate still honors the byte
+// budget — the PR 8 memory-budget admission path asks this exact question
+// before reserving registry bytes, so a good hit ratio must never override
+// a budget overflow, and drifted sizes must tighten the planner's clamp.
+func TestShareTunerBudgetInteraction(t *testing.T) {
+	tn := &ShareTuner{}
+	for i := 0; i < 10; i++ {
+		tn.Observe(3, 2, 100, 400) // perfect reuse, 4× under-estimated sizes
+	}
+	if !tn.ShouldShare(3, 100, 1000, 0) {
+		t.Fatal("calibrated gate refused a fitting entry")
+	}
+	if tn.ShouldShare(3, 100, 1000, 950) {
+		t.Error("calibrated gate admitted an entry past the budget")
+	}
+	if !tn.ShouldShare(3, 100, 0, 1<<40) {
+		t.Error("budget 0 means unbounded, gate must admit")
+	}
+	// Size drift: estimates are corrected upward before the planner's
+	// budget clamp, so a 100-byte estimate now costs ~400.
+	got := tn.CorrectBytes(100)
+	if got < 300 || got > 500 {
+		t.Errorf("CorrectBytes(100) = %d, want ≈400 after 4× drift", got)
+	}
+	if (&ShareTuner{}).CorrectBytes(100) != 100 {
+		t.Error("unobserved tuner must pass estimates through")
+	}
+}
+
+// TestShareTunerStats: the snapshot reflects the EWMA state.
+func TestShareTunerStats(t *testing.T) {
+	tn := &ShareTuner{}
+	tn.Observe(3, 2, 100, 200)
+	st := tn.Stats()
+	if st.HitObservations != 1 || st.SizeObservations != 1 {
+		t.Fatalf("observations = %d/%d, want 1/1", st.HitObservations, st.SizeObservations)
+	}
+	if st.HitRatio != 1 {
+		t.Errorf("HitRatio = %v, want 1 (first sample seeds the EWMA)", st.HitRatio)
+	}
+	if st.SizeRatio != 2 {
+		t.Errorf("SizeRatio = %v, want 2", st.SizeRatio)
+	}
+}

@@ -110,6 +110,10 @@ type Report struct {
 	// SharedBytesPeak is the high-water transient footprint of the
 	// window's shared-computation registry (0 when sharing is off).
 	SharedBytesPeak int64
+	// SharedDetail lists every shared entry's planned-vs-observed life
+	// (operands and join intermediates), sorted by name; nil when sharing
+	// is off.
+	SharedDetail []core.SharedEntryStats
 	// PeakReservedBytes is the high-water mark of the window memory
 	// budget's reserved bytes (0 when no budget is attached).
 	PeakReservedBytes int64
@@ -243,7 +247,11 @@ func Execute(w *core.Warehouse, s strategy.Strategy, opts Options) (rep Report, 
 	}
 	ctx := opts.Context
 	detach := AttachSharing(w, s)
-	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
+	defer func() {
+		st := detach()
+		rep.SharedBytesPeak = st.BytesPeak
+		rep.SharedDetail = st.Detail
+	}()
 	detachMem, err := AttachMemory(w, opts.SpillDir, opts.Faults)
 	if err != nil {
 		return rep, err

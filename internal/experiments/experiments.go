@@ -612,7 +612,7 @@ func MetricAblation(cfg Config) (Result, error) {
 // All runs every experiment.
 func All(cfg Config) ([]Result, error) {
 	out := []Result{Table1()}
-	for _, f := range []func(Config) (Result, error){Fig12, Fig13, Fig14, Fig15, Parallel, StagedVsDAG, TermParallel, SharedComp, MetricAblation, Estimation, Deep, FaultTolerance, Spill} {
+	for _, f := range []func(Config) (Result, error){Fig12, Fig13, Fig14, Fig15, Parallel, StagedVsDAG, TermParallel, SharedComp, SharedPlan, MetricAblation, Estimation, Deep, FaultTolerance, Spill} {
 		r, err := f(cfg)
 		if err != nil {
 			return out, err

@@ -257,6 +257,52 @@ func TestSharedCompShape(t *testing.T) {
 	}
 }
 
+// TestSharedPlanShape asserts the joint-planning experiment's acceptance
+// criterion: at every byte budget, the jointly-optimized legs strictly beat
+// the hint-based dual-stage legs on modeled total window work, and their
+// realized sharing (physical compute scans after registry and build-cache
+// savings) never falls behind. Every leg verifies against recomputation
+// inside the experiment itself.
+func TestSharedPlanShape(t *testing.T) {
+	res, err := SharedPlan(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 2 budgets × {hint-based, joint} × {sequential, dag}
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	parse := func(r Row) (physical, saved int64) {
+		var hits, total int
+		if _, err := fmt.Sscanf(r.Marker, "physical=%d saved=%d shared=%d/%d",
+			&physical, &saved, &hits, &total); err != nil {
+			t.Fatalf("%s: bad marker %q: %v", r.Label, r.Marker, err)
+		}
+		return physical, saved
+	}
+	for i := 0; i < len(res.Rows); i += 4 {
+		hintSeq, hintDAG, jointSeq, jointDAG := res.Rows[i], res.Rows[i+1], res.Rows[i+2], res.Rows[i+3]
+		for _, pair := range [][2]Row{{hintSeq, jointSeq}, {hintDAG, jointDAG}} {
+			hint, joint := pair[0], pair[1]
+			if !strings.Contains(hint.Label, "hint-based") || !strings.Contains(joint.Label, "joint") {
+				t.Fatalf("row order wrong: %q, %q", hint.Label, joint.Label)
+			}
+			if joint.Work >= hint.Work {
+				t.Errorf("%s: joint modeled work %d ≥ hint-based %d — joint search must win strictly",
+					joint.Label, joint.Work, hint.Work)
+			}
+			hintPhys, _ := parse(hint)
+			jointPhys, jointSaved := parse(joint)
+			if jointPhys > hintPhys {
+				t.Errorf("%s: joint physical scans %d > hint-based %d",
+					joint.Label, jointPhys, hintPhys)
+			}
+			if jointSaved <= 0 {
+				t.Errorf("%s: joint sharing never engaged: %s", joint.Label, joint.Marker)
+			}
+		}
+	}
+}
+
 // TestMetricAblation certifies the Discussion-section argument: the variant
 // metric inverts the MinWork-vs-dual-stage comparison that measurement (and
 // the real metric) gives.
@@ -343,7 +389,7 @@ func TestAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 14 {
+	if len(results) != 15 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -147,6 +147,10 @@ type Report struct {
 	// SharedBytesPeak is the high-water transient footprint of the window's
 	// shared-computation registry (0 when sharing is off).
 	SharedBytesPeak int64
+	// SharedDetail lists every shared entry's planned-vs-observed life
+	// (operands and join intermediates), sorted by name; nil when sharing
+	// is off.
+	SharedDetail []core.SharedEntryStats
 	// PeakReservedBytes is the high-water mark of the window memory budget's
 	// reserved build-state bytes (0 when no budget is attached).
 	PeakReservedBytes int64
@@ -179,7 +183,11 @@ func Execute(w *core.Warehouse, plan Plan) (rep Report, err error) {
 		flat = append(flat, stage...)
 	}
 	detach := exec.AttachSharing(w, flat)
-	defer func() { rep.SharedBytesPeak = detach().BytesPeak }()
+	defer func() {
+		st := detach()
+		rep.SharedBytesPeak = st.BytesPeak
+		rep.SharedDetail = st.Detail
+	}()
 	detachMem, merr := exec.AttachMemory(w, "", nil)
 	if merr != nil {
 		return rep, fmt.Errorf("parallel: %w", merr)

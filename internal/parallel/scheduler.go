@@ -250,7 +250,9 @@ func Run(w *core.Warehouse, s strategy.Strategy, children childrenFn, mode exec.
 		return Report{}, fmt.Errorf("parallel: unknown execution mode %q", mode)
 	}
 	rep.Mode = mode
-	rep.SharedBytesPeak = detach().BytesPeak
+	st := detach()
+	rep.SharedBytesPeak = st.BytesPeak
+	rep.SharedDetail = st.Detail
 	rep.PeakReservedBytes = detachMem().PeakReservedBytes
 	if err != nil {
 		return rep, err

@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/strategy"
+	"repro/internal/vdag"
+)
+
+// This file is the sharing-aware strategy search (ROADMAP: "Plan sharing
+// globally"). Prune picks the strategy with the least *linear* work and
+// only afterwards annotates it with sharing hints — so it never prefers a
+// plan because it shares well. PruneShared instead costs every candidate
+// with sharing-adjusted work: the linear work minus the operand scans a
+// budget-admitted sharing plan (operands and join intermediates alike)
+// would elide, priced by the model's per-tuple compute coefficient. On
+// graphs where the work-optimal ordering interleaves installs between
+// computes — version-splitting every operand so nothing is reusable — the
+// joint search can elect a slightly costlier ordering (typically the
+// dual-stage compute-then-install shape) whose sharing more than pays for
+// the difference.
+
+// SharedSearchOptions parameterize PruneShared.
+type SharedSearchOptions struct {
+	// Refs supplies each derived view's FROM-clause reference list
+	// (exec.RefsOf). When nil it is expanded from the RefCounts.
+	Refs func(view string) []string
+	// Sharing parameterizes each candidate's sharing analysis (budget,
+	// widths, pair hints, tuner). Sharing.Stats is overwritten with the
+	// search's stats.
+	Sharing SharingOptions
+}
+
+// SharedResult reports the outcome of a PruneShared search.
+type SharedResult struct {
+	Strategy strategy.Strategy
+	// Ordering is the view ordering whose partition the winner belongs to;
+	// nil when the winner is the extra dual-stage candidate.
+	Ordering []string
+	// Work is the winner's unadjusted linear work; AdjustedWork subtracts
+	// the estimated scans its sharing plan saves. Candidates are compared
+	// by AdjustedWork.
+	Work, AdjustedWork float64
+	// Plan is the winner's sharing plan, ready to convert into executor
+	// hints.
+	Plan SharingPlan
+	// Examined and Feasible count the ordering candidates as in Prune;
+	// DualStage reports that the extra dual-stage candidate won.
+	Examined, Feasible int
+	DualStage          bool
+}
+
+// refsFromCounts expands RefCounts into a reference-list function:
+// each child repeated by its reference count, in sorted child order.
+func refsFromCounts(refs cost.RefCounts) func(view string) []string {
+	return func(view string) []string {
+		m := refs[view]
+		names := make([]string, 0, len(m))
+		for c := range m {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		var out []string
+		for _, c := range names {
+			for i := 0; i < m[c]; i++ {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+}
+
+// PruneShared (sharing-aware Algorithm 6.1) searches the same candidate
+// space as Prune — one representative strongly consistent strategy per
+// feasible view ordering — plus the dual-stage strategy (all computes, then
+// all installs; maximally sharing-friendly but not always work-minimal),
+// and returns the candidate with the least sharing-adjusted work together
+// with its sharing plan.
+func PruneShared(g *vdag.Graph, model cost.Model, stats cost.Stats, refs cost.RefCounts, opts SharedSearchOptions) (SharedResult, error) {
+	res := SharedResult{Work: -1, AdjustedWork: -1}
+	refsFn := opts.Refs
+	if refsFn == nil {
+		refsFn = refsFromCounts(refs)
+	}
+	shOpts := opts.Sharing
+	shOpts.Stats = stats
+
+	compCoeff := model.CompCoeff
+	if model == (cost.Model{}) {
+		compCoeff = cost.DefaultModel.CompCoeff
+	}
+
+	consider := func(s strategy.Strategy, ord []string, dual bool) error {
+		w, err := cost.Work(model, stats, refs, s)
+		if err != nil {
+			return err
+		}
+		plan := AnalyzeSharingOpts(s, refsFn, shOpts)
+		adj := w - compCoeff*float64(plan.EstimatedSavedTuples)
+		if res.AdjustedWork < 0 || adj < res.AdjustedWork {
+			res.Work = w
+			res.AdjustedWork = adj
+			res.Strategy = s
+			res.Plan = plan
+			res.DualStage = dual
+			if ord != nil {
+				res.Ordering = append([]string(nil), ord...)
+			} else {
+				res.Ordering = nil
+			}
+		}
+		return nil
+	}
+
+	views := orderableViews(g)
+	for _, ord := range strategy.Permutations(views) {
+		res.Examined++
+		seg := ConstructSEG(g, ord)
+		s, err := seg.TopoSort()
+		if err != nil {
+			continue // cyclic SEG: no strongly consistent strategy exists
+		}
+		res.Feasible++
+		if err := consider(s, ord, false); err != nil {
+			return res, err
+		}
+	}
+	// The dual-stage strategy computes every derived view against fully
+	// quiescent children before any install: no operand is version-split,
+	// so it is the sharing upper bound. It is weakly (not strongly)
+	// consistent and therefore outside Prune's candidate space; evaluate it
+	// last so an ordering candidate wins work-ties.
+	if err := consider(strategy.DualStageVDAG(g), nil, true); err != nil {
+		return res, err
+	}
+	if res.Strategy == nil {
+		return res, fmt.Errorf("planner: no feasible ordering found (impossible for a well-formed VDAG)")
+	}
+	return res, nil
+}

@@ -1,6 +1,9 @@
 package planner
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/cost"
 	"repro/internal/strategy"
 )
@@ -23,6 +26,14 @@ import (
 // counter at each Inst(X). The scheduler's conflict ordering preserves
 // exactly these read-after-install relations in every execution mode, so
 // the hints remain valid under staged, DAG and term-parallel execution.
+//
+// Beyond PR 5's per-operand analysis, AnalyzeSharingOpts elects *join
+// intermediates*: when several Comps join the same pair of quiescent views
+// on the same keys, the pair's join is worth materializing once for the
+// whole window. Election — for intermediates and operands alike — is a
+// greedy savings-per-byte admission against the window's shared byte
+// budget, optionally corrected by a cost.ShareTuner's observed hit-rate and
+// size drift, so the reported savings are what the budget actually admits.
 
 // OperandKey identifies one shareable operand in a strategy: a view's delta
 // or state, at the given install version (installs of the view executed
@@ -33,38 +44,150 @@ type OperandKey struct {
 	Version int
 }
 
-// SharingPlan is the result of AnalyzeSharing.
+// InterKey identifies one shareable join intermediate: the canonical
+// (ViewA < ViewB, adjacent references) pair of quiescent views at their
+// install versions, joined on the equi-key signature Sig. Field-compatible
+// with core.InterSpec by construction.
+type InterKey struct {
+	ViewA string
+	VerA  int
+	ViewB string
+	VerB  int
+	Sig   string
+}
+
+// PairHint names one join-intermediate candidate of a derived view's
+// definition: two distinct adjacent FROM-clause references joined by at
+// least one equi-join predicate. exec adapts core.PairCandidates.
+type PairHint struct {
+	A, B string
+	Sig  string
+}
+
+// ElectedShare is one sharing candidate the election considered, for
+// inspection (EXPLAIN SHARING).
+type ElectedShare struct {
+	// Name renders the candidate: "δVIEW v0", "VIEW v1" or "A⋈B v0/v0".
+	Name string
+	// Kind is "operand" or "intermediate".
+	Kind string
+	// Consumers is the number of Comp expressions reading it.
+	Consumers int
+	// EstRows and EstBytes are the planning estimates of the materialized
+	// result (bytes after any tuner size correction).
+	EstRows  int64
+	EstBytes int64
+	// EstSavedTuples is the operand scans sharing it elides.
+	EstSavedTuples int64
+	// Admitted reports whether the byte budget (and the tuned gate)
+	// admitted the candidate.
+	Admitted bool
+}
+
+// SharingPlan is the result of AnalyzeSharing / AnalyzeSharingOpts.
 type SharingPlan struct {
 	// Consumers maps each operand to the number of Comp expressions
 	// reading it. Operands read once are included (the executor's gate
-	// needs the complete refcount schedule).
+	// needs the complete refcount schedule). Operand reads served by an
+	// admitted join intermediate are excluded.
 	Consumers map[OperandKey]int
 	// ByComp maps each Comp's canonical key to the operands its
 	// maintenance terms read, in reference order.
 	ByComp map[string][]OperandKey
+	// InterConsumers and InterByComp mirror Consumers/ByComp for the
+	// admitted join intermediates (nil without pair hints).
+	InterConsumers map[InterKey]int
+	InterByComp    map[string][]InterKey
+	// EstRows and InterEstRows carry the planning row estimates the
+	// executor feeds back to the share tuner (nil without stats).
+	EstRows      map[OperandKey]int64
+	InterEstRows map[InterKey]int64
 	// SharedOperands counts operands with at least two consumers.
 	SharedOperands int
+	// SharedIntermediates counts admitted join intermediates.
+	SharedIntermediates int
 	// EstimatedSavedTuples is the planning-statistics estimate of the
-	// operand tuples sharing saves: each operand's size times its
-	// consumer count beyond the first. Zero when no stats are supplied.
+	// operand tuples sharing saves, clamped to what the byte budget
+	// admits. Zero when no stats are supplied.
 	EstimatedSavedTuples int64
+	// Elected lists every candidate the election considered, admitted or
+	// not, in admission-priority order (only with stats).
+	Elected []ElectedShare
+}
+
+// SharingOptions parameterize AnalyzeSharingOpts.
+type SharingOptions struct {
+	// Stats sizes the savings estimates; without it the analysis returns
+	// structure only (no election, no estimates).
+	Stats cost.Stats
+	// BudgetBytes is the window's shared byte budget the election clamps
+	// against; 0 means unbounded (every multi-consumer candidate admits).
+	BudgetBytes int64
+	// Width returns a view's tuple width in columns (nil: a nominal 4),
+	// used to price candidates in bytes.
+	Width func(view string) int
+	// Pairs returns a view definition's join-intermediate candidates
+	// (nil: operand sharing only).
+	Pairs func(view string) []PairHint
+	// Tuner, when calibrated, gates election by observed hit-rate and
+	// corrects byte estimates by observed size drift.
+	Tuner *cost.ShareTuner
 }
 
 // AnalyzeSharing walks a strategy and returns its cross-view sharing
 // structure. refs supplies each derived view's FROM-clause reference list
 // (one entry per reference; repeat for self-joins) — exec.RefsOf adapts a
 // warehouse. stats, when non-nil, sizes the estimated savings; planning
-// proceeds without it.
+// proceeds without it. Estimates are unclamped (no byte budget) and no
+// intermediates are elected; see AnalyzeSharingOpts.
 func AnalyzeSharing(s strategy.Strategy, refs func(view string) []string, stats cost.Stats) SharingPlan {
+	return AnalyzeSharingOpts(s, refs, SharingOptions{Stats: stats})
+}
+
+// nominalShareWidth is the per-view tuple width assumed when no Width
+// function is supplied, matching the cost model's nominal build width.
+const nominalShareWidth = 4
+
+// shareCand is one election candidate.
+type shareCand struct {
+	op       OperandKey // operand candidate when inter == nil
+	inter    InterKey
+	isInter  bool
+	comps    []string // comps consuming an intermediate
+	n        int
+	rows     int64
+	bytes    int64
+	saved    int64
+	name     string
+	admitted bool
+}
+
+// AnalyzeSharingOpts is AnalyzeSharing with joint election: it additionally
+// elects join intermediates from opts.Pairs, clamps the savings estimate to
+// what opts.BudgetBytes admits (greedy by savings-per-byte), and applies the
+// tuned share gate when opts.Tuner is calibrated. A Comp whose pair reads
+// are served by an admitted intermediate no longer counts as a consumer of
+// the pair's individual state operands.
+func AnalyzeSharingOpts(s strategy.Strategy, refs func(view string) []string, opts SharingOptions) SharingPlan {
 	plan := SharingPlan{
 		Consumers: make(map[OperandKey]int),
 		ByComp:    make(map[string][]OperandKey),
 	}
+	stats := opts.Stats
 	version := make(map[string]int)
+	// interReads collects, per candidate intermediate, the comps reading it
+	// and the per-comp state operands an admission would displace.
+	type interRead struct {
+		comp     string
+		displace []OperandKey
+	}
+	interReads := make(map[InterKey][]interRead)
+
 	for _, e := range s {
 		switch x := e.(type) {
 		case strategy.Comp:
-			deltas, states := x.Reads(refs(x.View))
+			refList := refs(x.View)
+			deltas, states := x.Reads(refList)
 			var ops []OperandKey
 			for _, v := range deltas {
 				ops = append(ops, OperandKey{View: v, Delta: true, Version: version[v]})
@@ -84,28 +207,326 @@ func AnalyzeSharing(s strategy.Strategy, refs func(view string) []string, stats 
 					plan.ByComp[key] = append(plan.ByComp[key], op)
 				}
 			}
+			if opts.Pairs != nil {
+				overSet := make(map[string]bool, len(x.Over))
+				for _, o := range x.Over {
+					overSet[o] = true
+				}
+				refCount := make(map[string]int, len(refList))
+				for _, v := range refList {
+					refCount[v]++
+				}
+				seenInter := make(map[InterKey]bool)
+				pairUsed := make(map[string]bool)
+				for _, p := range opts.Pairs(x.View) {
+					// Only pairs of quiescent (non-over) views are always
+					// state-bound and therefore usable in every term.
+					if overSet[p.A] || overSet[p.B] {
+						continue
+					}
+					// One composite per reference: overlapping pairs (A⋈B and
+					// B⋈C) cannot both be served in a term, so each comp
+					// nominates a disjoint set (first adjacency wins).
+					if pairUsed[p.A] || pairUsed[p.B] {
+						continue
+					}
+					pairUsed[p.A], pairUsed[p.B] = true, true
+					ik := InterKey{ViewA: p.A, VerA: version[p.A], ViewB: p.B, VerB: version[p.B], Sig: p.Sig}
+					if seenInter[ik] {
+						continue
+					}
+					seenInter[ik] = true
+					// Admission displaces this comp's reads of the pair's
+					// state operands — unless another reference of the same
+					// view still reads the state.
+					var displace []OperandKey
+					if refCount[p.A] == 1 {
+						displace = append(displace, OperandKey{View: p.A, Version: version[p.A]})
+					}
+					if p.B != p.A && refCount[p.B] == 1 {
+						displace = append(displace, OperandKey{View: p.B, Version: version[p.B]})
+					}
+					interReads[ik] = append(interReads[ik], interRead{comp: key, displace: displace})
+				}
+			}
 		case strategy.Inst:
 			version[x.View]++
 		}
 	}
+
+	if stats == nil {
+		for _, n := range plan.Consumers {
+			if n >= 2 {
+				plan.SharedOperands++
+			}
+		}
+		return plan
+	}
+
+	width := opts.Width
+	if width == nil {
+		width = func(string) int { return nominalShareWidth }
+	}
+	sizeAt := func(view string, delta bool, ver int) (int64, bool) {
+		st, ok := stats[view]
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case delta:
+			return st.DeltaSize(), true
+		case ver > 0:
+			return st.SizeAfter(), true
+		default:
+			return st.Size, true
+		}
+	}
+	correct := func(b int64) int64 { return opts.Tuner.CorrectBytes(b) }
+
+	var used int64
+	admit := func(c *shareCand) bool {
+		bytes := c.bytes
+		if opts.Tuner.Calibrated() {
+			if !opts.Tuner.ShouldShare(c.n, bytes, opts.BudgetBytes, used) {
+				return false
+			}
+		} else if opts.BudgetBytes > 0 && used+bytes > opts.BudgetBytes {
+			return false
+		}
+		used += bytes
+		return true
+	}
+
+	// Operand candidates first, at full (pre-displacement) consumer counts:
+	// operand sharing is the baseline an intermediate must beat, because a
+	// shared operand serves every consumer — across different join pairs —
+	// while an intermediate fragments the reuse to its one pair.
+	var opCands []*shareCand
+	admittedOp := make(map[OperandKey]*shareCand)
 	for op, n := range plan.Consumers {
 		if n < 2 {
 			continue
 		}
-		plan.SharedOperands++
-		if stats != nil {
-			st, ok := stats[op.View]
+		size, ok := sizeAt(op.View, op.Delta, op.Version)
+		if !ok {
+			continue
+		}
+		name := op.View
+		if op.Delta {
+			name = "δ" + name
+		}
+		opCands = append(opCands, &shareCand{
+			op:    op,
+			n:     n,
+			rows:  size,
+			bytes: correct(cost.EstimateMaterializedBytes(size, width(op.View))),
+			saved: int64(n-1) * size,
+			name:  fmt.Sprintf("%s v%d", name, op.Version),
+		})
+	}
+	sortCands(opCands)
+	for _, c := range opCands {
+		if c.saved <= 0 || !admit(c) {
+			continue
+		}
+		c.admitted = true
+		plan.EstimatedSavedTuples += c.saved
+		admittedOp[c.op] = c
+	}
+
+	// Intermediates are credited their NET gain: the (n−1)·(|A|+|B|) scans
+	// the shared pair elides, minus the operand-sharing savings the election
+	// displaces (each displaced consumer of an admitted operand was a scan
+	// that sharing already elided). An intermediate whose operands fully
+	// share elsewhere is at best neutral and stays unelected; it wins when
+	// the operands could not be admitted (byte budget) or could not be
+	// shared (single consumers outside the pair).
+	var inters []*shareCand
+	for ik, reads := range interReads {
+		n := len(reads)
+		if n < 2 {
+			continue
+		}
+		sizeA, okA := sizeAt(ik.ViewA, false, ik.VerA)
+		sizeB, okB := sizeAt(ik.ViewB, false, ik.VerB)
+		if !okA || !okB {
+			continue
+		}
+		rows := sizeA
+		if sizeB > rows {
+			rows = sizeB
+		}
+		comps := make([]string, 0, n)
+		for _, r := range reads {
+			comps = append(comps, r.comp)
+		}
+		inters = append(inters, &shareCand{
+			inter:   ik,
+			isInter: true,
+			comps:   comps,
+			n:       n,
+			rows:    rows,
+			bytes:   correct(cost.EstimateMaterializedBytes(rows, width(ik.ViewA)+width(ik.ViewB))),
+			saved:   int64(n-1) * (sizeA + sizeB),
+			name:    fmt.Sprintf("%s⋈%s v%d/v%d", ik.ViewA, ik.ViewB, ik.VerA, ik.VerB),
+		})
+	}
+	sortCands(inters)
+
+	for _, c := range inters {
+		// Net gain against the admitted operand savings this election would
+		// displace. An admitted operand's live contribution is kept in its
+		// candidate's saved field; "after" is what remains once this pair's
+		// consumers stop reading it. Operands whose sharing would vanish
+		// entirely refund their bytes to the budget.
+		gross := c.saved
+		loss, freed := int64(0), int64(0)
+		displaced := make(map[OperandKey]int)
+		for _, r := range interReads[c.inter] {
+			for _, op := range r.displace {
+				if containsOp(plan.ByComp[r.comp], op) {
+					displaced[op]++
+				}
+			}
+		}
+		for op, d := range displaced {
+			oc, ok := admittedOp[op]
 			if !ok {
 				continue
 			}
-			size := st.Size
-			if op.Delta {
-				size = st.DeltaSize()
-			} else if op.Version > 0 {
-				size = st.SizeAfter()
+			n := int64(plan.Consumers[op]-d) - 1
+			if n < 0 {
+				n = 0
 			}
-			plan.EstimatedSavedTuples += int64(n-1) * size
+			after := n * oc.rows
+			loss += oc.saved - after
+			if plan.Consumers[op]-d < 2 {
+				freed += oc.bytes
+			}
+		}
+		net := gross - loss
+		if net < 0 || (net == 0 && freed < c.bytes) {
+			c.saved = net
+			continue
+		}
+		// Budget check with the refund applied up front.
+		tentative := used - freed
+		if opts.Tuner.Calibrated() {
+			if !opts.Tuner.ShouldShare(c.n, c.bytes, opts.BudgetBytes, tentative) {
+				c.saved = net
+				continue
+			}
+		} else if opts.BudgetBytes > 0 && tentative+c.bytes > opts.BudgetBytes {
+			c.saved = net
+			continue
+		}
+		used = tentative + c.bytes
+		c.admitted = true
+		plan.SharedIntermediates++
+		plan.EstimatedSavedTuples += gross - loss
+		if plan.InterConsumers == nil {
+			plan.InterConsumers = make(map[InterKey]int)
+			plan.InterByComp = make(map[string][]InterKey)
+			plan.InterEstRows = make(map[InterKey]int64)
+		}
+		plan.InterConsumers[c.inter] = c.n
+		plan.InterEstRows[c.inter] = c.rows
+		for _, comp := range c.comps {
+			plan.InterByComp[comp] = append(plan.InterByComp[comp], c.inter)
+		}
+		// Displace the served operand reads and settle the operand entries.
+		for _, r := range interReads[c.inter] {
+			for _, op := range r.displace {
+				if !containsOp(plan.ByComp[r.comp], op) {
+					continue
+				}
+				plan.ByComp[r.comp] = removeOp(plan.ByComp[r.comp], op)
+				if plan.Consumers[op]--; plan.Consumers[op] <= 0 {
+					delete(plan.Consumers, op)
+				}
+			}
+		}
+		for op := range displaced {
+			oc, ok := admittedOp[op]
+			if !ok {
+				continue
+			}
+			n := int64(plan.Consumers[op]) - 1
+			if n < 0 {
+				n = 0
+			}
+			oc.saved = n * oc.rows
+			if plan.Consumers[op] < 2 {
+				oc.admitted = false
+				oc.saved = 0
+				delete(admittedOp, op)
+			}
 		}
 	}
+	for _, n := range plan.Consumers {
+		if n >= 2 {
+			plan.SharedOperands++
+		}
+	}
+
+	plan.EstRows = make(map[OperandKey]int64)
+	for op := range plan.Consumers {
+		if size, ok := sizeAt(op.View, op.Delta, op.Version); ok {
+			plan.EstRows[op] = size
+		}
+	}
+	for _, c := range append(inters, opCands...) {
+		kind := "operand"
+		if c.isInter {
+			kind = "intermediate"
+		}
+		plan.Elected = append(plan.Elected, ElectedShare{
+			Name: c.name, Kind: kind, Consumers: c.n,
+			EstRows: c.rows, EstBytes: c.bytes, EstSavedTuples: c.saved,
+			Admitted: c.admitted,
+		})
+	}
 	return plan
+}
+
+// sortCands orders election candidates by savings-per-byte (descending),
+// breaking ties by name for determinism.
+func sortCands(cands []*shareCand) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		// saved/bytes comparison without division: a.saved*b.bytes vs
+		// b.saved*a.bytes (bytes are ≥ 48, never zero, per
+		// EstimateMaterializedBytes's width clamp — but guard anyway).
+		ab, bb := a.bytes, b.bytes
+		if ab <= 0 {
+			ab = 1
+		}
+		if bb <= 0 {
+			bb = 1
+		}
+		da, db := float64(a.saved)/float64(ab), float64(b.saved)/float64(bb)
+		if da != db {
+			return da > db
+		}
+		return a.name < b.name
+	})
+}
+
+func containsOp(ops []OperandKey, op OperandKey) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func removeOp(ops []OperandKey, op OperandKey) []OperandKey {
+	out := ops[:0]
+	for _, o := range ops {
+		if o != op {
+			out = append(out, o)
+		}
+	}
+	return out
 }

@@ -184,16 +184,24 @@ type WindowOptions struct {
 }
 
 // plan runs the named planner (shared by RunWindowMode and RunWindowOpts).
+// Non-shared planners clear any jointly-optimized hints a prior PlanShared
+// recorded, so the window's registry analyzes the strategy it actually runs.
 func (w *Warehouse) plan(name PlannerName) (PlannerName, Plan, error) {
 	switch name {
 	case MinWorkPlanner, "":
+		w.core.SetPlannedSharing(nil)
 		p, err := w.PlanMinWork()
 		return MinWorkPlanner, p, err
 	case PrunePlanner:
+		w.core.SetPlannedSharing(nil)
 		p, err := w.PlanPrune()
 		return name, p, err
 	case DualStagePlanner:
+		w.core.SetPlannedSharing(nil)
 		p, err := w.PlanDualStage()
+		return name, p, err
+	case SharedPlanner:
+		p, err := w.PlanShared()
 		return name, p, err
 	default:
 		return name, Plan{}, fmt.Errorf("warehouse: unknown planner %q", name)
@@ -310,14 +318,14 @@ func (w *Warehouse) Recover(j *Journal) (WindowReport, error) {
 	inflight.Commit = &journal.CommitRecord{TotalWork: res.Report.TotalWork, UnixNano: time.Now().UnixNano()}
 	j.seq = j.log.CommittedCount() + 1
 	window := WindowReport{
-		Seq:        len(w.history) + 1,
-		Planner:    PlannerName(begin.Planner),
-		Plan:       Plan{Strategy: begin.Strategy, EstimatedWork: -1},
-		Mode:       res.Mode,
-		Parallel:   &res.Report,
-		Report:     sequentialView(begin.Strategy, res.Report),
-		Started:    started,
-		StaleAfter: w.StaleViews(),
+		Seq:            len(w.history) + 1,
+		Planner:        PlannerName(begin.Planner),
+		Plan:           Plan{Strategy: begin.Strategy, EstimatedWork: -1},
+		Mode:           res.Mode,
+		Parallel:       &res.Report,
+		Report:         sequentialView(begin.Strategy, res.Report),
+		Started:        started,
+		StaleAfter:     w.StaleViews(),
 		Attempts:       res.Attempts,
 		Recovered:      true,
 		Recomputed:     res.Recomputed,

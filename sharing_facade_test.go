@@ -1,0 +1,172 @@
+package warehouse
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newSharingWarehouse builds the joint-sharing fixture: bases D(k,x), A(k,y),
+// B(y,z) and three sibling views Vi = D ⋈ A ⋈ B with distinct selections.
+// Staging δD makes every Comp(Vi, {D}) read the same delta, and leaves the
+// adjacent pair A ⋈ B quiescent in every maintenance term — the shape where
+// both operand sharing and a shared join intermediate pay off.
+func newSharingWarehouse(t *testing.T, opts Options) *Warehouse {
+	t.Helper()
+	w := New(opts)
+	w.MustDefineBase("D", Schema{{Name: "k", Kind: KindInt}, {Name: "x", Kind: KindInt}})
+	w.MustDefineBase("A", Schema{{Name: "k", Kind: KindInt}, {Name: "y", Kind: KindInt}})
+	w.MustDefineBase("B", Schema{{Name: "y", Kind: KindInt}, {Name: "z", Kind: KindInt}})
+	for i := 1; i <= 3; i++ {
+		w.MustDefineViewSQL(fmt.Sprintf("V%d", i), fmt.Sprintf(`
+			SELECT d.x, b.z
+			FROM D d, A a, B b
+			WHERE d.k = a.k AND a.y = b.y AND b.z > %d`, i))
+	}
+	var dRows, aRows, bRows []Tuple
+	for i := int64(0); i < 60; i++ {
+		dRows = append(dRows, Tuple{Int(i), Int(i * 3)})
+		aRows = append(aRows, Tuple{Int(i), Int(i % 7)})
+	}
+	for j := int64(0); j < 7; j++ {
+		bRows = append(bRows, Tuple{Int(j), Int(j * 2)})
+	}
+	for name, rows := range map[string][]Tuple{"D": dRows, "A": aRows, "B": bRows} {
+		if err := w.Load(name, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func stageSharingDelta(t *testing.T, w *Warehouse) {
+	t.Helper()
+	d, err := w.NewDelta("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(Tuple{Int(3), Int(500)}, 1)
+	d.Add(Tuple{Int(7), Int(-1)}, 1)
+	if err := w.StageDelta("D", d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeSharingBudgetClamp is the regression test for savings estimates
+// ignoring the byte budget: with a starved budget the analysis must refuse
+// every candidate and report zero estimated savings, instead of promising
+// reuse the registry cannot retain.
+func TestAnalyzeSharingBudgetClamp(t *testing.T) {
+	w := newSharingWarehouse(t, Options{})
+	stageSharingDelta(t, w)
+	plan, err := w.PlanMinWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	open, err := w.AnalyzeSharing(plan.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.SharedOperands == 0 || open.EstimatedSavedTuples == 0 {
+		t.Fatalf("default budget found no sharing: %+v", open)
+	}
+	if len(open.Elected) == 0 {
+		t.Fatalf("no elected candidates reported: %+v", open)
+	}
+
+	w.SetSharing(true, 1) // 1-byte budget: nothing fits
+	starved, err := w.AnalyzeSharing(plan.Strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.EstimatedSavedTuples != 0 {
+		t.Errorf("1-byte budget still estimates %d saved tuples (unclamped)",
+			starved.EstimatedSavedTuples)
+	}
+	for _, e := range starved.Elected {
+		if e.Admitted {
+			t.Errorf("1-byte budget admitted %q (%d bytes)", e.Name, e.EstBytes)
+		}
+	}
+}
+
+// TestRunWindowSharedPlanner runs a jointly-optimized window end to end:
+// the sharing-aware planner's hints seed the registry, the window reports
+// reuse hits and per-entry detail, and state stays correct. A following
+// minwork window must not inherit the stale joint hints.
+func TestRunWindowSharedPlanner(t *testing.T) {
+	for _, mode := range []Mode{ModeSequential, ModeStaged} {
+		t.Run(string(mode), func(t *testing.T) {
+			w := newSharingWarehouse(t, Options{ShareComputation: true})
+			stageSharingDelta(t, w)
+			win, err := w.RunWindowMode(SharedPlanner, mode, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if win.Planner != SharedPlanner {
+				t.Errorf("planner = %q", win.Planner)
+			}
+			c := win.Counters()
+			if c.SharedHits == 0 || c.SharedTuplesSaved == 0 {
+				t.Errorf("joint window saw no reuse: %+v", c)
+			}
+			if len(win.Report.SharedDetail) == 0 {
+				t.Errorf("no shared detail recorded")
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The tuner folded the window's observations in.
+			if cal := w.SharingCalibration(); cal.HitObservations == 0 {
+				t.Errorf("tuner uncalibrated after a shared window: %+v", cal)
+			}
+
+			// A minwork window after a shared one: stale joint hints must
+			// not leak into the differently-planned strategy.
+			stageSharingDelta(t, w)
+			if _, err := w.RunWindowMode(MinWorkPlanner, mode, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSharedPlannerMatchesPlainResults: the jointly-optimized window must
+// produce bit-identical view states to a sharing-off window over the same
+// changes.
+func TestSharedPlannerMatchesPlainResults(t *testing.T) {
+	plain := newSharingWarehouse(t, Options{})
+	shared := newSharingWarehouse(t, Options{ShareComputation: true})
+	stageSharingDelta(t, plain)
+	stageSharingDelta(t, shared)
+	if _, err := plain.RunWindow(MinWorkPlanner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shared.RunWindow(SharedPlanner); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("V%d", i)
+		a, err := plain.Rows(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := shared.Rows(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d rows plain vs %d shared", name, len(a), len(b))
+		}
+	}
+	if err := shared.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

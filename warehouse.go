@@ -250,6 +250,12 @@ func New(opts ...Options) *Warehouse {
 		SharedBudgetBytes: o.SharedBudgetBytes,
 		MemoryBudgetBytes: o.MemoryBudgetBytes,
 	})
+	// The share tuner folds each window's observed sharing outcomes (hit
+	// ratios, size drift) back into the share-vs-recompute gate and the
+	// sharing-aware planner's election. The zero value is valid and
+	// uncalibrated — decisions fall back to the static gate until windows
+	// with sharing enabled have run.
+	c.SetShareTuner(&cost.ShareTuner{})
 	w := &Warehouse{core: c, epochs: core.NewEpochs(c), model: model}
 	w.plans.Store(plancache.New[*sqlparse.Query](DefaultPlanCacheSize))
 	return w
@@ -355,21 +361,61 @@ type SharingAnalysis struct {
 	// SharedOperands counts operands (a view's state or delta, at one
 	// point of the install sequence) read by at least two Comps.
 	SharedOperands int
+	// SharedIntermediates counts the join intermediates the election
+	// admitted under the byte budget.
+	SharedIntermediates int
 	// EstimatedSavedTuples is the planning-statistics estimate of operand
-	// tuples sharing avoids rescanning.
+	// tuples sharing avoids rescanning, clamped to what the configured
+	// shared byte budget admits.
 	EstimatedSavedTuples int64
+	// Elected lists every candidate the election considered — admitted or
+	// refused — in admission-priority order (EXPLAIN SHARING).
+	Elected []ElectedShare
 }
 
-// AnalyzeSharing runs the planner's static sharing analysis on a strategy
+// ElectedShare is one sharing candidate the election considered.
+type ElectedShare = planner.ElectedShare
+
+// AnalyzeSharing runs the planner's joint sharing analysis on a strategy
 // with the current planning statistics — the preview of what
-// ShareComputation would reuse.
+// ShareComputation would reuse. The savings estimate is clamped to the
+// configured shared byte budget (Options.SharedBudgetBytes, defaulting to
+// the registry's 64 MiB), and join intermediates are elected alongside
+// operands, so the preview matches what the registry can actually retain.
 func (w *Warehouse) AnalyzeSharing(s Strategy) (SharingAnalysis, error) {
 	stats, err := w.PlanningStats()
 	if err != nil {
 		return SharingAnalysis{}, err
 	}
-	p := planner.AnalyzeSharing(s, exec.RefsOf(w.core), stats)
-	return SharingAnalysis{SharedOperands: p.SharedOperands, EstimatedSavedTuples: p.EstimatedSavedTuples}, nil
+	p := planner.AnalyzeSharingOpts(s, exec.RefsOf(w.core), planner.SharingOptions{
+		Stats:       stats,
+		BudgetBytes: w.sharedBudget(),
+		Width:       exec.WidthOf(w.core),
+		Pairs:       exec.PairsOf(w.core),
+		Tuner:       w.core.ShareTuner(),
+	})
+	return SharingAnalysis{
+		SharedOperands:       p.SharedOperands,
+		SharedIntermediates:  p.SharedIntermediates,
+		EstimatedSavedTuples: p.EstimatedSavedTuples,
+		Elected:              p.Elected,
+	}, nil
+}
+
+// sharedBudget is the byte budget sharing elections price against: the
+// configured Options.SharedBudgetBytes, or the registry's default.
+func (w *Warehouse) sharedBudget() int64 {
+	if b := w.core.Options().SharedBudgetBytes; b > 0 {
+		return b
+	}
+	return core.DefaultSharedBudgetBytes
+}
+
+// SharingCalibration snapshots the share tuner's state: how many windows'
+// observations it has folded in and the EWMA hit/size ratios gating the
+// share-vs-recompute decision.
+func (w *Warehouse) SharingCalibration() cost.ShareTuningStats {
+	return w.core.ShareTuner().Stats()
 }
 
 // DefineBase registers a base view (data loaded from sources).
@@ -569,6 +615,35 @@ func (w *Warehouse) PlanPrune() (Plan, error) {
 		return Plan{}, err
 	}
 	return Plan{Strategy: res.Strategy, Ordering: res.Ordering, EstimatedWork: res.Work}, nil
+}
+
+// PlanShared plans an update with the sharing-aware Prune search: the same
+// candidate space as PlanPrune (plus the dual-stage strategy), costed by
+// sharing-adjusted work — multi-consumer operands and jointly-elected join
+// intermediates are charged once, subject to the shared byte budget. The
+// winner's sharing plan is recorded on the warehouse core
+// (SetPlannedSharing), so the next executed window's registry runs with the
+// jointly-optimized hints instead of re-analyzing the strategy after the
+// fact.
+func (w *Warehouse) PlanShared() (Plan, error) {
+	g, stats, err := w.planningInputs()
+	if err != nil {
+		return Plan{}, err
+	}
+	res, err := planner.PruneShared(g, w.model, stats, exec.RefCounts(w.core), planner.SharedSearchOptions{
+		Refs: exec.RefsOf(w.core),
+		Sharing: planner.SharingOptions{
+			BudgetBytes: w.sharedBudget(),
+			Width:       exec.WidthOf(w.core),
+			Pairs:       exec.PairsOf(w.core),
+			Tuner:       w.core.ShareTuner(),
+		},
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+	w.core.SetPlannedSharing(exec.HintsFromPlan(res.Plan))
+	return Plan{Strategy: res.Strategy, Ordering: res.Ordering, EstimatedWork: res.AdjustedWork}, nil
 }
 
 // PlanDualStage plans the conventional propagate-then-install strategy the

@@ -23,6 +23,11 @@ const (
 	// DualStagePlanner is the conventional propagate-then-install strategy
 	// ([CGL+96]), provided as the baseline.
 	DualStagePlanner PlannerName = "dualstage"
+	// SharedPlanner is the sharing-aware Prune search: candidates are costed
+	// by sharing-adjusted work (multi-consumer operands and jointly-elected
+	// join intermediates charged once, under the shared byte budget), and
+	// the winner's sharing plan seeds the executed window's registry.
+	SharedPlanner PlannerName = "shared"
 )
 
 // WindowReport records one executed update window.
@@ -214,14 +219,22 @@ func (w *Warehouse) RunWindowMode(planner PlannerName, mode Mode, workers int) (
 		plan Plan
 		err  error
 	)
+	// Planners other than SharedPlanner clear any jointly-optimized hints a
+	// prior PlanShared recorded, so the window's registry falls back to the
+	// after-the-fact analysis of the strategy it actually runs.
 	switch planner {
 	case MinWorkPlanner, "":
 		planner = MinWorkPlanner
+		w.core.SetPlannedSharing(nil)
 		plan, err = w.PlanMinWork()
 	case PrunePlanner:
+		w.core.SetPlannedSharing(nil)
 		plan, err = w.PlanPrune()
 	case DualStagePlanner:
+		w.core.SetPlannedSharing(nil)
 		plan, err = w.PlanDualStage()
+	case SharedPlanner:
+		plan, err = w.PlanShared()
 	default:
 		return WindowReport{}, fmt.Errorf("warehouse: unknown planner %q", planner)
 	}
@@ -268,6 +281,7 @@ func sequentialView(s Strategy, pr ParallelReport) Report {
 	rep := Report{
 		Strategy: s, Elapsed: pr.Elapsed,
 		SharedBytesPeak:   pr.SharedBytesPeak,
+		SharedDetail:      pr.SharedDetail,
 		PeakReservedBytes: pr.PeakReservedBytes,
 	}
 	for _, stage := range pr.Steps {
